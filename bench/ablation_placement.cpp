@@ -1,0 +1,152 @@
+// Ablation: placement-scheme comparison (paper §III-B and §V-C).
+//
+// Quantifies the design choices behind MemFSS's two-layer weighted HRW:
+//   1. steering accuracy -- how close each scheme gets to a target
+//      own/victim split (only the weighted class layer can steer at all);
+//   2. balance -- coefficient of variation of per-node load inside each
+//      class (uniform layer-2 keeps victim interference predictable);
+//   3. disruption -- fraction of keys that move when one node leaves
+//      (HRW/consistent: ~1/n; modulo: nearly everything).
+#include <cstdio>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "fs/placement.hpp"
+#include "hash/weight_solver.hpp"
+
+using namespace memfss;
+
+namespace {
+
+constexpr int kKeys = 60000;
+
+std::vector<NodeId> iota_nodes(std::size_t n, NodeId base = 0) {
+  std::vector<NodeId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = base + NodeId(i);
+  return v;
+}
+
+std::string key_of(int i) { return strformat("stripe-%d", i); }
+
+double balance_cv(const std::map<NodeId, int>& counts) {
+  if (counts.empty()) return 0.0;
+  double mean = 0;
+  for (const auto& [n, c] : counts) mean += c;
+  mean /= double(counts.size());
+  double var = 0;
+  for (const auto& [n, c] : counts) var += (c - mean) * (c - mean);
+  var /= double(counts.size());
+  return mean > 0 ? std::sqrt(var) / mean : 0.0;
+}
+
+struct SchemeStats {
+  double own_fraction = 0;   // achieved share on own nodes
+  double cv = 0;             // per-node balance (all nodes)
+  double disruption = 0;     // keys moved when one victim leaves
+};
+
+SchemeStats evaluate(fs::PlacementPolicy& before,
+                     fs::PlacementPolicy& after, std::size_t own_count) {
+  SchemeStats s;
+  std::map<NodeId, int> counts;
+  int own_hits = 0, moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const auto k = key_of(i);
+    const NodeId b = before.place(k, 1)[0];
+    ++counts[b];
+    if (b < own_count) ++own_hits;
+    if (after.place(k, 1)[0] != b) ++moved;
+  }
+  s.own_fraction = double(own_hits) / kKeys;
+  s.cv = balance_cv(counts);
+  s.disruption = double(moved) / kKeys;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  // The paper's shape: 8 own + 32 victims, target 25% on own nodes; the
+  // "after" configuration removes victim node 139.
+  const std::size_t own_n = 8, victim_n = 32;
+  const auto own = iota_nodes(own_n, 0);
+  const auto victims = iota_nodes(victim_n, 100);
+  auto victims_minus_one = victims;
+  victims_minus_one.pop_back();
+  auto all = own;
+  all.insert(all.end(), victims.begin(), victims.end());
+  auto all_minus_one = own;
+  all_minus_one.insert(all_minus_one.end(), victims_minus_one.begin(),
+                       victims_minus_one.end());
+
+  Table t({"scheme", "target own %", "achieved own %", "balance CV",
+           "keys moved on 1-node loss %"});
+  t.set_title(
+      "Placement ablation: 8 own + 32 victim nodes, 60k stripe keys");
+
+  {  // MemFSS: two-layer weighted HRW.
+    const auto w = hash::two_class_weights(0.25);
+    fs::ClassMembership m1, m2;
+    m1.set_members(0, own);
+    m1.set_members(1, victims);
+    m2.set_members(0, own);
+    m2.set_members(1, victims_minus_one);
+    fs::PlacementEpoch e{1, {{0, w.own}, {1, w.victim}}};
+    fs::ClassHrwPolicy before(e, m1), after(e, m2);
+    const auto s = evaluate(before, after, own_n);
+    t.add_row({"two-layer weighted HRW (MemFSS)", "25",
+               strformat("%.1f", s.own_fraction * 100),
+               strformat("%.3f", s.cv),
+               strformat("%.1f", s.disruption * 100)});
+  }
+  {  // Uniform HRW over all nodes (no steering possible).
+    fs::UniformHrwPolicy before(all), after(all_minus_one);
+    const auto s = evaluate(before, after, own_n);
+    t.add_row({"uniform HRW (no classes)", "n/a",
+               strformat("%.1f", s.own_fraction * 100),
+               strformat("%.3f", s.cv),
+               strformat("%.1f", s.disruption * 100)});
+  }
+  {  // MemFS baseline: consistent hashing ring.
+    fs::ConsistentHashPolicy before(all), after(all_minus_one);
+    const auto s = evaluate(before, after, own_n);
+    t.add_row({"consistent hashing (MemFS)", "n/a",
+               strformat("%.1f", s.own_fraction * 100),
+               strformat("%.3f", s.cv),
+               strformat("%.1f", s.disruption * 100)});
+  }
+  {  // Modulo: balanced but catastrophic on membership change.
+    fs::ModuloPolicy before(all), after(all_minus_one);
+    const auto s = evaluate(before, after, own_n);
+    t.add_row({"modulo", "n/a",
+               strformat("%.1f", s.own_fraction * 100),
+               strformat("%.3f", s.cv),
+               strformat("%.1f", s.disruption * 100)});
+  }
+  t.print();
+
+  // Steering accuracy across the paper's alpha sweep.
+  Table steer({"alpha target %", "achieved %", "abs error (pp)"});
+  steer.set_title("\nWeighted class layer: steering accuracy");
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto w = hash::two_class_weights(alpha);
+    fs::ClassMembership m;
+    m.set_members(0, own);
+    m.set_members(1, victims);
+    fs::PlacementEpoch e{1, {{0, w.own}, {1, w.victim}}};
+    fs::ClassHrwPolicy policy(e, m);
+    int own_hits = 0;
+    for (int i = 0; i < kKeys; ++i)
+      if (policy.place(key_of(i), 1)[0] < own_n) ++own_hits;
+    const double achieved = double(own_hits) / kKeys;
+    steer.add_row({strformat("%.0f", alpha * 100),
+                   strformat("%.2f", achieved * 100),
+                   strformat("%.2f", std::abs(achieved - alpha) * 100)});
+  }
+  steer.print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 3 (a, b): HPCC slowdown induced by memory scavenging.
+//
+// Paper setup: the HPCC suite runs on 32 victim nodes while MemFSS
+// (8 own nodes) loops one of its applications (Montage, BLAST, dd),
+// storing 25% (Fig. 3a) or 50% (Fig. 3b) of the data on own nodes.
+//
+// Expected shape (§IV-C): most benchmarks < 10%; STREAM and the latency
+// probe are hit hardest at alpha = 25% (11-12% in the paper -- memory
+// bandwidth and small-message interference); the 50% case is milder than
+// the 25% case; BLAST's many small requests disturb the latency-bound
+// MPI benchmarks more than bulk-streaming dd does.
+#include "bench/slowdown_common.hpp"
+#include "tenant/suites.hpp"
+
+using namespace memfss;
+
+int main() {
+  const auto suite = tenant::hpcc_suite();
+  const std::vector<exp::Workload> workloads{
+      exp::Workload::montage, exp::Workload::blast, exp::Workload::dd};
+  const auto opt = bench::paper_options();
+
+  std::printf("Figure 3: HPCC slowdown under memory scavenging "
+              "(%zu own + %zu victim nodes)\n\n",
+              opt.scenario.own_nodes,
+              opt.scenario.total_nodes - opt.scenario.own_nodes);
+  for (double alpha : {0.25, 0.5}) {
+    const auto res = bench::run_suite_cached("hpcc", suite, workloads, alpha, opt);
+    bench::print_suite_table(
+        strformat("Fig. 3%s: alpha = %.0f%% of data on own nodes",
+                  alpha == 0.25 ? "a" : "b", alpha * 100),
+        suite, workloads, res);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 4 (a, b): HiBench-on-Hadoop slowdown induced by scavenging.
+//
+// Expected shape (§IV-C): most benchmarks < 10%. TeraSort suffers most
+// (paper: 26% under dd, 16% under BLAST at alpha = 25%; 15%/8% at 50%)
+// because its shuffle competes for both memory and network. DFSIO-read
+// exceeds 10% because scavenged bytes shrink the HDFS page cache. The
+// 50% case is milder than 25% across the board.
+#include "bench/slowdown_common.hpp"
+#include "tenant/suites.hpp"
+
+using namespace memfss;
+
+int main() {
+  const auto suite = tenant::hibench_hadoop_suite();
+  const std::vector<exp::Workload> workloads{
+      exp::Workload::montage, exp::Workload::blast, exp::Workload::dd};
+  const auto opt = bench::paper_options();
+
+  std::printf("Figure 4: HiBench/Hadoop slowdown under memory scavenging "
+              "(%zu own + %zu victim nodes)\n\n",
+              opt.scenario.own_nodes,
+              opt.scenario.total_nodes - opt.scenario.own_nodes);
+  for (double alpha : {0.25, 0.5}) {
+    const auto res = bench::run_suite_cached("hibench-hadoop", suite, workloads, alpha, opt);
+    bench::print_suite_table(
+        strformat("Fig. 4%s: alpha = %.0f%% of data on own nodes",
+                  alpha == 0.25 ? "a" : "b", alpha * 100),
+        suite, workloads, res);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 5: HiBench-on-Spark slowdown at alpha = 50%.
+//
+// Spark pins 48 GB executors per node and keeps working sets in memory,
+// so MemFSS competes with it for memory capacity *and* bandwidth (and
+// indirectly the JVM GC) -- the paper reports clearly larger slowdowns
+// than Hadoop/HPCC (average ~18%) and therefore only evaluates the
+// 50%-on-own-nodes configuration; DFSIO is absent ("not yet implemented
+// for Spark").
+#include "bench/slowdown_common.hpp"
+#include "tenant/suites.hpp"
+
+using namespace memfss;
+
+int main() {
+  const auto suite = tenant::hibench_spark_suite();
+  const std::vector<exp::Workload> workloads{
+      exp::Workload::montage, exp::Workload::blast, exp::Workload::dd};
+  const auto opt = bench::paper_options();
+
+  std::printf("Figure 5: HiBench/Spark slowdown under memory scavenging "
+              "(%zu own + %zu victim nodes, alpha = 50%%)\n\n",
+              opt.scenario.own_nodes,
+              opt.scenario.total_nodes - opt.scenario.own_nodes);
+  const auto res = bench::run_suite_cached("hibench-spark", suite, workloads, 0.5, opt);
+  bench::print_suite_table("Fig. 5: alpha = 50% of data on own nodes",
+                           suite, workloads, res);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reed-Solomon coding throughput: the CPU cost of the paper's
+// future-work redundancy mode, measured on real hardware. Encode cost is
+// what a client pays per stripe write; decode-with-losses is the repair
+// path after a victim eviction or crash.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "erasure/reed_solomon.hpp"
+
+using namespace memfss;
+
+namespace {
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  Rng rng(42);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = std::uint8_t(rng.next_u64());
+  return v;
+}
+
+void BM_RsEncode(benchmark::State& state) {
+  erasure::ReedSolomon rs(std::size_t(state.range(0)),
+                          std::size_t(state.range(1)));
+  const auto data = payload(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(data));
+  }
+  state.SetBytesProcessed(state.iterations() * std::int64_t(data.size()));
+}
+BENCHMARK(BM_RsEncode)->Args({4, 2})->Args({8, 3})->Args({4, 0});
+
+void BM_RsDecodeClean(benchmark::State& state) {
+  erasure::ReedSolomon rs(4, 2);
+  const auto data = payload(1 << 20);
+  const auto shards = rs.encode(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.decode(shards, data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * std::int64_t(data.size()));
+}
+BENCHMARK(BM_RsDecodeClean);
+
+void BM_RsDecodeWithLosses(benchmark::State& state) {
+  erasure::ReedSolomon rs(4, 2);
+  const auto data = payload(1 << 20);
+  auto shards = rs.encode(data);
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    shards[std::size_t(i)].clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.decode(shards, data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * std::int64_t(data.size()));
+}
+BENCHMARK(BM_RsDecodeWithLosses)->Arg(1)->Arg(2);
+
+void BM_RsReconstructOneShard(benchmark::State& state) {
+  erasure::ReedSolomon rs(4, 2);
+  const auto data = payload(1 << 20);
+  const auto original = rs.encode(data);
+  for (auto _ : state) {
+    auto shards = original;
+    shards[1].clear();
+    benchmark::DoNotOptimize(rs.reconstruct(shards));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          std::int64_t(original[1].size()));
+}
+BENCHMARK(BM_RsReconstructOneShard);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Real-hardware runs of the HPCC-style microkernels (STREAM triad, FFT,
+// DGEMM, RandomAccess). These calibrate the simulated node parameters:
+// cluster::NodeSpec defaults to DAS-5-class figures (16 cores, 60 GB/s
+// memory bus); comparing the numbers below against that spec tells you
+// how this machine relates to the simulated one.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tenant/kernels.hpp"
+
+using namespace memfss::tenant;
+
+namespace {
+
+void BM_StreamTriad(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::stream_triad(n, 1));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          std::int64_t(n * 3 * sizeof(double)));
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_FftRadix2(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  memfss::Rng rng(1);
+  std::vector<std::complex<double>> base(n);
+  for (auto& x : base) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    auto a = base;
+    kernels::fft_radix2(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(n));
+}
+BENCHMARK(BM_FftRadix2)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DgemmBlocked(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  memfss::Rng rng(2);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(-1, 1);
+  for (auto& x : b) x = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::dgemm_blocked(n, a.data(), b.data(), c.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(2 * n * n * n));
+}
+BENCHMARK(BM_DgemmBlocked)->Arg(128)->Arg(256);
+
+void BM_RandomAccess(benchmark::State& state) {
+  std::vector<std::uint64_t> table(std::size_t(state.range(0)), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::random_access(table, 1 << 16));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_RandomAccess)->Arg(1 << 16)->Arg(1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

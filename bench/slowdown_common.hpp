@@ -1,0 +1,170 @@
+// Shared driver for the tenant-slowdown figures (Fig. 3, 4, 5, 6): runs
+// one suite's benchmarks under each MemFSS workload at one alpha and
+// prints a paper-style table (one row per benchmark, one slowdown column
+// per workload).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+#include "tenant/app.hpp"
+
+namespace memfss::bench {
+
+inline exp::SlowdownOptions paper_options() {
+  exp::SlowdownOptions opt;
+  opt.scenario.total_nodes = 40;
+  opt.scenario.own_nodes = 8;
+  if (std::getenv("MEMFSS_FAST")) {
+    opt.scenario.total_nodes = 16;
+    opt.scenario.own_nodes = 4;
+  }
+  return opt;
+}
+
+struct SuiteResult {
+  // slowdown[benchmark][workload]
+  std::map<std::string, std::map<exp::Workload, double>> cells;
+  double average(exp::Workload w) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& [bench, row] : cells) {
+      auto it = row.find(w);
+      if (it != row.end()) {
+        sum += it->second;
+        ++n;
+      }
+    }
+    return n ? sum / double(n) : 0.0;
+  }
+};
+
+inline SuiteResult run_suite(const std::vector<tenant::TenantApp>& suite,
+                             const std::vector<exp::Workload>& workloads,
+                             double alpha, const exp::SlowdownOptions& opt) {
+  SuiteResult out;
+  const auto cells = exp::run_slowdown_sweep(suite, workloads, alpha, opt);
+  for (const auto& c : cells) out.cells[c.tenant][c.workload] = c.slowdown;
+  return out;
+}
+
+// --- cross-binary result cache ----------------------------------------------
+//
+// The Fig. 3/4/5 binaries each sweep one suite; Fig. 6 is their aggregate.
+// To avoid re-running ~70 simulations, each sweep appends its cells to a
+// cache file in the working directory and Fig. 6 consumes it, recomputing
+// only combinations that are missing. Delete the file to force fresh runs.
+
+inline const char* cache_path() {
+  if (const char* p = std::getenv("MEMFSS_SLOWDOWN_CACHE")) return p;
+  return "memfss_slowdown_cache.csv";
+}
+
+inline void append_to_cache(const std::string& suite_label, double alpha,
+                            const std::vector<exp::Workload>& workloads,
+                            const SuiteResult& result) {
+  std::ofstream out(cache_path(), std::ios::app);
+  if (!out) return;
+  for (const auto& [bench, row] : result.cells) {
+    for (auto w : workloads) {
+      auto it = row.find(w);
+      if (it == row.end()) continue;
+      out << suite_label << ',' << alpha << ',' << bench << ','
+          << exp::workload_name(w) << ',' << it->second << '\n';
+    }
+  }
+}
+
+/// Load every cached cell for (suite_label, alpha). Returns an empty
+/// result if the cache has no rows for that combination.
+inline SuiteResult load_from_cache(const std::string& suite_label,
+                                   double alpha) {
+  SuiteResult out;
+  std::ifstream in(cache_path());
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string suite, alpha_s, bench, workload_s, slowdown_s;
+    if (!std::getline(ls, suite, ',') || !std::getline(ls, alpha_s, ',') ||
+        !std::getline(ls, bench, ',') ||
+        !std::getline(ls, workload_s, ',') ||
+        !std::getline(ls, slowdown_s))
+      continue;
+    if (suite != suite_label || std::abs(std::atof(alpha_s.c_str()) - alpha) >
+                                    1e-9)
+      continue;
+    exp::Workload w;
+    if (workload_s == "dd") w = exp::Workload::dd;
+    else if (workload_s == "Montage") w = exp::Workload::montage;
+    else if (workload_s == "BLAST") w = exp::Workload::blast;
+    else continue;
+    out.cells[bench][w] = std::atof(slowdown_s.c_str());
+  }
+  return out;
+}
+
+/// True when the cached result covers every (benchmark, workload) cell.
+inline bool cache_complete(const SuiteResult& r,
+                           const std::vector<tenant::TenantApp>& suite,
+                           const std::vector<exp::Workload>& workloads) {
+  for (const auto& app : suite) {
+    auto it = r.cells.find(app.name);
+    if (it == r.cells.end()) return false;
+    for (auto w : workloads)
+      if (!it->second.count(w)) return false;
+  }
+  return true;
+}
+
+/// Cached run_suite: reuse the cache when it covers the combination,
+/// otherwise run the sweep and record it.
+inline SuiteResult run_suite_cached(
+    const std::string& suite_label,
+    const std::vector<tenant::TenantApp>& suite,
+    const std::vector<exp::Workload>& workloads, double alpha,
+    const exp::SlowdownOptions& opt) {
+  auto cached = load_from_cache(suite_label, alpha);
+  if (cache_complete(cached, suite, workloads)) {
+    std::printf("(using cached cells from %s; delete it to re-run)\n",
+                cache_path());
+    return cached;
+  }
+  auto fresh = run_suite(suite, workloads, alpha, opt);
+  append_to_cache(suite_label, alpha, workloads, fresh);
+  return fresh;
+}
+
+inline void print_suite_table(const std::string& title,
+                              const std::vector<tenant::TenantApp>& suite,
+                              const std::vector<exp::Workload>& workloads,
+                              const SuiteResult& result) {
+  std::vector<std::string> header{"benchmark"};
+  for (auto w : workloads)
+    header.push_back(exp::workload_name(w) + " slowdown %");
+  Table t(std::move(header));
+  t.set_title(title);
+  for (const auto& app : suite) {  // preserve suite (paper) order
+    std::vector<std::string> row{app.name};
+    for (auto w : workloads)
+      row.push_back(
+          strformat("%.1f", result.cells.at(app.name).at(w) * 100.0));
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg{"AVERAGE"};
+  for (auto w : workloads)
+    avg.push_back(strformat("%.1f", result.average(w) * 100.0));
+  t.add_row(std::move(avg));
+  t.print();
+  std::printf("\n");
+}
+
+}  // namespace memfss::bench

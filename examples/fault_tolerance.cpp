@@ -1,0 +1,86 @@
+// Fault tolerance: replication vs Reed-Solomon erasure coding.
+//
+// The paper (§III-E) replicates stripes on the 2nd/3rd-highest HRW ranks
+// but notes that full replication is prohibitive for an in-memory store
+// and names erasure coding as the in-progress alternative. This example
+// exercises both modes: write real data, crash a storage node, read the
+// data back intact, and compare the memory overhead of the two schemes.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/str.hpp"
+#include "exp/scenario.hpp"
+#include "fs/client.hpp"
+
+using namespace memfss;
+
+namespace {
+
+std::vector<std::uint8_t> make_payload(std::size_t n) {
+  Rng rng(7);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = std::uint8_t(rng.next_u64());
+  return v;
+}
+
+struct Outcome {
+  bool intact = false;
+  Bytes stored = 0;
+};
+
+Outcome crash_and_read(fs::RedundancyMode mode) {
+  exp::ScenarioParams params;
+  params.total_nodes = 8;
+  params.own_nodes = 8;
+  params.with_victims = false;
+  params.stripe_size = 1 * units::MiB;
+  params.redundancy = mode;
+  params.copies = 2;
+  exp::Scenario sc(params);
+
+  const auto payload = make_payload(8 * units::MiB + 4321);
+  Outcome out;
+  sc.sim().spawn([](exp::Scenario& s, const std::vector<std::uint8_t>& data,
+                    Outcome& o) -> sim::Task<> {
+    fs::Client c = s.fs().client(0);
+    if (auto st = co_await c.write_file_bytes("/survive", data); !st.ok()) {
+      std::printf("  write failed: %s\n", st.error().to_string().c_str());
+      co_return;
+    }
+    o.stored = s.fs().total_bytes();
+    // Crash node 3: its store loses everything.
+    s.fs().server(3).wipe();
+    auto back = co_await c.read_file_bytes("/survive");
+    o.intact = back.ok() && back.value() == data;
+  }(sc, payload, out));
+  sc.sim().run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Bytes payload_size = 8 * units::MiB + 4321;
+  std::printf("payload: %s; one storage node crashes after the write\n\n",
+              format_bytes(payload_size).c_str());
+
+  struct ModeRow {
+    const char* label;
+    fs::RedundancyMode mode;
+  };
+  for (const auto& m :
+       {ModeRow{"2-way replication (paper §III-E)",
+                fs::RedundancyMode::replicated},
+        ModeRow{"Reed-Solomon RS(4,2) (future-work mode)",
+                fs::RedundancyMode::erasure}}) {
+    const auto out = crash_and_read(m.mode);
+    std::printf("%-42s data %s, memory overhead %.2fx\n", m.label,
+                out.intact ? "intact" : "LOST",
+                double(out.stored) / double(payload_size));
+  }
+  std::printf(
+      "\nRS(4,2) tolerates the same single-node loss at 1.5x memory\n"
+      "instead of 2x -- the trade the paper motivates for in-memory\n"
+      "storage, where capacity is the scarce resource.\n");
+  return 0;
+}

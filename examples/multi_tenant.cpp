@@ -1,0 +1,42 @@
+// Multi-tenant co-location: measure what scavenging costs the victims.
+//
+// A TeraSort tenant runs on the victim nodes while MemFSS loops a dd
+// write workload from its own nodes, scavenging victim memory. The
+// example runs the tenant clean, then co-located, and prints the
+// slowdown -- the quantity Figures 3-6 of the paper sweep.
+#include <cstdio>
+
+#include "exp/experiments.hpp"
+#include "tenant/suites.hpp"
+
+using namespace memfss;
+
+int main() {
+  exp::SlowdownOptions opt;
+  opt.scenario.total_nodes = 20;
+  opt.scenario.own_nodes = 4;
+  opt.scenario.own_fraction = 0.25;
+
+  const auto app = tenant::find_app("TeraSort");
+  if (!app) {
+    std::printf("TeraSort not in catalog\n");
+    return 1;
+  }
+
+  std::printf("tenant: %s (%s) on %zu victim nodes\n", app->name.c_str(),
+              app->suite.c_str(),
+              opt.scenario.total_nodes - opt.scenario.own_nodes);
+
+  const auto clean =
+      exp::run_tenant_under_scavenging(*app, exp::Workload::none, opt);
+  std::printf("clean run:      %7.1f s\n", clean.duration);
+
+  for (auto w : {exp::Workload::dd, exp::Workload::montage,
+                 exp::Workload::blast}) {
+    const auto loaded = exp::run_tenant_under_scavenging(*app, w, opt);
+    std::printf("with %-8s : %7.1f s  -> slowdown %+.1f%%\n",
+                exp::workload_name(w).c_str(), loaded.duration,
+                (loaded.duration / clean.duration - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: bring up MemFSS on a small simulated cluster, scavenge
+// memory from other tenants' nodes, and do file I/O through the client.
+//
+//   1. build a 12-node cluster and a reservation system;
+//   2. reserve 4 own nodes for MemFSS, 8 for a tenant;
+//   3. the tenant offers 8 GiB per node on the secondary queue;
+//   4. MemFSS claims the offers as victim class 1, targeting 25% of the
+//      data on own nodes (the paper's best-performing alpha);
+//   5. write and read files, then inspect the placement.
+#include <cstdio>
+
+#include "common/str.hpp"
+#include "exp/scenario.hpp"
+#include "fs/client.hpp"
+
+using namespace memfss;
+
+namespace {
+
+sim::Task<> demo(exp::Scenario& sc) {
+  fs::Client client = sc.fs().client(sc.own_nodes().front());
+
+  // Directory tree + a few files (sizes are accounted, not materialized).
+  (void)co_await client.mkdirs("/results/run-1");
+  for (int i = 0; i < 8; ++i) {
+    auto st = co_await client.write_file(
+        strformat("/results/run-1/part-%d", i), 256 * units::MiB);
+    if (!st.ok()) {
+      std::printf("write failed: %s\n", st.error().to_string().c_str());
+      co_return;
+    }
+  }
+
+  auto listing = co_await client.readdir("/results/run-1");
+  std::printf("/results/run-1 holds %zu files\n", listing.value().size());
+
+  auto bytes = co_await client.read_file("/results/run-1/part-3");
+  std::printf("read back part-3: %s\n",
+              format_bytes(bytes.value()).c_str());
+
+  // Small real-bytes file: contents survive the placement machinery.
+  std::vector<std::uint8_t> payload{'h', 'e', 'l', 'l', 'o'};
+  (void)co_await client.write_file_bytes("/results/hello", payload);
+  auto back = co_await client.read_file_bytes("/results/hello");
+  std::printf("materialized roundtrip: %s\n",
+              back.ok() && back.value() == payload ? "ok" : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  exp::ScenarioParams params;
+  params.total_nodes = 12;
+  params.own_nodes = 4;
+  params.own_fraction = 0.25;  // 25% of data stays on own nodes
+  params.victim_memory_cap = 8 * units::GiB;
+
+  exp::Scenario sc(params);
+  std::printf("cluster: %zu nodes (%zu own + %zu scavenged victims)\n",
+              params.total_nodes, sc.own_nodes().size(),
+              sc.victim_nodes().size());
+
+  sc.sim().spawn(demo(sc));
+  sc.sim().run();
+
+  std::printf("\nper-node data after the run:\n");
+  for (const auto& [node, bytes] : sc.fs().distribution()) {
+    std::printf("  node %2u (%s): %s\n", node,
+                node < 4 ? "own   " : "victim",
+                format_bytes(bytes).c_str());
+  }
+  std::printf("total stored: %s across %zu files\n",
+              format_bytes(sc.fs().total_bytes()).c_str(),
+              sc.fs().meta().ns().file_count());
+  std::printf("simulated time: %s\n",
+              format_duration(sc.sim().now()).c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the ablations and
+# micro-benchmarks. Run from the repository root.
+#
+#   scripts/run_all_experiments.sh [--fast]
+#
+# --fast sets MEMFSS_FAST=1 (small clusters / short workloads) for a
+# quick smoke pass. Figure-level slowdown cells are cached in
+# memfss_slowdown_cache.csv so Fig. 6 reuses the Fig. 3-5 sweeps;
+# delete that file to force fresh runs.
+set -euo pipefail
+
+if [[ "${1:-}" == "--fast" ]]; then
+  export MEMFSS_FAST=1
+  echo "== fast mode (MEMFSS_FAST=1) =="
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --timeout 300 | tee test_output.txt
+
+echo "== benches =="
+: > bench_output.txt
+for b in build/bench/*; do
+  [[ -x "$b" && -f "$b" ]] || continue
+  echo "=== $(basename "$b") ===" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,32 @@
+#include "cluster/cluster.hpp"
+
+#include "common/str.hpp"
+
+namespace memfss::cluster {
+
+Node::Node(sim::Simulator& sim, NodeId id, const NodeSpec& spec)
+    : id_(id),
+      spec_(spec),
+      cpu_(std::make_unique<sim::FluidResource>(
+          sim, spec.cores, strformat("cpu[%u]", id))),
+      membw_(std::make_unique<sim::FluidResource>(
+          sim, spec.memory_bandwidth, strformat("membw[%u]", id))),
+      mem_(std::make_unique<sim::MemoryPool>(spec.memory,
+                                             strformat("mem[%u]", id))) {}
+
+Cluster::Cluster(sim::Simulator& sim, std::size_t node_count, NodeSpec spec)
+    : sim_(sim), fabric_(sim, node_count, spec.nic) {
+  nodes_.reserve(node_count);
+  for (std::size_t n = 0; n < node_count; ++n)
+    nodes_.push_back(
+        std::make_unique<Node>(sim, static_cast<NodeId>(n), spec));
+}
+
+std::vector<NodeId> Cluster::all_nodes() const {
+  std::vector<NodeId> out(nodes_.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<NodeId>(i);
+  return out;
+}
+
+}  // namespace memfss::cluster

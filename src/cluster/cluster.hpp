@@ -1,0 +1,68 @@
+// Simulated cluster: a set of uniform nodes plus the network fabric.
+//
+// Node defaults mirror the paper's DAS-5 testbed: dual 8-core E5-2630v3
+// (16 physical cores), 64 GB DRAM, FDR InfiniBand at ~3 GB/s IPoIB.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/fluid.hpp"
+#include "sim/memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace memfss::cluster {
+
+struct NodeSpec {
+  double cores = 16.0;            ///< CPU capacity in core-seconds/s
+  Bytes memory = 64 * units::GiB;
+  Rate memory_bandwidth = 60e9;   ///< bytes/s (dual-socket DDR4-1866)
+  net::NicSpec nic{};             ///< defaults to ~3 GB/s IPoIB
+};
+
+/// Per-node simulated resources. CPU and memory bandwidth are fluid
+/// (max-min shared); memory capacity is accounted.
+class Node {
+ public:
+  Node(sim::Simulator& sim, NodeId id, const NodeSpec& spec);
+
+  NodeId id() const { return id_; }
+  const NodeSpec& spec() const { return spec_; }
+  sim::FluidResource& cpu() { return *cpu_; }
+  sim::FluidResource& membw() { return *membw_; }
+  sim::MemoryPool& memory() { return *mem_; }
+  const sim::FluidResource& cpu() const { return *cpu_; }
+  const sim::FluidResource& membw() const { return *membw_; }
+  const sim::MemoryPool& memory() const { return *mem_; }
+
+ private:
+  NodeId id_;
+  NodeSpec spec_;
+  std::unique_ptr<sim::FluidResource> cpu_;
+  std::unique_ptr<sim::FluidResource> membw_;
+  std::unique_ptr<sim::MemoryPool> mem_;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, std::size_t node_count,
+          NodeSpec spec = NodeSpec{});
+
+  sim::Simulator& sim() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(NodeId n) { return *nodes_[n]; }
+  const Node& node(NodeId n) const { return *nodes_[n]; }
+
+  /// All node ids, in order.
+  std::vector<NodeId> all_nodes() const;
+
+ private:
+  sim::Simulator& sim_;
+  net::Fabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace memfss::cluster

@@ -1,0 +1,25 @@
+#include "cluster/monitor.hpp"
+
+#include <cmath>
+
+namespace memfss::cluster {
+
+VictimMonitor::VictimMonitor(sim::Simulator& sim, sim::MemoryPool& pool,
+                             NodeId node, double threshold_fraction,
+                             std::function<void(NodeId)> on_evict)
+    : sim_(sim), node_(node), on_evict_(std::move(on_evict)) {
+  const auto threshold = static_cast<Bytes>(
+      std::llround(threshold_fraction * static_cast<double>(pool.capacity())));
+  pool.set_pressure_callback(threshold, [this] { demand_memory(); });
+}
+
+void VictimMonitor::demand_memory() {
+  fired_ = true;
+  if (on_evict_) {
+    // Defer to the event queue so the handler never re-enters the
+    // allocation path that tripped the pressure callback.
+    sim_.schedule(0.0, [this] { on_evict_(node_); });
+  }
+}
+
+}  // namespace memfss::cluster

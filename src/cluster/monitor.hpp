@@ -1,0 +1,41 @@
+// Victim-node monitor (paper §III-A, second victim-selection mechanism):
+// "whenever the tenant applications would need more memory, a monitoring
+// process would send a signal to MemFSS to free its memory and remove
+// itself from that node."
+//
+// The monitor watches the node's MemoryPool; when tenant allocations push
+// utilization past the threshold it fires the eviction handler exactly
+// once (re-arming if pressure recedes and returns). The filesystem wires
+// the handler to its victim-evacuation protocol.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace memfss::cluster {
+
+class VictimMonitor {
+ public:
+  /// Fires `on_evict` when `pool` usage reaches `threshold_fraction` of
+  /// capacity. The handler runs inside the allocation that crossed the
+  /// threshold; heavy work should be spawned onto the simulator.
+  VictimMonitor(sim::Simulator& sim, sim::MemoryPool& pool, NodeId node,
+                double threshold_fraction, std::function<void(NodeId)> on_evict);
+
+  /// Manual trigger (tests / operator-initiated reclaim).
+  void demand_memory();
+
+  NodeId node() const { return node_; }
+  bool fired() const { return fired_; }
+
+ private:
+  sim::Simulator& sim_;
+  NodeId node_;
+  std::function<void(NodeId)> on_evict_;
+  bool fired_ = false;
+};
+
+}  // namespace memfss::cluster

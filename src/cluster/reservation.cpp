@@ -1,0 +1,87 @@
+#include "cluster/reservation.hpp"
+
+#include <algorithm>
+
+#include "common/str.hpp"
+
+namespace memfss::cluster {
+
+ReservationSystem::ReservationSystem(sim::Simulator& sim,
+                                     std::size_t node_count)
+    : sim_(sim), in_use_(node_count, false), offers_(node_count) {}
+
+std::size_t ReservationSystem::free_nodes() const {
+  return static_cast<std::size_t>(
+      std::count(in_use_.begin(), in_use_.end(), false));
+}
+
+Result<Reservation> ReservationSystem::reserve(std::string owner,
+                                               std::size_t n) {
+  if (n == 0) return Error{Errc::invalid_argument, "empty reservation"};
+  if (n > free_nodes())
+    return Error{Errc::unavailable,
+                 strformat("%zu nodes requested, %zu free", n, free_nodes())};
+  Reservation r;
+  r.id = next_id_++;
+  r.owner = std::move(owner);
+  r.start = sim_.now();
+  for (NodeId i = 0; i < in_use_.size() && r.nodes.size() < n; ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      r.nodes.push_back(i);
+    }
+  }
+  return r;
+}
+
+double ReservationSystem::release(const Reservation& r) {
+  for (NodeId n : r.nodes) {
+    in_use_[n] = false;
+    offers_[n].reset();  // offers die with the reservation
+  }
+  const double hours =
+      static_cast<double>(r.nodes.size()) * (sim_.now() - r.start) / 3600.0;
+  consumed_.emplace_back(r.owner, hours);
+  return hours;
+}
+
+Status ReservationSystem::register_offer(const Reservation& r, NodeId node,
+                                         Bytes memory_cap, Rate net_cap) {
+  if (std::find(r.nodes.begin(), r.nodes.end(), node) == r.nodes.end())
+    return {Errc::permission, "node not in this reservation"};
+  if (offers_[node].has_value())
+    return {Errc::already_exists, "offer already registered"};
+  offers_[node] = ScavengeOffer{node, memory_cap, net_cap, r.owner};
+  return {};
+}
+
+Status ReservationSystem::withdraw_offer(NodeId node) {
+  if (node >= offers_.size() || !offers_[node].has_value())
+    return {Errc::not_found, "no offer on node"};
+  offers_[node].reset();
+  return {};
+}
+
+std::vector<ScavengeOffer> ReservationSystem::offers() const {
+  std::vector<ScavengeOffer> out;
+  for (const auto& o : offers_)
+    if (o.has_value()) out.push_back(*o);
+  return out;
+}
+
+Result<ScavengeOffer> ReservationSystem::claim_offer(NodeId node) {
+  if (node >= offers_.size() || !offers_[node].has_value())
+    return Error{Errc::not_found, "no offer on node"};
+  ScavengeOffer o = *offers_[node];
+  offers_[node].reset();
+  return o;
+}
+
+double ReservationSystem::consumed_node_hours(const std::string& owner) const {
+  double total = 0.0;
+  for (const auto& [o, h] : consumed_)
+    if (o == owner) total += h;
+  return total;
+}
+
+}  // namespace memfss::cluster

@@ -1,0 +1,77 @@
+// Cluster reservation system with the paper's two-queue extension
+// (§III-A): a primary queue hands out exclusive node reservations; a
+// *secondary* queue lists nodes whose tenants registered spare memory for
+// scavenging, each offer capped in bytes (and, per §III-F, in network
+// bandwidth for the container running the scavenged store).
+//
+// Node-hour accounting lives here too: Table II's "resource consumption"
+// column is reservation_size x wall time, which release() finalizes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace memfss::cluster {
+
+struct ScavengeOffer {
+  NodeId node = kInvalidNode;
+  Bytes memory_cap = 0;           ///< max bytes the scavenger may store
+  Rate net_cap = 0;               ///< container bandwidth ceiling (B/s)
+  std::string tenant;             ///< owning reservation (diagnostics)
+};
+
+struct Reservation {
+  std::uint64_t id = 0;
+  std::string owner;
+  std::vector<NodeId> nodes;
+  SimTime start = 0;
+};
+
+class ReservationSystem {
+ public:
+  ReservationSystem(sim::Simulator& sim, std::size_t node_count);
+
+  std::size_t free_nodes() const;
+
+  /// Reserve `n` nodes exclusively. Fails when fewer are free
+  /// (the paper's "unable to run, data does not fit" row comes from the
+  /// feasibility check built on top of this).
+  Result<Reservation> reserve(std::string owner, std::size_t n);
+
+  /// Release a reservation; returns the node-hours consumed
+  /// (nodes x wall-clock hours since reserve()).
+  double release(const Reservation& r);
+
+  // --- secondary (scavenging) queue ---------------------------------------
+
+  /// A tenant voluntarily registers spare memory on one of its nodes.
+  /// A node can carry at most one active offer.
+  Status register_offer(const Reservation& r, NodeId node, Bytes memory_cap,
+                        Rate net_cap);
+
+  /// Withdraw an offer (tenant wants its memory back / job finished).
+  Status withdraw_offer(NodeId node);
+
+  /// Snapshot of currently available offers.
+  std::vector<ScavengeOffer> offers() const;
+
+  /// Claim an offer (a scavenger filesystem took it).
+  Result<ScavengeOffer> claim_offer(NodeId node);
+
+  /// Node-hours consumed by completed reservations of `owner`.
+  double consumed_node_hours(const std::string& owner) const;
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<bool> in_use_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::optional<ScavengeOffer>> offers_;  // indexed by node
+  std::vector<std::pair<std::string, double>> consumed_;
+};
+
+}  // namespace memfss::cluster

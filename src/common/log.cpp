@@ -1,0 +1,59 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace memfss {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  if (const char* env = std::getenv("MEMFSS_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::warn;
+}()};
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::trace;
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  return LogLevel::info;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, std::string_view component,
+              const std::string& message) {
+  std::fprintf(stderr, "[%s] %.*s: %s\n", level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace memfss

@@ -1,0 +1,57 @@
+// Minimal leveled logger. Single-threaded contexts (the simulator) use it
+// directly; it is also safe from multiple threads (stderr writes are atomic
+// per call). Level is process-global and settable from MEMFSS_LOG.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace memfss {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "trace|debug|info|warn|error|off"; unknown -> info.
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component,
+              const std::string& message);
+}  // namespace detail
+
+/// Streams one log line on destruction. Usage:
+///   LOG_INFO("fs") << "mounted " << n << " servers";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { detail::log_emit(level_, component_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+
+}  // namespace memfss
+
+#define MEMFSS_LOG(level, component)              \
+  if (::memfss::log_level() > (level)) {          \
+  } else                                          \
+    ::memfss::LogLine((level), (component))
+
+#define LOG_TRACE(component) MEMFSS_LOG(::memfss::LogLevel::trace, component)
+#define LOG_DEBUG(component) MEMFSS_LOG(::memfss::LogLevel::debug, component)
+#define LOG_INFO(component) MEMFSS_LOG(::memfss::LogLevel::info, component)
+#define LOG_WARN(component) MEMFSS_LOG(::memfss::LogLevel::warn, component)
+#define LOG_ERROR(component) MEMFSS_LOG(::memfss::LogLevel::error, component)

@@ -1,0 +1,119 @@
+// A small Result<T> type: success value or an error code + message.
+// Used across module boundaries where exceptions would obscure control flow
+// (the C++ Core Guidelines E.* rules: errors that are expected outcomes of
+// an operation -- missing file, out of memory budget -- are values).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace memfss {
+
+enum class Errc {
+  ok = 0,
+  not_found,        ///< key / path / inode does not exist
+  already_exists,   ///< create on an existing path
+  out_of_memory,    ///< store memory cap exceeded
+  permission,       ///< auth failure / unauthorized client
+  invalid_argument, ///< malformed request
+  not_a_directory,  ///< path component is a file
+  is_a_directory,   ///< file operation on a directory
+  not_empty,        ///< rmdir on a non-empty directory
+  unavailable,      ///< node down / evacuated / store closed
+  io_error,         ///< transfer failed
+  corruption,       ///< checksum / erasure decode failure
+};
+
+/// Human-readable name of an error code.
+constexpr std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::out_of_memory: return "out_of_memory";
+    case Errc::permission: return "permission";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_a_directory: return "not_a_directory";
+    case Errc::is_a_directory: return "is_a_directory";
+    case Errc::not_empty: return "not_empty";
+    case Errc::unavailable: return "unavailable";
+    case Errc::io_error: return "io_error";
+    case Errc::corruption: return "corruption";
+  }
+  return "unknown";
+}
+
+struct Error {
+  Errc code = Errc::ok;
+  std::string message;
+
+  std::string to_string() const {
+    std::string s{errc_name(code)};
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+/// Result<T>: holds either a T or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
+  Result(Error err) : v_(std::move(err)) {}              // NOLINT(google-explicit-constructor)
+  Result(Errc code, std::string msg = {}) : v_(Error{code, std::move(msg)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+  Errc code() const { return ok() ? Errc::ok : error().code; }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(v_) : fallback;
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+  Status(Errc code, std::string msg = {}) : err_(Error{code, std::move(msg)}) {}
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return err_.code == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  Errc code() const { return err_.code; }
+  const Error& error() const { return err_; }
+
+ private:
+  Error err_{};
+};
+
+}  // namespace memfss

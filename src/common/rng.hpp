@@ -1,0 +1,70 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the codebase (workload generators, task
+// duration jitter, seed sweeps in the benches) flows from Rng so that a run
+// with a given seed is bit-reproducible. The engine is xoshiro256**,
+// seeded via splitmix64 -- small, fast, and good enough statistically for
+// simulation workloads (we are not doing cryptography).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace memfss {
+
+/// splitmix64 step; also used standalone as a cheap mixing function.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterised by the mean/sigma of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Truncated normal: resamples until the value lies in [lo, hi].
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Pick an index according to non-negative weights (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_u64(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-node / per-task RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace memfss

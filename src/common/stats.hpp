@@ -1,0 +1,93 @@
+// Statistics helpers: running summaries, percentiles, time-weighted
+// utilization accumulators (used by the experiment harness to report the
+// CPU% / bandwidth% numbers the paper plots), and fixed-bin histograms.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace memfss {
+
+/// Streaming summary: count / mean / variance (Welford) / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile over a stored sample (linear interpolation, like
+/// numpy's default). p in [0, 100].
+double percentile(std::vector<double> sample, double p);
+
+/// Mean of a sample (0 for empty).
+double mean_of(const std::vector<double>& sample);
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Feed (time, value) level changes; `average(t_end)` integrates the signal
+/// from the first sample to t_end. This is how per-node CPU / NIC
+/// utilization is aggregated into the single numbers Fig. 2 reports.
+class TimeWeighted {
+ public:
+  void set(SimTime t, double value);
+  double average(SimTime t_end) const;
+  double current() const { return value_; }
+  double peak() const { return peak_; }
+
+  /// Integral of the signal from the first sample to `t`. Callers compute
+  /// window averages as (I(t1) - I(t0)) / (t1 - t0).
+  double integral_until(SimTime t) const {
+    return integral_ + value_ * std::max(0.0, t - last_t_);
+  }
+
+ private:
+  bool started_ = false;
+  SimTime t0_ = 0.0;
+  SimTime last_t_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  double peak_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Multi-line ASCII rendering, for quick eyeballing in bench output.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace memfss

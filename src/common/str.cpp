@@ -1,0 +1,81 @@
+#include "common/str.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace memfss {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> out;
+  for (auto& piece : split(path, '/')) {
+    if (!piece.empty() && piece != ".") out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string format_bytes(Bytes n) {
+  if (n >= units::TiB)
+    return strformat("%.2f TiB", static_cast<double>(n) / static_cast<double>(units::TiB));
+  if (n >= units::GiB)
+    return strformat("%.2f GiB", static_cast<double>(n) / static_cast<double>(units::GiB));
+  if (n >= units::MiB)
+    return strformat("%.2f MiB", static_cast<double>(n) / static_cast<double>(units::MiB));
+  if (n >= units::KiB)
+    return strformat("%.2f KiB", static_cast<double>(n) / static_cast<double>(units::KiB));
+  return strformat("%llu B", static_cast<unsigned long long>(n));
+}
+
+std::string format_rate(Rate r) {
+  if (r >= 1e9) return strformat("%.2f GB/s", r / 1e9);
+  if (r >= 1e6) return strformat("%.2f MB/s", r / 1e6);
+  if (r >= 1e3) return strformat("%.2f KB/s", r / 1e3);
+  return strformat("%.0f B/s", r);
+}
+
+std::string format_duration(SimTime s) {
+  if (s >= 2 * 3600.0) return strformat("%.2f h", s / 3600.0);
+  if (s >= 2 * 60.0) return strformat("%.1f min", s / 60.0);
+  return strformat("%.1f s", s);
+}
+
+}  // namespace memfss

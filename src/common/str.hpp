@@ -1,0 +1,35 @@
+// Small string utilities shared by path handling and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace memfss {
+
+/// Split on a delimiter; empty pieces are kept ("a//b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split a filesystem path into components, dropping empty ones
+/// ("/a//b/" -> {"a","b"}). A leading '/' is implied; relative paths are
+/// treated the same as absolute ones.
+std::vector<std::string> split_path(std::string_view path);
+
+/// Join components with a delimiter.
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// printf-style formatting into std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.5 GiB", "512 MiB", "3 KiB", "17 B".
+std::string format_bytes(Bytes n);
+
+/// "1.50 GB/s", "512 MB/s".
+std::string format_rate(Rate bytes_per_sec);
+
+/// "4521.0 s" / "75.3 min" / "1.26 h" picked by magnitude.
+std::string format_duration(SimTime seconds);
+
+}  // namespace memfss

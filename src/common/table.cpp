@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/str.hpp"
+
+namespace memfss {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::string& label,
+                            const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(strformat("%.*f", precision, v));
+  add_row(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : widths) {
+      s.append(w + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      s += ' ';
+      s += cell;
+      s.append(widths[c] - cell.size() + 1, ' ');
+      s += '|';
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  out += hline();
+  out += line(header_);
+  out += hline();
+  for (const auto& row : rows_) out += line(row);
+  out += hline();
+  return out;
+}
+
+void Table::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace memfss

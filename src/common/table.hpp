@@ -1,0 +1,36 @@
+// ASCII table renderer used by the benchmark harness to print the paper's
+// tables and figure data series in a readable, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memfss {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats every cell with strformat-style placeholders is
+  /// left to callers; this overload accepts doubles and renders them with
+  /// the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 2);
+
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memfss

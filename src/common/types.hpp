@@ -1,0 +1,36 @@
+// Basic shared vocabulary types and unit helpers for the MemFSS codebase.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace memfss {
+
+/// Identifies a physical (simulated) cluster node. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Number of bytes. All storage and network sizes use this.
+using Bytes = std::uint64_t;
+
+/// Simulated time, in seconds (double keeps the fluid-flow math simple;
+/// experiment horizons are < 1e6 s so precision is ample).
+using SimTime = double;
+
+/// Bytes per second.
+using Rate = double;
+
+namespace units {
+inline constexpr Bytes KiB = 1024ull;
+inline constexpr Bytes MiB = 1024ull * KiB;
+inline constexpr Bytes GiB = 1024ull * MiB;
+inline constexpr Bytes TiB = 1024ull * GiB;
+
+/// 1 Gbit/s in bytes per second.
+inline constexpr Rate Gbps = 1e9 / 8.0;
+}  // namespace units
+
+}  // namespace memfss

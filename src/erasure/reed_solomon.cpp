@@ -1,0 +1,151 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <cassert>
+
+#include "erasure/gf256.hpp"
+
+namespace memfss::erasure {
+
+namespace {
+
+// Build the systematic encoding matrix: start from the (k+m) x k
+// Vandermonde V[r][c] = r^c (rows are distinct evaluation points, so every
+// k x k submatrix is invertible), then right-multiply by inv(top k x k) so
+// the top block becomes the identity. The "any k rows invertible" property
+// is preserved under right-multiplication by an invertible matrix.
+std::vector<std::uint8_t> systematic_matrix(std::size_t k, std::size_t m) {
+  const std::size_t n = k + m;
+  std::vector<std::uint8_t> v(n * k);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < k; ++c)
+      v[r * k + c] = GF256::pow(static_cast<std::uint8_t>(r), static_cast<unsigned>(c));
+
+  std::vector<std::uint8_t> top(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k * k));
+  const bool ok = gf256_invert_matrix(top, k);
+  assert(ok && "Vandermonde top block must be invertible");
+  (void)ok;
+
+  std::vector<std::uint8_t> out(n * k, 0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < k; ++c) {
+      std::uint8_t acc = 0;
+      for (std::size_t i = 0; i < k; ++i)
+        acc ^= GF256::mul(v[r * k + i], top[i * k + c]);
+      out[r * k + c] = acc;
+    }
+  return out;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
+  assert(k_ >= 1 && k_ + m_ <= 255);
+  matrix_ = systematic_matrix(k_, m_);
+}
+
+std::size_t ReedSolomon::shard_size(std::size_t len) const {
+  return (len + k_ - 1) / k_;
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    std::span<const std::uint8_t> data) const {
+  const std::size_t ss = shard_size(data.size());
+  std::vector<std::vector<std::uint8_t>> shards(total_shards());
+  // Data shards: verbatim slices, zero-padded.
+  for (std::size_t i = 0; i < k_; ++i) {
+    shards[i].assign(ss, 0);
+    const std::size_t off = i * ss;
+    if (off < data.size()) {
+      const std::size_t n = std::min(ss, data.size() - off);
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+                data.begin() + static_cast<std::ptrdiff_t>(off + n),
+                shards[i].begin());
+    }
+  }
+  // Parity shards: matrix rows k..k+m-1 times the data shards.
+  for (std::size_t p = 0; p < m_; ++p) {
+    auto& out = shards[k_ + p];
+    out.assign(ss, 0);
+    const std::uint8_t* r = row(k_ + p);
+    for (std::size_t c = 0; c < k_; ++c)
+      GF256::mul_acc(out, shards[c], r[c]);
+  }
+  return shards;
+}
+
+Status ReedSolomon::reconstruct(
+    std::vector<std::vector<std::uint8_t>>& shards) const {
+  if (shards.size() != total_shards())
+    return {Errc::invalid_argument, "wrong shard count"};
+
+  std::vector<std::size_t> present, missing;
+  std::size_t ss = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].empty()) {
+      missing.push_back(i);
+    } else {
+      if (ss == 0) ss = shards[i].size();
+      if (shards[i].size() != ss)
+        return {Errc::invalid_argument, "inconsistent shard sizes"};
+      present.push_back(i);
+    }
+  }
+  if (missing.empty()) return {};
+  if (present.size() < k_)
+    return {Errc::corruption, "fewer than k shards survive"};
+
+  // Decode matrix: k of the surviving rows; invert; recovered data shard d
+  // = sum_j inv[d][j] * surviving_shard_j.
+  std::vector<std::uint8_t> sub(k_ * k_);
+  for (std::size_t j = 0; j < k_; ++j) {
+    const std::uint8_t* r = row(present[j]);
+    for (std::size_t c = 0; c < k_; ++c) sub[j * k_ + c] = r[c];
+  }
+  if (!gf256_invert_matrix(sub, k_))
+    return {Errc::corruption, "decode matrix singular"};
+
+  // Recover missing *data* shards first.
+  std::vector<std::vector<std::uint8_t>> data(k_);
+  for (std::size_t d = 0; d < k_; ++d) {
+    if (!shards[d].empty()) {
+      data[d] = shards[d];
+      continue;
+    }
+    data[d].assign(ss, 0);
+    for (std::size_t j = 0; j < k_; ++j)
+      GF256::mul_acc(data[d], shards[present[j]], sub[d * k_ + j]);
+  }
+  for (std::size_t d = 0; d < k_; ++d)
+    if (shards[d].empty()) shards[d] = data[d];
+
+  // Re-encode any missing parity shards from the (now complete) data.
+  for (std::size_t i : missing) {
+    if (i < k_) continue;
+    shards[i].assign(ss, 0);
+    const std::uint8_t* r = row(i);
+    for (std::size_t c = 0; c < k_; ++c)
+      GF256::mul_acc(shards[i], data[c], r[c]);
+  }
+  return {};
+}
+
+Result<std::vector<std::uint8_t>> ReedSolomon::decode(
+    const std::vector<std::vector<std::uint8_t>>& shards,
+    std::size_t original_len) const {
+  if (original_len == 0) return std::vector<std::uint8_t>{};
+  auto copy = shards;
+  if (auto st = reconstruct(copy); !st.ok()) return st.error();
+  const std::size_t ss = copy[0].size();
+  if (original_len > ss * k_)
+    return Error{Errc::invalid_argument, "original_len exceeds capacity"};
+  std::vector<std::uint8_t> out;
+  out.reserve(original_len);
+  for (std::size_t i = 0; i < k_ && out.size() < original_len; ++i) {
+    const std::size_t n = std::min(ss, original_len - out.size());
+    out.insert(out.end(), copy[i].begin(),
+               copy[i].begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return out;
+}
+
+}  // namespace memfss::erasure

@@ -1,0 +1,56 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8).
+//
+// Splits a block into k data shards and adds m parity shards; any k of the
+// k+m shards reconstruct the original data. The encoding matrix is a
+// Vandermonde matrix row-reduced so its top k x k block is the identity
+// (data shards are stored verbatim; only parity costs arithmetic).
+//
+// This is the storage-redundancy mode the MemFSS paper motivates in
+// §III-E: full replication doubles/triples memory footprint, which an
+// in-memory FS cannot afford; RS(k, m) costs only m/k extra.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace memfss::erasure {
+
+class ReedSolomon {
+ public:
+  /// k data shards, m parity shards; k >= 1, m >= 0, k + m <= 255.
+  ReedSolomon(std::size_t k, std::size_t m);
+
+  std::size_t data_shards() const { return k_; }
+  std::size_t parity_shards() const { return m_; }
+  std::size_t total_shards() const { return k_ + m_; }
+
+  /// Shard size for a payload of `len` bytes (payload zero-padded to a
+  /// multiple of k).
+  std::size_t shard_size(std::size_t len) const;
+
+  /// Split + encode: returns k+m shards, each shard_size(data.size()) long.
+  std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const std::uint8_t> data) const;
+
+  /// Reconstruct the original payload from any >= k shards.
+  /// `shards[i]` empty => shard i missing. `original_len` trims padding.
+  Result<std::vector<std::uint8_t>> decode(
+      const std::vector<std::vector<std::uint8_t>>& shards,
+      std::size_t original_len) const;
+
+  /// Rebuild every missing shard in place (for repairing a lost node
+  /// without reassembling the whole payload). Fails if < k present.
+  Status reconstruct(std::vector<std::vector<std::uint8_t>>& shards) const;
+
+ private:
+  std::size_t k_, m_;
+  // Row-major (k+m) x k systematic encoding matrix.
+  std::vector<std::uint8_t> matrix_;
+
+  const std::uint8_t* row(std::size_t r) const { return &matrix_[r * k_]; }
+};
+
+}  // namespace memfss::erasure

@@ -1,0 +1,332 @@
+#include "exp/experiments.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "common/str.hpp"
+#include "exp/timeseries.hpp"
+#include "tenant/runner.hpp"
+#include "workflow/engine.hpp"
+#include "workflow/generators.hpp"
+
+namespace memfss::exp {
+
+std::string workload_name(Workload w) {
+  switch (w) {
+    case Workload::none: return "none";
+    case Workload::dd: return "dd";
+    case Workload::montage: return "Montage";
+    case Workload::blast: return "BLAST";
+  }
+  return "?";
+}
+
+workflow::Workflow make_workload(Workload w, Rng& rng) {
+  switch (w) {
+    case Workload::none:
+      return {};
+    case Workload::dd:
+      // Slowdown-experiment scale: half the Fig. 2 bag per iteration so
+      // iterations cycle a few times per tenant run.
+      return workflow::make_dd_bag(1024, 128 * units::MiB);
+    case Workload::montage: {
+      // Sized so one iteration moves ~25 GB with the paper's stage shape
+      // (wide short tasks, small files, long serial aggregations).
+      workflow::MontageParams p;
+      p.tiles = 1536;
+      p.proj_bytes_min = 8 * units::MiB;
+      p.proj_bytes_max = 16 * units::MiB;
+      p.concat_cpu = 15.0;
+      p.bgmodel_cpu = 25.0;
+      p.imgtbl_cpu = 8.0;
+      p.madd_cpu = 35.0;
+      p.shrink_cpu = 5.0;
+      p.small_requests_per_mib = 4.0;  // many-small-files FUSE chatter
+      return workflow::make_montage(p, rng);
+    }
+    case Workload::blast: {
+      // Shorter tasks than the headline BLAST numbers so the chatty I/O
+      // overlaps the tenant benchmark window.
+      workflow::BlastParams p;
+      p.queries = 64;
+      p.chunk_bytes_min = 64 * units::MiB;
+      p.chunk_bytes_max = 128 * units::MiB;
+      p.result_bytes_min = 128 * units::MiB;
+      p.result_bytes_max = 256 * units::MiB;
+      p.task_cpu_min = 15.0;
+      p.task_cpu_max = 60.0;
+      p.split_cpu = 10.0;
+      p.merge_cpu = 30.0;
+      return workflow::make_blast(p, rng);
+    }
+  }
+  return {};
+}
+
+// --- Fig. 2 -------------------------------------------------------------------
+
+namespace {
+
+struct RunOut {
+  workflow::Report report;
+};
+
+sim::Task<> run_workflow_once(workflow::Engine& engine,
+                              workflow::Workflow wf, RunOut& out) {
+  out.report = co_await engine.run(std::move(wf));
+}
+
+sim::Task<> run_workflow_then_stop_probes(
+    workflow::Engine& engine, workflow::Workflow wf, RunOut& out,
+    TimeSeriesProbe& a, TimeSeriesProbe& b) {
+  out.report = co_await engine.run(std::move(wf));
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+
+Fig2Row run_fig2(double alpha, const Fig2Options& opt) {
+  ScenarioParams p = opt.scenario;
+  p.own_fraction = alpha;
+  Scenario sc(p);
+
+  UtilizationWindow own_w(sc.cluster(), sc.own_nodes());
+  UtilizationWindow vic_w(sc.cluster(), sc.victim_nodes());
+  workflow::Engine engine(sc.cluster(), sc.fs(), sc.own_nodes());
+
+  TimeSeriesProbe own_probe(sc.cluster(), sc.own_nodes(),
+                            opt.sample_interval);
+  TimeSeriesProbe vic_probe(sc.cluster(), sc.victim_nodes(),
+                            opt.sample_interval);
+
+  RunOut out;
+  own_w.start();
+  vic_w.start();
+  auto wf = workflow::make_dd_bag(opt.dd_tasks, opt.dd_bytes);
+  if (opt.with_timeseries) {
+    own_probe.start();
+    vic_probe.start();
+    sc.sim().spawn(run_workflow_then_stop_probes(engine, std::move(wf), out,
+                                                 own_probe, vic_probe));
+  } else {
+    sc.sim().spawn(run_workflow_once(engine, std::move(wf), out));
+  }
+  sc.sim().run();
+
+  Fig2Row row;
+  row.alpha = alpha;
+  row.own = own_w.finish();
+  row.victim = vic_w.finish();
+  row.victim_nic_rate = row.victim.nic() * p.node_spec.nic.down;
+  row.runtime = out.report.makespan;
+  for (NodeId n : sc.own_nodes()) row.own_bytes += sc.fs().bytes_on(n);
+  for (NodeId n : sc.victim_nodes()) row.victim_bytes += sc.fs().bytes_on(n);
+  if (opt.with_timeseries) {
+    row.own_cpu_series = own_probe.sparkline(&GroupUtilization::cpu);
+    row.own_nic_series = own_probe.sparkline(&GroupUtilization::nic_up);
+    row.victim_cpu_series = vic_probe.sparkline(&GroupUtilization::cpu);
+    row.victim_nic_series = vic_probe.sparkline(&GroupUtilization::nic_down);
+    row.victim_nic_peak = vic_probe.peak(&GroupUtilization::nic_down);
+  }
+  if (!out.report.status.ok()) {
+    LOG_WARN("exp") << "fig2 alpha=" << alpha << " workflow error: "
+                    << out.report.status.error().to_string();
+  }
+  return row;
+}
+
+// --- Fig. 3-5 -----------------------------------------------------------------
+
+namespace {
+
+struct LoopCtl {
+  bool stop = false;
+  SimTime tenant_duration = 0.0;
+  std::size_t workload_iterations = 0;
+};
+
+sim::Task<> workload_loop(Scenario& sc, Workload w, std::uint64_t seed,
+                          LoopCtl& ctl) {
+  Rng rng(seed);
+  workflow::Engine engine(sc.cluster(), sc.fs(), sc.own_nodes());
+  while (!ctl.stop) {
+    auto wf = make_workload(w, rng);
+    auto rep = co_await engine.run(std::move(wf));
+    if (!rep.status.ok()) {
+      LOG_WARN("exp") << "workload iteration failed: "
+                      << rep.status.error().to_string();
+    }
+    sc.fs().wipe_data();
+    ++ctl.workload_iterations;
+  }
+}
+
+sim::Task<> tenant_once(tenant::TenantRunner& runner, tenant::TenantApp app,
+                        LoopCtl& ctl) {
+  auto res = co_await runner.run(std::move(app));
+  ctl.tenant_duration = res.duration;
+  ctl.stop = true;
+}
+
+}  // namespace
+
+TenantRun run_tenant_under_scavenging(const tenant::TenantApp& app,
+                                      Workload workload,
+                                      const SlowdownOptions& opt) {
+  ScenarioParams p = opt.scenario;
+  if (workload == Workload::none) p.with_victims = false;
+  Scenario sc(p);
+
+  tenant::TenantRunner runner(
+      sc.cluster(), sc.victim_nodes(),
+      workload == Workload::none ? nullptr : &sc.fs());
+
+  LoopCtl ctl;
+  if (workload != Workload::none)
+    sc.sim().spawn(workload_loop(sc, workload, opt.seed, ctl));
+  sc.sim().spawn(tenant_once(runner, app, ctl));
+  sc.sim().run();
+  return {app.name, ctl.tenant_duration};
+}
+
+std::vector<SlowdownCell> run_slowdown_sweep(
+    const std::vector<tenant::TenantApp>& suite,
+    const std::vector<Workload>& workloads, double alpha,
+    const SlowdownOptions& opt) {
+  std::vector<SlowdownCell> out;
+  for (const auto& app : suite) {
+    SlowdownOptions base_opt = opt;
+    base_opt.scenario.own_fraction = alpha;
+    const TenantRun clean =
+        run_tenant_under_scavenging(app, Workload::none, base_opt);
+    for (Workload w : workloads) {
+      const TenantRun loaded =
+          run_tenant_under_scavenging(app, w, base_opt);
+      SlowdownCell cell;
+      cell.tenant = app.name;
+      cell.workload = w;
+      cell.alpha = alpha;
+      cell.slowdown = clean.duration > 0
+                          ? loaded.duration / clean.duration - 1.0
+                          : 0.0;
+      out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+// --- Table II / Fig. 7 --------------------------------------------------------
+
+namespace {
+
+workflow::Workflow make_table2_montage(const Table2Options& opt) {
+  Rng rng(opt.seed);
+  workflow::MontageParams p;
+  p.tiles = opt.tiles;
+  p.proj_bytes_min = opt.proj_bytes_min;
+  p.proj_bytes_max = opt.proj_bytes_max;
+  p.proj_cpu_min = 4.0;
+  p.proj_cpu_max = 16.0;
+  p.diff_cpu_min = 1.0;
+  p.diff_cpu_max = 4.0;
+  p.bg_cpu_min = 2.0;
+  p.bg_cpu_max = 5.0;
+  p.concat_cpu = 500.0;
+  p.bgmodel_cpu = 1000.0;
+  p.imgtbl_cpu = 200.0;
+  p.madd_cpu = 2000.0;
+  p.shrink_cpu = 90.0;
+  return workflow::make_montage(p, rng);
+}
+
+Table2Row run_montage_on(Scenario& sc, workflow::Workflow wf,
+                         std::size_t charged_nodes, std::string label) {
+  workflow::Engine engine(sc.cluster(), sc.fs(), sc.own_nodes());
+  RunOut out;
+  sc.sim().spawn(run_workflow_once(engine, std::move(wf), out));
+  sc.sim().run();
+
+  Table2Row row;
+  row.label = std::move(label);
+  row.nodes = charged_nodes;
+  row.runtime = out.report.makespan;
+  row.node_hours =
+      static_cast<double>(charged_nodes) * out.report.makespan / 3600.0;
+  row.feasible = out.report.status.ok();
+  if (!row.feasible) {
+    LOG_WARN("exp") << row.label << " failed: "
+                    << out.report.status.error().to_string();
+  }
+  return row;
+}
+
+}  // namespace
+
+Table2Row run_table2_standalone(std::size_t nodes, const Table2Options& opt) {
+  auto wf = make_table2_montage(opt);
+  const Bytes footprint = wf.total_output_bytes();
+
+  Table2Row row;
+  row.label = strformat("Montage standalone (%zu nodes)", nodes);
+  row.nodes = nodes;
+  row.data_footprint = footprint;
+  // Feasibility: all intermediate data must fit into the own stores
+  // (with ~5% headroom for per-stripe bookkeeping).
+  const auto capacity = static_cast<double>(nodes) *
+                        static_cast<double>(opt.standalone_store_capacity);
+  if (static_cast<double>(footprint) > 0.95 * capacity) {
+    row.feasible = false;
+    return row;  // "Unable to run, data does not fit"
+  }
+
+  ScenarioParams p;
+  p.total_nodes = nodes;
+  p.own_nodes = nodes;
+  p.with_victims = false;
+  p.own_store_capacity = opt.standalone_store_capacity;
+  p.stripe_size = opt.stripe_size;
+  Scenario sc(p);
+  auto out = run_montage_on(sc, std::move(wf), nodes, row.label);
+  out.data_footprint = footprint;
+  return out;
+}
+
+Table2Row run_table2_scavenging(std::size_t own, const Table2Options& opt) {
+  auto wf = make_table2_montage(opt);
+  const Bytes footprint = wf.total_output_bytes();
+  const std::size_t victims = opt.cluster_nodes - own;
+
+  // The own class can only take what its stores hold; cap alpha there.
+  const double own_cap_fraction =
+      0.85 * static_cast<double>(own) *
+      static_cast<double>(opt.own_store_capacity) /
+      static_cast<double>(footprint);
+  const double alpha = std::min(opt.own_fraction, own_cap_fraction);
+
+  // Victims offer enough memory for the remainder (plus slack): the
+  // secondary-queue offers are sized by the tenant's spare memory.
+  const auto victim_cap = static_cast<Bytes>(std::max(
+      static_cast<double>(opt.victim_memory_cap),
+      1.2 * (1.0 - alpha) * static_cast<double>(footprint) /
+          static_cast<double>(victims)));
+
+  ScenarioParams p;
+  p.total_nodes = opt.cluster_nodes;
+  p.own_nodes = own;
+  p.with_victims = true;
+  p.own_fraction = alpha;
+  p.own_store_capacity = opt.own_store_capacity;
+  p.victim_memory_cap = victim_cap;
+  p.victim_net_cap = opt.victim_net_cap;
+  p.stripe_size = opt.stripe_size;
+  Scenario sc(p);
+  auto out = run_montage_on(
+      sc, std::move(wf), own,
+      strformat("Montage scavenging (%zu own + %zu victims)", own, victims));
+  out.data_footprint = footprint;
+  return out;
+}
+
+}  // namespace memfss::exp

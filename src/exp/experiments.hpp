@@ -1,0 +1,129 @@
+// Experiment drivers: one function per paper table/figure.
+//
+// Each driver builds a fresh Scenario, spawns the MemFSS workload and/or
+// the tenant application, runs the simulation to completion and returns
+// the rows the paper plots. The bench binaries are thin wrappers that
+// sweep parameters and print tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "exp/metrics.hpp"
+#include "exp/scenario.hpp"
+#include "tenant/app.hpp"
+#include "workflow/dag.hpp"
+
+namespace memfss::exp {
+
+/// The MemFSS application generating scavenging load (paper §IV-A1).
+enum class Workload { none, dd, montage, blast };
+
+std::string workload_name(Workload w);
+
+/// Build one instance of a workload at "slowdown experiment" scale --
+/// sized so an iteration finishes in tens of simulated seconds and can be
+/// looped for the duration of a tenant benchmark.
+workflow::Workflow make_workload(Workload w, Rng& rng);
+
+// --- Fig. 2: scavenging overhead baseline ----------------------------------
+
+struct Fig2Options {
+  ScenarioParams scenario{};
+  std::size_t dd_tasks = 2048;
+  Bytes dd_bytes = 128 * units::MiB;
+  /// Record utilization-vs-time sparklines (the actual Fig. 2a-e curves).
+  bool with_timeseries = false;
+  SimTime sample_interval = 1.0;
+};
+
+struct Fig2Row {
+  double alpha = 0.0;
+  GroupUtilization own;
+  GroupUtilization victim;
+  Rate victim_nic_rate = 0.0;  ///< average victim NIC bytes/s (hot dir)
+  SimTime runtime = 0.0;
+  Bytes own_bytes = 0, victim_bytes = 0;  ///< final data distribution
+  /// Sparklines (only when with_timeseries): utilization over the run,
+  /// scaled to 100%.
+  std::string own_cpu_series, own_nic_series;
+  std::string victim_cpu_series, victim_nic_series;
+  double victim_nic_peak = 0.0;
+};
+
+/// One alpha point of Fig. 2 (a-f).
+Fig2Row run_fig2(double alpha, const Fig2Options& opt);
+
+// --- Fig. 3-5: tenant slowdown ----------------------------------------------
+
+struct SlowdownOptions {
+  ScenarioParams scenario{};
+  std::uint64_t seed = 1;
+};
+
+struct TenantRun {
+  std::string tenant;
+  SimTime duration = 0.0;
+};
+
+/// Duration of `app` on the victim nodes while MemFSS loops `workload`
+/// at the scenario's alpha. Workload `none` (with with_victims = false)
+/// gives the clean baseline.
+TenantRun run_tenant_under_scavenging(const tenant::TenantApp& app,
+                                      Workload workload,
+                                      const SlowdownOptions& opt);
+
+struct SlowdownCell {
+  std::string tenant;
+  Workload workload = Workload::none;
+  double alpha = 0.0;
+  double slowdown = 0.0;  ///< T_scavenged / T_clean - 1
+};
+
+/// Full sweep for one tenant suite at one alpha: every benchmark x every
+/// MemFSS workload. Baselines are computed once per benchmark.
+std::vector<SlowdownCell> run_slowdown_sweep(
+    const std::vector<tenant::TenantApp>& suite,
+    const std::vector<Workload>& workloads, double alpha,
+    const SlowdownOptions& opt);
+
+// --- Table II / Fig. 7: resource consumption reduction ----------------------
+
+struct Table2Options {
+  std::size_t cluster_nodes = 40;
+  /// Store budget per own node when co-running with tasks (scavenging
+  /// setup: tasks + stores share the node).
+  Bytes own_store_capacity = 48 * units::GiB;
+  /// Store budget per node in the *standalone* reservation: the whole
+  /// machine belongs to MemFS, so only OS + task headroom is reserved.
+  Bytes standalone_store_capacity = 56 * units::GiB;
+  Bytes victim_memory_cap = 24 * units::GiB;
+  Rate victim_net_cap = 500e6;
+  Bytes stripe_size = 16 * units::MiB;
+  double own_fraction = 0.25;
+  std::uint64_t seed = 1;
+  /// Montage instance scaled so the data footprint is ~1 TB (paper).
+  std::size_t tiles = 6144;
+  Bytes proj_bytes_min = 56 * units::MiB;
+  Bytes proj_bytes_max = 72 * units::MiB;
+};
+
+struct Table2Row {
+  std::string label;
+  std::size_t nodes = 0;    ///< own nodes (scavenging) or all (standalone)
+  bool feasible = true;
+  SimTime runtime = 0.0;
+  double node_hours = 0.0;
+  Bytes data_footprint = 0;
+};
+
+/// Standalone run on `nodes` nodes (no victims). Emits an infeasible row
+/// when the data cannot fit in memory.
+Table2Row run_table2_standalone(std::size_t nodes, const Table2Options& opt);
+
+/// Scavenging run with `own` own nodes + (cluster_nodes - own) victims.
+Table2Row run_table2_scavenging(std::size_t own, const Table2Options& opt);
+
+}  // namespace memfss::exp

@@ -1,0 +1,51 @@
+#include "exp/metrics.hpp"
+
+#include <cassert>
+
+namespace memfss::exp {
+
+UtilizationWindow::UtilizationWindow(cluster::Cluster& cluster,
+                                     std::vector<NodeId> group)
+    : cluster_(cluster), group_(std::move(group)) {
+  assert(!group_.empty());
+}
+
+void UtilizationWindow::start() {
+  t0_ = cluster_.sim().now();
+  cpu0_.clear();
+  up0_.clear();
+  down0_.clear();
+  membw0_.clear();
+  for (NodeId n : group_) {
+    cpu0_.push_back(cluster_.node(n).cpu().utilization_integral(t0_));
+    membw0_.push_back(cluster_.node(n).membw().utilization_integral(t0_));
+    up0_.push_back(cluster_.fabric().up_utilization_integral(n, t0_));
+    down0_.push_back(cluster_.fabric().down_utilization_integral(n, t0_));
+  }
+}
+
+GroupUtilization UtilizationWindow::finish() const {
+  const SimTime t1 = cluster_.sim().now();
+  GroupUtilization out;
+  if (t1 <= t0_) return out;
+  const double dt = t1 - t0_;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    const NodeId n = group_[i];
+    out.cpu +=
+        (cluster_.node(n).cpu().utilization_integral(t1) - cpu0_[i]) / dt;
+    out.membw +=
+        (cluster_.node(n).membw().utilization_integral(t1) - membw0_[i]) / dt;
+    out.nic_up +=
+        (cluster_.fabric().up_utilization_integral(n, t1) - up0_[i]) / dt;
+    out.nic_down +=
+        (cluster_.fabric().down_utilization_integral(n, t1) - down0_[i]) / dt;
+  }
+  const double k = static_cast<double>(group_.size());
+  out.cpu /= k;
+  out.membw /= k;
+  out.nic_up /= k;
+  out.nic_down /= k;
+  return out;
+}
+
+}  // namespace memfss::exp

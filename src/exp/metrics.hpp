@@ -1,0 +1,44 @@
+// Utilization measurement windows over node groups.
+//
+// Fig. 2 reports average CPU% and NIC bandwidth for the own-node group
+// and the victim-node group over one experiment run; this helper
+// snapshots the time-weighted utilization integrals at start() and turns
+// the difference into averages at finish().
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+
+namespace memfss::exp {
+
+struct GroupUtilization {
+  double cpu = 0.0;       ///< mean fraction of cores busy
+  double nic_up = 0.0;    ///< mean fraction of uplink used
+  double nic_down = 0.0;  ///< mean fraction of downlink used
+  double membw = 0.0;     ///< mean fraction of memory bus used
+
+  /// Convenience: NIC utilization as the max of directions (a storage
+  /// node's hot direction flips between write- and read-heavy runs).
+  double nic() const { return nic_up > nic_down ? nic_up : nic_down; }
+};
+
+class UtilizationWindow {
+ public:
+  UtilizationWindow(cluster::Cluster& cluster, std::vector<NodeId> group);
+
+  /// Snapshot the integrals at the current simulated time.
+  void start();
+
+  /// Average utilizations between start() and now.
+  GroupUtilization finish() const;
+
+ private:
+  cluster::Cluster& cluster_;
+  std::vector<NodeId> group_;
+  SimTime t0_ = 0.0;
+  std::vector<double> cpu0_, up0_, down0_, membw0_;
+};
+
+}  // namespace memfss::exp

@@ -1,0 +1,65 @@
+#include "exp/report.hpp"
+
+#include <fstream>
+
+#include "common/str.hpp"
+
+namespace memfss::exp {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string fig2_csv(const std::vector<Fig2Row>& rows) {
+  std::string out =
+      "alpha,own_cpu,victim_cpu,own_nic,victim_nic,victim_nic_mbps,"
+      "runtime_s,own_bytes,victim_bytes\n";
+  for (const auto& r : rows) {
+    out += strformat("%.4f,%.6f,%.6f,%.6f,%.6f,%.3f,%.3f,%llu,%llu\n",
+                     r.alpha, r.own.cpu, r.victim.cpu, r.own.nic(),
+                     r.victim.nic(), r.victim_nic_rate / 1e6, r.runtime,
+                     (unsigned long long)r.own_bytes,
+                     (unsigned long long)r.victim_bytes);
+  }
+  return out;
+}
+
+std::string slowdown_csv(const std::vector<SlowdownCell>& cells) {
+  std::string out = "tenant,workload,alpha,slowdown\n";
+  for (const auto& c : cells) {
+    out += csv_escape(c.tenant);
+    out += strformat(",%s,%.4f,%.6f\n", workload_name(c.workload).c_str(),
+                     c.alpha, c.slowdown);
+  }
+  return out;
+}
+
+std::string table2_csv(const std::vector<Table2Row>& rows) {
+  std::string out =
+      "label,nodes,feasible,runtime_s,node_hours,data_footprint_bytes\n";
+  for (const auto& r : rows) {
+    out += csv_escape(r.label);
+    out += strformat(",%zu,%d,%.3f,%.4f,%llu\n", r.nodes, int(r.feasible),
+                     r.runtime, r.node_hours,
+                     (unsigned long long)r.data_footprint);
+  }
+  return out;
+}
+
+Status write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return {Errc::io_error, "cannot open " + path};
+  out << text;
+  return out.good() ? Status{} : Status{Errc::io_error, "write failed"};
+}
+
+}  // namespace memfss::exp

@@ -1,0 +1,34 @@
+// Machine-readable exports of experiment results (CSV), so downstream
+// plotting (gnuplot, pandas) can consume the sweeps without scraping the
+// ASCII tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "exp/experiments.hpp"
+
+namespace memfss::exp {
+
+/// CSV field quoting per RFC 4180 (quotes doubled, field quoted when it
+/// contains a comma, quote or newline).
+std::string csv_escape(const std::string& field);
+
+/// One line per alpha point, header included:
+/// alpha,own_cpu,victim_cpu,own_nic,victim_nic,victim_nic_mbps,runtime_s,
+/// own_bytes,victim_bytes
+std::string fig2_csv(const std::vector<Fig2Row>& rows);
+
+/// suite-agnostic slowdown cells:
+/// tenant,workload,alpha,slowdown
+std::string slowdown_csv(const std::vector<SlowdownCell>& cells);
+
+/// Table II rows:
+/// label,nodes,feasible,runtime_s,node_hours,data_footprint_bytes
+std::string table2_csv(const std::vector<Table2Row>& rows);
+
+/// Write any exported text to a file.
+Status write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace memfss::exp

@@ -1,0 +1,54 @@
+#include "exp/timeseries.hpp"
+
+#include <algorithm>
+
+namespace memfss::exp {
+
+TimeSeriesProbe::TimeSeriesProbe(cluster::Cluster& cluster,
+                                 std::vector<NodeId> group, SimTime interval)
+    : cluster_(cluster), group_(std::move(group)), interval_(interval) {}
+
+void TimeSeriesProbe::start() {
+  cluster_.sim().spawn(sampler());
+}
+
+sim::Task<> TimeSeriesProbe::sampler() {
+  UtilizationWindow window(cluster_, group_);
+  while (!stopped_) {
+    window.start();
+    co_await cluster_.sim().delay(interval_);
+    samples_.push_back(Sample{cluster_.sim().now(), window.finish()});
+  }
+}
+
+std::string TimeSeriesProbe::sparkline(double GroupUtilization::*channel,
+                                       std::size_t width,
+                                       double scale_max) const {
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  constexpr std::size_t kLevelCount = sizeof(kLevels) - 2;  // max index
+  if (samples_.empty() || width == 0) return {};
+  std::string out;
+  out.reserve(width);
+  const std::size_t n = samples_.size();
+  for (std::size_t b = 0; b < std::min(width, n); ++b) {
+    // Average the samples falling into this bucket.
+    const std::size_t lo = b * n / std::min(width, n);
+    const std::size_t hi = std::max(lo + 1, (b + 1) * n / std::min(width, n));
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi && i < n; ++i)
+      acc += samples_[i].util.*channel;
+    const double v = acc / double(hi - lo);
+    const double frac = scale_max > 0 ? std::clamp(v / scale_max, 0.0, 1.0)
+                                      : 0.0;
+    out += kLevels[static_cast<std::size_t>(frac * kLevelCount + 0.5)];
+  }
+  return out;
+}
+
+double TimeSeriesProbe::peak(double GroupUtilization::*channel) const {
+  double p = 0.0;
+  for (const auto& s : samples_) p = std::max(p, s.util.*channel);
+  return p;
+}
+
+}  // namespace memfss::exp

@@ -1,0 +1,57 @@
+// TimeSeriesProbe: periodic sampling of a node group's utilization.
+//
+// Fig. 2a-e of the paper are utilization-vs-time plots; the averages the
+// summary table reports hide the burst structure. The probe spawns a
+// sampling process that records one window-averaged sample per interval
+// and renders compact ASCII sparklines for terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "exp/metrics.hpp"
+#include "sim/task.hpp"
+
+namespace memfss::exp {
+
+class TimeSeriesProbe {
+ public:
+  struct Sample {
+    SimTime t = 0.0;          ///< end of the sampling window
+    GroupUtilization util{};  ///< averages over the window
+  };
+
+  /// Samples every `interval` seconds until stop() (or simulation drain).
+  TimeSeriesProbe(cluster::Cluster& cluster, std::vector<NodeId> group,
+                  SimTime interval = 1.0);
+
+  /// Begin sampling (spawns the probe process on the cluster's simulator).
+  void start();
+
+  /// Stop after the current interval.
+  void stop() { stopped_ = true; }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Render one utilization channel as a sparkline, resampled to `width`
+  /// buckets; values are scaled to `scale_max` (e.g. 1.0 = 100%).
+  std::string sparkline(double GroupUtilization::*channel,
+                        std::size_t width = 60,
+                        double scale_max = 1.0) const;
+
+  /// Peak of a channel across all samples.
+  double peak(double GroupUtilization::*channel) const;
+
+ private:
+  sim::Task<> sampler();
+
+  cluster::Cluster& cluster_;
+  std::vector<NodeId> group_;
+  SimTime interval_;
+  bool stopped_ = false;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace memfss::exp

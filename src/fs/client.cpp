@@ -1,0 +1,482 @@
+#include "fs/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/log.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "fs/filesystem.hpp"
+#include "hash/hashes.hpp"
+#include "sim/sync.hpp"
+
+namespace memfss::fs {
+
+namespace {
+
+/// Content tag of a ghost stripe: deterministic in (stripe key, file tag)
+/// so a parity-reconstructed ghost matches the original checksum.
+std::uint64_t ghost_tag(std::string_view key, std::uint64_t file_tag) {
+  return hash::mix64(hash::key_digest(key), file_tag);
+}
+
+/// Background stripe migration (lazy relocation / dedup is free: drain on
+/// an already-moved key is a no-op not_found).
+sim::Task<> relocate(FileSystem* fs, std::string key, NodeId src,
+                     NodeId dst) {
+  auto st = co_await fs->server(src).migrate_key(fs->token(), key,
+                                                 fs->server(dst));
+  if (st.ok()) ++fs->counters().lazy_relocations;
+}
+
+/// Effective number of full copies a file keeps (erasure handled apart).
+std::size_t copy_count(const FileAttr& attr) {
+  return attr.redundancy == RedundancyMode::replicated
+             ? std::max<std::size_t>(1, attr.copies)
+             : 1;
+}
+
+std::string shard_key(const std::string& stripe, std::size_t j) {
+  return stripe + ".s" + std::to_string(j);
+}
+
+}  // namespace
+
+// --- namespace forwards -----------------------------------------------------
+
+sim::Task<Status> Client::mkdirs(std::string path) {
+  co_return co_await fs_->meta().mkdirs(node_, std::move(path));
+}
+
+sim::Task<Result<Stat>> Client::stat(std::string path) {
+  co_return co_await fs_->meta().stat(node_, std::move(path));
+}
+
+sim::Task<Result<std::vector<std::string>>> Client::readdir(
+    std::string path) {
+  co_return co_await fs_->meta().readdir(node_, std::move(path));
+}
+
+sim::Task<Status> Client::rename(std::string from, std::string to) {
+  co_return co_await fs_->meta().rename(node_, std::move(from),
+                                        std::move(to));
+}
+
+// --- write path --------------------------------------------------------------
+
+sim::Task<Status> Client::write_file(std::string path, Bytes size,
+                                     std::uint64_t tag,
+                                     double extra_requests_per_mib) {
+  co_return co_await write_impl(std::move(path), size, nullptr, tag,
+                                extra_requests_per_mib);
+}
+
+sim::Task<Status> Client::write_file_bytes(std::string path,
+                                           std::vector<std::uint8_t> data) {
+  co_return co_await write_impl(std::move(path), data.size(), &data, 0, 0.0);
+}
+
+namespace {
+/// Window-guarded wrapper so at most `write_window` stripes are in flight
+/// per file operation (models the FUSE layer's request pipelining).
+sim::Task<> guarded(sim::Semaphore& sem, sim::Task<> inner) {
+  co_await sem.acquire();
+  co_await std::move(inner);
+  sem.release();
+}
+}  // namespace
+
+sim::Task<Status> Client::write_impl(std::string path, Bytes size,
+                                     const std::vector<std::uint8_t>* data,
+                                     std::uint64_t tag,
+                                     double extra_requests_per_mib) {
+  const auto& cfg = fs_->config();
+  FileAttr attr;
+  attr.size = 0;
+  attr.stripe_size = cfg.stripe_size;
+  attr.epoch = fs_->current_epoch();
+  attr.redundancy = cfg.redundancy;
+  attr.copies = cfg.copies;
+  attr.ec_k = cfg.ec_k;
+  attr.ec_m = cfg.ec_m;
+
+  auto created = co_await fs_->meta().create(node_, path, attr);
+  if (!created.ok()) co_return created.error();
+  const InodeId ino = created.value();
+
+  const ClassHrwPolicy policy = fs_->policy_for_epoch(attr.epoch);
+  const std::size_t n_stripes = Namespace::stripe_count(size, attr.stripe_size);
+
+  auto& sim = fs_->cluster().sim();
+  OpState state;
+  state.extra_requests_per_mib = extra_requests_per_mib;
+  sim::Semaphore window(sim, cfg.write_window);
+  std::vector<sim::Task<>> tasks;
+  tasks.reserve(n_stripes);
+  for (std::size_t i = 0; i < n_stripes; ++i) {
+    const Bytes off = static_cast<Bytes>(i) * attr.stripe_size;
+    const Bytes len = std::min<Bytes>(attr.stripe_size, size - off);
+    std::string key = Namespace::stripe_key(ino, i);
+    kvstore::Blob blob;
+    if (data) {
+      blob = kvstore::Blob::materialized(std::vector<std::uint8_t>(
+          data->begin() + static_cast<std::ptrdiff_t>(off),
+          data->begin() + static_cast<std::ptrdiff_t>(off + len)));
+    } else {
+      blob = kvstore::Blob::ghost(len, ghost_tag(key, tag));
+    }
+    sim::Task<> op =
+        attr.redundancy == RedundancyMode::erasure
+            ? write_stripe_erasure(policy, attr, std::move(key),
+                                   std::move(blob), state)
+            : write_stripe(policy, attr, std::move(key), std::move(blob),
+                           state);
+    tasks.push_back(guarded(window, std::move(op)));
+  }
+  co_await sim::when_all(sim, std::move(tasks));
+  if (!state.status.ok()) co_return state.status;
+
+  if (auto st = co_await fs_->meta().set_size(node_, ino, size); !st.ok())
+    co_return st;
+  fs_->counters().bytes_written += size;
+  co_return Status{};
+}
+
+sim::Task<> Client::write_stripe(const ClassHrwPolicy& policy,
+                                 const FileAttr& attr, std::string key,
+                                 kvstore::Blob blob, OpState& state) {
+  const std::size_t copies = copy_count(attr);
+  const auto targets = policy.place(key, copies);
+  auto& sim = fs_->cluster().sim();
+  const double burst = state.extra_requests_per_mib *
+                       static_cast<double>(blob.size()) /
+                       static_cast<double>(units::MiB);
+  if (targets.size() == 1) {
+    const NodeId t0 = targets[0];
+    auto st = co_await fs_->server(t0).put(node_, fs_->token(), key,
+                                           std::move(blob));
+    if (burst > 0) co_await fs_->server(t0).request_burst(node_, burst);
+    if (!st.ok()) state.status = st;
+  } else {
+    // Replicas stream in parallel (client NIC is the shared bottleneck).
+    std::vector<sim::Task<>> puts;
+    auto shared = std::make_shared<kvstore::Blob>(std::move(blob));
+    for (NodeId t : targets) {
+      puts.push_back([](Client* c, NodeId target, std::string k,
+                        std::shared_ptr<kvstore::Blob> b,
+                        OpState& s) -> sim::Task<> {
+        auto st = co_await c->fs_->server(target).put(c->node_,
+                                                      c->fs_->token(), k, *b);
+        if (!st.ok()) s.status = st;
+      }(this, t, key, shared, state));
+    }
+    co_await sim::when_all(sim, std::move(puts));
+  }
+  ++fs_->counters().stripes_written;
+}
+
+sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
+                                         const FileAttr& attr,
+                                         std::string key, kvstore::Blob blob,
+                                         OpState& state) {
+  const std::size_t k = attr.ec_k, m = attr.ec_m;
+  assert(k >= 1);
+  const auto order = policy.probe_order(key);
+  if (order.empty()) {
+    state.status = Status{Errc::unavailable, "no servers"};
+    co_return;
+  }
+  auto& sim = fs_->cluster().sim();
+
+  // Encoding cost on the client node: ~1 byte of GF math per payload byte
+  // per parity shard.
+  const double enc_bytes = static_cast<double>(blob.size()) *
+                           static_cast<double>(m) / static_cast<double>(k);
+  co_await fs_->cluster().node(node_).cpu().consume(0.3e-9 * enc_bytes, 1.0);
+
+  std::vector<kvstore::Blob> shards;
+  shards.reserve(k + m);
+  if (blob.is_ghost() || blob.size() == 0) {
+    const Bytes ss = (blob.size() + k - 1) / k;
+    for (std::size_t j = 0; j < k + m; ++j)
+      shards.push_back(kvstore::Blob::ghost(
+          ss, hash::mix64(blob.checksum(), j)));
+  } else {
+    erasure::ReedSolomon rs(k, m);
+    auto raw = rs.encode(blob.bytes());
+    for (auto& s : raw)
+      shards.push_back(kvstore::Blob::materialized(std::move(s)));
+  }
+
+  std::vector<sim::Task<>> puts;
+  for (std::size_t j = 0; j < shards.size(); ++j) {
+    const NodeId target = order[j % order.size()];
+    puts.push_back([](Client* c, NodeId t, std::string sk, kvstore::Blob b,
+                      OpState& s) -> sim::Task<> {
+      auto st =
+          co_await c->fs_->server(t).put(c->node_, c->fs_->token(), sk,
+                                         std::move(b));
+      if (!st.ok()) s.status = st;
+    }(this, target, shard_key(key, j), std::move(shards[j]), state));
+  }
+  co_await sim::when_all(sim, std::move(puts));
+  ++fs_->counters().stripes_written;
+}
+
+// --- read path ----------------------------------------------------------------
+
+sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
+    const ClassHrwPolicy& policy, const FileAttr& attr,
+    const std::string& key) {
+  const std::size_t copies = copy_count(attr);
+  auto& sim = fs_->cluster().sim();
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto order = policy.probe_order(key);  // refresh: members change
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const NodeId n = order[rank];
+      if (!fs_->has_server(n)) continue;
+      auto r = co_await fs_->server(n).get(node_, fs_->token(), key);
+      if (r.ok()) {
+        // Lazy relocation: a hit below the expected replica ranks means
+        // the membership changed since the stripe was written.
+        if (rank >= copies && fs_->config().lazy_relocation &&
+            !order.empty() && order[0] != n) {
+          sim.spawn(relocate(fs_, key, n, order[0]));
+        }
+        co_return r;
+      }
+      if (r.code() != Errc::not_found && r.code() != Errc::unavailable)
+        co_return r;  // real error (e.g. permission): do not mask it
+    }
+    // Fall back to nodes that are mid-evacuation.
+    for (NodeId n : fs_->draining_nodes()) {
+      if (!fs_->has_server(n)) continue;
+      auto r = co_await fs_->server(n).get(node_, fs_->token(), key);
+      if (r.ok()) co_return r;
+    }
+    ++fs_->counters().read_retries;
+    co_await sim.delay(0.005);
+  }
+  co_return Error{Errc::not_found, key};
+}
+
+sim::Task<Result<kvstore::Blob>> Client::read_stripe(
+    const ClassHrwPolicy& policy, const FileAttr& attr, std::string key,
+    double extra_requests_per_mib) {
+  auto r = co_await probe_ranked(policy, attr, key);
+  if (r.ok()) {
+    ++fs_->counters().stripes_read;
+    if (extra_requests_per_mib > 0) {
+      // Charge the chatty sub-stripe requests against the server that
+      // actually held the stripe (the probe order's first live holder).
+      const auto order = policy.probe_order(key);
+      for (NodeId n : order) {
+        if (!fs_->has_server(n)) continue;
+        co_await fs_->server(n).request_burst(
+            node_, extra_requests_per_mib *
+                       static_cast<double>(r.value().size()) /
+                       static_cast<double>(units::MiB));
+        break;
+      }
+    }
+  }
+  co_return r;
+}
+
+sim::Task<Result<kvstore::Blob>> Client::read_stripe_erasure(
+    const ClassHrwPolicy& policy, const FileAttr& attr, std::string key) {
+  const std::size_t k = attr.ec_k, m = attr.ec_m;
+  const auto order = policy.probe_order(key);
+  if (order.empty()) co_return Error{Errc::unavailable, "no servers"};
+
+  // Fetch shards until k are in hand; prefer the data shards (systematic
+  // code: no decode needed when shards 0..k-1 arrive).
+  std::vector<std::pair<std::size_t, kvstore::Blob>> have;
+  for (std::size_t j = 0; j < k + m && have.size() < k; ++j) {
+    const std::string sk = shard_key(key, j);
+    const NodeId expected = order[j % order.size()];
+    Result<kvstore::Blob> r = Error{Errc::not_found, sk};
+    if (fs_->has_server(expected))
+      r = co_await fs_->server(expected).get(node_, fs_->token(), sk);
+    if (!r.ok()) {
+      // Shard not where expected: probe the class + draining nodes.
+      for (NodeId n : order) {
+        if (n == expected || !fs_->has_server(n)) continue;
+        r = co_await fs_->server(n).get(node_, fs_->token(), sk);
+        if (r.ok()) break;
+      }
+      if (!r.ok()) {
+        for (NodeId n : fs_->draining_nodes()) {
+          if (!fs_->has_server(n)) continue;
+          r = co_await fs_->server(n).get(node_, fs_->token(), sk);
+          if (r.ok()) break;
+        }
+      }
+    }
+    if (r.ok()) have.emplace_back(j, std::move(r.value()));
+  }
+  if (have.size() < k)
+    co_return Error{Errc::corruption,
+                    "fewer than k shards reachable: " + key};
+
+  const bool needs_decode =
+      std::any_of(have.begin(), have.end(),
+                  [k](const auto& p) { return p.first >= k; });
+  Bytes stripe_len = 0;
+  for (const auto& [j, b] : have) stripe_len += b.size();
+  // Shards are equally sized; the true stripe length is restored from
+  // metadata by the caller (ghost) or decode (materialized).
+
+  const bool ghost = have.front().second.is_ghost();
+  if (needs_decode) {
+    ++fs_->counters().reconstructions;
+    // Decode cost on the client node.
+    co_await fs_->cluster()
+        .node(node_)
+        .cpu()
+        .consume(0.6e-9 * static_cast<double>(stripe_len), 1.0);
+  }
+  if (ghost) {
+    ++fs_->counters().stripes_read;
+    co_return kvstore::Blob::ghost(stripe_len, 0);
+  }
+  // Materialized: run the real decoder.
+  erasure::ReedSolomon rs(k, m);
+  std::vector<std::vector<std::uint8_t>> slots(k + m);
+  Bytes payload_cap = 0;
+  for (auto& [j, b] : have) {
+    slots[j].assign(b.bytes().begin(), b.bytes().end());
+    payload_cap = slots[j].size() * k;
+  }
+  auto decoded = rs.decode(slots, payload_cap);
+  if (!decoded.ok()) co_return decoded.error();
+  ++fs_->counters().stripes_read;
+  co_return kvstore::Blob::materialized(std::move(decoded).value());
+}
+
+namespace {
+struct ReadCtx {
+  std::vector<Result<kvstore::Blob>> results;
+  explicit ReadCtx(std::size_t n)
+      : results(n, Result<kvstore::Blob>(Error{Errc::not_found, ""})) {}
+};
+}  // namespace
+
+sim::Task<Result<Bytes>> Client::read_file(std::string path,
+                                           double extra_requests_per_mib) {
+  auto st = co_await fs_->meta().stat(node_, path);
+  if (!st.ok()) co_return st.error();
+  if (st.value().is_directory)
+    co_return Error{Errc::is_a_directory, path};
+  const Stat s = st.value();
+  const ClassHrwPolicy policy = fs_->policy_for_epoch(s.attr.epoch);
+
+  auto& sim = fs_->cluster().sim();
+  ReadCtx ctx(s.stripe_count);
+  sim::Semaphore window(sim, fs_->config().write_window);
+  std::vector<sim::Task<>> tasks;
+  for (std::size_t i = 0; i < s.stripe_count; ++i) {
+    std::string key = Namespace::stripe_key(s.inode, i);
+    tasks.push_back(guarded(
+        window, [](Client* c, const ClassHrwPolicy& p, const FileAttr& a,
+                   std::string k, ReadCtx& cx, std::size_t idx,
+                   double extra) -> sim::Task<> {
+          if (a.redundancy == RedundancyMode::erasure) {
+            cx.results[idx] =
+                co_await c->read_stripe_erasure(p, a, std::move(k));
+          } else {
+            cx.results[idx] =
+                co_await c->read_stripe(p, a, std::move(k), extra);
+          }
+        }(this, policy, s.attr, std::move(key), ctx, i,
+          extra_requests_per_mib)));
+  }
+  co_await sim::when_all(sim, std::move(tasks));
+
+  Bytes total = 0;
+  for (auto& r : ctx.results) {
+    if (!r.ok()) co_return r.error();
+    total += r.value().size();
+  }
+  // Ghost erasure shards round sizes up; report the metadata size.
+  if (s.attr.redundancy == RedundancyMode::erasure) total = s.attr.size;
+  fs_->counters().bytes_read += total;
+  co_return total;
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> Client::read_file_bytes(
+    std::string path) {
+  auto st = co_await fs_->meta().stat(node_, path);
+  if (!st.ok()) co_return st.error();
+  const Stat s = st.value();
+  if (s.is_directory) co_return Error{Errc::is_a_directory, path};
+  const ClassHrwPolicy policy = fs_->policy_for_epoch(s.attr.epoch);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(s.attr.size);
+  for (std::size_t i = 0; i < s.stripe_count; ++i) {
+    std::string key = Namespace::stripe_key(s.inode, i);
+    Result<kvstore::Blob> r = Error{Errc::not_found, key};
+    if (s.attr.redundancy == RedundancyMode::erasure) {
+      r = co_await read_stripe_erasure(policy, s.attr, std::move(key));
+    } else {
+      r = co_await read_stripe(policy, s.attr, std::move(key), 0.0);
+    }
+    if (!r.ok()) co_return r.error();
+    const auto& blob = r.value();
+    if (blob.is_ghost())
+      co_return Error{Errc::invalid_argument,
+                      "read_file_bytes on a ghost-written file"};
+    // Erasure decode returns k * shard_size bytes, which exceeds the true
+    // stripe length when the stripe is not divisible by k -- trim each
+    // stripe to its metadata length so padding never lands mid-file.
+    const Bytes off = static_cast<Bytes>(i) * s.attr.stripe_size;
+    const Bytes expect = std::min<Bytes>(s.attr.stripe_size,
+                                         s.attr.size - off);
+    const std::size_t take =
+        std::min<std::size_t>(blob.bytes().size(), expect);
+    out.insert(out.end(), blob.bytes().begin(),
+               blob.bytes().begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  out.resize(std::min<std::size_t>(out.size(), s.attr.size));
+  fs_->counters().bytes_read += out.size();
+  co_return out;
+}
+
+sim::Task<Status> Client::unlink(std::string path) {
+  auto removed = co_await fs_->meta().unlink(node_, path);
+  if (!removed.ok()) co_return removed.error();
+  const Stat s = removed.value();
+  const ClassHrwPolicy policy = fs_->policy_for_epoch(s.attr.epoch);
+
+  for (std::size_t i = 0; i < s.stripe_count; ++i) {
+    const std::string key = Namespace::stripe_key(s.inode, i);
+    std::vector<std::pair<NodeId, std::string>> victims;
+    if (s.attr.redundancy == RedundancyMode::erasure) {
+      const auto order = policy.probe_order(key);
+      for (std::size_t j = 0;
+           j < static_cast<std::size_t>(s.attr.ec_k + s.attr.ec_m) &&
+           !order.empty();
+           ++j)
+        victims.emplace_back(order[j % order.size()], shard_key(key, j));
+    } else {
+      for (NodeId n : policy.place(key, copy_count(s.attr)))
+        victims.emplace_back(n, key);
+    }
+    for (auto& [n, k] : victims) {
+      if (!fs_->has_server(n)) continue;
+      auto st = co_await fs_->server(n).del(node_, fs_->token(), k);
+      (void)st;  // not_found is fine: replica may have moved
+    }
+    // Sweep draining nodes too so evacuations do not resurrect the file.
+    for (NodeId n : fs_->draining_nodes()) {
+      if (!fs_->has_server(n)) continue;
+      auto st = co_await fs_->server(n).del(node_, fs_->token(), key);
+      (void)st;
+    }
+  }
+  co_return Status{};
+}
+
+}  // namespace memfss::fs

@@ -1,0 +1,280 @@
+#include "fs/filesystem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/str.hpp"
+#include "fs/client.hpp"
+#include "hash/hrw.hpp"
+#include "hash/weight_solver.hpp"
+
+namespace memfss::fs {
+
+FileSystem::FileSystem(cluster::Cluster& cluster, FileSystemConfig config)
+    : cluster_(cluster),
+      config_(std::move(config)),
+      meta_(cluster, config_.own_nodes, config_.metadata_costs) {
+  assert(!config_.own_nodes.empty());
+  membership_.set_members(kOwnClass, config_.own_nodes);
+  epochs_.push_back(PlacementEpoch{0, {{kOwnClass, 0.0}}});
+  for (NodeId n : config_.own_nodes) {
+    node_class_[n] = kOwnClass;
+    make_server(n, config_.own_store_capacity, net::Fabric::kUncapped,
+                /*victim=*/false);
+  }
+}
+
+FileSystem::~FileSystem() = default;
+
+Client FileSystem::client(NodeId own_node) {
+  assert(node_class_.count(own_node) &&
+         node_class_.at(own_node) == kOwnClass);
+  return Client(*this, own_node);
+}
+
+void FileSystem::make_server(NodeId node, Bytes capacity, Rate net_cap,
+                             bool victim) {
+  kvstore::ResourceHooks hooks;
+  auto& nd = cluster_.node(node);
+  hooks.cpu = &nd.cpu();
+  hooks.membw = &nd.membw();
+  hooks.mem = &nd.memory();
+  if (victim && std::isfinite(net_cap)) {
+    auto group = std::make_unique<net::CapGroup>(net_cap);
+    hooks.net_cap = group.get();
+    cap_groups_[node] = std::move(group);
+  }
+  servers_[node] = std::make_unique<kvstore::Server>(
+      cluster_.sim(), cluster_.fabric(), node, capacity, config_.auth_token,
+      hooks, config_.server_costs);
+}
+
+Status FileSystem::add_victim_class(
+    std::uint32_t class_id, const std::vector<cluster::ScavengeOffer>& offers,
+    double own_fraction) {
+  if (class_id == kOwnClass)
+    return {Errc::invalid_argument, "class 0 is the own class"};
+  if (membership_.has_class(class_id))
+    return {Errc::already_exists, strformat("class %u", class_id)};
+  if (offers.empty())
+    return {Errc::invalid_argument, "no scavenge offers"};
+  if (own_fraction < 0.0 || own_fraction > 1.0)
+    return {Errc::invalid_argument, "own_fraction out of [0,1]"};
+
+  std::vector<NodeId> nodes;
+  for (const auto& o : offers) {
+    if (servers_.count(o.node))
+      return {Errc::already_exists,
+              strformat("node %u already participates", o.node)};
+    nodes.push_back(o.node);
+  }
+  membership_.set_members(class_id, nodes);
+  for (const auto& o : offers) {
+    node_class_[o.node] = class_id;
+    make_server(o.node, o.memory_cap, o.net_cap, /*victim=*/true);
+  }
+  const auto w = hash::two_class_weights(own_fraction);
+  epochs_.push_back(PlacementEpoch{
+      static_cast<std::uint32_t>(epochs_.size()),
+      {{kOwnClass, w.own}, {class_id, w.victim}}});
+  LOG_INFO("fs") << "victim class " << class_id << " with " << nodes.size()
+                 << " nodes, alpha=" << own_fraction
+                 << " (w_own=" << w.own << ", w_victim=" << w.victim << ")";
+  return {};
+}
+
+Status FileSystem::add_victim_nodes(
+    std::uint32_t class_id,
+    const std::vector<cluster::ScavengeOffer>& offers) {
+  if (!membership_.has_class(class_id) || class_id == kOwnClass)
+    return {Errc::not_found, strformat("victim class %u", class_id)};
+  for (const auto& o : offers) {
+    if (servers_.count(o.node))
+      return {Errc::already_exists,
+              strformat("node %u already participates", o.node)};
+  }
+  for (const auto& o : offers) {
+    membership_.add_member(class_id, o.node);
+    node_class_[o.node] = class_id;
+    make_server(o.node, o.memory_cap, o.net_cap, /*victim=*/true);
+  }
+  return {};
+}
+
+Status FileSystem::add_epoch(std::vector<ClassWeight> weights) {
+  if (weights.empty()) return {Errc::invalid_argument, "no weights"};
+  for (const auto& cw : weights) {
+    if (!membership_.has_class(cw.class_id) ||
+        membership_.members(cw.class_id).empty())
+      return {Errc::invalid_argument,
+              strformat("class %u has no members", cw.class_id)};
+  }
+  epochs_.push_back(PlacementEpoch{static_cast<std::uint32_t>(epochs_.size()),
+                                   std::move(weights)});
+  return {};
+}
+
+const PlacementEpoch& FileSystem::epoch(std::uint32_t id) const {
+  assert(id < epochs_.size());
+  return epochs_[id];
+}
+
+ClassHrwPolicy FileSystem::policy_for_epoch(std::uint32_t id) const {
+  return ClassHrwPolicy(epoch(id), membership_, config_.score_fn);
+}
+
+kvstore::Server& FileSystem::server(NodeId node) {
+  auto it = servers_.find(node);
+  assert(it != servers_.end());
+  return *it->second;
+}
+
+Bytes FileSystem::bytes_on(NodeId node) const {
+  auto it = servers_.find(node);
+  return it == servers_.end() ? 0 : it->second->store().used();
+}
+
+std::vector<std::pair<NodeId, Bytes>> FileSystem::distribution() const {
+  std::vector<std::pair<NodeId, Bytes>> out;
+  for (NodeId n : config_.own_nodes) out.emplace_back(n, bytes_on(n));
+  for (const auto& [n, srv] : servers_) {
+    if (node_class_.at(n) != kOwnClass)
+      out.emplace_back(n, srv->store().used());
+  }
+  return out;
+}
+
+Bytes FileSystem::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& [n, srv] : servers_) total += srv->store().used();
+  return total;
+}
+
+Status FileSystem::add_own_nodes(const std::vector<NodeId>& nodes,
+                                 Bytes store_capacity) {
+  if (nodes.empty()) return {Errc::invalid_argument, "no nodes"};
+  for (NodeId n : nodes) {
+    if (n >= cluster_.node_count())
+      return {Errc::invalid_argument, strformat("node %u out of range", n)};
+    if (servers_.count(n))
+      return {Errc::already_exists,
+              strformat("node %u already participates", n)};
+  }
+  const Bytes cap =
+      store_capacity ? store_capacity : config_.own_store_capacity;
+  for (NodeId n : nodes) {
+    membership_.add_member(kOwnClass, n);
+    node_class_[n] = kOwnClass;
+    config_.own_nodes.push_back(n);
+    make_server(n, cap, net::Fabric::kUncapped, /*victim=*/false);
+  }
+  meta_.set_own_nodes(config_.own_nodes);
+  LOG_INFO("fs") << "own class grown by " << nodes.size() << " nodes ("
+                 << config_.own_nodes.size() << " total)";
+  return {};
+}
+
+sim::Task<Status> FileSystem::remove_own_node(NodeId node) {
+  auto cls_it = node_class_.find(node);
+  if (cls_it == node_class_.end() || cls_it->second != kOwnClass)
+    co_return Status{Errc::not_found, strformat("own node %u", node)};
+  if (config_.own_nodes.size() <= 1)
+    co_return Status{Errc::invalid_argument, "cannot remove the last own node"};
+  if (draining_.count(node)) co_return Status{};
+
+  // Same protocol as victim evacuation, within class 0: leave the
+  // membership first so each key's new HRW primary is the migration
+  // target, then drain.
+  draining_.insert(node);
+  membership_.remove_member(kOwnClass, node);
+  config_.own_nodes.erase(std::remove(config_.own_nodes.begin(),
+                                      config_.own_nodes.end(), node),
+                          config_.own_nodes.end());
+  meta_.set_own_nodes(config_.own_nodes);
+  const auto& remaining = membership_.members(kOwnClass);
+  auto& src = server(node);
+  Status result{};
+  for (const auto& k : src.store().keys()) {
+    const NodeId dst = hash::hrw_select(k, remaining, config_.score_fn);
+    if (auto st = co_await src.migrate_key(config_.auth_token, k,
+                                           server(dst));
+        !st.ok())
+      result = st;
+  }
+  src.close();
+  draining_.erase(node);
+  LOG_INFO("fs") << "own node " << node << " retired ("
+                 << config_.own_nodes.size() << " remain)";
+  co_return result;
+}
+
+void FileSystem::wipe_data() {
+  for (auto& [n, srv] : servers_) srv->wipe();
+  meta_.reset();
+}
+
+sim::Task<Status> FileSystem::evacuate_victim(NodeId node) {
+  auto cls_it = node_class_.find(node);
+  if (cls_it == node_class_.end())
+    co_return Status{Errc::not_found, strformat("node %u", node)};
+  const std::uint32_t cls = cls_it->second;
+  if (cls == kOwnClass)
+    co_return Status{Errc::invalid_argument, "cannot evacuate an own node"};
+  if (draining_.count(node)) co_return Status{};  // already in progress
+
+  // Leave the membership first: new writes stop targeting the node, and
+  // each key's new HRW primary is exactly where we migrate it (minimal
+  // disruption property). Reads that race the migration fall back to
+  // probing draining nodes (Client::read_stripe).
+  draining_.insert(node);
+  membership_.remove_member(cls, node);
+  const auto& remaining = membership_.members(cls);
+  auto& src = server(node);
+  const auto keys = src.store().keys();
+  LOG_INFO("fs") << "evacuating node " << node << ": " << keys.size()
+                 << " keys, " << format_bytes(src.store().used());
+  Status result{};
+  if (remaining.empty() && !keys.empty()) {
+    // Last node of its class: push everything back to the own class.
+    for (const auto& k : keys) {
+      const NodeId dst =
+          hash::hrw_select(k, membership_.members(kOwnClass), config_.score_fn);
+      if (auto st = co_await src.migrate_key(config_.auth_token, k,
+                                             server(dst));
+          !st.ok())
+        result = st;
+    }
+  } else {
+    for (const auto& k : keys) {
+      const NodeId dst = hash::hrw_select(k, remaining, config_.score_fn);
+      if (auto st = co_await src.migrate_key(config_.auth_token, k,
+                                             server(dst));
+          !st.ok())
+        result = st;
+    }
+  }
+  src.close();
+  draining_.erase(node);
+  co_return result;
+}
+
+void FileSystem::arm_victim_monitors(double threshold_fraction) {
+  for (const auto& [node, cls] : node_class_) {
+    if (cls == kOwnClass) continue;
+    const NodeId n = node;
+    monitors_.push_back(std::make_unique<cluster::VictimMonitor>(
+        cluster_.sim(), cluster_.node(n).memory(), n, threshold_fraction,
+        [this](NodeId victim) {
+          cluster_.sim().spawn([](FileSystem& fs, NodeId v) -> sim::Task<> {
+            auto st = co_await fs.evacuate_victim(v);
+            if (!st.ok())
+              LOG_WARN("fs") << "evacuation of node " << v
+                             << " failed: " << st.error().to_string();
+          }(*this, victim));
+        }));
+  }
+}
+
+}  // namespace memfss::fs

@@ -1,0 +1,205 @@
+// FileSystem: the MemFSS façade.
+//
+// Owns one kvstore server per participating node, the metadata service,
+// the class membership + placement epochs, and the scavenging lifecycle:
+//
+//   FileSystem fs(cluster, config);                 // own nodes only
+//   fs.add_victim_class(1, offers, /*own_fraction=*/0.25);
+//   auto client = fs.client(own_node);
+//   co_await client.write_file("/data/part-0", 128_MiB);
+//
+// Scavenging semantics reproduced from the paper:
+//   - own nodes (class 0) run tasks and store data+metadata; victim nodes
+//     only store data (§III-A);
+//   - the class weight steers the own/victim data split (§III-B);
+//   - victim stores are capped in memory and bandwidth (container
+//     isolation, §III-F) and authenticated (only own-node clients hold
+//     the token);
+//   - a victim can be *evacuated* at any time (monitor signal, §III-A):
+//     its keys migrate to the next-ranked node of its class and the node
+//     leaves the membership -- exactly the HRW minimal-disruption move,
+//     so lookups stay correct with no per-stripe relocation table.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/monitor.hpp"
+#include "cluster/reservation.hpp"
+#include "common/result.hpp"
+#include "fs/metadata.hpp"
+#include "fs/namespace.hpp"
+#include "fs/placement.hpp"
+#include "kvstore/server.hpp"
+#include "sim/task.hpp"
+
+namespace memfss::fs {
+
+class Client;
+
+/// Class id of the own-node class. Victim classes use ids >= 1.
+inline constexpr std::uint32_t kOwnClass = 0;
+
+struct FileSystemConfig {
+  std::vector<NodeId> own_nodes;
+  Bytes own_store_capacity = 48 * units::GiB;  ///< per own node
+  Bytes stripe_size = 4 * units::MiB;
+  RedundancyMode redundancy = RedundancyMode::none;
+  std::uint8_t copies = 2;       ///< replicated mode: total copies
+  std::uint8_t ec_k = 4;         ///< erasure mode: data shards
+  std::uint8_t ec_m = 2;         ///< erasure mode: parity shards
+  hash::ScoreFn score_fn = hash::ScoreFn::mix64;
+  std::string auth_token = "memfss-secret";
+  kvstore::ServerCosts server_costs{};
+  MetadataCosts metadata_costs{};
+  std::size_t write_window = 4;  ///< in-flight stripes per file operation
+  bool lazy_relocation = true;   ///< migrate misplaced stripes on read
+};
+
+struct FsCounters {
+  std::uint64_t stripes_written = 0;
+  std::uint64_t stripes_read = 0;
+  std::uint64_t lazy_relocations = 0;
+  std::uint64_t read_retries = 0;
+  std::uint64_t reconstructions = 0;  ///< erasure decodes that used parity
+  Bytes bytes_written = 0;
+  Bytes bytes_read = 0;
+};
+
+class FileSystem {
+ public:
+  FileSystem(cluster::Cluster& cluster, FileSystemConfig config);
+  ~FileSystem();
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  const FileSystemConfig& config() const { return config_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  MetadataService& meta() { return meta_; }
+  FsCounters& counters() { return counters_; }
+  const FsCounters& counters() const { return counters_; }
+
+  /// A client handle bound to an own node (only own nodes mount the FUSE
+  /// layer, §III-C).
+  Client client(NodeId own_node);
+
+  // --- scavenging lifecycle ----------------------------------------------
+
+  /// Add a victim class from claimed scavenge offers; `own_fraction` is
+  /// the target share of data kept on own nodes (the paper's alpha).
+  /// Creates a new placement epoch. class_id must be unused and >= 1.
+  Status add_victim_class(std::uint32_t class_id,
+                          const std::vector<cluster::ScavengeOffer>& offers,
+                          double own_fraction);
+
+  /// Extend an existing victim class with more offers (no epoch change;
+  /// HRW redistributes lazily).
+  Status add_victim_nodes(std::uint32_t class_id,
+                          const std::vector<cluster::ScavengeOffer>& offers);
+
+  /// Install an explicit weight configuration as a new epoch (for
+  /// multi-victim-class setups). Every class must have live members.
+  Status add_epoch(std::vector<ClassWeight> weights);
+
+  /// Evacuate one victim node: membership removal + key migration to the
+  /// next-ranked nodes of its class. Store closes when drained.
+  sim::Task<Status> evacuate_victim(NodeId node);
+
+  /// Wire pressure monitors on every current victim node: when tenant
+  /// memory passes `threshold_fraction`, evacuation starts automatically.
+  void arm_victim_monitors(double threshold_fraction);
+
+  // --- placement ----------------------------------------------------------
+
+  std::uint32_t current_epoch() const { return epochs_.back().id; }
+  const PlacementEpoch& epoch(std::uint32_t id) const;
+  ClassHrwPolicy policy_for_epoch(std::uint32_t id) const;
+  const ClassMembership& membership() const { return membership_; }
+
+  // --- servers / telemetry -------------------------------------------------
+
+  bool has_server(NodeId node) const { return servers_.count(node) > 0; }
+  kvstore::Server& server(NodeId node);
+  const std::string& token() const { return config_.auth_token; }
+  bool is_draining(NodeId node) const { return draining_.count(node) > 0; }
+  const std::set<NodeId>& draining_nodes() const { return draining_; }
+
+  /// Bytes currently stored on a node's server.
+  Bytes bytes_on(NodeId node) const;
+
+  /// (node, bytes) for every participating node, own nodes first.
+  std::vector<std::pair<NodeId, Bytes>> distribution() const;
+
+  /// Total bytes across all servers.
+  Bytes total_bytes() const;
+
+  /// Administrative reset between experiment repetitions: drops all file
+  /// data and the namespace at zero simulated cost (the real system would
+  /// simply be restarted between runs).
+  void wipe_data();
+
+  // --- maintenance (fs/maintenance.cpp) ------------------------------------
+
+  struct MaintenanceReport {
+    std::size_t files_scanned = 0;
+    std::size_t files_updated = 0;   ///< rebalance: epoch advanced
+    std::size_t stripes_moved = 0;   ///< rebalance: relocated stripes
+    std::size_t stripes_repaired = 0;  ///< repair: copies/shards restored
+    std::size_t corruptions_found = 0;  ///< scrub: bad copies dropped
+    Bytes bytes_moved = 0;
+    Status status{};
+  };
+
+  /// Active rebalance: migrate every file written under an older epoch to
+  /// the *current* epoch's placement and update its metadata. The eager
+  /// complement of lazy relocation -- run it after adding a victim class
+  /// when read-triggered migration is too slow.
+  sim::Task<MaintenanceReport> rebalance_all();
+
+  /// Repair: re-create missing replicas (replicated files) and missing
+  /// shards (erasure files) from surviving copies. Run after a node
+  /// crash; files with redundancy `none` cannot be repaired and are
+  /// skipped.
+  sim::Task<MaintenanceReport> repair_all();
+
+  /// Scrub: read every stored stripe/replica/shard, verify its checksum,
+  /// drop corrupt copies, then run repair to restore redundancy. The
+  /// report's `corruptions_found` counts dropped copies; status turns
+  /// `corruption` if an unredundant stripe was lost.
+  sim::Task<MaintenanceReport> scrub_all();
+
+  // --- elasticity (own-class membership; MemEFS heritage) -----------------
+
+  /// Grow the own class: the nodes start storing data (and metadata
+  /// shards) immediately; existing stripes migrate lazily on access or
+  /// eagerly via rebalance_all().
+  Status add_own_nodes(const std::vector<NodeId>& nodes,
+                       Bytes store_capacity = 0 /* 0 = config default */);
+
+  /// Shrink the own class: migrate the node's data to the remaining own
+  /// nodes and retire its server. At least one own node must remain.
+  sim::Task<Status> remove_own_node(NodeId node);
+
+ private:
+  friend class Client;
+
+  void make_server(NodeId node, Bytes capacity, Rate net_cap, bool victim);
+
+  cluster::Cluster& cluster_;
+  FileSystemConfig config_;
+  MetadataService meta_;
+  ClassMembership membership_;
+  std::vector<PlacementEpoch> epochs_;
+  std::map<NodeId, std::unique_ptr<kvstore::Server>> servers_;
+  std::map<NodeId, std::unique_ptr<net::CapGroup>> cap_groups_;
+  std::map<NodeId, std::uint32_t> node_class_;  ///< node -> class id
+  std::set<NodeId> draining_;
+  std::vector<std::unique_ptr<cluster::VictimMonitor>> monitors_;
+  FsCounters counters_;
+};
+
+}  // namespace memfss::fs

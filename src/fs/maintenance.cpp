@@ -1,0 +1,264 @@
+// Maintenance operations: active rebalance and redundancy repair.
+//
+// Rebalance is the eager complement of the paper's lazy data movement:
+// after a victim class changes the placement epoch, files written under
+// older epochs still resolve (their metadata records the old weights),
+// but their stripes live where the old epoch put them. rebalance_all()
+// migrates every such file to the current epoch's placement and advances
+// its metadata epoch -- after it completes, no read ever probes below
+// rank 0 again.
+//
+// Repair restores redundancy after a node loss: replicated files get
+// missing copies re-streamed from a survivor; erasure files get missing
+// shards rebuilt (real Reed-Solomon reconstruction for materialized
+// data; size-accounting recreation for ghost data).
+#include <algorithm>
+#include <set>
+
+#include "common/log.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "fs/filesystem.hpp"
+#include "fs/namespace.hpp"
+#include "hash/hashes.hpp"
+
+namespace memfss::fs {
+
+namespace {
+
+std::string shard_key(const std::string& stripe, std::size_t j) {
+  return stripe + ".s" + std::to_string(j);
+}
+
+std::size_t copies_of(const FileAttr& attr) {
+  return attr.redundancy == RedundancyMode::replicated
+             ? std::max<std::size_t>(1, attr.copies)
+             : 1;
+}
+
+}  // namespace
+
+sim::Task<FileSystem::MaintenanceReport> FileSystem::rebalance_all() {
+  MaintenanceReport report;
+  const NodeId admin = config_.own_nodes.front();
+  const std::uint32_t target_epoch = current_epoch();
+  const ClassHrwPolicy target = policy_for_epoch(target_epoch);
+
+  for (const auto& [path, st] : meta_.ns().list_files()) {
+    ++report.files_scanned;
+    if (st.attr.epoch == target_epoch) continue;
+    const ClassHrwPolicy old = policy_for_epoch(st.attr.epoch);
+
+    bool moved_any = false;
+    for (std::size_t i = 0; i < st.stripe_count; ++i) {
+      const std::string key = Namespace::stripe_key(st.inode, i);
+      if (st.attr.redundancy == RedundancyMode::erasure) {
+        const auto old_order = old.probe_order(key);
+        const auto new_order = target.probe_order(key);
+        const std::size_t shards = st.attr.ec_k + st.attr.ec_m;
+        for (std::size_t j = 0; j < shards; ++j) {
+          const NodeId src = old_order[j % old_order.size()];
+          const NodeId dst = new_order[j % new_order.size()];
+          if (src == dst || !has_server(src) || !has_server(dst)) continue;
+          const std::string sk = shard_key(key, j);
+          auto sz = server(src).store().value_size(config_.auth_token, sk);
+          if (!sz.ok()) continue;  // not there (already moved / lost)
+          auto stt = co_await server(src).migrate_key(config_.auth_token,
+                                                      sk, server(dst));
+          if (stt.ok()) {
+            ++report.stripes_moved;
+            report.bytes_moved += sz.value();
+            moved_any = true;
+          }
+        }
+      } else {
+        const std::size_t copies = copies_of(st.attr);
+        const auto old_nodes = old.place(key, copies);
+        const auto new_nodes = target.place(key, copies);
+        if (old_nodes == new_nodes) continue;
+        const std::set<NodeId> old_set(old_nodes.begin(), old_nodes.end());
+        const std::set<NodeId> new_set(new_nodes.begin(), new_nodes.end());
+        // Source: any old holder that still has the stripe.
+        NodeId holder = kInvalidNode;
+        Bytes size = 0;
+        for (NodeId n : old_nodes) {
+          if (!has_server(n)) continue;
+          auto sz = server(n).store().value_size(config_.auth_token, key);
+          if (sz.ok()) {
+            holder = n;
+            size = sz.value();
+            break;
+          }
+        }
+        if (holder == kInvalidNode) continue;  // lazy move already done
+        for (NodeId dst : new_nodes) {
+          if (old_set.count(dst) || !has_server(dst)) continue;
+          auto stt = co_await server(holder).replicate_key(
+              config_.auth_token, key, server(dst));
+          if (stt.ok()) {
+            ++report.stripes_moved;
+            report.bytes_moved += size;
+            moved_any = true;
+          } else if (report.status.ok()) {
+            report.status = stt;
+          }
+        }
+        for (NodeId src : old_nodes) {
+          if (new_set.count(src) || !has_server(src)) continue;
+          (void)co_await server(src).del(admin, config_.auth_token, key);
+        }
+      }
+    }
+    auto stt = co_await meta_.set_epoch(admin, st.inode, target_epoch);
+    if (!stt.ok() && report.status.ok()) report.status = stt;
+    if (moved_any) ++report.files_updated;
+  }
+  LOG_INFO("fs") << "rebalance: " << report.stripes_moved
+                 << " stripes moved, " << report.files_updated
+                 << " files updated";
+  co_return report;
+}
+
+sim::Task<FileSystem::MaintenanceReport> FileSystem::repair_all() {
+  MaintenanceReport report;
+  const NodeId admin = config_.own_nodes.front();
+
+  for (const auto& [path, st] : meta_.ns().list_files()) {
+    ++report.files_scanned;
+    if (st.attr.redundancy == RedundancyMode::none) continue;
+    const ClassHrwPolicy policy = policy_for_epoch(st.attr.epoch);
+
+    for (std::size_t i = 0; i < st.stripe_count; ++i) {
+      const std::string key = Namespace::stripe_key(st.inode, i);
+      if (st.attr.redundancy == RedundancyMode::replicated) {
+        const auto targets = policy.place(key, copies_of(st.attr));
+        NodeId holder = kInvalidNode;
+        std::vector<NodeId> missing;
+        for (NodeId n : targets) {
+          if (!has_server(n)) continue;
+          if (server(n).store().value_size(config_.auth_token, key).ok()) {
+            if (holder == kInvalidNode) holder = n;
+          } else {
+            missing.push_back(n);
+          }
+        }
+        if (holder == kInvalidNode) {
+          if (report.status.ok())
+            report.status = {Errc::corruption, "all copies lost: " + key};
+          continue;
+        }
+        for (NodeId dst : missing) {
+          auto stt = co_await server(holder).replicate_key(
+              config_.auth_token, key, server(dst));
+          if (stt.ok()) ++report.stripes_repaired;
+        }
+      } else {  // erasure
+        const auto order = policy.probe_order(key);
+        const std::size_t k = st.attr.ec_k, m = st.attr.ec_m;
+        std::vector<std::pair<std::size_t, kvstore::Blob>> have;
+        std::vector<std::size_t> missing;
+        for (std::size_t j = 0; j < k + m; ++j) {
+          const NodeId expected = order[j % order.size()];
+          bool found = false;
+          if (has_server(expected)) {
+            auto r = co_await server(expected).get(admin, config_.auth_token,
+                                                   shard_key(key, j));
+            if (r.ok()) {
+              have.emplace_back(j, std::move(r.value()));
+              found = true;
+            }
+          }
+          if (!found) missing.push_back(j);
+        }
+        if (missing.empty()) continue;
+        if (have.size() < k) {
+          if (report.status.ok())
+            report.status = {Errc::corruption,
+                             "fewer than k shards survive: " + key};
+          continue;
+        }
+        const bool ghost = have.front().second.is_ghost();
+        std::vector<std::vector<std::uint8_t>> slots;
+        erasure::ReedSolomon rs(std::max<std::size_t>(1, k), m);
+        if (!ghost) {
+          slots.assign(k + m, {});
+          for (auto& [j, b] : have)
+            slots[j].assign(b.bytes().begin(), b.bytes().end());
+          if (auto stt = rs.reconstruct(slots); !stt.ok()) {
+            if (report.status.ok()) report.status = stt;
+            continue;
+          }
+        }
+        // Reconstruction happens on the admin node's CPU.
+        const Bytes ss = have.front().second.size();
+        co_await cluster_.node(admin).cpu().consume(
+            0.6e-9 * static_cast<double>(ss) * static_cast<double>(k), 1.0);
+        for (std::size_t j : missing) {
+          const NodeId dst = order[j % order.size()];
+          if (!has_server(dst)) continue;
+          kvstore::Blob shard =
+              ghost ? kvstore::Blob::ghost(ss, 0)
+                    : kvstore::Blob::materialized(slots[j]);
+          auto stt = co_await server(dst).put(admin, config_.auth_token,
+                                              shard_key(key, j),
+                                              std::move(shard));
+          if (stt.ok()) ++report.stripes_repaired;
+        }
+      }
+    }
+  }
+  LOG_INFO("fs") << "repair: " << report.stripes_repaired
+                 << " stripes repaired";
+  co_return report;
+}
+
+sim::Task<FileSystem::MaintenanceReport> FileSystem::scrub_all() {
+  MaintenanceReport report;
+  const NodeId admin = config_.own_nodes.front();
+
+  for (const auto& [path, st] : meta_.ns().list_files()) {
+    ++report.files_scanned;
+    const ClassHrwPolicy policy = policy_for_epoch(st.attr.epoch);
+    for (std::size_t i = 0; i < st.stripe_count; ++i) {
+      const std::string key = Namespace::stripe_key(st.inode, i);
+      // Enumerate every (node, key) copy this stripe should have.
+      std::vector<std::pair<NodeId, std::string>> copies;
+      if (st.attr.redundancy == RedundancyMode::erasure) {
+        const auto order = policy.probe_order(key);
+        const std::size_t shards = st.attr.ec_k + st.attr.ec_m;
+        for (std::size_t j = 0; j < shards && !order.empty(); ++j)
+          copies.emplace_back(order[j % order.size()], shard_key(key, j));
+      } else {
+        for (NodeId n : policy.place(key, copies_of(st.attr)))
+          copies.emplace_back(n, key);
+      }
+      for (const auto& [node, ck] : copies) {
+        if (!has_server(node)) continue;
+        // The verification read is charged like any client read.
+        auto r = co_await server(node).get(admin, config_.auth_token, ck);
+        if (!r.ok()) continue;  // absence is repair's business, not ours
+        if (r.value().verify()) continue;
+        ++report.corruptions_found;
+        LOG_WARN("fs") << "scrub: corrupt copy of " << ck << " on node "
+                       << node;
+        (void)co_await server(node).del(admin, config_.auth_token, ck);
+        if (st.attr.redundancy == RedundancyMode::none &&
+            report.status.ok()) {
+          report.status = {Errc::corruption,
+                           "unredundant stripe lost: " + key};
+        }
+      }
+    }
+  }
+  // Restore redundancy for everything the scrub dropped.
+  if (report.corruptions_found > 0) {
+    auto repair = co_await repair_all();
+    report.stripes_repaired = repair.stripes_repaired;
+    if (report.status.ok()) report.status = repair.status;
+  }
+  LOG_INFO("fs") << "scrub: " << report.corruptions_found
+                 << " corrupt copies dropped, " << report.stripes_repaired
+                 << " restored";
+  co_return report;
+}
+
+}  // namespace memfss::fs

@@ -1,0 +1,81 @@
+#include "fs/metadata.hpp"
+
+#include <cassert>
+
+#include "common/str.hpp"
+#include "hash/hashes.hpp"
+
+namespace memfss::fs {
+
+MetadataService::MetadataService(cluster::Cluster& cluster,
+                                 std::vector<NodeId> own_nodes,
+                                 MetadataCosts costs)
+    : cluster_(cluster), own_nodes_(std::move(own_nodes)), costs_(costs) {
+  assert(!own_nodes_.empty());
+}
+
+NodeId MetadataService::shard_for(std::string_view path_or_key) const {
+  const std::uint64_t d = hash::key_digest(path_or_key);
+  return own_nodes_[d % own_nodes_.size()];
+}
+
+sim::Task<> MetadataService::round_trip(NodeId client, NodeId shard) {
+  ++ops_;
+  co_await cluster_.fabric().message(client, shard, costs_.request_bytes);
+  co_await cluster_.node(shard).cpu().consume(costs_.cpu_seconds, 1.0);
+  co_await cluster_.fabric().message(shard, client, costs_.response_bytes);
+}
+
+sim::Task<Status> MetadataService::mkdirs(NodeId client, std::string path) {
+  co_await round_trip(client, shard_for(path));
+  co_return ns_.mkdirs(path);
+}
+
+sim::Task<Result<InodeId>> MetadataService::create(NodeId client,
+                                                   std::string path,
+                                                   FileAttr attr) {
+  co_await round_trip(client, shard_for(path));
+  co_return ns_.create(path, attr);
+}
+
+sim::Task<Result<Stat>> MetadataService::stat(NodeId client,
+                                              std::string path) {
+  co_await round_trip(client, shard_for(path));
+  co_return ns_.stat(path);
+}
+
+sim::Task<Status> MetadataService::set_size(NodeId client, InodeId inode,
+                                            Bytes size) {
+  co_await round_trip(
+      client, shard_for(strformat("i%llu", (unsigned long long)inode)));
+  co_return ns_.set_size(inode, size);
+}
+
+sim::Task<Status> MetadataService::set_epoch(NodeId client, InodeId inode,
+                                             std::uint32_t epoch) {
+  co_await round_trip(
+      client, shard_for(strformat("i%llu", (unsigned long long)inode)));
+  co_return ns_.set_epoch(inode, epoch);
+}
+
+sim::Task<Result<std::vector<std::string>>> MetadataService::readdir(
+    NodeId client, std::string path) {
+  co_await round_trip(client, shard_for(path));
+  co_return ns_.readdir(path);
+}
+
+sim::Task<Result<Stat>> MetadataService::unlink(NodeId client,
+                                                std::string path) {
+  co_await round_trip(client, shard_for(path));
+  co_return ns_.unlink(path);
+}
+
+sim::Task<Status> MetadataService::rename(NodeId client, std::string from,
+                                          std::string to) {
+  // Touches the shards of both names.
+  co_await round_trip(client, shard_for(from));
+  co_await round_trip(client, shard_for(to));
+  co_return ns_.rename(from, to);
+}
+
+}  // namespace memfss::fs

@@ -1,0 +1,80 @@
+// Distributed metadata service (paper §III-D).
+//
+// Metadata lives only on *own* nodes -- they are under the user's control
+// (less likely to vanish) and close to the task clients, which matters
+// because metadata operations are latency-bound. Records are sharded over
+// the own nodes by modulo hashing of the path (inode id for inode-keyed
+// updates); each operation charges a request/response message pair on the
+// fabric and a small CPU cost on the shard node.
+//
+// The namespace tree itself is one process-wide structure here: what the
+// simulation must reproduce is the *cost and placement* of metadata
+// traffic, not serialized tree blobs (see DESIGN.md substitution table).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/result.hpp"
+#include "fs/namespace.hpp"
+#include "net/fabric.hpp"
+#include "sim/task.hpp"
+
+namespace memfss::fs {
+
+struct MetadataCosts {
+  Bytes request_bytes = 256;   ///< request envelope on the wire
+  Bytes response_bytes = 512;  ///< response envelope
+  double cpu_seconds = 10e-6;  ///< shard-node CPU per operation
+};
+
+class MetadataService {
+ public:
+  MetadataService(cluster::Cluster& cluster, std::vector<NodeId> own_nodes,
+                  MetadataCosts costs = {});
+
+  /// Shard node for a path-keyed operation (modulo placement).
+  NodeId shard_for(std::string_view path_or_key) const;
+
+  sim::Task<Status> mkdirs(NodeId client, std::string path);
+  sim::Task<Result<InodeId>> create(NodeId client, std::string path,
+                                    FileAttr attr);
+  sim::Task<Result<Stat>> stat(NodeId client, std::string path);
+  sim::Task<Status> set_size(NodeId client, InodeId inode, Bytes size);
+  sim::Task<Status> set_epoch(NodeId client, InodeId inode,
+                              std::uint32_t epoch);
+  sim::Task<Result<std::vector<std::string>>> readdir(NodeId client,
+                                                      std::string path);
+  sim::Task<Result<Stat>> unlink(NodeId client, std::string path);
+  sim::Task<Status> rename(NodeId client, std::string from, std::string to);
+
+  /// Direct (cost-free) access for tests and the harness.
+  Namespace& ns() { return ns_; }
+  const Namespace& ns() const { return ns_; }
+
+  /// Administrative reset of the namespace (experiment repetitions).
+  void reset() { ns_ = Namespace{}; }
+
+  /// Elasticity: replace the own-node set the metadata shards map onto.
+  /// (Record redistribution is instantaneous in the model; the moved
+  /// volume is metadata-sized and negligible next to data traffic.)
+  void set_own_nodes(std::vector<NodeId> own_nodes) {
+    own_nodes_ = std::move(own_nodes);
+  }
+
+  std::uint64_t operation_count() const { return ops_; }
+
+ private:
+  /// One metadata round trip: request to the shard, CPU, response.
+  sim::Task<> round_trip(NodeId client, NodeId shard);
+
+  cluster::Cluster& cluster_;
+  std::vector<NodeId> own_nodes_;
+  MetadataCosts costs_;
+  Namespace ns_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace memfss::fs

@@ -1,0 +1,159 @@
+#include "fs/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/str.hpp"
+#include "hash/hashes.hpp"
+#include "hash/hrw.hpp"
+
+namespace memfss::fs {
+
+// --- ClassMembership --------------------------------------------------------
+
+void ClassMembership::set_members(std::uint32_t class_id,
+                                  std::vector<NodeId> nodes) {
+  members_[class_id] = std::move(nodes);
+}
+
+void ClassMembership::add_member(std::uint32_t class_id, NodeId node) {
+  auto& v = members_[class_id];
+  if (std::find(v.begin(), v.end(), node) == v.end()) v.push_back(node);
+}
+
+void ClassMembership::remove_member(std::uint32_t class_id, NodeId node) {
+  auto it = members_.find(class_id);
+  if (it == members_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), node), v.end());
+}
+
+const std::vector<NodeId>& ClassMembership::members(
+    std::uint32_t class_id) const {
+  static const std::vector<NodeId> kEmpty;
+  auto it = members_.find(class_id);
+  return it == members_.end() ? kEmpty : it->second;
+}
+
+bool ClassMembership::has_class(std::uint32_t class_id) const {
+  return members_.count(class_id) > 0;
+}
+
+std::vector<NodeId> ClassMembership::all_members() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, nodes] : members_)
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  return out;
+}
+
+// --- PlacementPolicy --------------------------------------------------------
+
+std::vector<NodeId> PlacementPolicy::probe_order(
+    std::string_view stripe_key) const {
+  return place(stripe_key, static_cast<std::size_t>(-1));
+}
+
+// --- ClassHrwPolicy ---------------------------------------------------------
+
+ClassHrwPolicy::ClassHrwPolicy(const PlacementEpoch& epoch,
+                               const ClassMembership& members,
+                               hash::ScoreFn fn)
+    : epoch_(epoch), members_(members), fn_(fn) {}
+
+std::vector<hash::NodeClass> ClassHrwPolicy::snapshot() const {
+  std::vector<hash::NodeClass> classes;
+  classes.reserve(epoch_.weights.size());
+  for (const auto& cw : epoch_.weights) {
+    classes.push_back(
+        hash::NodeClass{cw.class_id, cw.weight, members_.members(cw.class_id)});
+  }
+  return classes;
+}
+
+std::vector<NodeId> ClassHrwPolicy::place(std::string_view stripe_key,
+                                          std::size_t copies) const {
+  const auto classes = snapshot();
+  auto placements = hash::place_replicas(stripe_key, classes, copies, fn_);
+  std::vector<NodeId> out;
+  out.reserve(placements.size());
+  for (const auto& p : placements) out.push_back(p.node);
+  return out;
+}
+
+std::vector<NodeId> ClassHrwPolicy::probe_order(
+    std::string_view stripe_key) const {
+  const auto classes = snapshot();
+  return hash::rank_in_winning_class(stripe_key, classes, fn_);
+}
+
+std::uint32_t ClassHrwPolicy::winning_class(
+    std::string_view stripe_key) const {
+  const auto classes = snapshot();
+  const std::size_t i = hash::select_class(stripe_key, classes, fn_);
+  return classes[i].class_id;
+}
+
+std::string ClassHrwPolicy::describe() const {
+  std::string s = strformat("class-hrw(epoch=%u", epoch_.id);
+  for (const auto& cw : epoch_.weights)
+    s += strformat(", c%u:w=%.4f:n=%zu", cw.class_id, cw.weight,
+                   members_.members(cw.class_id).size());
+  return s + ")";
+}
+
+// --- UniformHrwPolicy -------------------------------------------------------
+
+UniformHrwPolicy::UniformHrwPolicy(std::vector<NodeId> nodes,
+                                   hash::ScoreFn fn)
+    : nodes_(std::move(nodes)), fn_(fn) {
+  assert(!nodes_.empty());
+}
+
+std::vector<NodeId> UniformHrwPolicy::place(std::string_view stripe_key,
+                                            std::size_t copies) const {
+  return hash::hrw_top(stripe_key, nodes_, copies, fn_);
+}
+
+std::string UniformHrwPolicy::describe() const {
+  return strformat("uniform-hrw(n=%zu)", nodes_.size());
+}
+
+// --- ConsistentHashPolicy ---------------------------------------------------
+
+ConsistentHashPolicy::ConsistentHashPolicy(const std::vector<NodeId>& nodes,
+                                           std::size_t vnodes)
+    : ring_(vnodes) {
+  for (NodeId n : nodes) ring_.add_node(n);
+}
+
+std::vector<NodeId> ConsistentHashPolicy::place(std::string_view stripe_key,
+                                                std::size_t copies) const {
+  return ring_.select_top(stripe_key, copies);
+}
+
+std::string ConsistentHashPolicy::describe() const {
+  return strformat("consistent-hash(n=%zu)", ring_.node_count());
+}
+
+// --- ModuloPolicy -------------------------------------------------------------
+
+ModuloPolicy::ModuloPolicy(std::vector<NodeId> nodes)
+    : nodes_(std::move(nodes)) {
+  assert(!nodes_.empty());
+}
+
+std::vector<NodeId> ModuloPolicy::place(std::string_view stripe_key,
+                                        std::size_t copies) const {
+  const std::uint64_t d = hash::key_digest(stripe_key);
+  std::vector<NodeId> out;
+  const std::size_t n = nodes_.size();
+  for (std::size_t i = 0; i < std::min(copies, n); ++i)
+    out.push_back(nodes_[(d + i) % n]);
+  return out;
+}
+
+std::string ModuloPolicy::describe() const {
+  return strformat("modulo(n=%zu)", nodes_.size());
+}
+
+}  // namespace memfss::fs

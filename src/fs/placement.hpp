@@ -1,0 +1,132 @@
+// Data-placement policies for file stripes.
+//
+// MemFSS's policy is the two-layer weighted class HRW (hash/class_hrw.hpp).
+// The original MemFS baseline (uniform consistent hashing over all nodes)
+// and a plain uniform HRW are provided for the ablation benches; modulo
+// placement serves metadata (§III-D).
+//
+// Placement epochs: the paper stores "the HRW weights we used to decide
+// the file stripe placement" in file metadata so victim classes can be
+// added later without breaking lookups. Here an *epoch* captures one
+// weight configuration; files record their epoch id, and every epoch
+// resolves class membership against the live member lists (so node
+// removal *within* a class -- eviction, crash -- follows plain HRW
+// minimal disruption across all epochs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/class_hrw.hpp"
+#include "hash/consistent.hpp"
+
+namespace memfss::fs {
+
+/// Weight of one class inside an epoch.
+struct ClassWeight {
+  std::uint32_t class_id = 0;
+  double weight = 0.0;
+};
+
+/// One placement configuration (recorded per file in metadata).
+struct PlacementEpoch {
+  std::uint32_t id = 0;
+  std::vector<ClassWeight> weights;
+};
+
+/// Live class membership, shared by all epochs.
+class ClassMembership {
+ public:
+  void set_members(std::uint32_t class_id, std::vector<NodeId> nodes);
+  void add_member(std::uint32_t class_id, NodeId node);
+  void remove_member(std::uint32_t class_id, NodeId node);
+  const std::vector<NodeId>& members(std::uint32_t class_id) const;
+  bool has_class(std::uint32_t class_id) const;
+  std::vector<NodeId> all_members() const;
+
+ private:
+  std::map<std::uint32_t, std::vector<NodeId>> members_;
+};
+
+/// Strategy interface: map a stripe key to servers.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Top-`copies` distinct servers for the stripe (primary first).
+  virtual std::vector<NodeId> place(std::string_view stripe_key,
+                                    std::size_t copies) const = 0;
+
+  /// Full probe order (for lazy relocation): every candidate server,
+  /// best first. Default: place() with a large count.
+  virtual std::vector<NodeId> probe_order(std::string_view stripe_key) const;
+
+  virtual std::string describe() const = 0;
+};
+
+/// MemFSS: class layer weighted HRW, node layer plain HRW.
+class ClassHrwPolicy final : public PlacementPolicy {
+ public:
+  ClassHrwPolicy(const PlacementEpoch& epoch, const ClassMembership& members,
+                 hash::ScoreFn fn = hash::ScoreFn::mix64);
+
+  std::vector<NodeId> place(std::string_view stripe_key,
+                            std::size_t copies) const override;
+  std::vector<NodeId> probe_order(std::string_view stripe_key) const override;
+  std::string describe() const override;
+
+  /// The class that wins the stripe (exposed for tests / telemetry).
+  std::uint32_t winning_class(std::string_view stripe_key) const;
+
+ private:
+  std::vector<hash::NodeClass> snapshot() const;
+  PlacementEpoch epoch_;
+  const ClassMembership& members_;
+  hash::ScoreFn fn_;
+};
+
+/// Uniform HRW over one flat node set (no classes, no weights).
+class UniformHrwPolicy final : public PlacementPolicy {
+ public:
+  explicit UniformHrwPolicy(std::vector<NodeId> nodes,
+                            hash::ScoreFn fn = hash::ScoreFn::mix64);
+  std::vector<NodeId> place(std::string_view stripe_key,
+                            std::size_t copies) const override;
+  std::string describe() const override;
+
+ private:
+  std::vector<NodeId> nodes_;
+  hash::ScoreFn fn_;
+};
+
+/// MemFS baseline: consistent hashing ring with virtual nodes.
+class ConsistentHashPolicy final : public PlacementPolicy {
+ public:
+  explicit ConsistentHashPolicy(const std::vector<NodeId>& nodes,
+                                std::size_t vnodes = 128);
+  std::vector<NodeId> place(std::string_view stripe_key,
+                            std::size_t copies) const override;
+  std::string describe() const override;
+
+ private:
+  hash::ConsistentRing ring_;
+};
+
+/// Modulo placement (metadata, §III-D): digest(key) mod n.
+class ModuloPolicy final : public PlacementPolicy {
+ public:
+  explicit ModuloPolicy(std::vector<NodeId> nodes);
+  std::vector<NodeId> place(std::string_view stripe_key,
+                            std::size_t copies) const override;
+  std::string describe() const override;
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace memfss::fs

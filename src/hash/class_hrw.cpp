@@ -1,0 +1,74 @@
+#include "hash/class_hrw.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "hash/hashes.hpp"
+
+namespace memfss::hash {
+
+namespace {
+// Distinct salt so class-layer scores are independent of node-layer scores
+// even when a class_id collides numerically with a node id.
+constexpr std::uint64_t kClassSalt = 0xc1a55c1a55c1a55cull;
+
+double unit_hash(std::uint32_t class_id, std::string_view key, ScoreFn fn) {
+  const std::uint64_t digest = key_digest(key);
+  if (fn == ScoreFn::mix64) {
+    const std::uint64_t h = mix64(kClassSalt ^ class_id, digest);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  const std::uint32_t h =
+      tr_weight(class_id ^ 0x5c1a55u, fold31(digest));
+  return static_cast<double>(h) / 2147483648.0;  // / 2^31
+}
+}  // namespace
+
+double class_score(const NodeClass& c, std::string_view key, ScoreFn fn) {
+  return unit_hash(c.class_id, key, fn) - c.weight;
+}
+
+std::size_t select_class(std::string_view key,
+                         std::span<const NodeClass> classes, ScoreFn fn) {
+  std::size_t best = classes.size();
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].nodes.empty()) continue;
+    const double s = class_score(classes[i], key, fn);
+    // Ties broken on the lower class_id for determinism.
+    if (best == classes.size() || s > best_score ||
+        (s == best_score && classes[i].class_id < classes[best].class_id)) {
+      best = i;
+      best_score = s;
+    }
+  }
+  assert(best < classes.size() && "at least one class must have nodes");
+  return best;
+}
+
+Placement place(std::string_view key, std::span<const NodeClass> classes,
+                ScoreFn fn) {
+  const std::size_t ci = select_class(key, classes, fn);
+  const NodeId node = hrw_select(key, classes[ci].nodes, fn);
+  return {classes[ci].class_id, node};
+}
+
+std::vector<Placement> place_replicas(std::string_view key,
+                                      std::span<const NodeClass> classes,
+                                      std::size_t count, ScoreFn fn) {
+  const std::size_t ci = select_class(key, classes, fn);
+  auto nodes = hrw_top(key, classes[ci].nodes, count, fn);
+  std::vector<Placement> out;
+  out.reserve(nodes.size());
+  for (NodeId n : nodes) out.push_back({classes[ci].class_id, n});
+  return out;
+}
+
+std::vector<NodeId> rank_in_winning_class(std::string_view key,
+                                          std::span<const NodeClass> classes,
+                                          ScoreFn fn) {
+  const std::size_t ci = select_class(key, classes, fn);
+  return hrw_rank(key, classes[ci].nodes, fn);
+}
+
+}  // namespace memfss::hash

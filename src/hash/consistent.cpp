@@ -1,0 +1,74 @@
+#include "hash/consistent.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hash/hashes.hpp"
+
+namespace memfss::hash {
+
+ConsistentRing::ConsistentRing(std::size_t vnodes) : vnodes_(vnodes) {
+  assert(vnodes_ > 0);
+}
+
+void ConsistentRing::add_node(NodeId node) {
+  if (contains(node)) return;
+  nodes_.push_back(node);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    const std::uint64_t point = mix64(node, 0x7261696e626f77ull + v);
+    // Collisions across distinct (node, vnode) pairs are ~2^-64; keep the
+    // first owner if one ever occurs.
+    ring_.emplace(point, node);
+  }
+}
+
+void ConsistentRing::remove_node(NodeId node) {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end()) return;
+  nodes_.erase(it);
+  for (auto rit = ring_.begin(); rit != ring_.end();) {
+    if (rit->second == node)
+      rit = ring_.erase(rit);
+    else
+      ++rit;
+  }
+}
+
+bool ConsistentRing::contains(NodeId node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+namespace {
+// FNV digests of short keys are not uniform enough across the 64-bit ring
+// (they bias arc ownership); one extra mix round fixes dispersion.
+std::uint64_t ring_point(std::string_view key) {
+  return mix64(key_digest(key), 0x52494e47ull);
+}
+}  // namespace
+
+NodeId ConsistentRing::select(std::string_view key) const {
+  assert(!ring_.empty());
+  const std::uint64_t h = ring_point(key);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<NodeId> ConsistentRing::select_top(std::string_view key,
+                                               std::size_t count) const {
+  assert(!ring_.empty());
+  std::vector<NodeId> out;
+  const std::uint64_t h = ring_point(key);
+  auto it = ring_.lower_bound(h);
+  for (std::size_t steps = 0;
+       steps < ring_.size() && out.size() < std::min(count, nodes_.size());
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end())
+      out.push_back(it->second);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace memfss::hash

@@ -1,0 +1,44 @@
+// Consistent hashing ring with virtual nodes [Karger et al. 1997].
+//
+// This is the placement scheme of the original MemFS (the uniform
+// baseline MemFSS replaces): every node is mapped to `vnodes` points on a
+// 64-bit ring; a key is stored on the first node clockwise of its hash.
+// Kept here both as the baseline for ablation benches and to demonstrate
+// the operational difference the paper argues for (ring data must move
+// eagerly on membership change; HRW supports lazy movement).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace memfss::hash {
+
+class ConsistentRing {
+ public:
+  /// `vnodes`: virtual points per physical node (more -> better balance,
+  /// larger ring). 128 is a common production default.
+  explicit ConsistentRing(std::size_t vnodes = 128);
+
+  void add_node(NodeId node);
+  void remove_node(NodeId node);
+  bool contains(NodeId node) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// First node clockwise of hash(key). Requires a non-empty ring.
+  NodeId select(std::string_view key) const;
+
+  /// The first `count` *distinct* nodes clockwise (replica set).
+  std::vector<NodeId> select_top(std::string_view key,
+                                 std::size_t count) const;
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, NodeId> ring_;   // point -> node
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace memfss::hash

@@ -1,0 +1,36 @@
+#include "hash/hashes.hpp"
+
+namespace memfss::hash {
+
+std::uint32_t tr_weight(std::uint32_t server, std::uint32_t key) {
+  constexpr std::uint32_t A = 1103515245u;
+  constexpr std::uint32_t B = 12345u;
+  constexpr std::uint32_t M = 0x7fffffffu;  // 2^31 - 1 mask
+  const std::uint32_t inner = (A * server + B) ^ key;
+  return (A * inner + B) & M;
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  // splitmix64 finalizer over the combination; passes avalanche tests.
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ull * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t key_digest(std::string_view key) { return fnv1a(key); }
+
+std::uint32_t fold31(std::uint64_t x) {
+  return static_cast<std::uint32_t>((x ^ (x >> 31) ^ (x >> 62)) & 0x7fffffffu);
+}
+
+}  // namespace memfss::hash

@@ -1,0 +1,35 @@
+// Hash functions used by the placement schemes.
+//
+// Two families:
+//  - tr_weight(): the 31-bit linear-congruential "random weight" function
+//    from Thaler & Ravishankar (1998), the function the MemFSS paper says
+//    it keeps for its weighted scheme.
+//  - mix64()/hash_bytes(): a 64-bit finalizer-based mixer (xxhash/splitmix
+//    style) used as the default score function; better dispersion, same
+//    API.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace memfss::hash {
+
+/// Thaler-Ravishankar random-weight function:
+///   W(S, K) = (A * ((A * S + B) xor K) + B) mod 2^31
+/// with A = 1103515245, B = 12345 (the classic C LCG constants).
+/// `server` and `key` are 31-bit quantities; higher bits are folded in.
+std::uint32_t tr_weight(std::uint32_t server, std::uint32_t key);
+
+/// 64-bit mix of two values (server id, key digest) into a score.
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+/// FNV-1a over bytes; stable across platforms.
+std::uint64_t fnv1a(std::string_view bytes);
+
+/// Digest a string key for use with mix64/tr_weight.
+std::uint64_t key_digest(std::string_view key);
+
+/// Fold a 64-bit digest to the 31-bit domain tr_weight expects.
+std::uint32_t fold31(std::uint64_t x);
+
+}  // namespace memfss::hash

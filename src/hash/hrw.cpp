@@ -1,0 +1,81 @@
+#include "hash/hrw.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hash/hashes.hpp"
+
+namespace memfss::hash {
+
+std::uint64_t hrw_score(NodeId server, std::string_view key, ScoreFn fn) {
+  const std::uint64_t digest = key_digest(key);
+  switch (fn) {
+    case ScoreFn::mix64:
+      return mix64(server, digest);
+    case ScoreFn::thaler_ravishankar:
+      return tr_weight(server, fold31(digest));
+  }
+  return 0;
+}
+
+NodeId hrw_select(std::string_view key, std::span<const NodeId> servers,
+                  ScoreFn fn) {
+  assert(!servers.empty());
+  const std::uint64_t digest = key_digest(key);
+  NodeId best = servers[0];
+  std::uint64_t best_score = 0;
+  bool first = true;
+  for (NodeId s : servers) {
+    const std::uint64_t score = fn == ScoreFn::mix64
+                                    ? mix64(s, digest)
+                                    : tr_weight(s, fold31(digest));
+    // Deterministic tie-break on the lower node id keeps results stable
+    // regardless of input ordering.
+    if (first || score > best_score || (score == best_score && s < best)) {
+      best = s;
+      best_score = score;
+      first = false;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+std::vector<std::pair<std::uint64_t, NodeId>> scored(
+    std::string_view key, std::span<const NodeId> servers, ScoreFn fn) {
+  const std::uint64_t digest = key_digest(key);
+  std::vector<std::pair<std::uint64_t, NodeId>> v;
+  v.reserve(servers.size());
+  for (NodeId s : servers) {
+    const std::uint64_t score = fn == ScoreFn::mix64
+                                    ? mix64(s, digest)
+                                    : tr_weight(s, fold31(digest));
+    v.emplace_back(score, s);
+  }
+  // Descending score, ascending id on ties.
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  return v;
+}
+
+}  // namespace
+
+std::vector<NodeId> hrw_top(std::string_view key,
+                            std::span<const NodeId> servers, std::size_t count,
+                            ScoreFn fn) {
+  auto v = scored(key, servers, fn);
+  std::vector<NodeId> out;
+  out.reserve(std::min(count, v.size()));
+  for (std::size_t i = 0; i < v.size() && i < count; ++i)
+    out.push_back(v[i].second);
+  return out;
+}
+
+std::vector<NodeId> hrw_rank(std::string_view key,
+                             std::span<const NodeId> servers, ScoreFn fn) {
+  return hrw_top(key, servers, servers.size(), fn);
+}
+
+}  // namespace memfss::hash

@@ -1,0 +1,60 @@
+#include "hash/skeleton.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hash/hashes.hpp"
+
+namespace memfss::hash {
+
+SkeletonHrw::SkeletonHrw(std::vector<NodeId> nodes, std::size_t fanout,
+                         ScoreFn fn)
+    : leaves_(std::move(nodes)), fanout_(std::max<std::size_t>(2, fanout)),
+      fn_(fn) {
+  assert(!leaves_.empty());
+  // Sort so the implicit hierarchy is independent of construction order.
+  std::sort(leaves_.begin(), leaves_.end());
+  // Record level metadata for depth() reporting.
+  std::size_t n = leaves_.size();
+  while (n > 1) {
+    const std::size_t groups = (n + fanout_ - 1) / fanout_;
+    levels_.push_back({fanout_, groups});
+    n = groups;
+  }
+  std::reverse(levels_.begin(), levels_.end());
+}
+
+NodeId SkeletonHrw::select(std::string_view key) const {
+  const std::uint64_t digest = key_digest(key);
+  std::size_t lo = 0;
+  std::size_t hi = leaves_.size();
+  // Descend: split [lo, hi) into up to `fanout_` near-equal sub-ranges and
+  // HRW-pick among them, identifying each sub-range by its bounds.
+  while (hi - lo > 1) {
+    const std::size_t span = hi - lo;
+    const std::size_t parts = std::min(fanout_, span);
+    std::size_t best_lo = lo, best_hi = hi;
+    std::uint64_t best_score = 0;
+    bool first = true;
+    for (std::size_t p = 0; p < parts; ++p) {
+      const std::size_t a = lo + span * p / parts;
+      const std::size_t b = lo + span * (p + 1) / parts;
+      const std::uint64_t ident = mix64(a, b);
+      const std::uint64_t score =
+          fn_ == ScoreFn::mix64
+              ? mix64(ident, digest)
+              : tr_weight(fold31(ident), fold31(digest));
+      if (first || score > best_score) {
+        best_score = score;
+        best_lo = a;
+        best_hi = b;
+        first = false;
+      }
+    }
+    lo = best_lo;
+    hi = best_hi;
+  }
+  return leaves_[lo];
+}
+
+}  // namespace memfss::hash

@@ -1,0 +1,44 @@
+// Hierarchical ("skeleton") HRW, after Wang & Ravishankar 2009 -- the
+// O(log n) decision-time optimization the paper cites in §III-B. Nodes are
+// grouped into a fanout-f tree; selection HRW-hashes among the children at
+// each level, so a lookup costs O(f * log_f n) score evaluations instead
+// of O(n). The trade-off (also noted by the paper) is that it does not
+// support weights or skewed distributions; MemFSS therefore uses it only
+// as a comparison point, which is what the ablation bench does.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/hrw.hpp"
+
+namespace memfss::hash {
+
+class SkeletonHrw {
+ public:
+  /// Builds the hierarchy over `nodes` with the given fanout (>= 2).
+  SkeletonHrw(std::vector<NodeId> nodes, std::size_t fanout = 8,
+              ScoreFn fn = ScoreFn::mix64);
+
+  /// Selects a node in O(fanout * depth) score evaluations.
+  NodeId select(std::string_view key) const;
+
+  std::size_t depth() const { return levels_.size(); }
+  std::size_t node_count() const { return leaves_.size(); }
+
+ private:
+  // levels_[0] is the root grouping; each level maps a group index to the
+  // range of child group indices (or leaf indices at the last level).
+  struct Level {
+    std::size_t group_size;  // children per group at this level
+    std::size_t groups;      // number of groups
+  };
+  std::vector<Level> levels_;
+  std::vector<NodeId> leaves_;
+  std::size_t fanout_;
+  ScoreFn fn_;
+};
+
+}  // namespace memfss::hash

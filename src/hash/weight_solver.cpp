@@ -1,0 +1,114 @@
+#include "hash/weight_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace memfss::hash {
+
+// For two classes the winning probability has a closed form. Let
+// d = w_own - w_victim. The difference U_own - U_victim is triangular on
+// [-1, 1], so
+//   P(own wins) = P(U_own - U_victim > d)
+//               = (1 - d)^2 / 2          for d in [0, 1]
+//               = 1 - (1 + d)^2 / 2      for d in [-1, 0).
+TwoClassWeights two_class_weights(double alpha_own) {
+  assert(alpha_own >= 0.0 && alpha_own <= 1.0);
+  double d;
+  if (alpha_own <= 0.5) {
+    d = 1.0 - std::sqrt(2.0 * alpha_own);
+  } else {
+    d = std::sqrt(2.0 * (1.0 - alpha_own)) - 1.0;
+  }
+  if (d >= 0.0) return {d, 0.0};
+  return {0.0, -d};
+}
+
+double two_class_fraction(const TwoClassWeights& w) {
+  const double d = std::clamp(w.own - w.victim, -1.0, 1.0);
+  if (d >= 0.0) return (1.0 - d) * (1.0 - d) / 2.0;
+  return 1.0 - (1.0 + d) * (1.0 + d) / 2.0;
+}
+
+namespace {
+// CDF of Uniform[0,1).
+inline double ucdf(double y) { return std::clamp(y, 0.0, 1.0); }
+}  // namespace
+
+std::vector<double> win_fractions(const std::vector<double>& weights,
+                                  std::size_t grid) {
+  const std::size_t k = weights.size();
+  std::vector<double> p(k, 0.0);
+  if (k == 0) return p;
+  if (k == 1) {
+    p[0] = 1.0;
+    return p;
+  }
+  // Midpoint rule on P_i = int_0^1 prod_{j!=i} F(x - w_i + w_j) dx.
+  const double h = 1.0 / static_cast<double>(grid);
+  for (std::size_t i = 0; i < k; ++i) {
+    double acc = 0.0;
+    for (std::size_t g = 0; g < grid; ++g) {
+      const double x = (static_cast<double>(g) + 0.5) * h;
+      double prod = 1.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == i) continue;
+        prod *= ucdf(x - weights[i] + weights[j]);
+        if (prod == 0.0) break;
+      }
+      acc += prod;
+    }
+    p[i] = acc * h;
+  }
+  return p;
+}
+
+std::vector<double> solve_class_weights(const std::vector<double>& targets,
+                                        std::size_t iterations,
+                                        double tolerance) {
+  const std::size_t k = targets.size();
+  assert(k >= 1);
+#ifndef NDEBUG
+  double sum = 0.0;
+  for (double t : targets) {
+    assert(t >= 0.0 && t <= 1.0);
+    sum += t;
+  }
+  assert(std::abs(sum - 1.0) < 1e-6 && "targets must sum to 1");
+#endif
+  std::vector<double> w(k, 0.0);
+  if (k == 1) return w;
+  if (k == 2) {
+    const auto two = two_class_weights(targets[0]);
+    return {two.own, two.victim};
+  }
+  // A class with target 0 gets weight >= 1 (can never win against a
+  // zero-weight class); exclude it from the iteration.
+  for (std::size_t i = 0; i < k; ++i)
+    if (targets[i] == 0.0) w[i] = 1.0;
+
+  double step = 0.5;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const auto p = win_fractions(w, 1024);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (targets[i] == 0.0) continue;
+      const double err = p[i] - targets[i];
+      max_err = std::max(max_err, std::abs(err));
+      // More wins than wanted -> raise the subtractive weight.
+      w[i] = std::clamp(w[i] + step * err, 0.0, 1.0);
+    }
+    if (max_err < tolerance) break;
+    step *= 0.98;  // cool down to damp oscillation
+  }
+  // Normalize: only weight differences matter, so shift min to 0
+  // (but keep the >=1 sentinel for zero-target classes meaningful).
+  double mn = 1.0;
+  for (std::size_t i = 0; i < k; ++i)
+    if (targets[i] > 0.0) mn = std::min(mn, w[i]);
+  for (std::size_t i = 0; i < k; ++i)
+    w[i] = std::max(0.0, w[i] - mn);
+  return w;
+}
+
+}  // namespace memfss::hash

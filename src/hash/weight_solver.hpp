@@ -1,0 +1,44 @@
+// Maps target data fractions to class-layer weights.
+//
+// The class layer scores each class with U_i - w_i, U_i ~ Uniform[0,1)
+// i.i.d. per key. This file answers two questions:
+//   1. Given weights, what fraction of keys does each class win?
+//      (numeric integration of the order statistic)
+//   2. Given target fractions, which weights produce them?
+//      (closed form for two classes; fixed-point iteration in general)
+//
+// The experiments sweep alpha = fraction of data on *own* nodes over
+// {0, 25, 50, 75, 100}%, so two_class_weights() is the hot path.
+#pragma once
+
+#include <vector>
+
+namespace memfss::hash {
+
+struct TwoClassWeights {
+  double own = 0.0;
+  double victim = 0.0;
+};
+
+/// Closed-form weights so that P(own class wins) == alpha_own.
+/// alpha_own in [0, 1]. The smaller weight is normalized to 0.
+TwoClassWeights two_class_weights(double alpha_own);
+
+/// Probability that the own class wins under the given two weights
+/// (closed-form inverse of two_class_weights; used in tests).
+double two_class_fraction(const TwoClassWeights& w);
+
+/// P(class i wins) for arbitrary weights, via numeric integration:
+///   P_i = integral_0^1 prod_{j != i} F(x - w_i + w_j) dx,
+/// where F is the Uniform[0,1) CDF. `grid` = integration resolution.
+std::vector<double> win_fractions(const std::vector<double>& weights,
+                                  std::size_t grid = 4096);
+
+/// Solve weights for arbitrary per-class target fractions (sum to 1,
+/// each > 0 unless exactly 0). Fixed-point: nudge w_i against the error
+/// P_i - target_i. Returns weights normalized so min == 0.
+std::vector<double> solve_class_weights(const std::vector<double>& targets,
+                                        std::size_t iterations = 200,
+                                        double tolerance = 1e-4);
+
+}  // namespace memfss::hash

@@ -1,0 +1,52 @@
+// Blob: a stored value that is either materialized (real bytes, used by
+// unit tests and the standalone examples) or *ghost* (size-only
+// accounting, used by cluster experiments where simulated datasets reach
+// hundreds of GB and holding real payloads would be absurd). Both kinds
+// carry a checksum so corruption tests work uniformly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace memfss::kvstore {
+
+class Blob {
+ public:
+  Blob() = default;
+
+  /// A blob backed by real bytes.
+  static Blob materialized(std::vector<std::uint8_t> bytes);
+
+  /// A size-only blob; `tag` stands in for the content (checksummed).
+  static Blob ghost(Bytes size, std::uint64_t tag = 0);
+
+  Bytes size() const { return size_; }
+  bool is_ghost() const { return data_.empty() && size_ > 0; }
+  std::uint64_t checksum() const { return checksum_; }
+  std::span<const std::uint8_t> bytes() const { return data_; }
+
+  bool operator==(const Blob& o) const {
+    return size_ == o.size_ && checksum_ == o.checksum_ && data_ == o.data_;
+  }
+
+  /// Whether the stored checksum still matches the content. Ghost blobs
+  /// are checksum-carrying only (nothing to recompute), so they always
+  /// verify unless corrupt_for_test() was called.
+  bool verify() const;
+
+  /// Test hook: damage the blob (bit-flip for materialized data, checksum
+  /// scramble for ghosts) so scrubbing/fault-injection tests have
+  /// something to find.
+  void corrupt_for_test();
+
+ private:
+  Bytes size_ = 0;
+  std::uint64_t checksum_ = 0;
+  bool corrupted_ = false;  ///< test-injection flag (ghost corruption)
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace memfss::kvstore

@@ -1,0 +1,30 @@
+#include "kvstore/rate_meter.hpp"
+
+#include <cmath>
+
+namespace memfss::kvstore {
+
+RateMeter::RateMeter(double halflife) : halflife_(halflife) {}
+
+double RateMeter::decay_factor(SimTime dt) const {
+  return std::exp2(-dt / halflife_);
+}
+
+void RateMeter::record(SimTime t, double count) {
+  if (t > last_) {
+    weight_ *= decay_factor(t - last_);
+    last_ = t;
+  }
+  weight_ += count;
+  total_ += count;
+}
+
+double RateMeter::rate(SimTime t) const {
+  const double w = t > last_ ? weight_ * decay_factor(t - last_) : weight_;
+  // The decayed mass integrates events over an effective window of
+  // halflife / ln 2 seconds.
+  const double window = halflife_ / std::log(2.0);
+  return w / window;
+}
+
+}  // namespace memfss::kvstore

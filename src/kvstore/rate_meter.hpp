@@ -1,0 +1,35 @@
+// RateMeter: estimates the recent event rate (requests/s) of a server.
+//
+// The victim-interference model needs "how many small I/O requests per
+// second is the scavenged store handling on this node" -- the quantity the
+// paper blames for BLAST slowing latency-sensitive MPI tenants more than
+// the bulk-writing dd does. Exponentially-decayed counting gives a smooth,
+// O(1) estimate without storing timestamps.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace memfss::kvstore {
+
+class RateMeter {
+ public:
+  /// `halflife`: seconds after which an event's contribution halves.
+  explicit RateMeter(double halflife = 2.0);
+
+  /// Record `count` events at simulated time `t` (monotone per meter).
+  void record(SimTime t, double count = 1.0);
+
+  /// Estimated events/s at time `t`.
+  double rate(SimTime t) const;
+
+  double total() const { return total_; }
+
+ private:
+  double decay_factor(SimTime dt) const;
+  double halflife_;
+  double weight_ = 0.0;   // decayed event mass
+  SimTime last_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace memfss::kvstore

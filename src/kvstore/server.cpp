@@ -1,0 +1,141 @@
+#include "kvstore/server.hpp"
+
+#include <vector>
+
+#include "sim/sync.hpp"
+
+namespace memfss::kvstore {
+
+Server::Server(sim::Simulator& sim, net::Fabric& fabric, NodeId node,
+               Bytes store_capacity, std::string auth_token,
+               ResourceHooks hooks, ServerCosts costs)
+    : sim_(sim),
+      fabric_(fabric),
+      node_(node),
+      store_(store_capacity, std::move(auth_token)),
+      hooks_(hooks),
+      costs_(costs),
+      engine_(sim, costs.engine_cores, "kv-engine") {}
+
+double Server::request_rate() const { return meter_.rate(sim_.now()); }
+
+double Server::byte_rate() const { return byte_meter_.rate(sim_.now()); }
+
+void Server::close() { store_.close(); }
+
+void Server::wipe() {
+  const Bytes freed = store_.clear();
+  if (hooks_.mem && freed > 0) hooks_.mem->free(freed);
+}
+
+sim::Task<> Server::charge(NodeId client, Bytes payload, bool to_client) {
+  meter_.record(sim_.now());
+  byte_meter_.record(sim_.now(), static_cast<double>(payload));
+  std::vector<sim::Task<>> work;
+  // Wire: the payload moves between client and server under the scavenge
+  // bandwidth cap (if any).
+  const NodeId src = to_client ? node_ : client;
+  const NodeId dst = to_client ? client : node_;
+  work.push_back(fabric_.transfer(src, dst, payload, net::Fabric::kUncapped,
+                                  hooks_.net_cap));
+  const double cycles = costs_.cpu_per_request +
+                        costs_.cpu_per_byte * static_cast<double>(payload);
+  // The single-threaded engine is the per-server service-rate limit; the
+  // same cycles also land on the node CPU so telemetry and contention
+  // with co-located work stay correct.
+  work.push_back(engine_.consume(cycles, 1.0));
+  if (hooks_.cpu) work.push_back(hooks_.cpu->consume(cycles, 1.0));
+  if (hooks_.membw && payload > 0) {
+    work.push_back(hooks_.membw->consume(
+        costs_.membw_per_byte * static_cast<double>(payload)));
+  }
+  co_await sim::when_all(sim_, std::move(work));
+}
+
+sim::Task<Status> Server::put(NodeId client, std::string_view token,
+                              std::string key, Blob value) {
+  // Request envelope to the server, then payload + processing, then reply.
+  co_await fabric_.message(client, node_);
+  const Bytes payload = value.size();
+  co_await charge(client, payload, /*to_client=*/false);
+  Status st = store_.put(token, key, std::move(value));
+  if (st.ok() && hooks_.mem) {
+    if (!hooks_.mem->try_alloc(payload + Store::kPerKeyOverhead)) {
+      // Node memory exhausted even though the store cap allowed it:
+      // undo and report. (Store cap <= node memory normally prevents this.)
+      (void)store_.del(token, key);
+      st = Status{Errc::out_of_memory, "node memory exhausted"};
+    }
+  }
+  co_await fabric_.message(node_, client);
+  co_return st;
+}
+
+sim::Task<Result<Blob>> Server::get(NodeId client, std::string_view token,
+                                    std::string key) {
+  co_await fabric_.message(client, node_);
+  Result<Blob> r = store_.get(token, key);
+  const Bytes payload = r.ok() ? r.value().size() : 0;
+  co_await charge(client, payload, /*to_client=*/true);
+  co_await fabric_.message(node_, client);
+  co_return r;
+}
+
+sim::Task<Result<bool>> Server::exists(NodeId client, std::string_view token,
+                                       std::string key) {
+  co_await fabric_.message(client, node_);
+  meter_.record(sim_.now());
+  Result<bool> r = store_.exists(token, key);
+  co_await fabric_.message(node_, client);
+  co_return r;
+}
+
+sim::Task<Status> Server::del(NodeId client, std::string_view token,
+                              std::string key) {
+  co_await fabric_.message(client, node_);
+  meter_.record(sim_.now());
+  Bytes freed = 0;
+  if (auto sz = store_.value_size(token, key); sz.ok())
+    freed = sz.value() + Store::kPerKeyOverhead;
+  Status st = store_.del(token, key);
+  if (st.ok() && hooks_.mem && freed > 0) hooks_.mem->free(freed);
+  co_await fabric_.message(node_, client);
+  co_return st;
+}
+
+sim::Task<> Server::request_burst(NodeId client, double count) {
+  if (count <= 0.0) co_return;
+  meter_.record(sim_.now(), count);
+  std::vector<sim::Task<>> work;
+  // Request envelopes on the wire (aggregated into one transfer).
+  work.push_back(fabric_.transfer(client, node_,
+                                  static_cast<Bytes>(count * 64.0),
+                                  net::Fabric::kUncapped, hooks_.net_cap));
+  work.push_back(engine_.consume(costs_.cpu_per_request * count, 1.0));
+  if (hooks_.cpu)
+    work.push_back(hooks_.cpu->consume(costs_.cpu_per_request * count, 1.0));
+  co_await sim::when_all(sim_, std::move(work));
+}
+
+sim::Task<Status> Server::replicate_key(std::string_view token,
+                                        std::string key, Server& dst) {
+  auto blob = store_.get(token, key);
+  if (!blob.ok()) co_return Status{blob.error()};
+  co_return co_await dst.put(node_, token, std::move(key),
+                             std::move(blob).value());
+}
+
+sim::Task<Status> Server::migrate_key(std::string_view token, std::string key,
+                                      Server& dst) {
+  // Local read (no wire cost), bulk ship, remote write. Used by lazy
+  // rebalance and by victim evacuation.
+  auto blob = store_.drain(key);
+  if (!blob) co_return Status{Errc::not_found, key};
+  const Bytes payload = blob->size();
+  if (hooks_.mem) hooks_.mem->free(payload + Store::kPerKeyOverhead);
+  Status st =
+      co_await dst.put(node_, token, std::move(key), std::move(*blob));
+  co_return st;
+}
+
+}  // namespace memfss::kvstore

@@ -1,0 +1,118 @@
+// Simulated kvstore server: one per cluster node running a Store, charging
+// the node's simulated resources for every request.
+//
+// Cost model (paper-relevant behaviour it produces):
+//   - per-request CPU cost + per-byte CPU cost: many small requests are
+//     disproportionately expensive -- this is why BLAST (many small I/O
+//     requests) disturbs latency-sensitive MPI tenants more than the
+//     bulk-streaming dd does (paper §IV-C);
+//   - per-byte memory bandwidth: scavenged stores compete with STREAM-like
+//     tenant phases for memory bandwidth;
+//   - transfers tagged with the node's scavenge CapGroup: the container
+//     bandwidth cap of §III-F.
+// CPU / memory-bandwidth / wire charges overlap (when_all), as they do in
+// a pipelined server.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "kvstore/rate_meter.hpp"
+#include "kvstore/store.hpp"
+#include "net/fabric.hpp"
+#include "sim/fluid.hpp"
+#include "sim/memory.hpp"
+#include "sim/task.hpp"
+
+namespace memfss::kvstore {
+
+/// Resource hooks the server charges; any may be null (not charged).
+struct ResourceHooks {
+  sim::FluidResource* cpu = nullptr;     ///< node CPU (capacity = cores)
+  sim::FluidResource* membw = nullptr;   ///< node memory bandwidth (B/s)
+  sim::MemoryPool* mem = nullptr;        ///< node memory capacity
+  net::CapGroup* net_cap = nullptr;      ///< container bandwidth ceiling
+};
+
+struct ServerCosts {
+  double cpu_per_request = 30e-6;   ///< core-seconds per operation
+  double cpu_per_byte = 1.25e-9;    ///< core-seconds per payload byte
+  double membw_per_byte = 2.0;      ///< memory-bus bytes per payload byte
+  /// The store engine is single-threaded like Redis: all request CPU work
+  /// funnels through `engine_cores` worth of cores, capping per-server
+  /// ingest at engine_cores / cpu_per_byte bytes/s (~0.8 GB/s at the
+  /// defaults) -- the paper's load-balance argument for Fig. 2f depends
+  /// on this per-node service limit.
+  double engine_cores = 1.0;
+};
+
+class Server {
+ public:
+  Server(sim::Simulator& sim, net::Fabric& fabric, NodeId node,
+         Bytes store_capacity, std::string auth_token,
+         ResourceHooks hooks = {}, ServerCosts costs = {});
+
+  NodeId node() const { return node_; }
+  Store& store() { return store_; }
+  const Store& store() const { return store_; }
+
+  /// Requests/s seen recently (victim-interference telemetry).
+  double request_rate() const;
+
+  /// Payload bytes/s moved recently (in + out).
+  double byte_rate() const;
+
+  const ServerCosts& costs() const { return costs_; }
+
+  // --- client-side operations (invoked from `client`'s node) -------------
+
+  sim::Task<Status> put(NodeId client, std::string_view token,
+                        std::string key, Blob value);
+  sim::Task<Result<Blob>> get(NodeId client, std::string_view token,
+                              std::string key);
+  sim::Task<Result<bool>> exists(NodeId client, std::string_view token,
+                                 std::string key);
+  sim::Task<Status> del(NodeId client, std::string_view token,
+                        std::string key);
+
+  /// Charge the cost of `count` additional small requests accompanying a
+  /// bulk operation (chatty clients like BLAST issue many sub-stripe
+  /// reads/writes; volume-wise they are covered by the bulk transfer, but
+  /// their per-request CPU and request-rate footprint -- what disturbs
+  /// latency-sensitive tenants -- must still land on the server).
+  sim::Task<> request_burst(NodeId client, double count);
+
+  /// Server-to-server bulk copy of one key (migration/evacuation path).
+  /// Reads locally, ships the bytes, writes into `dst`.
+  sim::Task<Status> migrate_key(std::string_view token, std::string key,
+                                Server& dst);
+
+  /// Like migrate_key but keeps the local copy (repair / re-replication).
+  sim::Task<Status> replicate_key(std::string_view token, std::string key,
+                                  Server& dst);
+
+  /// Stop serving (store turns unavailable); in-flight ops complete.
+  void close();
+
+  /// Administrative reset: drop all keys and release the node memory they
+  /// charged. Used by experiment harnesses between repetitions.
+  void wipe();
+
+ private:
+  /// Charge request bookkeeping + overlapped CPU/membw/wire costs.
+  sim::Task<> charge(NodeId client, Bytes payload, bool to_client);
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  NodeId node_;
+  Store store_;
+  ResourceHooks hooks_;
+  ServerCosts costs_;
+  RateMeter meter_;        ///< requests/s
+  RateMeter byte_meter_;   ///< payload bytes/s
+  sim::FluidResource engine_;  ///< single-threaded store engine
+};
+
+}  // namespace memfss::kvstore

@@ -1,0 +1,138 @@
+#include "kvstore/store.hpp"
+
+#include "hash/hashes.hpp"
+
+namespace memfss::kvstore {
+
+// --- Blob -----------------------------------------------------------------
+
+Blob Blob::materialized(std::vector<std::uint8_t> bytes) {
+  Blob b;
+  b.size_ = bytes.size();
+  b.checksum_ = memfss::hash::fnv1a(
+      {reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+  b.data_ = std::move(bytes);
+  return b;
+}
+
+Blob Blob::ghost(Bytes size, std::uint64_t tag) {
+  Blob b;
+  b.size_ = size;
+  b.checksum_ = memfss::hash::mix64(size, tag);
+  return b;
+}
+
+bool Blob::verify() const {
+  if (data_.empty()) return !corrupted_;
+  const auto actual = memfss::hash::fnv1a(
+      {reinterpret_cast<const char*>(data_.data()), data_.size()});
+  return actual == checksum_ && !corrupted_;
+}
+
+void Blob::corrupt_for_test() {
+  corrupted_ = true;
+  if (!data_.empty()) data_[data_.size() / 2] ^= 0x5a;
+}
+
+// --- Store ----------------------------------------------------------------
+
+Store::Store(Bytes capacity, std::string auth_token)
+    : capacity_(capacity), token_(std::move(auth_token)) {}
+
+Status Store::check(std::string_view token) const {
+  if (closed_) return {Errc::unavailable, "store closed"};
+  if (!token_.empty() && token != token_) {
+    ++stats_.auth_failures;
+    return {Errc::permission, "bad auth token"};
+  }
+  return {};
+}
+
+Status Store::put(std::string_view token, std::string_view key, Blob value) {
+  if (auto st = check(token); !st.ok()) return st;
+  ++stats_.puts;
+  const Bytes incoming = value.size() + kPerKeyOverhead;
+  Bytes outgoing = 0;
+  auto it = map_.find(std::string(key));
+  if (it != map_.end()) outgoing = it->second.size() + kPerKeyOverhead;
+  if (used_ - outgoing + incoming > capacity_)
+    return {Errc::out_of_memory, "store capacity exceeded"};
+  stats_.bytes_in += value.size();
+  used_ = used_ - outgoing + incoming;
+  map_[std::string(key)] = std::move(value);
+  return {};
+}
+
+Result<Blob> Store::get(std::string_view token, std::string_view key) {
+  if (auto st = check(token); !st.ok()) return st.error();
+  ++stats_.gets;
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return Error{Errc::not_found, std::string(key)};
+  }
+  ++stats_.hits;
+  stats_.bytes_out += it->second.size();
+  return it->second;
+}
+
+Result<bool> Store::exists(std::string_view token,
+                           std::string_view key) const {
+  if (auto st = check(token); !st.ok()) return st.error();
+  return map_.count(std::string(key)) > 0;
+}
+
+Status Store::del(std::string_view token, std::string_view key) {
+  if (auto st = check(token); !st.ok()) return st;
+  ++stats_.dels;
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return {Errc::not_found, std::string(key)};
+  used_ -= it->second.size() + kPerKeyOverhead;
+  map_.erase(it);
+  return {};
+}
+
+Result<Bytes> Store::value_size(std::string_view token,
+                                std::string_view key) const {
+  if (auto st = check(token); !st.ok()) return st.error();
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return Error{Errc::not_found, std::string(key)};
+  return it->second.size();
+}
+
+std::vector<std::string> Store::keys() const {
+  std::vector<std::string> out;
+  out.reserve(map_.size());
+  for (const auto& [k, v] : map_) out.push_back(k);
+  return out;
+}
+
+Bytes Store::clear() {
+  const Bytes freed = used_;
+  map_.clear();
+  used_ = 0;
+  return freed;
+}
+
+const Blob* Store::peek(std::string_view key) const {
+  auto it = map_.find(std::string(key));
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+Status Store::corrupt_for_test(std::string_view key) {
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return {Errc::not_found, std::string(key)};
+  it->second.corrupt_for_test();
+  return {};
+}
+
+std::optional<Blob> Store::drain(std::string_view key) {
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return std::nullopt;
+  Blob b = std::move(it->second);
+  used_ -= b.size() + kPerKeyOverhead;
+  map_.erase(it);
+  return b;
+}
+
+}  // namespace memfss::kvstore

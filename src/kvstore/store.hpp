@@ -1,0 +1,105 @@
+// In-memory key-value store -- the Redis stand-in (paper §III-D).
+//
+// Pure data structure: no simulation dependencies, usable standalone (the
+// quickstart example runs one in-process). Features mirrored from the
+// paper's Redis usage:
+//   - byte-blob values with memory-cap accounting (container memory limit,
+//     §III-F): puts beyond the cap fail with out_of_memory;
+//   - AUTH: operations carry a token checked against the store's;
+//   - eviction/evacuation: close() flips the store to `unavailable` and
+//     the owner drains keys for migration.
+//
+// Single-threaded by design: in the simulator everything runs on one
+// logical thread; a concurrent deployment would shard stores per core.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "kvstore/blob.hpp"
+
+namespace memfss::kvstore {
+
+struct StoreStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t dels = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t auth_failures = 0;
+  Bytes bytes_in = 0;
+  Bytes bytes_out = 0;
+};
+
+class Store {
+ public:
+  /// `capacity`: memory cap in bytes. `auth_token`: required by every
+  /// operation (empty disables auth, like a Redis with no requirepass).
+  Store(Bytes capacity, std::string auth_token = {});
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes available() const { return capacity_ - used_; }
+  std::size_t key_count() const { return map_.size(); }
+  const StoreStats& stats() const { return stats_; }
+  bool closed() const { return closed_; }
+
+  /// Store/overwrite a value. Fails with out_of_memory past the cap and
+  /// permission on a bad token.
+  Status put(std::string_view token, std::string_view key, Blob value);
+
+  /// Fetch a value.
+  Result<Blob> get(std::string_view token, std::string_view key);
+
+  /// Presence check (no bytes_out accounting).
+  Result<bool> exists(std::string_view token, std::string_view key) const;
+
+  /// Delete; not_found if absent.
+  Status del(std::string_view token, std::string_view key);
+
+  /// Size of a stored value without fetching it.
+  Result<Bytes> value_size(std::string_view token,
+                           std::string_view key) const;
+
+  /// All keys (for evacuation / rebalance scans).
+  std::vector<std::string> keys() const;
+
+  /// Stop serving: every later operation fails with `unavailable`.
+  /// Stored data remains readable via drain().
+  void close() { closed_ = true; }
+
+  /// Remove and return one key's value regardless of closed state
+  /// (the evacuation path uses this after close()).
+  std::optional<Blob> drain(std::string_view key);
+
+  /// Drop everything; returns the bytes that were accounted (payloads +
+  /// per-key overhead) so owners can release external accounting.
+  Bytes clear();
+
+  /// Zero-cost inspection (scrubber internals); nullptr if absent.
+  const Blob* peek(std::string_view key) const;
+
+  /// Test hook: damage a stored value so scrub/fault-injection tests have
+  /// something to detect.
+  Status corrupt_for_test(std::string_view key);
+
+  /// Bytes of bookkeeping charged per key in addition to the payload.
+  static constexpr Bytes kPerKeyOverhead = 64;
+
+ private:
+  Status check(std::string_view token) const;
+
+  Bytes capacity_;
+  std::string token_;
+  bool closed_ = false;
+  Bytes used_ = 0;
+  std::unordered_map<std::string, Blob> map_;
+  mutable StoreStats stats_;
+};
+
+}  // namespace memfss::kvstore

@@ -1,0 +1,209 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace memfss::net {
+
+namespace {
+constexpr double kWorkEpsilon = 1e-6;  // bytes; flows are >= 1 byte
+constexpr double kRateEpsilon = 1e-9;
+}  // namespace
+
+Fabric::Fabric(sim::Simulator& sim, std::size_t node_count, NicSpec spec)
+    : sim_(sim),
+      nics_(node_count, spec),
+      up_rate_(node_count, 0.0),
+      down_rate_(node_count, 0.0),
+      up_util_(node_count),
+      down_util_(node_count) {
+  const SimTime now = sim_.now();
+  for (std::size_t n = 0; n < node_count; ++n) {
+    up_util_[n].set(now, 0.0);
+    down_util_[n].set(now, 0.0);
+  }
+  last_update_ = now;
+}
+
+Fabric::~Fabric() {
+  if (completion_event_) sim_.cancel(completion_event_);
+}
+
+void Fabric::set_nic(NodeId n, NicSpec spec) {
+  settle();
+  nics_[n] = spec;
+  recompute();
+}
+
+sim::Task<> Fabric::transfer(NodeId src, NodeId dst, Bytes size,
+                             Rate flow_cap, CapGroup* group) {
+  assert(src < node_count() && dst < node_count());
+  // Wire latency before the first byte lands.
+  co_await sim_.delay(nics_[src].latency);
+  if (size == 0) co_return;
+  bytes_moved_ += static_cast<double>(size);
+  if (src == dst) co_return;  // loopback: memory copy, not modelled
+
+  settle();
+  flows_.emplace_back(sim_, src, dst, static_cast<double>(size), flow_cap,
+                      group);
+  auto it = std::prev(flows_.end());
+  schedule_recompute();
+  co_await it->done;
+}
+
+void Fabric::schedule_recompute() {
+  if (recompute_pending_) return;
+  recompute_pending_ = true;
+  sim_.schedule(0.0, [this] {
+    recompute_pending_ = false;
+    settle();
+    recompute();
+  });
+}
+
+sim::Task<> Fabric::message(NodeId src, NodeId dst, Bytes size) {
+  co_await transfer(src, dst, size);
+}
+
+void Fabric::settle() {
+  const SimTime now = sim_.now();
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    for (auto& f : flows_)
+      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+  last_update_ = now;
+}
+
+void Fabric::recompute() {
+  // Complete finished flows. (trigger() moves the waiter to the scheduler
+  // and releases all references to the Event, so erase is safe.)
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining <= kWorkEpsilon) {
+      it->done.trigger();
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Progressive filling. All unfrozen flows share the fill level `level`.
+  const std::size_t n = node_count();
+  std::vector<double> up_res(n), down_res(n);
+  std::vector<std::size_t> up_cnt(n, 0), down_cnt(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    up_res[i] = nics_[i].up;
+    down_res[i] = nics_[i].down;
+  }
+  std::unordered_set<CapGroup*> groups;
+  for (auto& f : flows_) {
+    f.frozen = false;
+    f.rate = 0.0;
+    ++up_cnt[f.src];
+    ++down_cnt[f.dst];
+    if (f.group) groups.insert(f.group);
+  }
+  for (CapGroup* g : groups) {
+    g->residual_ = g->limit();
+    g->count_ = 0;
+  }
+  for (auto& f : flows_)
+    if (f.group) ++f.group->count_;
+
+  std::size_t unfrozen = flows_.size();
+  double level = 0.0;
+  while (unfrozen > 0) {
+    // Smallest headroom per unfrozen flow across all constraints.
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (up_cnt[i] > 0)
+        delta = std::min(delta, up_res[i] / static_cast<double>(up_cnt[i]));
+      if (down_cnt[i] > 0)
+        delta =
+            std::min(delta, down_res[i] / static_cast<double>(down_cnt[i]));
+    }
+    for (CapGroup* g : groups) {
+      if (g->count_ > 0)
+        delta =
+            std::min(delta, g->residual_ / static_cast<double>(g->count_));
+    }
+    for (const auto& f : flows_) {
+      if (!f.frozen && std::isfinite(f.cap))
+        delta = std::min(delta, f.cap - level);
+    }
+    if (!std::isfinite(delta)) break;  // no constraints at all (n == 0)
+    delta = std::max(delta, 0.0);
+    level += delta;
+
+    // Charge the raise against every constraint.
+    for (std::size_t i = 0; i < n; ++i) {
+      up_res[i] -= delta * static_cast<double>(up_cnt[i]);
+      down_res[i] -= delta * static_cast<double>(down_cnt[i]);
+    }
+    for (CapGroup* g : groups)
+      g->residual_ -= delta * static_cast<double>(g->count_);
+
+    // Freeze flows whose path hit a saturated constraint (or own cap).
+    for (auto& f : flows_) {
+      if (f.frozen) continue;
+      const bool up_sat = up_res[f.src] <= kRateEpsilon * nics_[f.src].up;
+      const bool down_sat =
+          down_res[f.dst] <= kRateEpsilon * nics_[f.dst].down;
+      const bool grp_sat =
+          f.group && f.group->residual_ <= kRateEpsilon * (f.group->limit() + 1.0);
+      const bool cap_sat =
+          std::isfinite(f.cap) &&
+          level >= f.cap - kRateEpsilon * std::max(1.0, f.cap);
+      if (up_sat || down_sat || grp_sat || cap_sat) {
+        f.frozen = true;
+        f.rate = level;
+        --unfrozen;
+        --up_cnt[f.src];
+        --down_cnt[f.dst];
+        if (f.group) --f.group->count_;
+      }
+    }
+  }
+  // Any flow still unfrozen (unconstrained) keeps rate == level.
+  for (auto& f : flows_)
+    if (!f.frozen) f.rate = level;
+
+  // Refresh per-node telemetry.
+  const SimTime now = sim_.now();
+  std::fill(up_rate_.begin(), up_rate_.end(), 0.0);
+  std::fill(down_rate_.begin(), down_rate_.end(), 0.0);
+  for (const auto& f : flows_) {
+    up_rate_[f.src] += f.rate;
+    down_rate_[f.dst] += f.rate;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    up_util_[i].set(now, nics_[i].up > 0 ? up_rate_[i] / nics_[i].up : 0.0);
+    down_util_[i].set(now,
+                      nics_[i].down > 0 ? down_rate_[i] / nics_[i].down : 0.0);
+  }
+
+  // Reschedule the next completion.
+  if (completion_event_) {
+    sim_.cancel(completion_event_);
+    completion_event_ = 0;
+  }
+  double horizon = std::numeric_limits<double>::infinity();
+  for (const auto& f : flows_)
+    if (f.rate > 0.0) horizon = std::min(horizon, f.remaining / f.rate);
+  if (std::isfinite(horizon)) {
+    // See FluidResource::recompute: sub-resolution horizons would fire
+    // with zero clock advance and livelock the event loop.
+    const double min_dt = std::max(1e-12, sim_.now() * 1e-12);
+    horizon = std::max(horizon, min_dt);
+    completion_event_ = sim_.schedule(horizon, [this] {
+      completion_event_ = 0;
+      settle();
+      recompute();
+    });
+  }
+}
+
+}  // namespace memfss::net

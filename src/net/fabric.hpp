@@ -1,0 +1,144 @@
+// Simulated cluster network fabric.
+//
+// Topology: full-bisection core (like DAS-5's FDR InfiniBand fat tree) --
+// the only capacity constraints are each node's NIC uplink and downlink.
+// Transfers are modelled as fluid flows; on every flow arrival/departure
+// the fabric recomputes a global max-min fair allocation by progressive
+// filling:
+//
+//   all unfrozen flows share one fill level l, raised until a link
+//   saturates (or a flow hits its rate cap); flows crossing that link
+//   freeze at l; repeat until every flow is frozen.
+//
+// Rate caps: a flow can carry (a) an individual cap and (b) a CapGroup --
+// a shared ceiling over a set of flows, which is how the Linux-container
+// bandwidth isolation of scavenged Redis processes (paper §III-F) is
+// modelled: all scavenging flows into one victim node share one CapGroup.
+//
+// Per-node up/down utilization is tracked time-weighted; Fig. 2's
+// bandwidth plots read these accumulators.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace memfss::net {
+
+struct NicSpec {
+  Rate up = 3e9;             ///< bytes/s (DAS-5 IPoIB ~ 3 GB/s)
+  Rate down = 3e9;
+  SimTime latency = 20e-6;   ///< one-way message latency (s)
+};
+
+/// Shared rate ceiling over a set of flows (container bandwidth cap).
+class CapGroup {
+ public:
+  explicit CapGroup(Rate limit) : limit_(limit) {}
+  Rate limit() const { return limit_; }
+  void set_limit(Rate r) { limit_ = r; }
+
+ private:
+  friend class Fabric;
+  Rate limit_;
+  // Scratch fields used during progressive filling.
+  Rate residual_ = 0;
+  std::size_t count_ = 0;
+};
+
+class Fabric {
+ public:
+  static constexpr Rate kUncapped = std::numeric_limits<Rate>::infinity();
+
+  Fabric(sim::Simulator& sim, std::size_t node_count, NicSpec spec);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  std::size_t node_count() const { return nics_.size(); }
+  const NicSpec& nic(NodeId n) const { return nics_[n]; }
+  void set_nic(NodeId n, NicSpec spec);
+
+  /// Bulk transfer of `size` bytes src -> dst. Completes when the last
+  /// byte arrives (one latency charge + fluid transmission). Same-node
+  /// transfers complete after a loopback latency only.
+  sim::Task<> transfer(NodeId src, NodeId dst, Bytes size,
+                       Rate flow_cap = kUncapped, CapGroup* group = nullptr);
+
+  /// Small control message: one latency charge plus the (tiny) serialized
+  /// size through the fluid model.
+  sim::Task<> message(NodeId src, NodeId dst, Bytes size = 256);
+
+  /// Instantaneous allocated rates.
+  Rate node_up_rate(NodeId n) const { return up_rate_[n]; }
+  Rate node_down_rate(NodeId n) const { return down_rate_[n]; }
+
+  /// Time-weighted average utilization (fraction of NIC capacity) since
+  /// construction, split by direction.
+  double avg_up_utilization(NodeId n, SimTime t_end) const {
+    return up_util_[n].average(t_end);
+  }
+  double avg_down_utilization(NodeId n, SimTime t_end) const {
+    return down_util_[n].average(t_end);
+  }
+  double peak_down_utilization(NodeId n) const {
+    return down_util_[n].peak();
+  }
+  double peak_up_utilization(NodeId n) const { return up_util_[n].peak(); }
+
+  /// Utilization integrals for window averages (see TimeWeighted).
+  double up_utilization_integral(NodeId n, SimTime t) const {
+    return up_util_[n].integral_until(t);
+  }
+  double down_utilization_integral(NodeId n, SimTime t) const {
+    return down_util_[n].integral_until(t);
+  }
+
+  /// Total bytes moved since construction (all flows).
+  double total_bytes_moved() const { return bytes_moved_; }
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct Flow {
+    NodeId src, dst;
+    double remaining;
+    double cap;
+    CapGroup* group;
+    double rate = 0.0;
+    bool frozen = false;  // scratch for the filling loop
+    sim::Event done;
+    Flow(sim::Simulator& s, NodeId a, NodeId b, double rem, double c,
+         CapGroup* g)
+        : src(a), dst(b), remaining(rem), cap(c), group(g), done(s) {}
+  };
+
+  void settle();
+  void recompute();
+
+  /// Coalesce rate recomputation: many flows arriving at the same
+  /// simulated instant (synchronized task waves, all-to-all phases) share
+  /// one progressive-filling pass instead of paying O(flows x links)
+  /// each. No simulated time passes in between, so results are identical.
+  void schedule_recompute();
+
+  sim::Simulator& sim_;
+  std::vector<NicSpec> nics_;
+  std::list<Flow> flows_;
+  std::vector<Rate> up_rate_, down_rate_;
+  std::vector<TimeWeighted> up_util_, down_util_;
+  SimTime last_update_ = 0.0;
+  sim::EventId completion_event_ = 0;
+  bool recompute_pending_ = false;
+  double bytes_moved_ = 0.0;
+};
+
+}  // namespace memfss::net

@@ -1,0 +1,35 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace memfss::sim {
+
+MemoryPool::MemoryPool(Bytes capacity, std::string name)
+    : capacity_(capacity), name_(std::move(name)) {}
+
+bool MemoryPool::try_alloc(Bytes n) {
+  if (n > capacity_ - used_) return false;
+  used_ += n;
+  high_water_ = std::max(high_water_, used_);
+  if (pressure_armed_ && used_ >= pressure_threshold_) {
+    pressure_armed_ = false;  // fire once per crossing
+    if (pressure_cb_) pressure_cb_();
+  }
+  return true;
+}
+
+void MemoryPool::free(Bytes n) {
+  assert(n <= used_);
+  used_ -= n;
+  if (pressure_cb_ && used_ < pressure_threshold_) pressure_armed_ = true;
+}
+
+void MemoryPool::set_pressure_callback(Bytes threshold,
+                                       std::function<void()> cb) {
+  pressure_threshold_ = threshold;
+  pressure_cb_ = std::move(cb);
+  pressure_armed_ = used_ < threshold;
+}
+
+}  // namespace memfss::sim

@@ -1,0 +1,48 @@
+// MemoryPool: byte-capacity accounting for a simulated node.
+//
+// Tracks used vs. capacity, the high-water mark, and supports a *pressure
+// callback*: when an allocation would exceed a configured threshold the
+// pool notifies its observer (the victim-node monitor of the scavenging
+// protocol uses this to tell MemFSS to evacuate, paper §III-A).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace memfss::sim {
+
+class MemoryPool {
+ public:
+  explicit MemoryPool(Bytes capacity, std::string name = {});
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes available() const { return capacity_ - used_; }
+  Bytes high_water() const { return high_water_; }
+  double utilization() const {
+    return capacity_ ? static_cast<double>(used_) / static_cast<double>(capacity_) : 0.0;
+  }
+
+  /// Attempt to reserve bytes; false (and no change) if it would overflow.
+  bool try_alloc(Bytes n);
+
+  /// Release bytes (n must not exceed used()).
+  void free(Bytes n);
+
+  /// Register a pressure observer: fires (once per crossing) when used()
+  /// rises to or above `threshold` bytes.
+  void set_pressure_callback(Bytes threshold, std::function<void()> cb);
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes high_water_ = 0;
+  std::string name_;
+  Bytes pressure_threshold_ = 0;
+  bool pressure_armed_ = false;
+  std::function<void()> pressure_cb_;
+};
+
+}  // namespace memfss::sim

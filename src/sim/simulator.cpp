@@ -1,0 +1,69 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace memfss::sim {
+
+EventId Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_);
+  const EventId id = next_id_++;
+  heap_.push(Ev{t, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (handlers_.erase(id) > 0) cancelled_.insert(id);
+}
+
+void Simulator::spawn(Task<> t) {
+  auto h = t.release();
+  if (!h) return;
+  h.promise().detached = true;
+  schedule(0.0, [h] { h.resume(); });
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Ev ev = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // lazily dropped
+    auto it = handlers_.find(ev.id);
+    assert(it != handlers_.end());
+    auto fn = std::move(it->second);
+    handlers_.erase(it);
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime t_end) {
+  while (!heap_.empty()) {
+    // Peek past cancelled entries.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().t > t_end) break;
+    step();
+  }
+  now_ = std::max(now_, t_end);
+  return now_;
+}
+
+}  // namespace memfss::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation core: a virtual clock and an event queue.
+//
+// Events at the same timestamp fire in scheduling (FIFO) order, which --
+// together with the seeded RNGs -- makes every simulation run
+// deterministic and bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/task.hpp"
+
+namespace memfss::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedule at an absolute time (>= now()).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Cancel a pending event; harmless if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Awaitable that resumes the coroutine after `d` simulated seconds.
+  auto delay(SimTime d) {
+    struct Awaiter {
+      Simulator& sim;
+      SimTime d;
+      bool await_ready() const noexcept { return d <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Detach and start a task. It begins at the current time (queued behind
+  /// events already scheduled for `now`).
+  void spawn(Task<> t);
+
+  /// Run until the event queue drains. Returns the final time.
+  SimTime run();
+
+  /// Run until the clock would pass `t_end`; events at exactly t_end fire.
+  SimTime run_until(SimTime t_end);
+
+  /// Execute a single event. Returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Ev {
+    SimTime t;
+    EventId id;
+    // min-heap: earliest time first; FIFO among equal times via id.
+    bool operator>(const Ev& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace memfss::sim

@@ -1,0 +1,138 @@
+// Coroutine task type for simulation processes.
+//
+// A sim::Task<T> is a lazily-started coroutine. Two ways to run one:
+//   - `co_await child()` from another task: starts the child immediately
+//     (symmetric transfer) and resumes the parent when it completes,
+//     yielding its value. The child's frame is owned by the temporary Task
+//     in the co_await expression -- no heap bookkeeping needed.
+//   - `Simulator::spawn(task())`: detaches the task; it self-destroys at
+//     completion. Used for top-level processes (servers, applications).
+//
+// Exceptions: propagate to the awaiting parent. A detached task that ends
+// with an exception terminates the process -- simulation code treats
+// errors as values (Result/Status), so an escaped exception is a bug.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace memfss::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = nullptr;
+  bool detached = false;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto& p = h.promise();
+      if (p.continuation) return p.continuation;
+      if (p.detached) {
+        if (p.exception) std::terminate();  // escaped error in a detached task
+        h.destroy();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using handle_t = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_t h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  /// Releases ownership (Simulator::spawn marks the promise detached and
+  /// takes over via self-destruction).
+  handle_t release() { return std::exchange(h_, nullptr); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_t h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // start the child now (symmetric transfer)
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) {
+          assert(p.value.has_value());
+          return std::move(*p.value);
+        }
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  handle_t h_ = nullptr;
+};
+
+namespace detail {
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+}  // namespace detail
+
+}  // namespace memfss::sim

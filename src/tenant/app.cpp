@@ -1,0 +1,12 @@
+#include "tenant/app.hpp"
+
+namespace memfss::tenant {
+
+double TenantApp::declared_base_seconds() const {
+  double total = 0.0;
+  for (const auto& p : phases)
+    total += p.sensitive.base_seconds + p.cache_bound_seconds;
+  return total * iterations;
+}
+
+}  // namespace memfss::tenant

@@ -1,0 +1,83 @@
+// Tenant application model.
+//
+// A tenant app (an HPCC MPI benchmark, a HiBench Hadoop/Spark job) is a
+// sequence of *phases* executed in lockstep across its nodes (barrier
+// between phases, as in MPI collectives / MapReduce stage boundaries).
+// Each phase declares per-node demands on the simulated resources:
+//
+//   cpu_core_seconds  -> node CPU        (contends with kvstore request CPU)
+//   membw_bytes       -> memory bus      (contends with kvstore streaming)
+//   net_bytes         -> NIC flows       (contends with scavenging flows)
+//   latency section   -> progress scaled by the *foreign small-request
+//                        rate* on the node (MPI latency sensitivity)
+//   cache section     -> progress scaled by whether the phase's working
+//                        set still fits in free node memory (page cache /
+//                        JVM heap headroom -- the DFSIO-read and Spark
+//                        effects of §IV-C)
+//
+// Slowdowns under scavenging are *emergent*: MemFSS's server charges land
+// on the same FluidResources, CapGroups and MemoryPools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace memfss::tenant {
+
+enum class NetPattern { ring, alltoall };
+
+struct Phase {
+  std::string name;
+
+  // Compute.
+  double cpu_core_seconds = 0.0;  ///< per node
+  double cpu_cores = 16.0;        ///< parallel width per node
+
+  // Memory bus traffic.
+  double membw_bytes = 0.0;       ///< per node
+
+  // Network traffic to peer nodes.
+  Bytes net_bytes = 0;            ///< per node (sent)
+  NetPattern pattern = NetPattern::ring;
+  /// Per-flow achievable rate (B/s). MPI point-to-point rarely drives an
+  /// IPoIB link at line rate; leaving headroom here controls how much
+  /// the phase *mechanically* collides with scavenging traffic on the
+  /// fluid fabric. 0 = uncapped (saturating patterns like shuffles).
+  Rate net_rate_cap = 0;
+
+  // Interference-sensitive section. Models the super-proportional part of
+  // co-location slowdown (cache pollution, interrupt/OS jitter, MPI
+  // latency inflation) that a proportional-share fluid model cannot
+  // produce on its own: the section's progress rate is scaled by the
+  // *foreign* (scavenger-attributable) load on the node. The sensitivity
+  // coefficients are the calibration knobs documented in EXPERIMENTS.md.
+  struct SensitiveSection {
+    double base_seconds = 0.0;  ///< clean duration of the section
+    double to_krequests = 0.0;  ///< slowdown per 1000 foreign requests/s
+    double to_net_share = 0.0;  ///< per unit foreign NIC utilization
+    double to_membw_share = 0.0;///< per unit foreign memory-bus utilization
+    double to_cpu_share = 0.0;  ///< per unit foreign CPU utilization
+  };
+  SensitiveSection sensitive;
+
+  // Cache/capacity-sensitive section (page cache, JVM headroom).
+  double cache_bound_seconds = 0.0;
+  Bytes cache_working_set = 0;     ///< must fit in free memory
+  double cache_miss_penalty = 3.0; ///< max rate slowdown when it does not
+};
+
+struct TenantApp {
+  std::string name;
+  std::string suite;               ///< "hpcc", "hibench-hadoop", ...
+  Bytes resident_memory = 0;       ///< allocated per node for the app's life
+  int iterations = 1;              ///< phase-list repetitions
+  std::vector<Phase> phases;
+
+  /// Sum of declared latency/cache/... base seconds (per iteration) --
+  /// a lower bound on duration, used by tests.
+  double declared_base_seconds() const;
+};
+
+}  // namespace memfss::tenant

@@ -1,0 +1,130 @@
+#include "tenant/kernels.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <numbers>
+
+namespace memfss::tenant::kernels {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+double stream_triad(std::size_t n, std::size_t reps, double scalar) {
+  std::vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+    // Rotate roles so the compiler cannot hoist the loop away.
+    std::swap(a, b);
+  }
+  const double dt = seconds_since(t0);
+  const double bytes =
+      static_cast<double>(n) * static_cast<double>(reps) * 3.0 * sizeof(double);
+  // Fold a value into a volatile sink to keep the work observable.
+  volatile double sink = a[n / 2] + b[n / 3];
+  (void)sink;
+  return dt > 0 ? bytes / dt : 0.0;
+}
+
+void fft_radix2(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  assert(n > 0 && (n & (n - 1)) == 0 && "size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = a[i + k];
+        const auto v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> dft_reference(
+    const std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = 2.0 * std::numbers::pi * static_cast<double>(k) *
+                         static_cast<double>(t) / static_cast<double>(n) *
+                         (inverse ? 1.0 : -1.0);
+      acc += a[t] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+double dgemm_blocked(std::size_t n, const double* a, const double* b,
+                     double* c, std::size_t block) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t ii = 0; ii < n; ii += block) {
+    for (std::size_t kk = 0; kk < n; kk += block) {
+      for (std::size_t jj = 0; jj < n; jj += block) {
+        const std::size_t ie = std::min(n, ii + block);
+        const std::size_t ke = std::min(n, kk + block);
+        const std::size_t je = std::min(n, jj + block);
+        for (std::size_t i = ii; i < ie; ++i) {
+          for (std::size_t k = kk; k < ke; ++k) {
+            const double aik = a[i * n + k];
+            for (std::size_t j = jj; j < je; ++j)
+              c[i * n + j] += aik * b[k * n + j];
+          }
+        }
+      }
+    }
+  }
+  const double dt = seconds_since(t0);
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  return dt > 0 ? flops / dt / 1e9 : 0.0;
+}
+
+void dgemm_naive(std::size_t n, const double* a, const double* b, double* c) {
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c[i * n + j];
+      for (std::size_t k = 0; k < n; ++k) acc += a[i * n + k] * b[k * n + j];
+      c[i * n + j] = acc;
+    }
+}
+
+std::uint64_t random_access(std::vector<std::uint64_t>& table,
+                            std::size_t updates, std::uint64_t seed) {
+  assert(!table.empty() && (table.size() & (table.size() - 1)) == 0 &&
+         "table size must be a power of two");
+  const std::uint64_t mask = table.size() - 1;
+  std::uint64_t x = seed ? seed : 1;
+  for (std::size_t i = 0; i < updates; ++i) {
+    // xorshift64 stream, as in the HPCC RandomAccess spirit.
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    table[x & mask] ^= x;
+  }
+  std::uint64_t digest = 0;
+  for (std::uint64_t v : table) digest ^= v * 0x9e3779b97f4a7c15ull;
+  return digest;
+}
+
+}  // namespace memfss::tenant::kernels

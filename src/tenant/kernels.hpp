@@ -1,0 +1,41 @@
+// Real (actually-executing) microkernels mirroring the HPCC components.
+//
+// They serve two purposes: (1) calibration -- the google-benchmark targets
+// report this machine's STREAM/FFT/DGEMM/GUPS figures so the simulated
+// node parameters can be sanity-checked against real silicon; (2) they
+// give the test suite genuine numerical code to validate (FFT vs. direct
+// DFT, DGEMM vs. naive multiply, STREAM result checksums).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace memfss::tenant::kernels {
+
+/// STREAM triad a[i] = b[i] + s*c[i], `reps` passes over arrays of `n`
+/// doubles. Returns achieved bytes/s (3 arrays touched per element).
+double stream_triad(std::size_t n, std::size_t reps, double scalar = 3.0);
+
+/// In-place iterative radix-2 Cooley-Tukey FFT; `a.size()` must be a
+/// power of two. `inverse` applies the conjugate transform WITHOUT the
+/// 1/N normalization (callers scale).
+void fft_radix2(std::vector<std::complex<double>>& a, bool inverse = false);
+
+/// Reference O(n^2) DFT for validation.
+std::vector<std::complex<double>> dft_reference(
+    const std::vector<std::complex<double>>& a, bool inverse = false);
+
+/// Blocked DGEMM C += A*B for n x n row-major matrices; returns GFLOP/s.
+double dgemm_blocked(std::size_t n, const double* a, const double* b,
+                     double* c, std::size_t block = 64);
+
+/// Naive triple loop for validation.
+void dgemm_naive(std::size_t n, const double* a, const double* b, double* c);
+
+/// RandomAccess (GUPS-like): xor-scatter `updates` pseudo-random updates
+/// into `table`. Returns a digest of the table (order-independent check).
+std::uint64_t random_access(std::vector<std::uint64_t>& table,
+                            std::size_t updates, std::uint64_t seed = 1);
+
+}  // namespace memfss::tenant::kernels

@@ -1,0 +1,143 @@
+#include "tenant/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "sim/sync.hpp"
+
+namespace memfss::tenant {
+
+namespace {
+// Latency/cache-critical sections integrate their progress in quanta so
+// the penalty tracks interference as it changes over the section.
+constexpr int kQuanta = 25;
+}  // namespace
+
+TenantRunner::TenantRunner(cluster::Cluster& cluster,
+                           std::vector<NodeId> nodes,
+                           fs::FileSystem* scavenger)
+    : cluster_(cluster), nodes_(std::move(nodes)), scavenger_(scavenger) {
+  assert(!nodes_.empty());
+}
+
+TenantRunner::ForeignLoad TenantRunner::foreign_load(NodeId node) const {
+  ForeignLoad load;
+  if (!scavenger_ || !scavenger_->has_server(node)) return load;
+  const auto& srv = scavenger_->server(node);
+  const auto& spec = cluster_.node(node).spec();
+  const double req = srv.request_rate();
+  const double bytes = srv.byte_rate();
+  load.krequests = req / 1000.0;
+  load.net_share = bytes / spec.nic.down;
+  load.membw_share = bytes * srv.costs().membw_per_byte /
+                     spec.memory_bandwidth;
+  load.cpu_share =
+      (req * srv.costs().cpu_per_request + bytes * srv.costs().cpu_per_byte) /
+      spec.cores;
+  return load;
+}
+
+sim::Task<> TenantRunner::run_phase(const Phase& phase,
+                                    std::size_t node_index) {
+  const NodeId node = nodes_[node_index];
+  auto& nd = cluster_.node(node);
+  auto& sim = cluster_.sim();
+  std::vector<sim::Task<>> parts;
+
+  if (phase.cpu_core_seconds > 0.0)
+    parts.push_back(nd.cpu().consume(phase.cpu_core_seconds, phase.cpu_cores));
+
+  if (phase.membw_bytes > 0.0)
+    parts.push_back(nd.membw().consume(phase.membw_bytes));
+
+  if (phase.net_bytes > 0 && nodes_.size() > 1) {
+    const Rate cap = phase.net_rate_cap > 0 ? phase.net_rate_cap
+                                            : net::Fabric::kUncapped;
+    if (phase.pattern == NetPattern::ring) {
+      const NodeId peer = nodes_[(node_index + 1) % nodes_.size()];
+      parts.push_back(
+          cluster_.fabric().transfer(node, peer, phase.net_bytes, cap));
+    } else {
+      const Bytes per_peer = phase.net_bytes / (nodes_.size() - 1);
+      for (std::size_t j = 0; j < nodes_.size(); ++j) {
+        if (j == node_index) continue;
+        parts.push_back(
+            cluster_.fabric().transfer(node, nodes_[j], per_peer, cap));
+      }
+    }
+  }
+
+  if (phase.sensitive.base_seconds > 0.0) {
+    parts.push_back([](TenantRunner* r, const Phase& ph,
+                       NodeId n) -> sim::Task<> {
+      const auto& s = ph.sensitive;
+      const double q = s.base_seconds / kQuanta;
+      for (int i = 0; i < kQuanta; ++i) {
+        const auto load = r->foreign_load(n);
+        const double penalty = 1.0 + s.to_krequests * load.krequests +
+                               s.to_net_share * load.net_share +
+                               s.to_membw_share * load.membw_share +
+                               s.to_cpu_share * load.cpu_share;
+        co_await r->cluster_.sim().delay(q * penalty);
+      }
+    }(this, phase, node));
+  }
+
+  if (phase.cache_bound_seconds > 0.0) {
+    parts.push_back([](TenantRunner* r, const Phase& ph,
+                       NodeId n) -> sim::Task<> {
+      const double q = ph.cache_bound_seconds / kQuanta;
+      auto& mem = r->cluster_.node(n).memory();
+      for (int i = 0; i < kQuanta; ++i) {
+        double penalty = 1.0;
+        if (ph.cache_working_set > 0) {
+          const double free = static_cast<double>(mem.available());
+          const double need = static_cast<double>(ph.cache_working_set);
+          const double miss = std::clamp(1.0 - free / need, 0.0, 1.0);
+          penalty = 1.0 + ph.cache_miss_penalty * miss;
+        }
+        co_await r->cluster_.sim().delay(q * penalty);
+      }
+    }(this, phase, node));
+  }
+
+  co_await sim::when_all(sim, std::move(parts));
+}
+
+sim::Task<TenantResult> TenantRunner::run(TenantApp app) {
+  auto& sim = cluster_.sim();
+  const SimTime t0 = sim.now();
+  TenantResult result;
+
+  // Pin the app's resident memory (input arrays, JVM heaps, Spark
+  // executors) for its whole lifetime.
+  std::vector<NodeId> charged;
+  if (app.resident_memory > 0) {
+    for (NodeId n : nodes_) {
+      if (cluster_.node(n).memory().try_alloc(app.resident_memory)) {
+        charged.push_back(n);
+      } else {
+        result.resident_memory_ok = false;
+        LOG_WARN("tenant") << app.name << ": node " << n
+                           << " cannot hold resident set";
+      }
+    }
+  }
+
+  for (int it = 0; it < app.iterations; ++it) {
+    for (const auto& phase : app.phases) {
+      std::vector<sim::Task<>> per_node;
+      per_node.reserve(nodes_.size());
+      for (std::size_t i = 0; i < nodes_.size(); ++i)
+        per_node.push_back(run_phase(phase, i));
+      co_await sim::when_all(sim, std::move(per_node));  // barrier
+    }
+  }
+
+  for (NodeId n : charged) cluster_.node(n).memory().free(app.resident_memory);
+  result.duration = sim.now() - t0;
+  co_return result;
+}
+
+}  // namespace memfss::tenant

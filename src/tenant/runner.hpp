@@ -1,0 +1,51 @@
+// Executes a TenantApp on a set of victim nodes inside the simulation.
+//
+// Phases run in lockstep: every node completes phase k before any node
+// starts phase k+1 (MPI barrier / MapReduce stage boundary). The runner
+// optionally observes a scavenging FileSystem to read the foreign
+// small-request rate on each node (the latency-interference channel).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "fs/filesystem.hpp"
+#include "sim/task.hpp"
+#include "tenant/app.hpp"
+
+namespace memfss::tenant {
+
+struct TenantResult {
+  SimTime duration = 0.0;
+  bool resident_memory_ok = true;  ///< false if allocation failed somewhere
+};
+
+class TenantRunner {
+ public:
+  /// `scavenger`: the MemFSS instance whose servers may be co-located on
+  /// these nodes (nullptr = clean run).
+  TenantRunner(cluster::Cluster& cluster, std::vector<NodeId> nodes,
+               fs::FileSystem* scavenger = nullptr);
+
+  sim::Task<TenantResult> run(TenantApp app);
+
+ private:
+  /// Foreign (scavenger-attributable) load on a node, as seen by the
+  /// interference model.
+  struct ForeignLoad {
+    double krequests = 0.0;   ///< foreign requests per second / 1000
+    double net_share = 0.0;   ///< foreign bytes/s over NIC capacity
+    double membw_share = 0.0; ///< foreign bus traffic over bus capacity
+    double cpu_share = 0.0;   ///< foreign CPU over core capacity
+  };
+
+  sim::Task<> run_phase(const Phase& phase, std::size_t node_index);
+  ForeignLoad foreign_load(NodeId node) const;
+
+  cluster::Cluster& cluster_;
+  std::vector<NodeId> nodes_;
+  fs::FileSystem* scavenger_;
+};
+
+}  // namespace memfss::tenant

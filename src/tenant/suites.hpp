@@ -1,0 +1,40 @@
+// Tenant benchmark catalog: phase-model renditions of the suites the
+// paper runs on the victim nodes (§IV-A2).
+//
+//   HPCC   -- MPI kernels: DGEMM, STREAM, FFT, PTRANS, RandomAccess,
+//             latency & bandwidth probes, HPL. Configured like the paper:
+//             all cores busy, ~48 GB resident input per node.
+//   HiBench/Hadoop -- KMeans, PageRank, WordCount, TeraSort, DFSIO-r/w as
+//             map/shuffle/reduce phase sequences; HDFS reads depend on
+//             the page cache (free-memory sensitive).
+//   HiBench/Spark  -- the same jobs minus DFSIO, with executors pinning
+//             48 GB per node and memory-capacity-sensitive sections (JVM
+//             GC headroom), which is why Spark suffers most (§IV-C).
+//
+// Demands are per-node nominal values for a DAS-5-like node (16 cores,
+// 60 GB/s bus, 3 GB/s NIC); sensitivity coefficients are the calibrated
+// interference knobs (EXPERIMENTS.md lists them per benchmark).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "tenant/app.hpp"
+
+namespace memfss::tenant {
+
+/// The HPCC categories the paper plots (order preserved).
+std::vector<TenantApp> hpcc_suite();
+
+/// The six representative HiBench-on-Hadoop benchmarks of Fig. 4.
+std::vector<TenantApp> hibench_hadoop_suite();
+
+/// The HiBench-on-Spark benchmarks of Fig. 5 (no DFSIO: "not yet
+/// implemented for Spark").
+std::vector<TenantApp> hibench_spark_suite();
+
+/// Find an app by name across all three suites.
+std::optional<TenantApp> find_app(std::string_view name);
+
+}  // namespace memfss::tenant

@@ -1,0 +1,109 @@
+#include "workflow/dag.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/str.hpp"
+
+namespace memfss::workflow {
+
+Bytes Workflow::total_output_bytes() const {
+  Bytes total = 0;
+  for (const auto& t : tasks)
+    for (const auto& o : t.outputs) total += o.bytes;
+  return total;
+}
+
+double Workflow::total_cpu_seconds() const {
+  double total = 0.0;
+  for (const auto& t : tasks) total += t.cpu_seconds;
+  return total;
+}
+
+Result<Dag> Dag::build(const Workflow& wf) {
+  const std::size_t n = wf.tasks.size();
+  std::map<std::string, std::size_t> producer;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& o : wf.tasks[i].outputs) {
+      auto [it, inserted] = producer.emplace(o.path, i);
+      if (!inserted)
+        return Error{Errc::invalid_argument,
+                     "file has two producers: " + o.path};
+    }
+  }
+
+  Dag dag;
+  dag.deps_.resize(n);
+  dag.children_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& in : wf.tasks[i].inputs) {
+      auto it = producer.find(in);
+      if (it == producer.end()) continue;  // external input (staged in)
+      const std::size_t p = it->second;
+      if (p == i)
+        return Error{Errc::invalid_argument,
+                     "task reads its own output: " + in};
+      // Dedup multi-file edges between the same pair.
+      if (std::find(dag.deps_[i].begin(), dag.deps_[i].end(), p) ==
+          dag.deps_[i].end()) {
+        dag.deps_[i].push_back(p);
+        dag.children_[p].push_back(i);
+      }
+    }
+  }
+
+  // Kahn's algorithm; detects cycles and records a deterministic order.
+  std::vector<std::size_t> indeg(n, 0);
+  for (std::size_t i = 0; i < n; ++i) indeg[i] = dag.deps_[i].size();
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+  dag.topo_.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t t = ready.front();
+    ready.pop_front();
+    dag.topo_.push_back(t);
+    for (std::size_t c : dag.children_[t]) {
+      if (--indeg[c] == 0) ready.push_back(c);
+    }
+  }
+  if (dag.topo_.size() != n)
+    return Error{Errc::invalid_argument, "workflow DAG has a cycle"};
+  return dag;
+}
+
+std::vector<std::size_t> Dag::roots() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < deps_.size(); ++i)
+    if (deps_[i].empty()) out.push_back(i);
+  return out;
+}
+
+double Dag::critical_path_seconds(const Workflow& wf) const {
+  std::vector<double> finish(deps_.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t t : topo_) {
+    double start = 0.0;
+    for (std::size_t d : deps_[t]) start = std::max(start, finish[d]);
+    finish[t] = start + wf.tasks[t].cpu_seconds;
+    best = std::max(best, finish[t]);
+  }
+  return best;
+}
+
+std::size_t Dag::max_stage_width(const Workflow& wf) const {
+  // Level = longest dependency chain length; width of the widest level.
+  std::vector<std::size_t> level(deps_.size(), 0);
+  std::map<std::size_t, std::size_t> width;
+  std::size_t best = 0;
+  for (std::size_t t : topo_) {
+    std::size_t lv = 0;
+    for (std::size_t d : deps_[t]) lv = std::max(lv, level[d] + 1);
+    level[t] = lv;
+    best = std::max(best, ++width[lv]);
+  }
+  (void)wf;
+  return best;
+}
+
+}  // namespace memfss::workflow

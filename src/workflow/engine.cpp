@@ -1,0 +1,188 @@
+#include "workflow/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/str.hpp"
+#include "fs/client.hpp"
+#include "sim/sync.hpp"
+
+namespace memfss::workflow {
+
+struct Engine::RunState {
+  RunState(sim::Simulator& sim, std::size_t n)
+      : done_ch(sim), indeg(n, 0) {}
+  Workflow wf;
+  Dag dag;
+  std::set<std::string> produced;  ///< paths written by some task
+  sim::Channel<std::size_t> done_ch;
+  std::vector<std::size_t> indeg;
+  std::deque<std::size_t> ready;
+  std::vector<double> free_slots;  ///< per worker index
+  Report report;
+  SimTime start = 0.0;
+};
+
+Engine::Engine(cluster::Cluster& cluster, fs::FileSystem& fs,
+               std::vector<NodeId> worker_nodes, EngineConfig config)
+    : cluster_(cluster),
+      fs_(fs),
+      workers_(std::move(worker_nodes)),
+      config_(config) {
+  assert(!workers_.empty());
+}
+
+sim::Task<> Engine::run_task(RunState& st, std::size_t idx, NodeId node) {
+  const TaskSpec& spec = st.wf.tasks[idx];
+  const SimTime t0 = cluster_.sim().now();
+  fs::Client client = fs_.client(node);
+
+  // Read every FS-internal input (external inputs are staged outside).
+  for (const auto& in : spec.inputs) {
+    if (!st.produced.count(in)) continue;
+    auto r = co_await client.read_file(in, spec.io.extra_requests_per_mib);
+    if (!r.ok()) {
+      if (st.report.status.ok()) st.report.status = r.error();
+    } else {
+      st.report.bytes_read += r.value();
+    }
+  }
+
+  // Compute.
+  if (spec.cpu_seconds > 0.0)
+    co_await cluster_.node(node).cpu().consume(spec.cpu_seconds, spec.cores);
+
+  // Write outputs.
+  for (const auto& out : spec.outputs) {
+    auto s = co_await client.write_file(out.path, out.bytes, idx,
+                                        spec.io.extra_requests_per_mib);
+    if (!s.ok()) {
+      if (st.report.status.ok()) st.report.status = s;
+    } else {
+      st.report.bytes_written += out.bytes;
+    }
+  }
+
+  st.report.stage_durations[spec.stage].add(cluster_.sim().now() - t0);
+  ++st.report.tasks_run;
+  st.done_ch.push(idx);
+}
+
+sim::Task<Report> Engine::run(Workflow wf) {
+  auto& sim = cluster_.sim();
+  RunState st(sim, wf.tasks.size());
+  auto dag = Dag::build(wf);
+  if (!dag.ok()) {
+    Report r;
+    r.status = dag.error();
+    co_return r;
+  }
+  st.wf = std::move(wf);
+  st.dag = std::move(dag).value();
+  st.start = sim.now();
+
+  for (const auto& t : st.wf.tasks)
+    for (const auto& o : t.outputs) st.produced.insert(o.path);
+
+  // Pre-create every output directory through one client.
+  {
+    std::set<std::string> dirs;
+    for (const auto& p : st.produced) {
+      const auto pos = p.find_last_of('/');
+      if (pos != std::string::npos && pos > 0) dirs.insert(p.substr(0, pos));
+    }
+    fs::Client client = fs_.client(workers_.front());
+    for (const auto& d : dirs) {
+      auto s = co_await client.mkdirs(d);
+      if (!s.ok() && s.code() != Errc::already_exists) {
+        Report r;
+        r.status = s;
+        co_return r;
+      }
+    }
+  }
+
+  const std::size_t n = st.wf.tasks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    st.indeg[i] = st.dag.dependencies(i).size();
+    if (st.indeg[i] == 0) st.ready.push_back(i);
+  }
+  st.free_slots.resize(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    st.free_slots[w] = config_.slots_per_node > 0
+                           ? config_.slots_per_node
+                           : cluster_.node(workers_[w]).spec().cores;
+  }
+  std::vector<std::size_t> task_worker(n, 0);
+
+  Rng rng(config_.seed);
+  std::size_t rr_next = 0;
+  auto pick_worker = [&]() -> std::ptrdiff_t {
+    switch (config_.slot_policy) {
+      case SlotPolicy::least_loaded: {
+        std::size_t best = 0;
+        for (std::size_t w = 1; w < workers_.size(); ++w)
+          if (st.free_slots[w] > st.free_slots[best]) best = w;
+        return st.free_slots[best] >= 1.0 ? std::ptrdiff_t(best) : -1;
+      }
+      case SlotPolicy::round_robin: {
+        for (std::size_t probe = 0; probe < workers_.size(); ++probe) {
+          const std::size_t w = (rr_next + probe) % workers_.size();
+          if (st.free_slots[w] >= 1.0) {
+            rr_next = (w + 1) % workers_.size();
+            return std::ptrdiff_t(w);
+          }
+        }
+        return -1;
+      }
+      case SlotPolicy::random: {
+        std::vector<std::size_t> free;
+        for (std::size_t w = 0; w < workers_.size(); ++w)
+          if (st.free_slots[w] >= 1.0) free.push_back(w);
+        if (free.empty()) return -1;
+        return std::ptrdiff_t(
+            free[rng.uniform_u64(0, free.size() - 1)]);
+      }
+      case SlotPolicy::pack_first: {
+        for (std::size_t w = 0; w < workers_.size(); ++w)
+          if (st.free_slots[w] >= 1.0) return std::ptrdiff_t(w);
+        return -1;
+      }
+    }
+    return -1;
+  };
+
+  auto launch_ready = [&] {
+    while (!st.ready.empty()) {
+      const std::ptrdiff_t chosen = pick_worker();
+      if (chosen < 0) break;  // everything busy
+      const auto best = std::size_t(chosen);
+      const std::size_t idx = st.ready.front();
+      st.ready.pop_front();
+      st.free_slots[best] -= 1.0;
+      task_worker[idx] = best;
+      sim.spawn(run_task(st, idx, workers_[best]));
+    }
+  };
+
+  launch_ready();
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    const std::size_t idx = co_await st.done_ch.pop();
+    --remaining;
+    st.free_slots[task_worker[idx]] += 1.0;
+    for (std::size_t c : st.dag.dependents(idx)) {
+      if (--st.indeg[c] == 0) st.ready.push_back(c);
+    }
+    launch_ready();
+  }
+
+  st.report.makespan = sim.now() - st.start;
+  co_return std::move(st.report);
+}
+
+}  // namespace memfss::workflow

@@ -1,0 +1,437 @@
+#include "workflow/generators.hpp"
+
+#include <cmath>
+
+#include "common/str.hpp"
+
+namespace memfss::workflow {
+
+Workflow make_dd_bag(std::size_t tasks, Bytes bytes_per_task) {
+  Workflow wf;
+  wf.name = "dd";
+  wf.tasks.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    TaskSpec t;
+    t.name = strformat("dd-%zu", i);
+    t.stage = "dd";
+    t.cpu_seconds = 0.2;  // dd is I/O bound; negligible compute
+    t.outputs.push_back({strformat("/dd/out-%zu", i), bytes_per_task});
+    wf.tasks.push_back(std::move(t));
+  }
+  return wf;
+}
+
+Workflow make_montage(const MontageParams& p, Rng& rng) {
+  Workflow wf;
+  wf.name = "montage";
+  const std::size_t T = p.tiles;
+  const std::size_t grid = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(std::sqrt(double(T)))));
+
+  std::vector<Bytes> proj_size(T);
+
+  // mProject: wide, short, small files; reads external raw tiles.
+  for (std::size_t i = 0; i < T; ++i) {
+    TaskSpec t;
+    t.name = strformat("mProject-%zu", i);
+    t.stage = "mProject";
+    t.cpu_seconds = rng.uniform(p.proj_cpu_min, p.proj_cpu_max);
+    t.io.extra_requests_per_mib = p.small_requests_per_mib;
+    t.inputs.push_back(strformat("/raw/tile-%zu.fits", i));  // external
+    proj_size[i] =
+        rng.uniform_u64(p.proj_bytes_min, p.proj_bytes_max);
+    t.outputs.push_back({strformat("/montage/proj/p-%zu.fits", i),
+                         proj_size[i]});
+    wf.tasks.push_back(std::move(t));
+  }
+
+  // mDiffFit: neighbouring tile pairs on a grid (right + down) -- ~2T
+  // short tasks with tiny outputs.
+  std::vector<std::string> fit_files;
+  auto add_diff = [&](std::size_t a, std::size_t b) {
+    TaskSpec t;
+    t.name = strformat("mDiffFit-%zu-%zu", a, b);
+    t.stage = "mDiffFit";
+    t.cpu_seconds = rng.uniform(p.diff_cpu_min, p.diff_cpu_max);
+    t.io.extra_requests_per_mib = p.small_requests_per_mib;
+    t.inputs.push_back(strformat("/montage/proj/p-%zu.fits", a));
+    t.inputs.push_back(strformat("/montage/proj/p-%zu.fits", b));
+    const std::string out = strformat("/montage/diff/fit-%zu-%zu", a, b);
+    t.outputs.push_back({out, rng.uniform_u64(50 * units::KiB,
+                                              200 * units::KiB)});
+    fit_files.push_back(out);
+    wf.tasks.push_back(std::move(t));
+  };
+  for (std::size_t i = 0; i < T; ++i) {
+    if ((i + 1) % grid != 0 && i + 1 < T) add_diff(i, i + 1);   // right
+    if (i + grid < T) add_diff(i, i + grid);                    // down
+  }
+
+  // mConcatFit: one long sequential aggregation task.
+  {
+    TaskSpec t;
+    t.name = "mConcatFit";
+    t.stage = "mConcatFit";
+    t.cpu_seconds = p.concat_cpu;
+    t.inputs = fit_files;
+    t.outputs.push_back({"/montage/fits.tbl", 1 * units::MiB});
+    wf.tasks.push_back(std::move(t));
+  }
+  // mBgModel: one long sequential modelling task.
+  {
+    TaskSpec t;
+    t.name = "mBgModel";
+    t.stage = "mBgModel";
+    t.cpu_seconds = p.bgmodel_cpu;
+    t.inputs.push_back("/montage/fits.tbl");
+    t.outputs.push_back({"/montage/corrections.tbl", 1 * units::MiB});
+    wf.tasks.push_back(std::move(t));
+  }
+
+  // mBackground: wide again.
+  for (std::size_t i = 0; i < T; ++i) {
+    TaskSpec t;
+    t.name = strformat("mBackground-%zu", i);
+    t.stage = "mBackground";
+    t.cpu_seconds = rng.uniform(p.bg_cpu_min, p.bg_cpu_max);
+    t.io.extra_requests_per_mib = p.small_requests_per_mib;
+    t.inputs.push_back(strformat("/montage/proj/p-%zu.fits", i));
+    t.inputs.push_back("/montage/corrections.tbl");
+    t.outputs.push_back({strformat("/montage/corr/c-%zu.fits", i),
+                         proj_size[i]});
+    wf.tasks.push_back(std::move(t));
+  }
+
+  // mImgtbl -> mAdd -> mShrink: the long sequential tail.
+  {
+    TaskSpec t;
+    t.name = "mImgtbl";
+    t.stage = "mImgtbl";
+    t.cpu_seconds = p.imgtbl_cpu;
+    for (std::size_t i = 0; i < T; ++i)
+      t.inputs.push_back(strformat("/montage/corr/c-%zu.fits", i));
+    t.outputs.push_back({"/montage/images.tbl", 1 * units::MiB});
+    wf.tasks.push_back(std::move(t));
+  }
+  Bytes mosaic = 0;
+  for (Bytes b : proj_size) mosaic += b / 2;
+  {
+    TaskSpec t;
+    t.name = "mAdd";
+    t.stage = "mAdd";
+    t.cpu_seconds = p.madd_cpu;
+    t.inputs.push_back("/montage/images.tbl");
+    for (std::size_t i = 0; i < T; ++i)
+      t.inputs.push_back(strformat("/montage/corr/c-%zu.fits", i));
+    t.outputs.push_back({"/montage/mosaic.fits", mosaic});
+    wf.tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "mShrink";
+    t.stage = "mShrink";
+    t.cpu_seconds = p.shrink_cpu;
+    t.inputs.push_back("/montage/mosaic.fits");
+    t.outputs.push_back(
+        {"/montage/mosaic_small.fits", std::max<Bytes>(1, mosaic / 100)});
+    wf.tasks.push_back(std::move(t));
+  }
+  return wf;
+}
+
+Workflow make_blast(const BlastParams& p, Rng& rng) {
+  Workflow wf;
+  wf.name = "blast";
+  const std::size_t Q = p.queries;
+
+  {
+    TaskSpec t;
+    t.name = "split";
+    t.stage = "split";
+    t.cpu_seconds = p.split_cpu;
+    t.inputs.push_back("/raw/queries.fasta");  // external
+    for (std::size_t i = 0; i < Q; ++i) {
+      t.outputs.push_back(
+          {strformat("/blast/chunk-%zu", i),
+           rng.uniform_u64(p.chunk_bytes_min, p.chunk_bytes_max)});
+    }
+    wf.tasks.push_back(std::move(t));
+  }
+  for (std::size_t i = 0; i < Q; ++i) {
+    TaskSpec t;
+    t.name = strformat("blastn-%zu", i);
+    t.stage = "blastn";
+    t.cpu_seconds = rng.uniform(p.task_cpu_min, p.task_cpu_max);
+    t.inputs.push_back(strformat("/blast/chunk-%zu", i));
+    t.outputs.push_back(
+        {strformat("/blast/result-%zu", i),
+         rng.uniform_u64(p.result_bytes_min, p.result_bytes_max)});
+    t.io.extra_requests_per_mib = p.small_requests_per_mib;
+    wf.tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "merge";
+    t.stage = "merge";
+    t.cpu_seconds = p.merge_cpu;
+    Bytes total = 0;
+    for (std::size_t i = 0; i < Q; ++i)
+      t.inputs.push_back(strformat("/blast/result-%zu", i));
+    for (const auto& task : wf.tasks)
+      if (task.stage == "blastn") total += task.outputs[0].bytes;
+    t.outputs.push_back({"/blast/final", total / 10});
+    wf.tasks.push_back(std::move(t));
+  }
+  return wf;
+}
+
+Workflow make_cybershake(const CyberShakeParams& p, Rng& rng) {
+  Workflow wf;
+  wf.name = "cybershake";
+  std::vector<std::string> peak_files;
+  for (std::size_t s = 0; s < p.sites; ++s) {
+    // ExtractSGT: one hefty task per site producing the strain tensor.
+    {
+      TaskSpec t;
+      t.name = strformat("ExtractSGT-%zu", s);
+      t.stage = "ExtractSGT";
+      t.cpu_seconds = p.extract_cpu;
+      t.inputs.push_back(strformat("/raw/sgt-master-%zu", s));  // external
+      t.outputs.push_back({strformat("/cs/sgt-%zu", s), p.sgt_bytes});
+      wf.tasks.push_back(std::move(t));
+    }
+    // SeismogramSynthesis + PeakValCalc: the wide, short fan-out.
+    for (std::size_t v = 0; v < p.variations; ++v) {
+      TaskSpec seis;
+      seis.name = strformat("Seismogram-%zu-%zu", s, v);
+      seis.stage = "Seismogram";
+      seis.cpu_seconds = rng.uniform(p.seismo_cpu_min, p.seismo_cpu_max);
+      seis.inputs.push_back(strformat("/cs/sgt-%zu", s));
+      seis.outputs.push_back(
+          {strformat("/cs/seis-%zu-%zu", s, v), p.seismogram_bytes});
+      wf.tasks.push_back(std::move(seis));
+
+      TaskSpec peak;
+      peak.name = strformat("PeakVal-%zu-%zu", s, v);
+      peak.stage = "PeakVal";
+      peak.cpu_seconds = p.peak_cpu;
+      peak.inputs.push_back(strformat("/cs/seis-%zu-%zu", s, v));
+      const std::string out = strformat("/cs/peak-%zu-%zu", s, v);
+      peak.outputs.push_back({out, 64 * units::KiB});
+      peak_files.push_back(out);
+      wf.tasks.push_back(std::move(peak));
+    }
+  }
+  // ZipPSA: single long gather of every peak file.
+  TaskSpec zip;
+  zip.name = "ZipPSA";
+  zip.stage = "ZipPSA";
+  zip.cpu_seconds = p.zip_cpu;
+  zip.inputs = peak_files;
+  zip.outputs.push_back(
+      {"/cs/hazard.zip",
+       static_cast<Bytes>(peak_files.size()) * 64 * units::KiB});
+  wf.tasks.push_back(std::move(zip));
+  return wf;
+}
+
+Workflow make_ligo(const LigoParams& p, Rng& rng) {
+  Workflow wf;
+  wf.name = "ligo";
+  // TmpltBank per segment, Inspiral per segment, then per-branch thinca
+  // coincidence over segment groups, a second inspiral pass and a final
+  // coincidence -- the characteristic deep LIGO chain.
+  std::vector<std::string> first_pass;
+  for (std::size_t i = 0; i < p.segments; ++i) {
+    {
+      TaskSpec t;
+      t.name = strformat("TmpltBank-%zu", i);
+      t.stage = "TmpltBank";
+      t.cpu_seconds = rng.uniform(30.0, 90.0);
+      t.inputs.push_back(strformat("/raw/segment-%zu", i));  // external
+      t.outputs.push_back(
+          {strformat("/ligo/bank-%zu", i), p.template_bytes});
+      wf.tasks.push_back(std::move(t));
+    }
+    {
+      TaskSpec t;
+      t.name = strformat("Inspiral1-%zu", i);
+      t.stage = "Inspiral";
+      t.cpu_seconds = rng.uniform(p.inspiral_cpu_min, p.inspiral_cpu_max);
+      t.inputs.push_back(strformat("/ligo/bank-%zu", i));
+      t.outputs.push_back(
+          {strformat("/ligo/trig1-%zu", i), p.segment_bytes / 16});
+      first_pass.push_back(strformat("/ligo/trig1-%zu", i));
+      wf.tasks.push_back(std::move(t));
+    }
+  }
+  const std::size_t group = std::max<std::size_t>(
+      1, p.segments / std::max<std::size_t>(1, p.branches));
+  std::vector<std::string> thinca_files;
+  for (std::size_t b = 0; b < p.branches; ++b) {
+    TaskSpec t;
+    t.name = strformat("Thinca1-%zu", b);
+    t.stage = "Thinca";
+    t.cpu_seconds = p.thinca_cpu;
+    for (std::size_t i = b * group;
+         i < std::min(p.segments, (b + 1) * group); ++i)
+      t.inputs.push_back(first_pass[i]);
+    const std::string out = strformat("/ligo/coinc1-%zu", b);
+    t.outputs.push_back({out, 16 * units::MiB});
+    thinca_files.push_back(out);
+    wf.tasks.push_back(std::move(t));
+  }
+  // Second inspiral pass: follow up the coincidences.
+  std::vector<std::string> second_pass;
+  for (std::size_t i = 0; i < p.segments / 2; ++i) {
+    TaskSpec t;
+    t.name = strformat("Inspiral2-%zu", i);
+    t.stage = "Inspiral2";
+    t.cpu_seconds = rng.uniform(p.inspiral_cpu_min, p.inspiral_cpu_max) / 2;
+    t.inputs.push_back(thinca_files[i % thinca_files.size()]);
+    t.outputs.push_back(
+        {strformat("/ligo/trig2-%zu", i), p.segment_bytes / 32});
+    second_pass.push_back(strformat("/ligo/trig2-%zu", i));
+    wf.tasks.push_back(std::move(t));
+  }
+  TaskSpec fin;
+  fin.name = "Thinca2";
+  fin.stage = "Thinca";
+  fin.cpu_seconds = p.thinca_cpu;
+  fin.inputs = second_pass;
+  fin.outputs.push_back({"/ligo/events", 8 * units::MiB});
+  wf.tasks.push_back(std::move(fin));
+  return wf;
+}
+
+Workflow make_sipht(const SiphtParams& p, Rng& rng) {
+  Workflow wf;
+  wf.name = "sipht";
+  // Several independent BLAST-family searches per partition...
+  static constexpr const char* kSearches[] = {"Blast", "BlastQRNA",
+                                              "BlastParalog"};
+  std::vector<std::string> search_out;
+  for (std::size_t i = 0; i < p.partitions; ++i) {
+    for (const char* family : kSearches) {
+      TaskSpec t;
+      t.name = strformat("%s-%zu", family, i);
+      t.stage = family;
+      t.cpu_seconds = rng.uniform(p.blast_cpu_min, p.blast_cpu_max);
+      t.inputs.push_back(strformat("/raw/genome-part-%zu", i));  // external
+      const std::string out = strformat("/sipht/%s-%zu", family, i);
+      t.outputs.push_back({out, p.blast_out_bytes});
+      t.io.extra_requests_per_mib = 20.0;  // BLAST-family chatty I/O
+      search_out.push_back(out);
+      wf.tasks.push_back(std::move(t));
+    }
+  }
+  // ...one long sRNA prediction over everything...
+  TaskSpec srna;
+  srna.name = "SRNA";
+  srna.stage = "SRNA";
+  srna.cpu_seconds = p.srna_cpu;
+  srna.inputs = search_out;
+  srna.outputs.push_back({"/sipht/srna", 64 * units::MiB});
+  wf.tasks.push_back(std::move(srna));
+  // ...and a final annotation.
+  TaskSpec annot;
+  annot.name = "Annotate";
+  annot.stage = "Annotate";
+  annot.cpu_seconds = p.annotate_cpu;
+  annot.inputs.push_back("/sipht/srna");
+  annot.outputs.push_back({"/sipht/annotations", 16 * units::MiB});
+  wf.tasks.push_back(std::move(annot));
+  return wf;
+}
+
+Workflow make_epigenomics(const EpigenomicsParams& p, Rng& rng) {
+  Workflow wf;
+  wf.name = "epigenomics";
+  std::vector<std::string> lane_bams;
+  for (std::size_t lane = 0; lane < p.lanes; ++lane) {
+    std::vector<std::string> mapped;
+    for (std::size_t c = 0; c < p.chunks_per_lane; ++c) {
+      // filterContams -> sol2sanger -> fastq2bfq -> map: a chain per chunk.
+      const std::string base = strformat("/epi/l%zu-c%zu", lane, c);
+      TaskSpec filter;
+      filter.name = strformat("filter-%zu-%zu", lane, c);
+      filter.stage = "filter";
+      filter.cpu_seconds = rng.uniform(5.0, 15.0);
+      filter.inputs.push_back(strformat("/raw/lane%zu-chunk%zu", lane, c));
+      filter.outputs.push_back({base + ".filtered", p.chunk_bytes});
+      wf.tasks.push_back(std::move(filter));
+
+      TaskSpec conv;
+      conv.name = strformat("fastq2bfq-%zu-%zu", lane, c);
+      conv.stage = "fastq2bfq";
+      conv.cpu_seconds = rng.uniform(3.0, 8.0);
+      conv.inputs.push_back(base + ".filtered");
+      conv.outputs.push_back({base + ".bfq", p.chunk_bytes / 2});
+      wf.tasks.push_back(std::move(conv));
+
+      TaskSpec map;
+      map.name = strformat("map-%zu-%zu", lane, c);
+      map.stage = "map";
+      map.cpu_seconds = rng.uniform(p.map_cpu_min, p.map_cpu_max);
+      map.inputs.push_back(base + ".bfq");
+      map.outputs.push_back({base + ".bam", p.chunk_bytes / 2});
+      mapped.push_back(base + ".bam");
+      wf.tasks.push_back(std::move(map));
+    }
+    TaskSpec merge;
+    merge.name = strformat("mapMerge-%zu", lane);
+    merge.stage = "mapMerge";
+    merge.cpu_seconds = p.merge_cpu;
+    merge.inputs = mapped;
+    const std::string bam = strformat("/epi/lane-%zu.bam", lane);
+    merge.outputs.push_back(
+        {bam, p.chunk_bytes * p.chunks_per_lane / 2});
+    lane_bams.push_back(bam);
+    wf.tasks.push_back(std::move(merge));
+  }
+  TaskSpec index;
+  index.name = "mapIndex";
+  index.stage = "mapIndex";
+  index.cpu_seconds = p.index_cpu;
+  index.inputs = lane_bams;
+  index.outputs.push_back({"/epi/genome-index", 256 * units::MiB});
+  wf.tasks.push_back(std::move(index));
+  return wf;
+}
+
+Workflow make_fork_join(std::size_t width, double task_cpu,
+                        Bytes file_bytes) {
+  Workflow wf;
+  wf.name = "fork-join";
+  {
+    TaskSpec t;
+    t.name = "source";
+    t.stage = "source";
+    t.cpu_seconds = task_cpu;
+    for (std::size_t i = 0; i < width; ++i)
+      t.outputs.push_back({strformat("/fj/in-%zu", i), file_bytes});
+    wf.tasks.push_back(std::move(t));
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    TaskSpec t;
+    t.name = strformat("worker-%zu", i);
+    t.stage = "worker";
+    t.cpu_seconds = task_cpu;
+    t.inputs.push_back(strformat("/fj/in-%zu", i));
+    t.outputs.push_back({strformat("/fj/out-%zu", i), file_bytes});
+    wf.tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.name = "sink";
+    t.stage = "sink";
+    t.cpu_seconds = task_cpu;
+    for (std::size_t i = 0; i < width; ++i)
+      t.inputs.push_back(strformat("/fj/out-%zu", i));
+    t.outputs.push_back({"/fj/final", file_bytes});
+    wf.tasks.push_back(std::move(t));
+  }
+  return wf;
+}
+
+}  // namespace memfss::workflow

@@ -1,0 +1,121 @@
+// Workload generators for the paper's three MemFSS applications (§IV-A1)
+// plus a generic fork-join used by tests.
+//
+//  - dd bag:    2048 independent tasks, 128 MiB sequential write each --
+//               the I/O-bound upper bound on scavenging overhead.
+//  - Montage:   wide short-task stages (1-4 MB files) interleaved with
+//               long sequential aggregation stages (mConcatFit, mBgModel,
+//               mAdd) -- the poor-scalability shape of Fig. 7 / Table II.
+//  - BLAST:     CPU-bound tasks of tens of seconds to minutes, files of
+//               hundreds of MB, and *many small I/O requests* (the
+//               IoProfile knob), which is why BLAST perturbs
+//               latency-sensitive MPI tenants more than dd does.
+//
+// All distributions draw from the caller's Rng: same seed, same workflow.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workflow/dag.hpp"
+
+namespace memfss::workflow {
+
+/// Bag of independent write tasks (the paper's dd microbenchmark).
+Workflow make_dd_bag(std::size_t tasks = 2048,
+                     Bytes bytes_per_task = 128 * units::MiB);
+
+struct MontageParams {
+  std::size_t tiles = 256;      ///< projection width T
+  Bytes proj_bytes_min = 1 * units::MiB;
+  Bytes proj_bytes_max = 4 * units::MiB;
+  double proj_cpu_min = 2.0, proj_cpu_max = 10.0;
+  double diff_cpu_min = 0.5, diff_cpu_max = 3.0;
+  double bg_cpu_min = 1.0, bg_cpu_max = 3.0;
+  double concat_cpu = 300.0;    ///< sequential aggregation stages
+  double bgmodel_cpu = 600.0;
+  double imgtbl_cpu = 120.0;
+  double madd_cpu = 1200.0;
+  double shrink_cpu = 60.0;
+  /// FUSE-level chatter of the wide stages: Montage tasks poke many
+  /// small files, so each MiB of payload carries some extra requests.
+  double small_requests_per_mib = 0.0;
+};
+
+/// Montage-like image-mosaicking workflow.
+Workflow make_montage(const MontageParams& p, Rng& rng);
+
+struct BlastParams {
+  std::size_t queries = 64;
+  Bytes chunk_bytes_min = 64 * units::MiB;
+  Bytes chunk_bytes_max = 192 * units::MiB;
+  Bytes result_bytes_min = 128 * units::MiB;
+  Bytes result_bytes_max = 512 * units::MiB;
+  double task_cpu_min = 30.0, task_cpu_max = 180.0;
+  double split_cpu = 60.0, merge_cpu = 120.0;
+  double small_requests_per_mib = 40.0;  ///< BLAST's chatty I/O pattern
+};
+
+/// BLAST-like sequence-alignment workflow.
+Workflow make_blast(const BlastParams& p, Rng& rng);
+
+/// width parallel tasks between a source and a sink (tests).
+Workflow make_fork_join(std::size_t width, double task_cpu,
+                        Bytes file_bytes);
+
+// --- the other real-world workflows the paper cites (§II-A) -----------------
+//
+// Shapes follow the Pegasus workflow-gallery characterizations (Juve et
+// al. 2013, the paper's [7]): each combines wide parallel stages with
+// narrow aggregation/partitioning bottlenecks, which is exactly the
+// limited-scalability structure scavenging exploits.
+
+struct CyberShakeParams {
+  std::size_t sites = 8;             ///< rupture sites
+  std::size_t variations = 48;       ///< seismogram tasks per site
+  Bytes sgt_bytes = 256 * units::MiB;   ///< strain Green tensor per site
+  Bytes seismogram_bytes = 1 * units::MiB;
+  double extract_cpu = 60.0, seismo_cpu_min = 5.0, seismo_cpu_max = 20.0;
+  double peak_cpu = 2.0, zip_cpu = 120.0;
+};
+
+/// CyberShake-like seismic-hazard workflow: per-site SGT extraction fans
+/// out to thousands of short seismogram/PSA tasks, gathered by one zip.
+Workflow make_cybershake(const CyberShakeParams& p, Rng& rng);
+
+struct LigoParams {
+  std::size_t segments = 64;         ///< detector data segments
+  Bytes segment_bytes = 128 * units::MiB;
+  Bytes template_bytes = 8 * units::MiB;
+  double inspiral_cpu_min = 60.0, inspiral_cpu_max = 300.0;
+  double thinca_cpu = 90.0;
+  std::size_t branches = 2;          ///< coincidence branches
+};
+
+/// LIGO-like inspiral analysis: long CPU-heavy matched-filter tasks per
+/// segment, interleaved with coincidence (thinca) aggregations.
+Workflow make_ligo(const LigoParams& p, Rng& rng);
+
+struct SiphtParams {
+  std::size_t partitions = 32;       ///< genome partitions
+  Bytes blast_out_bytes = 24 * units::MiB;
+  double blast_cpu_min = 20.0, blast_cpu_max = 90.0;
+  double srna_cpu = 150.0, annotate_cpu = 45.0;
+};
+
+/// SIPHT-like sRNA annotation: many independent BLAST-family searches
+/// feeding one sRNA prediction and a final annotation stage.
+Workflow make_sipht(const SiphtParams& p, Rng& rng);
+
+struct EpigenomicsParams {
+  std::size_t lanes = 4;             ///< sequencing lanes
+  std::size_t chunks_per_lane = 32;  ///< fastq splits per lane
+  Bytes chunk_bytes = 64 * units::MiB;
+  double map_cpu_min = 30.0, map_cpu_max = 120.0;
+  double merge_cpu = 180.0, index_cpu = 60.0;
+};
+
+/// Epigenomics-like methylation pipeline: per-lane chains of
+/// filter->map->merge, then a genome-wide index -- a deep, narrow DAG.
+Workflow make_epigenomics(const EpigenomicsParams& p, Rng& rng);
+
+}  // namespace memfss::workflow

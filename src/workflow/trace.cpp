@@ -1,0 +1,148 @@
+#include "workflow/trace.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/str.hpp"
+
+namespace memfss::workflow {
+
+Result<Bytes> parse_size(const std::string& token) {
+  if (token.empty()) return Error{Errc::invalid_argument, "empty size"};
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || v < 0)
+    return Error{Errc::invalid_argument, "bad size: " + token};
+  double mult = 1;
+  if (*end) {
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case 'K': mult = double(units::KiB); break;
+      case 'M': mult = double(units::MiB); break;
+      case 'G': mult = double(units::GiB); break;
+      case 'T': mult = double(units::TiB); break;
+      default:
+        return Error{Errc::invalid_argument, "bad size suffix: " + token};
+    }
+    if (*(end + 1))
+      return Error{Errc::invalid_argument, "trailing junk: " + token};
+  }
+  return static_cast<Bytes>(v * mult);
+}
+
+namespace {
+
+/// "key=value" -> value; empty if the prefix does not match.
+std::string attr_value(const std::string& token, std::string_view key) {
+  if (token.size() > key.size() + 1 && token.compare(0, key.size(), key) == 0 &&
+      token[key.size()] == '=')
+    return token.substr(key.size() + 1);
+  return {};
+}
+
+Error at_line(std::size_t line, const std::string& what) {
+  return Error{Errc::invalid_argument,
+               strformat("line %zu: %s", line, what.c_str())};
+}
+
+}  // namespace
+
+Result<Workflow> parse_workflow(std::istream& in) {
+  Workflow wf;
+  wf.name = "trace";
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_task = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and surrounding whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank
+
+    if (word == "workflow") {
+      if (!(ls >> wf.name)) return at_line(lineno, "workflow needs a name");
+    } else if (word == "task") {
+      TaskSpec t;
+      if (!(ls >> t.name)) return at_line(lineno, "task needs a name");
+      std::string tok;
+      while (ls >> tok) {
+        if (auto v = attr_value(tok, "stage"); !v.empty()) {
+          t.stage = v;
+        } else if (auto v2 = attr_value(tok, "cpu"); !v2.empty()) {
+          t.cpu_seconds = std::atof(v2.c_str());
+        } else if (auto v3 = attr_value(tok, "cores"); !v3.empty()) {
+          t.cores = std::atof(v3.c_str());
+        } else if (auto v4 = attr_value(tok, "reqs_per_mib"); !v4.empty()) {
+          t.io.extra_requests_per_mib = std::atof(v4.c_str());
+        } else {
+          return at_line(lineno, "unknown task attribute: " + tok);
+        }
+      }
+      if (t.stage.empty()) t.stage = t.name;
+      if (t.cpu_seconds < 0 || t.cores <= 0)
+        return at_line(lineno, "invalid cpu/cores");
+      wf.tasks.push_back(std::move(t));
+      have_task = true;
+    } else if (word == "in") {
+      if (!have_task) return at_line(lineno, "'in' before any task");
+      std::string path;
+      if (!(ls >> path)) return at_line(lineno, "'in' needs a path");
+      wf.tasks.back().inputs.push_back(std::move(path));
+    } else if (word == "out") {
+      if (!have_task) return at_line(lineno, "'out' before any task");
+      std::string path, size;
+      if (!(ls >> path >> size))
+        return at_line(lineno, "'out' needs a path and a size");
+      auto bytes = parse_size(size);
+      if (!bytes.ok()) return at_line(lineno, bytes.error().message);
+      wf.tasks.back().outputs.push_back({std::move(path), bytes.value()});
+    } else {
+      return at_line(lineno, "unknown directive: " + word);
+    }
+  }
+  // Validate the DAG here so callers get parse-time errors for cycles and
+  // duplicate producers too.
+  if (auto dag = Dag::build(wf); !dag.ok()) return dag.error();
+  return wf;
+}
+
+Result<Workflow> parse_workflow_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_workflow(in);
+}
+
+Result<Workflow> load_workflow_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{Errc::not_found, path};
+  return parse_workflow(in);
+}
+
+std::string to_trace(const Workflow& wf) {
+  std::ostringstream out;
+  out << "workflow " << wf.name << "\n";
+  for (const auto& t : wf.tasks) {
+    // %.17g: shortest representation that round-trips a double exactly.
+    out << "task " << t.name << " stage=" << t.stage
+        << strformat(" cpu=%.17g cores=%.17g", t.cpu_seconds, t.cores);
+    if (t.io.extra_requests_per_mib > 0)
+      out << strformat(" reqs_per_mib=%.17g", t.io.extra_requests_per_mib);
+    out << "\n";
+    for (const auto& in_path : t.inputs) out << "in " << in_path << "\n";
+    for (const auto& o : t.outputs)
+      out << "out " << o.path << " " << o.bytes << "\n";
+  }
+  return out.str();
+}
+
+Status save_workflow_file(const Workflow& wf, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return {Errc::io_error, "cannot open " + path};
+  out << to_trace(wf);
+  return out.good() ? Status{} : Status{Errc::io_error, "write failed"};
+}
+
+}  // namespace memfss::workflow

@@ -1,0 +1,44 @@
+// Workflow trace format: load/save workflows as plain text, so users can
+// run their own DAGs (e.g. exported from Pegasus DAX files) through the
+// engine instead of the built-in generators.
+//
+// Format (line-oriented, '#' comments, blank lines ignored):
+//
+//   workflow <name>
+//   task <name> stage=<label> cpu=<seconds> [cores=<n>] [reqs_per_mib=<x>]
+//   in <path>                # input of the most recent task
+//   out <path> <size>        # output of the most recent task
+//
+// Sizes accept K/M/G/T suffixes (binary units): "128M", "4G", "512".
+// Dependencies are implied by file producer/consumer relations, exactly
+// as in the in-memory model.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.hpp"
+#include "workflow/dag.hpp"
+
+namespace memfss::workflow {
+
+/// Parse a trace from a stream. Fails with invalid_argument on malformed
+/// lines (the message names the line number).
+Result<Workflow> parse_workflow(std::istream& in);
+
+/// Parse a trace from a string.
+Result<Workflow> parse_workflow_text(const std::string& text);
+
+/// Load from a file (not_found if unreadable).
+Result<Workflow> load_workflow_file(const std::string& path);
+
+/// Serialize to the same format (round-trips through parse_workflow).
+std::string to_trace(const Workflow& wf);
+
+/// Save to a file.
+Status save_workflow_file(const Workflow& wf, const std::string& path);
+
+/// Parse "128M"/"4G"/"512" into bytes.
+Result<Bytes> parse_size(const std::string& token);
+
+}  // namespace memfss::workflow

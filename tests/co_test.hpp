@@ -1,0 +1,26 @@
+// Coroutine-safe gtest assertions.
+//
+// gtest's ASSERT_* macros expand to a bare `return;` on failure, which
+// does not compile inside a coroutine (and could not abort it correctly
+// anyway). CO_ASSERT_* records the failure and co_returns instead. Use
+// them inside sim::Task<> test bodies; plain ASSERT_*/EXPECT_* elsewhere.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#define CO_ASSERT_TRUE(cond)                               \
+  if (!(cond)) {                                           \
+    ADD_FAILURE() << "CO_ASSERT_TRUE failed: " << #cond;   \
+    co_return;                                             \
+  }                                                        \
+  static_assert(true, "")
+
+#define CO_ASSERT_FALSE(cond) CO_ASSERT_TRUE(!(cond))
+
+#define CO_ASSERT_OK(expr)                                        \
+  if (const auto& co_assert_res_ = (expr); !co_assert_res_.ok()) { \
+    ADD_FAILURE() << "CO_ASSERT_OK failed: " << #expr << " -> "    \
+                  << co_assert_res_.error().to_string();           \
+    co_return;                                                     \
+  }                                                                \
+  static_assert(true, "")

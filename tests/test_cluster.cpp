@@ -1,0 +1,129 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/monitor.hpp"
+#include "cluster/reservation.hpp"
+
+namespace memfss::cluster {
+namespace {
+
+TEST(Cluster, NodesGetDefaultSpec) {
+  sim::Simulator sim;
+  Cluster c(sim, 4);
+  EXPECT_EQ(c.node_count(), 4u);
+  EXPECT_EQ(c.node(0).spec().cores, 16.0);
+  EXPECT_EQ(c.node(3).memory().capacity(), 64 * units::GiB);
+  EXPECT_EQ(c.fabric().node_count(), 4u);
+  EXPECT_EQ(c.all_nodes().size(), 4u);
+}
+
+TEST(Reservation, ReserveAndRelease) {
+  sim::Simulator sim;
+  ReservationSystem rs(sim, 10);
+  auto r = rs.reserve("alice", 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nodes.size(), 4u);
+  EXPECT_EQ(rs.free_nodes(), 6u);
+  sim.schedule(7200.0, [] {});
+  sim.run();  // two hours pass
+  const double hours = rs.release(r.value());
+  EXPECT_NEAR(hours, 8.0, 1e-9);  // 4 nodes x 2 h
+  EXPECT_EQ(rs.free_nodes(), 10u);
+  EXPECT_NEAR(rs.consumed_node_hours("alice"), 8.0, 1e-9);
+}
+
+TEST(Reservation, RejectsOversizedRequest) {
+  sim::Simulator sim;
+  ReservationSystem rs(sim, 5);
+  auto a = rs.reserve("a", 3);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(rs.reserve("b", 3).code(), Errc::unavailable);
+  EXPECT_EQ(rs.reserve("b", 0).code(), Errc::invalid_argument);
+}
+
+TEST(Reservation, NodesAreExclusive) {
+  sim::Simulator sim;
+  ReservationSystem rs(sim, 6);
+  auto a = rs.reserve("a", 3);
+  auto b = rs.reserve("b", 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (NodeId n : a.value().nodes)
+    for (NodeId m : b.value().nodes) EXPECT_NE(n, m);
+}
+
+TEST(ScavengeQueue, OfferLifecycle) {
+  sim::Simulator sim;
+  ReservationSystem rs(sim, 4);
+  auto r = rs.reserve("tenant", 2);
+  ASSERT_TRUE(r.ok());
+  const NodeId node = r.value().nodes[0];
+
+  ASSERT_TRUE(rs.register_offer(r.value(), node, 10 * units::GiB, 5e8).ok());
+  EXPECT_EQ(rs.register_offer(r.value(), node, 1, 1).code(),
+            Errc::already_exists);
+  EXPECT_EQ(rs.offers().size(), 1u);
+
+  auto claimed = rs.claim_offer(node);
+  ASSERT_TRUE(claimed.ok());
+  EXPECT_EQ(claimed.value().memory_cap, 10 * units::GiB);
+  EXPECT_EQ(claimed.value().tenant, "tenant");
+  EXPECT_TRUE(rs.offers().empty());
+  EXPECT_EQ(rs.claim_offer(node).code(), Errc::not_found);
+}
+
+TEST(ScavengeQueue, OfferRequiresOwnership) {
+  sim::Simulator sim;
+  ReservationSystem rs(sim, 4);
+  auto a = rs.reserve("a", 2);
+  auto b = rs.reserve("b", 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(
+      rs.register_offer(a.value(), b.value().nodes[0], 1, 1).code(),
+      Errc::permission);
+}
+
+TEST(ScavengeQueue, WithdrawRemovesOffer) {
+  sim::Simulator sim;
+  ReservationSystem rs(sim, 2);
+  auto r = rs.reserve("t", 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(rs.register_offer(r.value(), r.value().nodes[0], 1, 1).ok());
+  ASSERT_TRUE(rs.withdraw_offer(r.value().nodes[0]).ok());
+  EXPECT_EQ(rs.withdraw_offer(r.value().nodes[0]).code(), Errc::not_found);
+}
+
+TEST(ScavengeQueue, OffersDieWithReservation) {
+  sim::Simulator sim;
+  ReservationSystem rs(sim, 2);
+  auto r = rs.reserve("t", 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(rs.register_offer(r.value(), r.value().nodes[0], 1, 1).ok());
+  rs.release(r.value());
+  EXPECT_TRUE(rs.offers().empty());
+}
+
+TEST(VictimMonitor, FiresOnPressureViaScheduler) {
+  sim::Simulator sim;
+  sim::MemoryPool pool(100);
+  int evicted = -1;
+  VictimMonitor mon(sim, pool, 7, 0.8, [&](NodeId n) { evicted = int(n); });
+  (void)pool.try_alloc(85);  // crosses 80%
+  EXPECT_EQ(evicted, -1);    // handler is deferred to the event queue
+  sim.run();
+  EXPECT_EQ(evicted, 7);
+  EXPECT_TRUE(mon.fired());
+}
+
+TEST(VictimMonitor, ManualDemand) {
+  sim::Simulator sim;
+  sim::MemoryPool pool(100);
+  int count = 0;
+  VictimMonitor mon(sim, pool, 3, 0.9, [&](NodeId) { ++count; });
+  mon.demand_memory();
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace memfss::cluster

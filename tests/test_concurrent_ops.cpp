@@ -1,0 +1,189 @@
+// Concurrency stress tests: operations racing membership changes --
+// reads during evacuation, writes during own-class shrink, evacuation
+// during an active workflow. The system's liveness guarantees (probing,
+// draining-node fallback, bounded retries) must hold under all of them.
+#include <gtest/gtest.h>
+
+#include "co_test.hpp"
+#include "common/str.hpp"
+#include "fs/client.hpp"
+#include "fs/filesystem.hpp"
+#include "sim/sync.hpp"
+
+namespace memfss::fs {
+namespace {
+
+std::vector<cluster::ScavengeOffer> offers(std::vector<NodeId> nodes) {
+  std::vector<cluster::ScavengeOffer> out;
+  for (NodeId n : nodes) out.push_back({n, units::GiB, 200e6, "t"});
+  return out;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  cluster::Cluster cl;
+  FileSystem fs;
+
+  Rig() : cl(sim, 12), fs(cl, make_cfg()) {}
+
+  static FileSystemConfig make_cfg() {
+    FileSystemConfig cfg;
+    cfg.own_nodes = {0, 1, 2, 3};
+    cfg.own_store_capacity = 4 * units::GiB;
+    cfg.stripe_size = 1 * units::MiB;
+    return cfg;
+  }
+};
+
+sim::Task<> write_files(Rig& r, int count, Bytes size, Status& out) {
+  Client c = r.fs.client(0);
+  for (int i = 0; i < count; ++i) {
+    auto st = co_await c.write_file(strformat("/w%d", i), size);
+    if (!st.ok() && out.ok()) out = st;
+  }
+}
+
+sim::Task<> read_files_loop(Rig& r, int count, Bytes size, int rounds,
+                            Status& out) {
+  Client c = r.fs.client(1);
+  for (int round = 0; round < rounds; ++round) {
+    for (int i = 0; i < count; ++i) {
+      auto bytes = co_await c.read_file(strformat("/w%d", i));
+      if (!bytes.ok()) {
+        if (out.ok()) out = bytes.error();
+      } else if (bytes.value() != size && out.ok()) {
+        out = Status{Errc::corruption, "short read"};
+      }
+    }
+  }
+}
+
+TEST(Concurrent, ReadsSurviveEvacuationMidFlight) {
+  Rig rig;
+  ASSERT_TRUE(
+      rig.fs.add_victim_class(1, offers({4, 5, 6, 7, 8, 9, 10, 11}), 0.25)
+          .ok());
+  Status write_st, read_st, evac_st{Errc::io_error, "unset"};
+  bool all_done = false;
+  rig.sim.spawn([](Rig& r, Status& ws, Status& rs, Status& es,
+                   bool& done) -> sim::Task<> {
+    co_await write_files(r, 12, 8 * units::MiB, ws);
+    // Readers hammer the files while two victims evacuate.
+    std::vector<sim::Task<>> work;
+    work.push_back(read_files_loop(r, 12, 8 * units::MiB, 3, rs));
+    work.push_back([](Rig& rr, Status& e) -> sim::Task<> {
+      auto st1 = co_await rr.fs.evacuate_victim(5);
+      auto st2 = co_await rr.fs.evacuate_victim(9);
+      e = st1.ok() ? st2 : st1;
+    }(r, es));
+    co_await sim::when_all(r.sim, std::move(work));
+    done = true;
+  }(rig, write_st, read_st, evac_st, all_done));
+  rig.sim.run();
+  ASSERT_TRUE(all_done);
+  EXPECT_TRUE(write_st.ok()) << write_st.error().to_string();
+  EXPECT_TRUE(read_st.ok()) << read_st.error().to_string();
+  EXPECT_TRUE(evac_st.ok()) << evac_st.error().to_string();
+  EXPECT_EQ(rig.fs.bytes_on(5), 0u);
+  EXPECT_EQ(rig.fs.bytes_on(9), 0u);
+}
+
+TEST(Concurrent, WritesDuringOwnShrinkLandSafely) {
+  Rig rig;
+  Status write_st, shrink_st{Errc::io_error, "unset"};
+  bool all_done = false;
+  rig.sim.spawn([](Rig& r, Status& ws, Status& ss,
+                   bool& done) -> sim::Task<> {
+    std::vector<sim::Task<>> work;
+    work.push_back(write_files(r, 20, 4 * units::MiB, ws));
+    work.push_back([](Rig& rr, Status& s) -> sim::Task<> {
+      co_await rr.sim.delay(0.2);  // let some writes land first
+      s = co_await rr.fs.remove_own_node(2);
+    }(r, ss));
+    co_await sim::when_all(r.sim, std::move(work));
+    // Everything written must be fully readable afterwards.
+    Client c = r.fs.client(0);
+    for (int i = 0; i < 20; ++i) {
+      auto bytes = co_await c.read_file(strformat("/w%d", i));
+      CO_ASSERT_TRUE(bytes.ok());
+      EXPECT_EQ(bytes.value(), 4 * units::MiB) << "file " << i;
+    }
+    done = true;
+  }(rig, write_st, shrink_st, all_done));
+  rig.sim.run();
+  ASSERT_TRUE(all_done);
+  EXPECT_TRUE(write_st.ok()) << write_st.error().to_string();
+  EXPECT_TRUE(shrink_st.ok()) << shrink_st.error().to_string();
+  EXPECT_EQ(rig.fs.bytes_on(2), 0u);
+}
+
+TEST(Concurrent, ParallelClientsOnDistinctNodes) {
+  Rig rig;
+  ASSERT_TRUE(
+      rig.fs.add_victim_class(1, offers({4, 5, 6, 7}), 0.5).ok());
+  std::vector<Status> sts(4);
+  bool all_done = false;
+  rig.sim.spawn([](Rig& r, std::vector<Status>& out,
+                   bool& done) -> sim::Task<> {
+    std::vector<sim::Task<>> work;
+    for (int n = 0; n < 4; ++n) {
+      work.push_back([](Rig& rr, NodeId node, Status& st) -> sim::Task<> {
+        Client c = rr.fs.client(node);
+        for (int i = 0; i < 6; ++i) {
+          auto s = co_await c.write_file(
+              strformat("/n%u-f%d", node, i), 4 * units::MiB);
+          if (!s.ok() && st.ok()) st = s;
+        }
+        for (int i = 0; i < 6; ++i) {
+          auto bytes =
+              co_await c.read_file(strformat("/n%u-f%d", node, i));
+          if (!bytes.ok() && st.ok()) st = bytes.error();
+        }
+      }(r, NodeId(n), out[std::size_t(n)]));
+    }
+    co_await sim::when_all(r.sim, std::move(work));
+    done = true;
+  }(rig, sts, all_done));
+  rig.sim.run();
+  ASSERT_TRUE(all_done);
+  for (const auto& st : sts) EXPECT_TRUE(st.ok()) << st.error().to_string();
+  EXPECT_EQ(rig.fs.meta().ns().file_count(), 24u);
+}
+
+TEST(Concurrent, UnlinkRacingReadsNeverCorrupts) {
+  // Readers may see not_found once the unlink wins, but never a short
+  // read or a stuck probe.
+  Rig rig;
+  bool all_done = false;
+  rig.sim.spawn([](Rig& r, bool& done) -> sim::Task<> {
+    Client writer = r.fs.client(0);
+    CO_ASSERT_TRUE(
+        (co_await writer.write_file("/target", 16 * units::MiB)).ok());
+    std::vector<sim::Task<>> work;
+    work.push_back([](Rig& rr) -> sim::Task<> {
+      Client c = rr.fs.client(1);
+      for (int i = 0; i < 5; ++i) {
+        auto bytes = co_await c.read_file("/target");
+        if (bytes.ok()) {
+          EXPECT_EQ(bytes.value(), 16 * units::MiB);
+        } else {
+          EXPECT_EQ(bytes.code(), Errc::not_found);
+        }
+      }
+    }(r));
+    work.push_back([](Rig& rr) -> sim::Task<> {
+      co_await rr.sim.delay(0.05);
+      Client c = rr.fs.client(2);
+      auto st = co_await c.unlink("/target");
+      EXPECT_TRUE(st.ok()) << st.error().to_string();
+    }(r));
+    co_await sim::when_all(r.sim, std::move(work));
+    done = true;
+  }(rig, all_done));
+  rig.sim.run();
+  ASSERT_TRUE(all_done);
+  EXPECT_EQ(rig.fs.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace memfss::fs

@@ -1,0 +1,98 @@
+#include "hash/consistent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/str.hpp"
+
+namespace memfss::hash {
+namespace {
+
+TEST(ConsistentRing, SelectIsDeterministic) {
+  ConsistentRing ring;
+  for (NodeId n = 0; n < 8; ++n) ring.add_node(n);
+  for (int k = 0; k < 200; ++k) {
+    const std::string key = strformat("k%d", k);
+    EXPECT_EQ(ring.select(key), ring.select(key));
+  }
+}
+
+TEST(ConsistentRing, AddIsIdempotent) {
+  ConsistentRing ring;
+  ring.add_node(3);
+  ring.add_node(3);
+  EXPECT_EQ(ring.node_count(), 1u);
+}
+
+TEST(ConsistentRing, RemoveUnknownIsNoop) {
+  ConsistentRing ring;
+  ring.add_node(1);
+  ring.remove_node(99);
+  EXPECT_EQ(ring.node_count(), 1u);
+}
+
+TEST(ConsistentRing, BalanceWithVnodes) {
+  ConsistentRing ring(128);
+  const std::size_t nodes = 10;
+  for (NodeId n = 0; n < nodes; ++n) ring.add_node(n);
+  std::map<NodeId, int> counts;
+  const int keys = 30000;
+  for (int k = 0; k < keys; ++k) ++counts[ring.select(strformat("b%d", k))];
+  for (const auto& [n, c] : counts)
+    EXPECT_NEAR(c, keys / double(nodes), keys / double(nodes) * 0.35)
+        << "node " << n;
+}
+
+TEST(ConsistentRing, MinimalDisruptionOnRemoval) {
+  ConsistentRing ring;
+  for (NodeId n = 0; n < 10; ++n) ring.add_node(n);
+  std::map<std::string, NodeId> before;
+  for (int k = 0; k < 3000; ++k) {
+    const std::string key = strformat("d%d", k);
+    before[key] = ring.select(key);
+  }
+  ring.remove_node(4);
+  int moved = 0;
+  for (const auto& [key, owner] : before) {
+    const NodeId now = ring.select(key);
+    if (owner != 4) {
+      EXPECT_EQ(now, owner);  // unaffected keys must not move
+    } else {
+      EXPECT_NE(now, 4u);
+      ++moved;
+    }
+  }
+  EXPECT_NEAR(moved, 300, 150);
+}
+
+TEST(ConsistentRing, ReplicaSetDistinct) {
+  ConsistentRing ring;
+  for (NodeId n = 0; n < 6; ++n) ring.add_node(n);
+  for (int k = 0; k < 200; ++k) {
+    const auto reps = ring.select_top(strformat("r%d", k), 3);
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_EQ(std::set<NodeId>(reps.begin(), reps.end()).size(), 3u);
+    EXPECT_EQ(reps[0], ring.select(strformat("r%d", k)));
+  }
+}
+
+TEST(ConsistentRing, ReplicaCountCappedByNodes) {
+  ConsistentRing ring;
+  ring.add_node(0);
+  ring.add_node(1);
+  EXPECT_EQ(ring.select_top("x", 5).size(), 2u);
+}
+
+TEST(ConsistentRing, ContainsTracksMembership) {
+  ConsistentRing ring;
+  EXPECT_FALSE(ring.contains(1));
+  ring.add_node(1);
+  EXPECT_TRUE(ring.contains(1));
+  ring.remove_node(1);
+  EXPECT_FALSE(ring.contains(1));
+}
+
+}  // namespace
+}  // namespace memfss::hash

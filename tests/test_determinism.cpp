@@ -1,0 +1,88 @@
+// Determinism properties: identically-seeded simulations must be
+// bit-identical. Every stochastic input flows through seeded Rng and the
+// event queue breaks time ties FIFO, so reruns of any experiment are
+// exact replays -- the property the seed-sweep benches and this whole
+// reproduction rely on.
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hpp"
+#include "tenant/suites.hpp"
+#include "workflow/engine.hpp"
+#include "workflow/generators.hpp"
+
+namespace memfss {
+namespace {
+
+exp::ScenarioParams tiny() {
+  exp::ScenarioParams p;
+  p.total_nodes = 8;
+  p.own_nodes = 2;
+  p.victim_memory_cap = 2 * units::GiB;
+  return p;
+}
+
+TEST(Determinism, Fig2RunsAreExactReplays) {
+  exp::Fig2Options opt;
+  opt.scenario = tiny();
+  opt.dd_tasks = 32;
+  opt.dd_bytes = 16 * units::MiB;
+  const auto a = exp::run_fig2(0.25, opt);
+  const auto b = exp::run_fig2(0.25, opt);
+  EXPECT_EQ(a.runtime, b.runtime);  // bitwise, not approximate
+  EXPECT_EQ(a.own_bytes, b.own_bytes);
+  EXPECT_EQ(a.victim_bytes, b.victim_bytes);
+  EXPECT_EQ(a.victim.nic(), b.victim.nic());
+}
+
+TEST(Determinism, WorkflowEngineReplays) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    cluster::Cluster cl(sim, 6);
+    fs::FileSystemConfig cfg;
+    cfg.own_nodes = {0, 1, 2};
+    cfg.stripe_size = units::MiB;
+    fs::FileSystem fs(cl, cfg);
+    workflow::Engine engine(cl, fs, {0, 1, 2});
+    Rng rng(77);
+    workflow::MontageParams p;
+    p.tiles = 20;
+    p.concat_cpu = 3;
+    p.bgmodel_cpu = 4;
+    p.imgtbl_cpu = 1;
+    p.madd_cpu = 5;
+    p.shrink_cpu = 1;
+    auto wf = workflow::make_montage(p, rng);
+    workflow::Report out;
+    sim.spawn([](workflow::Engine& e, workflow::Workflow w,
+                 workflow::Report& o) -> sim::Task<> {
+      o = co_await e.run(std::move(w));
+    }(engine, std::move(wf), out));
+    sim.run();
+    return out;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_TRUE(a.status.ok());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+}
+
+TEST(Determinism, TenantRunsReplay) {
+  exp::SlowdownOptions opt;
+  opt.scenario = tiny();
+  const auto app = tenant::hpcc_suite()[1];  // STREAM
+  const auto a = exp::run_tenant_under_scavenging(app, exp::Workload::dd, opt);
+  const auto b = exp::run_tenant_under_scavenging(app, exp::Workload::dd, opt);
+  EXPECT_EQ(a.duration, b.duration);
+}
+
+TEST(Determinism, DifferentSeedsDifferentWorkflows) {
+  Rng a(1), b(2);
+  const auto wa = exp::make_workload(exp::Workload::blast, a);
+  const auto wb = exp::make_workload(exp::Workload::blast, b);
+  EXPECT_NE(wa.total_output_bytes(), wb.total_output_bytes());
+}
+
+}  // namespace
+}  // namespace memfss

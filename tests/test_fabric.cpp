@@ -1,0 +1,185 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memfss::net {
+namespace {
+
+NicSpec test_nic() {
+  NicSpec n;
+  n.up = 100.0;  // small round numbers: timing math is exact
+  n.down = 100.0;
+  n.latency = 0.1;
+  return n;
+}
+
+TEST(Fabric, SingleTransferTiming) {
+  sim::Simulator sim;
+  Fabric fab(sim, 4, test_nic());
+  SimTime done = -1;
+  sim.spawn([](sim::Simulator& s, Fabric& f, SimTime& d) -> sim::Task<> {
+    co_await f.transfer(0, 1, 1000);  // 0.1 latency + 1000/100 = 10.1
+    d = s.now();
+  }(sim, fab, done));
+  sim.run();
+  EXPECT_NEAR(done, 10.1, 1e-9);
+  EXPECT_NEAR(fab.total_bytes_moved(), 1000.0, 1e-9);
+}
+
+TEST(Fabric, LoopbackIsLatencyOnly) {
+  sim::Simulator sim;
+  Fabric fab(sim, 2, test_nic());
+  SimTime done = -1;
+  sim.spawn([](sim::Simulator& s, Fabric& f, SimTime& d) -> sim::Task<> {
+    co_await f.transfer(1, 1, 1000000);
+    d = s.now();
+  }(sim, fab, done));
+  sim.run();
+  EXPECT_NEAR(done, 0.1, 1e-9);
+}
+
+TEST(Fabric, SharedDownlinkSplitsFairly) {
+  sim::Simulator sim;
+  Fabric fab(sim, 3, test_nic());
+  SimTime d1 = -1, d2 = -1;
+  auto xfer = [](sim::Simulator& s, Fabric& f, NodeId src,
+                 SimTime& d) -> sim::Task<> {
+    co_await f.transfer(src, 2, 500);  // both into node 2
+    d = s.now();
+  };
+  sim.spawn(xfer(sim, fab, 0, d1));
+  sim.spawn(xfer(sim, fab, 1, d2));
+  sim.run();
+  // Each gets 50/s on the shared downlink: 0.1 + 10s.
+  EXPECT_NEAR(d1, 10.1, 1e-6);
+  EXPECT_NEAR(d2, 10.1, 1e-6);
+}
+
+TEST(Fabric, DistinctPathsDoNotInterfere) {
+  sim::Simulator sim;
+  Fabric fab(sim, 4, test_nic());
+  SimTime d1 = -1, d2 = -1;
+  sim.spawn([](sim::Simulator& s, Fabric& f, SimTime& d) -> sim::Task<> {
+    co_await f.transfer(0, 1, 1000);
+    d = s.now();
+  }(sim, fab, d1));
+  sim.spawn([](sim::Simulator& s, Fabric& f, SimTime& d) -> sim::Task<> {
+    co_await f.transfer(2, 3, 1000);
+    d = s.now();
+  }(sim, fab, d2));
+  sim.run();
+  EXPECT_NEAR(d1, 10.1, 1e-6);
+  EXPECT_NEAR(d2, 10.1, 1e-6);
+}
+
+TEST(Fabric, FlowCapLimitsRate) {
+  sim::Simulator sim;
+  Fabric fab(sim, 2, test_nic());
+  SimTime done = -1;
+  sim.spawn([](sim::Simulator& s, Fabric& f, SimTime& d) -> sim::Task<> {
+    co_await f.transfer(0, 1, 1000, 10.0);  // capped at 10/s
+    d = s.now();
+  }(sim, fab, done));
+  sim.run();
+  EXPECT_NEAR(done, 100.1, 1e-6);
+}
+
+TEST(Fabric, CapGroupSharesCeiling) {
+  sim::Simulator sim;
+  Fabric fab(sim, 3, test_nic());
+  CapGroup group(20.0);  // container cap on node 2's scavenger
+  SimTime d1 = -1, d2 = -1;
+  auto xfer = [](sim::Simulator& s, Fabric& f, CapGroup& g, NodeId src,
+                 SimTime& d) -> sim::Task<> {
+    co_await f.transfer(src, 2, 100, Fabric::kUncapped, &g);
+    d = s.now();
+  };
+  sim.spawn(xfer(sim, fab, group, 0, d1));
+  sim.spawn(xfer(sim, fab, group, 1, d2));
+  sim.run();
+  // Both flows share the 20/s group: 10/s each -> 0.1 + 10s.
+  EXPECT_NEAR(d1, 10.1, 1e-6);
+  EXPECT_NEAR(d2, 10.1, 1e-6);
+}
+
+TEST(Fabric, GroupLeavesUngroupedTrafficAlone) {
+  sim::Simulator sim;
+  Fabric fab(sim, 4, test_nic());
+  CapGroup group(10.0);
+  SimTime capped = -1, free_flow = -1;
+  sim.spawn([](sim::Simulator& s, Fabric& f, CapGroup& g,
+               SimTime& d) -> sim::Task<> {
+    co_await f.transfer(0, 2, 100, Fabric::kUncapped, &g);
+    d = s.now();
+  }(sim, fab, group, capped));
+  sim.spawn([](sim::Simulator& s, Fabric& f, SimTime& d) -> sim::Task<> {
+    co_await f.transfer(1, 3, 100);
+    d = s.now();
+  }(sim, fab, free_flow));
+  sim.run();
+  EXPECT_NEAR(capped, 10.1, 1e-6);
+  EXPECT_NEAR(free_flow, 1.1, 1e-6);
+}
+
+TEST(Fabric, MaxMinWithHeterogeneousDemand) {
+  // Three flows into node 0; one is capped low, the others split the rest.
+  sim::Simulator sim;
+  Fabric fab(sim, 4, test_nic());
+  std::vector<SimTime> done(3, -1);
+  sim.spawn([](sim::Simulator& s, Fabric& f, SimTime& d) -> sim::Task<> {
+    co_await f.transfer(1, 0, 100, 10.0);  // 10/s cap, 10s
+    d = s.now();
+  }(sim, fab, done[0]));
+  auto big = [](sim::Simulator& s, Fabric& f, NodeId src,
+                SimTime& d) -> sim::Task<> {
+    co_await f.transfer(src, 0, 450);  // share (100-10)/2 = 45/s
+    d = s.now();
+  };
+  sim.spawn(big(sim, fab, 2, done[1]));
+  sim.spawn(big(sim, fab, 3, done[2]));
+  sim.run();
+  EXPECT_NEAR(done[0], 10.1, 1e-6);
+  EXPECT_NEAR(done[1], 10.1, 1e-6);
+  EXPECT_NEAR(done[2], 10.1, 1e-6);
+}
+
+TEST(Fabric, PeakUtilizationTracksFullRate) {
+  sim::Simulator sim;
+  Fabric fab(sim, 2, test_nic());
+  sim.spawn([](Fabric& f) -> sim::Task<> {
+    co_await f.transfer(0, 1, 1000);  // full rate for 10s after latency
+  }(fab));
+  sim.run();
+  EXPECT_NEAR(fab.peak_up_utilization(0), 1.0, 1e-9);
+  EXPECT_NEAR(fab.peak_down_utilization(1), 1.0, 1e-9);
+}
+
+TEST(Fabric, ZeroByteTransferIsLatencyOnly) {
+  sim::Simulator sim;
+  Fabric fab(sim, 2, test_nic());
+  SimTime done = -1;
+  sim.spawn([](sim::Simulator& s, Fabric& f, SimTime& d) -> sim::Task<> {
+    co_await f.transfer(0, 1, 0);
+    d = s.now();
+  }(sim, fab, done));
+  sim.run();
+  EXPECT_NEAR(done, 0.1, 1e-9);
+  EXPECT_EQ(fab.active_flows(), 0u);
+}
+
+TEST(Fabric, AverageUtilizationWindow) {
+  sim::Simulator sim;
+  Fabric fab(sim, 2, test_nic());
+  sim.spawn([](Fabric& f) -> sim::Task<> {
+    co_await f.transfer(0, 1, 1000);
+  }(fab));
+  sim.run();
+  const SimTime end = sim.now();
+  // Uplink of node 0 ran at 100% for 10 of ~10.1 seconds.
+  EXPECT_NEAR(fab.avg_up_utilization(0, end), 10.0 / 10.1, 1e-6);
+  EXPECT_NEAR(fab.avg_down_utilization(1, end), 10.0 / 10.1, 1e-6);
+  EXPECT_NEAR(fab.avg_down_utilization(0, end), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace memfss::net

@@ -1,0 +1,126 @@
+// Property tests for the fabric's max-min fair allocation: randomized
+// flow sets must respect link capacities, per-flow caps, cap groups, and
+// the one-sided fairness criterion (no flow could go faster without
+// slowing a smaller-or-equal one).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+
+namespace memfss::net {
+namespace {
+
+struct FlowPlan {
+  NodeId src, dst;
+  Bytes size;
+  Rate cap;
+  int group;  // -1 = none
+};
+
+struct FlowDone {
+  double finish = -1;
+};
+
+sim::Task<> run_flow(sim::Simulator& sim, Fabric& fab, FlowPlan plan,
+                     CapGroup* group, FlowDone& done) {
+  co_await fab.transfer(plan.src, plan.dst, plan.size, plan.cap, group);
+  done.finish = sim.now();
+}
+
+class FabricRandomFlows : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricRandomFlows, CapacityAndCapInvariants) {
+  Rng rng(GetParam());
+  sim::Simulator sim;
+  const std::size_t nodes = 4 + std::size_t(rng.uniform_u64(0, 6));
+  NicSpec nic;
+  nic.up = rng.uniform(50.0, 200.0);
+  nic.down = rng.uniform(50.0, 200.0);
+  nic.latency = 0.001;
+  Fabric fab(sim, nodes, nic);
+  std::vector<std::unique_ptr<CapGroup>> groups;
+  for (int g = 0; g < 2; ++g)
+    groups.push_back(std::make_unique<CapGroup>(rng.uniform(5.0, 50.0)));
+
+  const std::size_t n = 2 + std::size_t(rng.uniform_u64(0, 20));
+  std::vector<FlowPlan> plans(n);
+  std::vector<FlowDone> done(n);
+  double total_bytes = 0.0;
+  for (auto& p : plans) {
+    p.src = NodeId(rng.uniform_u64(0, nodes - 1));
+    do {
+      p.dst = NodeId(rng.uniform_u64(0, nodes - 1));
+    } while (p.dst == p.src);
+    p.size = Bytes(rng.uniform_u64(10, 5000));
+    p.cap = rng.chance(0.3) ? rng.uniform(1.0, 40.0) : Fabric::kUncapped;
+    p.group = rng.chance(0.3) ? int(rng.uniform_u64(0, 1)) : -1;
+    total_bytes += double(p.size);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.spawn(run_flow(sim, fab, plans[i],
+                       plans[i].group >= 0 ? groups[plans[i].group].get()
+                                           : nullptr,
+                       done[i]));
+  }
+  sim.run();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_GE(done[i].finish, 0.0) << "flow " << i << " never completed";
+    // Lower bound: alone at min(cap, up, down), plus one latency.
+    const double best_rate =
+        std::min({plans[i].cap, nic.up, nic.down});
+    EXPECT_GE(done[i].finish + 1e-6,
+              nic.latency + double(plans[i].size) / best_rate)
+        << "flow " << i;
+  }
+  EXPECT_EQ(fab.active_flows(), 0u);
+  EXPECT_NEAR(fab.total_bytes_moved(), total_bytes, 1e-6);
+  // Per-node telemetry is a sane fraction after drain.
+  for (NodeId node = 0; node < nodes; ++node) {
+    EXPECT_NEAR(fab.node_up_rate(node), 0.0, 1e-9);
+    EXPECT_LE(fab.peak_up_utilization(node), 1.0 + 1e-6);
+    EXPECT_LE(fab.peak_down_utilization(node), 1.0 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricRandomFlows,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(FabricProps, CapGroupNeverExceedsLimit) {
+  // Many flows through one group: the group's aggregate rate stays at
+  // its ceiling, visible through the completion time of the batch.
+  sim::Simulator sim;
+  Fabric fab(sim, 6, NicSpec{1000.0, 1000.0, 0.0});
+  CapGroup group(50.0);
+  std::vector<FlowDone> done(5);
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    sim.spawn(run_flow(sim, fab,
+                       FlowPlan{NodeId(i % 5), 5, 100, Fabric::kUncapped, 0},
+                       &group, done[i]));
+  }
+  sim.run();
+  // 500 bytes through a 50/s group: 10s total.
+  double last = 0;
+  for (const auto& d : done) last = std::max(last, d.finish);
+  EXPECT_NEAR(last, 10.0, 0.01);
+}
+
+TEST(FabricProps, MaxMinNoFlowStarves) {
+  // A pathological hotspot: everyone sends to node 0. Every flow must
+  // finish, and equal-size flows finish together (equal shares).
+  sim::Simulator sim;
+  Fabric fab(sim, 9, NicSpec{100.0, 100.0, 0.0});
+  std::vector<FlowDone> done(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    sim.spawn(run_flow(sim, fab,
+                       FlowPlan{NodeId(i + 1), 0, 125, Fabric::kUncapped, -1},
+                       nullptr, done[i]));
+  }
+  sim.run();
+  for (const auto& d : done) EXPECT_NEAR(d.finish, 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace memfss::net

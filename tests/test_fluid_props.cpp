@@ -1,0 +1,107 @@
+// Property tests for FluidResource: randomized job mixes must satisfy
+// the conservation and fairness invariants of processor sharing,
+// independent of arrival pattern.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/fluid.hpp"
+
+namespace memfss::sim {
+namespace {
+
+struct JobPlan {
+  double arrival;
+  double work;
+  double cap;
+};
+
+struct JobDone {
+  double finish = -1;
+};
+
+Task<> run_job(Simulator& sim, FluidResource& res, JobPlan plan,
+               JobDone& done) {
+  co_await sim.delay(plan.arrival);
+  co_await res.consume(plan.work, plan.cap);
+  done.finish = sim.now();
+}
+
+class FluidRandomMix : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidRandomMix, ConservationAndOrderInvariants) {
+  Rng rng(GetParam());
+  Simulator sim;
+  const double capacity = rng.uniform(1.0, 20.0);
+  FluidResource res(sim, capacity);
+
+  const std::size_t n = 3 + std::size_t(rng.uniform_u64(0, 17));
+  std::vector<JobPlan> plans(n);
+  std::vector<JobDone> done(n);
+  double total_work = 0.0;
+  double first_arrival = 1e300;
+  for (auto& p : plans) {
+    p.arrival = rng.uniform(0.0, 5.0);
+    p.work = rng.uniform(0.1, 30.0);
+    p.cap = rng.chance(0.5) ? rng.uniform(0.2, capacity * 1.5)
+                            : FluidResource::kUncapped;
+    total_work += p.work;
+    first_arrival = std::min(first_arrival, p.arrival);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    sim.spawn(run_job(sim, res, plans[i], done[i]));
+  sim.run();
+
+  double last_finish = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_GE(done[i].finish, 0.0) << "job " << i << " never finished";
+    // A job cannot finish faster than running alone at min(cap, capacity).
+    const double solo_rate = std::min(plans[i].cap, capacity);
+    EXPECT_GE(done[i].finish + 1e-6,
+              plans[i].arrival + plans[i].work / solo_rate)
+        << "job " << i;
+    last_finish = std::max(last_finish, done[i].finish);
+  }
+  // Conservation: the resource cannot process work faster than capacity.
+  EXPECT_GE(last_finish + 1e-6, first_arrival + total_work / capacity);
+  // All resources drained.
+  EXPECT_EQ(res.active_jobs(), 0u);
+  EXPECT_NEAR(res.allocated_rate(), 0.0, 1e-9);
+  // Utilization average is a valid fraction.
+  const double u = res.average_utilization(last_finish);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidRandomMix,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(FluidProps, IdenticalJobsFinishTogether) {
+  Simulator sim;
+  FluidResource res(sim, 6.0);
+  std::vector<JobDone> done(4);
+  for (auto& d : done)
+    sim.spawn(run_job(sim, res, {0.0, 12.0, FluidResource::kUncapped}, d));
+  sim.run();
+  for (const auto& d : done) EXPECT_NEAR(d.finish, done[0].finish, 1e-9);
+  EXPECT_NEAR(done[0].finish, 8.0, 1e-9);  // 48 work at 6/s
+}
+
+TEST(FluidProps, SmallerJobNeverFinishesAfterBiggerEqualArrival) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Simulator sim;
+    FluidResource res(sim, rng.uniform(1.0, 10.0));
+    const double small_work = rng.uniform(0.1, 5.0);
+    const double big_work = small_work + rng.uniform(0.1, 10.0);
+    JobDone small, big;
+    sim.spawn(run_job(sim, res, {0.0, small_work, 1e18}, small));
+    sim.spawn(run_job(sim, res, {0.0, big_work, 1e18}, big));
+    sim.run();
+    EXPECT_LE(small.finish, big.finish + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace memfss::sim

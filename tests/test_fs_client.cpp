@@ -1,0 +1,403 @@
+// End-to-end filesystem tests: striping, weighted placement, epochs,
+// replication, erasure coding, lazy relocation, evacuation, and the
+// scavenging security model -- the paper's core mechanisms, exercised
+// through the public Client API on a small simulated cluster.
+#include <gtest/gtest.h>
+
+#include "co_test.hpp"
+#include "common/rng.hpp"
+#include "common/str.hpp"
+#include "fs/client.hpp"
+#include "fs/filesystem.hpp"
+
+namespace memfss::fs {
+namespace {
+
+std::vector<cluster::ScavengeOffer> make_offers(std::vector<NodeId> nodes,
+                                                Bytes cap = units::GiB) {
+  std::vector<cluster::ScavengeOffer> out;
+  for (NodeId n : nodes) out.push_back({n, cap, 500e6, "tenant"});
+  return out;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  cluster::Cluster cl;
+  FileSystem fs;
+
+  explicit Rig(FileSystemConfig cfg = base_config(), std::size_t nodes = 12)
+      : cl(sim, nodes), fs(cl, std::move(cfg)) {}
+
+  static FileSystemConfig base_config() {
+    FileSystemConfig cfg;
+    cfg.own_nodes = {0, 1, 2, 3};
+    cfg.own_store_capacity = 4 * units::GiB;
+    cfg.stripe_size = 1 * units::MiB;
+    return cfg;
+  }
+
+  void add_victims(double alpha, Bytes cap = units::GiB) {
+    auto st = fs.add_victim_class(1, make_offers({4, 5, 6, 7, 8, 9, 10, 11},
+                                                 cap),
+                                  alpha);
+    ASSERT_TRUE(st.ok()) << st.error().to_string();
+  }
+
+  /// Run a coroutine to completion on the rig's simulator.
+  template <typename F>
+  void run(F&& body) {
+    bool finished = false;
+    sim.spawn([](Rig& r, F body_fn, bool& done) -> sim::Task<> {
+      co_await body_fn(r);
+      done = true;
+    }(*this, std::forward<F>(body), finished));
+    sim.run();
+    ASSERT_TRUE(finished) << "test coroutine did not finish";
+  }
+};
+
+TEST(FsClient, GhostWriteReadRoundtrip) {
+  Rig rig;
+  rig.add_victims(0.25);
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.mkdirs("/data")).ok());
+    CO_ASSERT_TRUE((co_await c.write_file("/data/f", 32 * units::MiB)).ok());
+    auto st = co_await c.stat("/data/f");
+    CO_ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st.value().attr.size, 32 * units::MiB);
+    EXPECT_EQ(st.value().stripe_count, 32u);
+    auto bytes = co_await c.read_file("/data/f");
+    CO_ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes.value(), 32 * units::MiB);
+  });
+  EXPECT_EQ(rig.fs.counters().stripes_written, 32u);
+  EXPECT_EQ(rig.fs.counters().stripes_read, 32u);
+}
+
+TEST(FsClient, AlphaControlsDistribution) {
+  for (double alpha : {0.25, 0.75}) {
+    Rig rig;
+    rig.add_victims(alpha);
+    rig.run([](Rig& r) -> sim::Task<> {
+      Client c = r.fs.client(0);
+      for (int i = 0; i < 16; ++i) {
+        CO_ASSERT_TRUE(
+            (co_await c.write_file(strformat("/f%d", i), 16 * units::MiB))
+                .ok());
+      }
+    });
+    Bytes own = 0, victim = 0;
+    for (const auto& [node, bytes] : rig.fs.distribution()) {
+      (node < 4 ? own : victim) += bytes;
+    }
+    const double total = double(own) + double(victim);
+    EXPECT_NEAR(own / total, alpha, 0.12) << "alpha=" << alpha;
+  }
+}
+
+TEST(FsClient, MaterializedRoundtripPreservesBytes) {
+  Rig rig;
+  rig.add_victims(0.5);
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(1);
+    Rng rng(77);
+    std::vector<std::uint8_t> payload(3 * units::MiB + 12345);
+    for (auto& b : payload) b = std::uint8_t(rng.next_u64());
+    CO_ASSERT_TRUE((co_await c.write_file_bytes("/blob", payload)).ok());
+    auto back = co_await c.read_file_bytes("/blob");
+    CO_ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), payload);
+  });
+}
+
+TEST(FsClient, ReadMissingFileFails) {
+  Rig rig;
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    auto res = co_await c.read_file("/nope");
+    EXPECT_EQ(res.code(), Errc::not_found);
+  });
+}
+
+TEST(FsClient, ReadFileBytesOnGhostFails) {
+  Rig rig;
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/g", units::MiB)).ok());
+    auto res = co_await c.read_file_bytes("/g");
+    EXPECT_EQ(res.code(), Errc::invalid_argument);
+  });
+}
+
+TEST(FsClient, UnlinkRemovesAllStripes) {
+  Rig rig;
+  rig.add_victims(0.25);
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/f", 24 * units::MiB)).ok());
+    EXPECT_GT(r.fs.total_bytes(), 24 * units::MiB);  // + key overhead
+    CO_ASSERT_TRUE((co_await c.unlink("/f")).ok());
+    EXPECT_EQ(r.fs.total_bytes(), 0u);
+    auto st = co_await c.stat("/f");
+    EXPECT_EQ(st.code(), Errc::not_found);
+  });
+}
+
+TEST(FsClient, EpochRecordedAtCreationKeepsOldFilesResolvable) {
+  Rig rig;
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    // Written before any victim class exists: all stripes on own nodes.
+    CO_ASSERT_TRUE((co_await c.write_file("/old", 16 * units::MiB)).ok());
+    co_return;
+  });
+  Bytes victim_before = 0;
+  for (NodeId v = 4; v < 12; ++v) victim_before += rig.fs.bytes_on(v);
+  EXPECT_EQ(victim_before, 0u);
+
+  rig.add_victims(0.25);
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    // Old file still fully readable (epoch 0 routes to own nodes).
+    auto bytes = co_await c.read_file("/old");
+    CO_ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes.value(), 16 * units::MiB);
+    EXPECT_EQ(r.fs.counters().read_retries, 0u);
+    // New file spreads onto victims (epoch 1).
+    CO_ASSERT_TRUE((co_await c.write_file("/new", 64 * units::MiB)).ok());
+  });
+  Bytes victim_after = 0;
+  for (NodeId v = 4; v < 12; ++v) victim_after += rig.fs.bytes_on(v);
+  EXPECT_GT(victim_after, 0u);
+}
+
+TEST(FsClient, ReplicationSurvivesPrimaryLoss) {
+  auto cfg = Rig::base_config();
+  cfg.redundancy = RedundancyMode::replicated;
+  cfg.copies = 2;
+  Rig rig(std::move(cfg));
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/r", 8 * units::MiB)).ok());
+    // Simulate a crash of one own node's store: wipe it silently.
+    r.fs.server(2).wipe();
+    auto bytes = co_await c.read_file("/r");
+    CO_ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes.value(), 8 * units::MiB);
+  });
+}
+
+TEST(FsClient, ReplicationStoresCopiesOnDistinctNodes) {
+  auto cfg = Rig::base_config();
+  cfg.redundancy = RedundancyMode::replicated;
+  cfg.copies = 3;
+  Rig rig(std::move(cfg));
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/r3", 4 * units::MiB)).ok());
+    co_return;
+  });
+  // 4 MiB x 3 copies stored (plus per-key overhead).
+  EXPECT_GE(rig.fs.total_bytes(), 12 * units::MiB);
+}
+
+TEST(FsClient, ErasureMaterializedRoundtrip) {
+  auto cfg = Rig::base_config();
+  cfg.redundancy = RedundancyMode::erasure;
+  cfg.ec_k = 4;
+  cfg.ec_m = 2;
+  Rig rig(std::move(cfg));
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    Rng rng(5);
+    std::vector<std::uint8_t> payload(2 * units::MiB + 999);
+    for (auto& b : payload) b = std::uint8_t(rng.next_u64());
+    CO_ASSERT_TRUE((co_await c.write_file_bytes("/ec", payload)).ok());
+    auto back = co_await c.read_file_bytes("/ec");
+    CO_ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), payload);
+  });
+}
+
+TEST(FsClient, ErasureReconstructsAfterNodeLoss) {
+  auto cfg = Rig::base_config();
+  cfg.redundancy = RedundancyMode::erasure;
+  cfg.ec_k = 3;
+  cfg.ec_m = 2;
+  Rig rig(std::move(cfg));
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    Rng rng(6);
+    std::vector<std::uint8_t> payload(1 * units::MiB);
+    for (auto& b : payload) b = std::uint8_t(rng.next_u64());
+    CO_ASSERT_TRUE((co_await c.write_file_bytes("/ec2", payload)).ok());
+    r.fs.server(1).wipe();  // lose whatever shards node 1 held
+    auto back = co_await c.read_file_bytes("/ec2");
+    CO_ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), payload);
+  });
+  EXPECT_GT(rig.fs.counters().reconstructions, 0u);
+}
+
+TEST(FsClient, LazyRelocationAfterMembershipGrowth) {
+  Rig rig;
+  rig.fs.add_victim_class(1, make_offers({4, 5, 6, 7}), 0.25);
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/grow", 64 * units::MiB)).ok());
+    // New victims join the class: some stripes' HRW primary moves.
+    CO_ASSERT_TRUE(
+        r.fs.add_victim_nodes(1, make_offers({8, 9, 10, 11})).ok());
+    auto bytes = co_await c.read_file("/grow");
+    CO_ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes.value(), 64 * units::MiB);
+    // Give the background migrations time to drain.
+    co_await r.sim.delay(10.0);
+    // Second read must hit the new primaries directly.
+    const auto relocs = r.fs.counters().lazy_relocations;
+    EXPECT_GT(relocs, 0u);
+    auto again = co_await c.read_file("/grow");
+    CO_ASSERT_TRUE(again.ok());
+  });
+}
+
+TEST(FsClient, EvacuationMigratesAndPreservesData) {
+  Rig rig;
+  rig.add_victims(0.25);
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/evac", 64 * units::MiB)).ok());
+    const Bytes before = r.fs.bytes_on(5);
+    EXPECT_GT(before, 0u);
+    auto st = co_await r.fs.evacuate_victim(5);
+    CO_ASSERT_OK(st);
+    EXPECT_EQ(r.fs.bytes_on(5), 0u);
+    EXPECT_TRUE(r.fs.server(5).store().closed());
+    EXPECT_FALSE(r.fs.is_draining(5));
+    // All data still reachable, with no probing detours.
+    auto bytes = co_await c.read_file("/evac");
+    CO_ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes.value(), 64 * units::MiB);
+    EXPECT_EQ(r.fs.counters().read_retries, 0u);
+    // New writes avoid the evacuated node.
+    CO_ASSERT_TRUE((co_await c.write_file("/after", 32 * units::MiB)).ok());
+    EXPECT_EQ(r.fs.bytes_on(5), 0u);
+  });
+}
+
+TEST(FsClient, EvacuateOwnNodeRejected) {
+  Rig rig;
+  rig.run([](Rig& r) -> sim::Task<> {
+    auto st = co_await r.fs.evacuate_victim(0);
+    EXPECT_EQ(st.code(), Errc::invalid_argument);
+    auto st2 = co_await r.fs.evacuate_victim(99);
+    EXPECT_EQ(st2.code(), Errc::not_found);
+  });
+}
+
+TEST(FsClient, MonitorTriggersAutomaticEvacuation) {
+  Rig rig;
+  rig.add_victims(0.0);  // everything lands on victims
+  rig.fs.arm_victim_monitors(0.5);
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/data", 32 * units::MiB)).ok());
+    // The tenant on node 4 suddenly needs memory.
+    auto& mem = r.cl.node(4).memory();
+    CO_ASSERT_TRUE(mem.try_alloc(Bytes(mem.capacity() * 0.6)));
+    co_await r.sim.delay(30.0);  // let the evacuation run
+    EXPECT_EQ(r.fs.bytes_on(4), 0u);
+    auto bytes = co_await c.read_file("/data");
+    CO_ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes.value(), 32 * units::MiB);
+  });
+}
+
+TEST(FsClient, StoreOverflowSurfacesAsError) {
+  auto cfg = Rig::base_config();
+  cfg.own_store_capacity = 2 * units::MiB;  // 4 nodes x 2 MiB total
+  Rig rig(std::move(cfg));
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    auto st = co_await c.write_file("/too-big", 64 * units::MiB);
+    EXPECT_EQ(st.code(), Errc::out_of_memory);
+  });
+}
+
+TEST(FsClient, WipeDataResetsEverything) {
+  Rig rig;
+  rig.add_victims(0.5);
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/w", 16 * units::MiB)).ok());
+    co_return;
+  });
+  EXPECT_GT(rig.fs.total_bytes(), 0u);
+  rig.fs.wipe_data();
+  EXPECT_EQ(rig.fs.total_bytes(), 0u);
+  EXPECT_EQ(rig.fs.meta().ns().file_count(), 0u);
+  for (NodeId n = 0; n < 12; ++n)
+    EXPECT_EQ(rig.cl.node(n).memory().used(), 0u) << "node " << n;
+}
+
+TEST(FsClient, VictimClassValidation) {
+  Rig rig;
+  EXPECT_EQ(rig.fs.add_victim_class(0, make_offers({4}), 0.5).code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(rig.fs.add_victim_class(1, {}, 0.5).code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(rig.fs.add_victim_class(1, make_offers({4}), 1.5).code(),
+            Errc::invalid_argument);
+  ASSERT_TRUE(rig.fs.add_victim_class(1, make_offers({4, 5}), 0.5).ok());
+  EXPECT_EQ(rig.fs.add_victim_class(1, make_offers({6}), 0.5).code(),
+            Errc::already_exists);
+  EXPECT_EQ(rig.fs.add_victim_class(2, make_offers({4}), 0.5).code(),
+            Errc::already_exists);  // node 4 already participates
+  EXPECT_EQ(rig.fs.add_victim_nodes(3, make_offers({6})).code(),
+            Errc::not_found);
+  ASSERT_TRUE(rig.fs.add_victim_nodes(1, make_offers({6})).ok());
+}
+
+TEST(FsClient, SecondVictimClassViaExplicitEpoch) {
+  Rig rig;
+  ASSERT_TRUE(rig.fs.add_victim_class(1, make_offers({4, 5, 6, 7}), 0.5).ok());
+  ASSERT_TRUE(rig.fs.add_victim_nodes(1, {}).ok());
+  // Add a second victim class and an epoch splitting 50/30/20.
+  ASSERT_TRUE(
+      rig.fs.add_victim_class(2, make_offers({8, 9, 10, 11}), 0.5).ok());
+  // add_victim_class(2, ...) produced a two-class epoch {own, 2}; install
+  // a three-class epoch explicitly.
+  ASSERT_TRUE(rig.fs
+                  .add_epoch({{kOwnClass, 0.0},
+                              {1, 0.2},
+                              {2, 0.4}})
+                  .ok());
+  rig.run([](Rig& r) -> sim::Task<> {
+    Client c = r.fs.client(0);
+    for (int i = 0; i < 12; ++i)
+      CO_ASSERT_TRUE(
+          (co_await c.write_file(strformat("/m%d", i), 8 * units::MiB)).ok());
+    auto bytes = co_await c.read_file("/m3");
+    CO_ASSERT_TRUE(bytes.ok());
+  });
+  // All three groups hold some data under the three-class epoch.
+  Bytes own = 0, v1 = 0, v2 = 0;
+  for (const auto& [node, bytes] : rig.fs.distribution()) {
+    if (node < 4) own += bytes;
+    else if (node < 8) v1 += bytes;
+    else v2 += bytes;
+  }
+  EXPECT_GT(own, 0u);
+  EXPECT_GT(v1, 0u);
+  EXPECT_GT(v2, 0u);
+}
+
+TEST(FsClient, EpochValidation) {
+  Rig rig;
+  EXPECT_EQ(rig.fs.add_epoch({}).code(), Errc::invalid_argument);
+  EXPECT_EQ(rig.fs.add_epoch({{7, 0.1}}).code(), Errc::invalid_argument);
+}
+
+}  // namespace
+}  // namespace memfss::fs

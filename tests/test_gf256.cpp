@@ -1,0 +1,139 @@
+#include "erasure/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memfss::erasure {
+namespace {
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256::add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(GF256::sub(0x57, 0x83), 0x57 ^ 0x83);
+}
+
+TEST(GF256, KnownProduct) {
+  // Classic AES example: 0x57 * 0x83 = 0xc1 under 0x11b.
+  EXPECT_EQ(GF256::mul(0x57, 0x83), 0xc1);
+  EXPECT_EQ(GF256::mul(0x02, 0x80), 0x1b ^ 0x00);  // reduction kicks in
+}
+
+TEST(GF256, MulByZeroAndOne) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(std::uint8_t(a), 0), 0);
+    EXPECT_EQ(GF256::mul(std::uint8_t(a), 1), a);
+  }
+}
+
+TEST(GF256, MultiplicationCommutesAndAssociates) {
+  // Property sweep over a sample grid (full 256^3 is excessive).
+  for (unsigned a = 1; a < 256; a += 7) {
+    for (unsigned b = 1; b < 256; b += 11) {
+      EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+      for (unsigned c = 1; c < 256; c += 53) {
+        EXPECT_EQ(GF256::mul(GF256::mul(a, b), c),
+                  GF256::mul(a, GF256::mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributesOverAddition) {
+  for (unsigned a = 1; a < 256; a += 13) {
+    for (unsigned b = 0; b < 256; b += 17) {
+      for (unsigned c = 0; c < 256; c += 19) {
+        EXPECT_EQ(GF256::mul(a, b ^ c),
+                  GF256::mul(a, b) ^ GF256::mul(a, c));
+      }
+    }
+  }
+}
+
+TEST(GF256, EveryNonzeroHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto inv = GF256::inv(std::uint8_t(a));
+    EXPECT_EQ(GF256::mul(std::uint8_t(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (unsigned a = 0; a < 256; a += 5) {
+    for (unsigned b = 1; b < 256; b += 9) {
+      const auto q = GF256::div(std::uint8_t(a), std::uint8_t(b));
+      EXPECT_EQ(GF256::mul(q, std::uint8_t(b)), a);
+    }
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  for (unsigned a : {2u, 3u, 0x53u}) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 20; ++e) {
+      EXPECT_EQ(GF256::pow(std::uint8_t(a), e), acc);
+      acc = GF256::mul(acc, std::uint8_t(a));
+    }
+  }
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // exp cycles through all 255 nonzero elements.
+  std::vector<bool> seen(256, false);
+  for (unsigned e = 0; e < 255; ++e) {
+    const auto v = GF256::exp(e);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "repeat at e=" << e;
+    seen[v] = true;
+  }
+}
+
+TEST(GF256, MulAccMatchesScalarLoop) {
+  std::vector<std::uint8_t> dst(64, 0), src(64);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = std::uint8_t(i * 7 + 1);
+  auto expect = dst;
+  const std::uint8_t c = 0x39;
+  for (std::size_t i = 0; i < src.size(); ++i)
+    expect[i] ^= GF256::mul(c, src[i]);
+  GF256::mul_acc(dst, src, c);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(GF256, MulAccSpecialCoefficients) {
+  std::vector<std::uint8_t> dst(8, 0xAA), src(8, 0x0F);
+  auto before = dst;
+  GF256::mul_acc(dst, src, 0);  // no-op
+  EXPECT_EQ(dst, before);
+  GF256::mul_acc(dst, src, 1);  // xor
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    EXPECT_EQ(dst[i], 0xAA ^ 0x0F);
+}
+
+TEST(MatrixInvert, IdentityStaysIdentity) {
+  std::vector<std::uint8_t> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  ASSERT_TRUE(gf256_invert_matrix(m, 3));
+  EXPECT_EQ(m, (std::vector<std::uint8_t>{1, 0, 0, 0, 1, 0, 0, 0, 1}));
+}
+
+TEST(MatrixInvert, InverseTimesOriginalIsIdentity) {
+  const std::vector<std::uint8_t> orig{1, 2, 3, 4, 5, 6, 7, 8, 10};
+  auto inv = orig;
+  ASSERT_TRUE(gf256_invert_matrix(inv, 3));
+  // Multiply orig * inv.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      std::uint8_t acc = 0;
+      for (std::size_t k = 0; k < 3; ++k)
+        acc ^= GF256::mul(orig[r * 3 + k], inv[k * 3 + c]);
+      EXPECT_EQ(acc, r == c ? 1 : 0) << r << "," << c;
+    }
+  }
+}
+
+TEST(MatrixInvert, SingularDetected) {
+  // Two identical rows.
+  std::vector<std::uint8_t> m{1, 2, 3, 1, 2, 3, 0, 1, 1};
+  EXPECT_FALSE(gf256_invert_matrix(m, 3));
+}
+
+}  // namespace
+}  // namespace memfss::erasure

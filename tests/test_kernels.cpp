@@ -1,0 +1,91 @@
+#include "tenant/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace memfss::tenant::kernels {
+namespace {
+
+TEST(Stream, ReportsPositiveBandwidth) {
+  const double bps = stream_triad(1 << 16, 4);
+  EXPECT_GT(bps, 1e6);  // any machine moves > 1 MB/s
+}
+
+TEST(Fft, MatchesDirectDftOnRandomInput) {
+  Rng rng(31);
+  std::vector<std::complex<double>> a(64);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto expect = dft_reference(a);
+  auto got = a;
+  fft_radix2(got);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), expect[i].real(), 1e-9) << i;
+    EXPECT_NEAR(got[i].imag(), expect[i].imag(), 1e-9) << i;
+  }
+}
+
+TEST(Fft, InverseRecoversSignal) {
+  Rng rng(32);
+  std::vector<std::complex<double>> a(256);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto sig = a;
+  fft_radix2(sig, false);
+  fft_radix2(sig, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(sig[i].real() / 256.0, a[i].real(), 1e-9);
+    EXPECT_NEAR(sig[i].imag() / 256.0, a[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> a(16, {0, 0});
+  a[0] = {1, 0};
+  fft_radix2(a);
+  for (const auto& x : a) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Dgemm, BlockedMatchesNaive) {
+  const std::size_t n = 48;  // not a multiple of the block size
+  Rng rng(33);
+  std::vector<double> a(n * n), b(n * n), c1(n * n, 0.0), c2(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(-1, 1);
+  for (auto& x : b) x = rng.uniform(-1, 1);
+  dgemm_blocked(n, a.data(), b.data(), c1.data(), 16);
+  dgemm_naive(n, a.data(), b.data(), c2.data());
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-9);
+}
+
+TEST(Dgemm, AccumulatesIntoC) {
+  const std::size_t n = 8;
+  std::vector<double> a(n * n, 0.0), b(n * n, 0.0), c(n * n, 5.0);
+  dgemm_blocked(n, a.data(), b.data(), c.data());
+  for (double x : c) EXPECT_EQ(x, 5.0);  // A=B=0: C unchanged
+}
+
+TEST(RandomAccess, DeterministicDigest) {
+  std::vector<std::uint64_t> t1(1 << 10, 0), t2(1 << 10, 0);
+  const auto d1 = random_access(t1, 100000, 7);
+  const auto d2 = random_access(t2, 100000, 7);
+  EXPECT_EQ(d1, d2);
+  std::vector<std::uint64_t> t3(1 << 10, 0);
+  EXPECT_NE(random_access(t3, 100000, 8), d1);
+}
+
+TEST(RandomAccess, TouchesManySlots) {
+  std::vector<std::uint64_t> t(1 << 10, 0);
+  random_access(t, 1 << 16, 1);
+  std::size_t touched = 0;
+  for (auto v : t)
+    if (v != 0) ++touched;
+  EXPECT_GT(touched, t.size() / 2);
+}
+
+}  // namespace
+}  // namespace memfss::tenant::kernels

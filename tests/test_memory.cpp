@@ -1,0 +1,69 @@
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memfss::sim {
+namespace {
+
+TEST(MemoryPool, AllocAndFree) {
+  MemoryPool pool(1000);
+  EXPECT_TRUE(pool.try_alloc(400));
+  EXPECT_EQ(pool.used(), 400u);
+  EXPECT_EQ(pool.available(), 600u);
+  pool.free(150);
+  EXPECT_EQ(pool.used(), 250u);
+}
+
+TEST(MemoryPool, RejectsOverflowWithoutChange) {
+  MemoryPool pool(100);
+  EXPECT_TRUE(pool.try_alloc(80));
+  EXPECT_FALSE(pool.try_alloc(21));
+  EXPECT_EQ(pool.used(), 80u);
+  EXPECT_TRUE(pool.try_alloc(20));  // exact fit
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(MemoryPool, HighWaterMark) {
+  MemoryPool pool(1000);
+  (void)pool.try_alloc(700);
+  pool.free(500);
+  (void)pool.try_alloc(100);
+  EXPECT_EQ(pool.high_water(), 700u);
+}
+
+TEST(MemoryPool, UtilizationFraction) {
+  MemoryPool pool(200);
+  (void)pool.try_alloc(50);
+  EXPECT_DOUBLE_EQ(pool.utilization(), 0.25);
+}
+
+TEST(MemoryPool, PressureFiresOncePerCrossing) {
+  MemoryPool pool(100);
+  int fired = 0;
+  pool.set_pressure_callback(80, [&] { ++fired; });
+  (void)pool.try_alloc(50);
+  EXPECT_EQ(fired, 0);
+  (void)pool.try_alloc(40);  // crosses 80
+  EXPECT_EQ(fired, 1);
+  (void)pool.try_alloc(5);  // still above: no re-fire
+  EXPECT_EQ(fired, 1);
+  pool.free(50);            // drops below: re-arms
+  (void)pool.try_alloc(40);  // crosses again (45 -> 85)
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(MemoryPool, PressureArmedStateRespectsCurrentUsage) {
+  MemoryPool pool(100);
+  (void)pool.try_alloc(90);
+  int fired = 0;
+  pool.set_pressure_callback(80, [&] { ++fired; });
+  // Already above threshold at registration: fires on the next alloc.
+  (void)pool.try_alloc(1);
+  EXPECT_EQ(fired, 0);  // was not armed (registered above threshold)
+  pool.free(30);
+  (void)pool.try_alloc(25);  // crosses 80 from below
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace memfss::sim

@@ -1,0 +1,84 @@
+#include "fs/metadata.hpp"
+
+#include <gtest/gtest.h>
+#include "co_test.hpp"
+
+#include "common/str.hpp"
+
+namespace memfss::fs {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  cluster::Cluster cl{sim, 4};
+  MetadataService meta{cl, {0, 1}};
+};
+
+TEST(Metadata, ShardingIsModuloOverOwnNodes) {
+  Rig rig;
+  bool saw0 = false, saw1 = false;
+  for (int i = 0; i < 64; ++i) {
+    const NodeId s = rig.meta.shard_for(strformat("/p%d", i));
+    EXPECT_TRUE(s == 0 || s == 1);
+    saw0 |= s == 0;
+    saw1 |= s == 1;
+    // Deterministic.
+    EXPECT_EQ(s, rig.meta.shard_for(strformat("/p%d", i)));
+  }
+  EXPECT_TRUE(saw0 && saw1);
+}
+
+TEST(Metadata, OperationsChargeLatency) {
+  Rig rig;
+  SimTime done = -1;
+  rig.sim.spawn([](Rig& r, SimTime& d) -> sim::Task<> {
+    co_await r.meta.mkdirs(3, "/a/b");
+    d = r.sim.now();
+  }(rig, done));
+  rig.sim.run();
+  // At least one request+response round trip through the fabric.
+  EXPECT_GT(done, 0.0);
+  EXPECT_EQ(rig.meta.operation_count(), 1u);
+}
+
+TEST(Metadata, FullLifecycleThroughService) {
+  Rig rig;
+  rig.sim.spawn([](Rig& r) -> sim::Task<> {
+    CO_ASSERT_TRUE((co_await r.meta.mkdirs(2, "/data")).ok());
+    FileAttr attr;
+    attr.stripe_size = 1024;
+    auto ino = co_await r.meta.create(2, "/data/f", attr);
+    CO_ASSERT_TRUE(ino.ok());
+    CO_ASSERT_TRUE((co_await r.meta.set_size(2, ino.value(), 4096)).ok());
+    auto st = co_await r.meta.stat(2, "/data/f");
+    CO_ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st.value().stripe_count, 4u);
+    auto listing = co_await r.meta.readdir(2, "/data");
+    CO_ASSERT_TRUE(listing.ok());
+    EXPECT_EQ(listing.value().size(), 1u);
+    CO_ASSERT_TRUE((co_await r.meta.rename(2, "/data/f", "/data/g")).ok());
+    auto gone = co_await r.meta.stat(2, "/data/f");
+    EXPECT_EQ(gone.code(), Errc::not_found);
+    auto removed = co_await r.meta.unlink(2, "/data/g");
+    CO_ASSERT_TRUE(removed.ok());
+    EXPECT_EQ(removed.value().inode, ino.value());
+  }(rig));
+  rig.sim.run();
+  EXPECT_GE(rig.meta.operation_count(), 7u);
+}
+
+TEST(Metadata, ResetClearsNamespace) {
+  Rig rig;
+  rig.sim.spawn([](Rig& r) -> sim::Task<> {
+    FileAttr attr;
+    attr.stripe_size = 1;
+    co_await r.meta.create(0, "/f", attr);
+  }(rig));
+  rig.sim.run();
+  EXPECT_EQ(rig.meta.ns().file_count(), 1u);
+  rig.meta.reset();
+  EXPECT_EQ(rig.meta.ns().file_count(), 0u);
+}
+
+}  // namespace
+}  // namespace memfss::fs

@@ -1,0 +1,142 @@
+// Model-based fuzzing of the Namespace: random operation sequences are
+// applied both to the real tree and to a trivial reference model (a map
+// of paths); results must agree operation by operation, and the final
+// states must coincide.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/str.hpp"
+#include "fs/namespace.hpp"
+
+namespace memfss::fs {
+namespace {
+
+/// Reference model: flat path -> kind map with the same rules.
+class ModelFs {
+ public:
+  enum class Kind { file, dir };
+
+  ModelFs() { entries_["/"] = Kind::dir; }
+
+  static std::string parent_of(const std::string& path) {
+    const auto pos = path.find_last_of('/');
+    return pos == 0 ? "/" : path.substr(0, pos);
+  }
+
+  bool exists(const std::string& p) const { return entries_.count(p) > 0; }
+  bool is_dir(const std::string& p) const {
+    auto it = entries_.find(p);
+    return it != entries_.end() && it->second == Kind::dir;
+  }
+  bool has_children(const std::string& p) const {
+    for (const auto& [path, kind] : entries_) {
+      if (path.size() > p.size() && path.compare(0, p.size(), p) == 0 &&
+          path[p.size()] == '/')
+        return true;
+    }
+    return false;
+  }
+
+  bool mkdir(const std::string& p) {
+    if (exists(p) || !is_dir(parent_of(p))) return false;
+    entries_[p] = Kind::dir;
+    return true;
+  }
+  bool create(const std::string& p) {
+    if (exists(p) || !is_dir(parent_of(p))) return false;
+    entries_[p] = Kind::file;
+    return true;
+  }
+  bool unlink(const std::string& p) {
+    if (!exists(p) || is_dir(p)) return false;
+    entries_.erase(p);
+    return true;
+  }
+  bool rmdir(const std::string& p) {
+    if (p == "/" || !exists(p) || !is_dir(p) || has_children(p))
+      return false;
+    entries_.erase(p);
+    return true;
+  }
+
+  std::set<std::string> files() const {
+    std::set<std::string> out;
+    for (const auto& [path, kind] : entries_)
+      if (kind == Kind::file) out.insert(path);
+    return out;
+  }
+  std::size_t dir_count() const {
+    std::size_t n = 0;
+    for (const auto& [path, kind] : entries_)
+      if (kind == Kind::dir) ++n;
+    return n;
+  }
+
+ private:
+  std::map<std::string, Kind> entries_;
+};
+
+std::string random_path(Rng& rng) {
+  // Small vocabularies make collisions (the interesting cases) common.
+  static constexpr const char* kNames[] = {"a", "b", "c", "d"};
+  std::string p;
+  const std::size_t depth = 1 + rng.uniform_u64(0, 2);
+  for (std::size_t i = 0; i < depth; ++i) {
+    p += "/";
+    p += kNames[rng.uniform_u64(0, 3)];
+  }
+  return p;
+}
+
+class NamespaceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NamespaceFuzz, AgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  Namespace ns;
+  ModelFs model;
+  FileAttr attr;
+  attr.stripe_size = 4096;
+
+  for (int op = 0; op < 400; ++op) {
+    const std::string p = random_path(rng);
+    switch (rng.uniform_u64(0, 3)) {
+      case 0: {  // mkdir
+        const bool model_ok = model.mkdir(p);
+        EXPECT_EQ(ns.mkdir(p).ok(), model_ok) << "mkdir " << p;
+        break;
+      }
+      case 1: {  // create
+        const bool model_ok = model.create(p);
+        EXPECT_EQ(ns.create(p, attr).ok(), model_ok) << "create " << p;
+        break;
+      }
+      case 2: {  // unlink
+        const bool model_ok = model.unlink(p);
+        EXPECT_EQ(ns.unlink(p).ok(), model_ok) << "unlink " << p;
+        break;
+      }
+      case 3: {  // rmdir
+        const bool model_ok = model.rmdir(p);
+        EXPECT_EQ(ns.rmdir(p).ok(), model_ok) << "rmdir " << p;
+        break;
+      }
+    }
+  }
+
+  // Final states coincide.
+  std::set<std::string> ns_files;
+  for (const auto& [path, st] : ns.list_files()) ns_files.insert(path);
+  EXPECT_EQ(ns_files, model.files());
+  EXPECT_EQ(ns.dir_count(), model.dir_count());
+  EXPECT_EQ(ns.file_count(), model.files().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NamespaceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace memfss::fs

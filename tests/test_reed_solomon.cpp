@@ -1,0 +1,146 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace memfss::erasure {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = std::uint8_t(rng.next_u64());
+  return v;
+}
+
+TEST(ReedSolomon, EncodeShapes) {
+  ReedSolomon rs(4, 2);
+  EXPECT_EQ(rs.data_shards(), 4u);
+  EXPECT_EQ(rs.parity_shards(), 2u);
+  EXPECT_EQ(rs.total_shards(), 6u);
+  EXPECT_EQ(rs.shard_size(100), 25u);
+  EXPECT_EQ(rs.shard_size(101), 26u);
+
+  const auto data = random_payload(100, 1);
+  const auto shards = rs.encode(data);
+  ASSERT_EQ(shards.size(), 6u);
+  for (const auto& s : shards) EXPECT_EQ(s.size(), 25u);
+}
+
+TEST(ReedSolomon, SystematicDataShardsVerbatim) {
+  ReedSolomon rs(3, 2);
+  const auto data = random_payload(90, 2);
+  const auto shards = rs.encode(data);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 30; ++j)
+      EXPECT_EQ(shards[i][j], data[i * 30 + j]);
+  }
+}
+
+TEST(ReedSolomon, DecodeWithNoLoss) {
+  ReedSolomon rs(4, 2);
+  const auto data = random_payload(1000, 3);
+  auto shards = rs.encode(data);
+  auto decoded = rs.decode(shards, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+struct LossCase {
+  std::size_t k, m;
+  std::vector<std::size_t> lost;
+};
+
+class LossRecovery : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(LossRecovery, RecoversUpToMLosses) {
+  const auto& c = GetParam();
+  ReedSolomon rs(c.k, c.m);
+  const auto data = random_payload(997, 7 + c.k);  // odd size: padding path
+  auto shards = rs.encode(data);
+  for (auto i : c.lost) shards[i].clear();
+  auto decoded = rs.decode(shards, data.size());
+  ASSERT_TRUE(decoded.ok()) << "k=" << c.k << " m=" << c.m;
+  EXPECT_EQ(decoded.value(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LossRecovery,
+    ::testing::Values(
+        LossCase{4, 2, {0}},          // one data shard
+        LossCase{4, 2, {4}},          // one parity shard
+        LossCase{4, 2, {1, 5}},       // data + parity
+        LossCase{4, 2, {0, 1}},       // two data shards
+        LossCase{4, 2, {4, 5}},       // both parity shards
+        LossCase{6, 3, {0, 3, 7}},    // full parity budget
+        LossCase{2, 1, {1}},          // minimal config
+        LossCase{8, 4, {0, 2, 9, 11}},
+        LossCase{1, 2, {0, 1}}));     // replication-like k=1
+
+TEST(ReedSolomon, FailsBeyondParityBudget) {
+  ReedSolomon rs(4, 2);
+  const auto data = random_payload(512, 9);
+  auto shards = rs.encode(data);
+  shards[0].clear();
+  shards[1].clear();
+  shards[2].clear();  // 3 losses > m=2
+  auto decoded = rs.decode(shards, data.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::corruption);
+}
+
+TEST(ReedSolomon, ReconstructRebuildsAllShards) {
+  ReedSolomon rs(5, 3);
+  const auto data = random_payload(2000, 11);
+  const auto original = rs.encode(data);
+  auto shards = original;
+  shards[1].clear();
+  shards[6].clear();
+  ASSERT_TRUE(rs.reconstruct(shards).ok());
+  for (std::size_t i = 0; i < shards.size(); ++i)
+    EXPECT_EQ(shards[i], original[i]) << "shard " << i;
+}
+
+TEST(ReedSolomon, ReconstructRejectsBadInput) {
+  ReedSolomon rs(4, 2);
+  std::vector<std::vector<std::uint8_t>> wrong_count(3);
+  EXPECT_EQ(rs.reconstruct(wrong_count).code(), Errc::invalid_argument);
+
+  auto shards = rs.encode(random_payload(64, 13));
+  shards[0].resize(3);  // inconsistent shard size
+  EXPECT_EQ(rs.reconstruct(shards).code(), Errc::invalid_argument);
+}
+
+TEST(ReedSolomon, ZeroParityIsPlainStriping) {
+  ReedSolomon rs(4, 0);
+  const auto data = random_payload(128, 15);
+  auto shards = rs.encode(data);
+  EXPECT_EQ(shards.size(), 4u);
+  auto decoded = rs.decode(shards, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+TEST(ReedSolomon, EmptyPayload) {
+  ReedSolomon rs(4, 2);
+  auto shards = rs.encode({});
+  EXPECT_EQ(shards.size(), 6u);
+  auto decoded = rs.decode(shards, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(ReedSolomon, MemoryOverheadIsMOverK) {
+  // The paper's motivation for EC over replication: RS(4,2) costs 1.5x,
+  // 3-way replication costs 3x.
+  ReedSolomon rs(4, 2);
+  const std::size_t payload = 1 * 1024 * 1024;
+  const auto shards = rs.encode(random_payload(payload, 17));
+  std::size_t stored = 0;
+  for (const auto& s : shards) stored += s.size();
+  EXPECT_NEAR(double(stored) / double(payload), 1.5, 0.01);
+}
+
+}  // namespace
+}  // namespace memfss::erasure

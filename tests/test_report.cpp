@@ -1,0 +1,78 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace memfss::exp {
+namespace {
+
+TEST(CsvEscape, QuotingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("multi\nline"), "\"multi\nline\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(Fig2Csv, HeaderAndRows) {
+  Fig2Row r;
+  r.alpha = 0.25;
+  r.own.cpu = 0.256;
+  r.victim.nic_down = 0.142;
+  r.victim_nic_rate = 427e6;
+  r.runtime = 15.1;
+  r.own_bytes = 100;
+  r.victim_bytes = 300;
+  const auto csv = fig2_csv({r});
+  std::istringstream in(csv);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_EQ(header.substr(0, 6), "alpha,");
+  EXPECT_NE(row.find("0.2500"), std::string::npos);
+  EXPECT_NE(row.find("427.000"), std::string::npos);
+  EXPECT_NE(row.find(",100,300"), std::string::npos);
+}
+
+TEST(SlowdownCsv, RoundTripValues) {
+  SlowdownCell c;
+  c.tenant = "TeraSort";
+  c.workload = Workload::dd;
+  c.alpha = 0.25;
+  c.slowdown = 0.281;
+  const auto csv = slowdown_csv({c});
+  EXPECT_NE(csv.find("TeraSort,dd,0.2500,0.281000"), std::string::npos);
+}
+
+TEST(Table2Csv, EncodesFeasibility) {
+  Table2Row ok;
+  ok.label = "Montage, scavenging (4 own + 36 victims)";  // comma: quoted
+  ok.nodes = 4;
+  ok.runtime = 6299;
+  ok.node_hours = 7.0;
+  ok.data_footprint = 12345;
+  Table2Row bad;
+  bad.label = "Montage standalone, 16 nodes";
+  bad.nodes = 16;
+  bad.feasible = false;
+  const auto csv = table2_csv({ok, bad});
+  EXPECT_NE(csv.find("\"Montage, scavenging (4 own + 36 victims)\",4,1,"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",16,0,"), std::string::npos);
+}
+
+TEST(WriteTextFile, WritesAndFails) {
+  const std::string path = "/tmp/memfss_report_test.csv";
+  ASSERT_TRUE(write_text_file(path, "a,b\n1,2\n").ok());
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all, "a,b\n1,2\n");
+  EXPECT_EQ(write_text_file("/nonexistent-dir/x.csv", "x").code(),
+            Errc::io_error);
+}
+
+}  // namespace
+}  // namespace memfss::exp

@@ -1,0 +1,69 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace memfss {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), Errc::ok);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error{Errc::not_found, "missing"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::not_found);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.error().to_string(), "not_found: missing");
+}
+
+TEST(Result, ErrcConstructor) {
+  Result<std::string> r(Errc::permission, "denied");
+  EXPECT_EQ(r.code(), Errc::permission);
+}
+
+TEST(Result, ValueOr) {
+  Result<int> ok = 1;
+  Result<int> bad = Error{Errc::io_error, ""};
+  EXPECT_EQ(ok.value_or(9), 1);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Errc::ok);
+}
+
+TEST(Status, CarriesError) {
+  Status st{Errc::out_of_memory, "cap"};
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Errc::out_of_memory);
+  EXPECT_EQ(st.error().message, "cap");
+}
+
+TEST(ErrcName, AllNamed) {
+  for (auto e : {Errc::ok, Errc::not_found, Errc::already_exists,
+                 Errc::out_of_memory, Errc::permission,
+                 Errc::invalid_argument, Errc::not_a_directory,
+                 Errc::is_a_directory, Errc::not_empty, Errc::unavailable,
+                 Errc::io_error, Errc::corruption}) {
+    EXPECT_FALSE(errc_name(e).empty());
+    EXPECT_NE(errc_name(e), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace memfss

@@ -1,0 +1,139 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace memfss {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = r.uniform_u64(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(Rng, UniformU64DegenerateRange) {
+  Rng r(3);
+  EXPECT_EQ(r.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_u64(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ExponentialMeanApproximates) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, TruncatedNormalStaysInBounds) {
+  Rng r(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.truncated_normal(5.0, 10.0, 0.0, 6.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 6.0);
+  }
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng r(10);
+  const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.weighted_index(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / double(n), 0.6, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(99), b(99);
+  Rng fa = a.fork(), fb = b.fork();
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  // Fork stream differs from the parent's continued stream.
+  Rng c(99);
+  Rng fc = c.fork();
+  EXPECT_NE(fc.next_u64(), c.next_u64());
+}
+
+TEST(Splitmix, KnownProgression) {
+  std::uint64_t s1 = 0, s2 = 0;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);
+}
+
+}  // namespace
+}  // namespace memfss

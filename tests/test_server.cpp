@@ -1,0 +1,193 @@
+#include "kvstore/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kvstore/rate_meter.hpp"
+#include "sim/sync.hpp"
+
+namespace memfss::kvstore {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  net::Fabric fabric;
+  sim::FluidResource cpu;
+  sim::FluidResource membw;
+  sim::MemoryPool mem;
+
+  Rig()
+      : fabric(sim, 4, net::NicSpec{1000.0, 1000.0, 0.01}),
+        cpu(sim, 16.0),
+        membw(sim, 1e6),
+        mem(1 << 30) {}
+
+  ResourceHooks hooks() {
+    return ResourceHooks{&cpu, &membw, &mem, nullptr};
+  }
+};
+
+TEST(RateMeter, DecaysOverTime) {
+  RateMeter m(1.0);  // 1 s halflife
+  m.record(0.0, 100.0);
+  const double r0 = m.rate(0.0);
+  const double r1 = m.rate(1.0);
+  EXPECT_NEAR(r1, r0 / 2.0, 1e-9);
+  EXPECT_GT(r0, 0.0);
+  EXPECT_DOUBLE_EQ(m.total(), 100.0);
+}
+
+TEST(RateMeter, SteadyStreamApproximatesRate) {
+  RateMeter m(2.0);
+  for (int i = 0; i < 2000; ++i) m.record(i * 0.01);  // 100 events/s
+  EXPECT_NEAR(m.rate(20.0), 100.0, 10.0);
+}
+
+TEST(Server, PutGetRoundtripWithCosts) {
+  Rig rig;
+  Server srv(rig.sim, rig.fabric, 1, 1 << 30, "tok", rig.hooks());
+  Status put_st{Errc::io_error, "unset"};
+  Result<Blob> got = Error{Errc::io_error, "unset"};
+  rig.sim.spawn([](Server& s, Status& pst, Result<Blob>& g) -> sim::Task<> {
+    pst = co_await s.put(0, "tok", "key", Blob::ghost(1000));
+    g = co_await s.get(0, "tok", "key");
+  }(srv, put_st, got));
+  rig.sim.run();
+  EXPECT_TRUE(put_st.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().size(), 1000u);
+  EXPECT_GT(rig.sim.now(), 0.04);  // >= 4 message latencies
+  EXPECT_EQ(rig.mem.used(), 1000u + Store::kPerKeyOverhead);
+}
+
+TEST(Server, AuthFailureStillChargesWire) {
+  Rig rig;
+  Server srv(rig.sim, rig.fabric, 1, 1 << 30, "secret", rig.hooks());
+  Status st;
+  rig.sim.spawn([](Server& s, Status& out) -> sim::Task<> {
+    out = co_await s.put(0, "wrong", "k", Blob::ghost(10));
+  }(srv, st));
+  rig.sim.run();
+  EXPECT_EQ(st.code(), Errc::permission);
+  EXPECT_EQ(rig.mem.used(), 0u);
+}
+
+TEST(Server, DelFreesNodeMemory) {
+  Rig rig;
+  Server srv(rig.sim, rig.fabric, 1, 1 << 30, "t", rig.hooks());
+  rig.sim.spawn([](Server& s, Rig& r) -> sim::Task<> {
+    co_await s.put(0, "t", "k", Blob::ghost(500));
+    EXPECT_GT(r.mem.used(), 0u);
+    co_await s.del(0, "t", "k");
+  }(srv, rig));
+  rig.sim.run();
+  EXPECT_EQ(rig.mem.used(), 0u);
+}
+
+TEST(Server, ExistsDoesNotMoveData) {
+  Rig rig;
+  Server srv(rig.sim, rig.fabric, 1, 1 << 30, "t", rig.hooks());
+  Result<bool> r = Error{Errc::io_error, ""};
+  rig.sim.spawn([](Server& s, Result<bool>& out) -> sim::Task<> {
+    co_await s.put(0, "t", "k", Blob::ghost(100000));
+    out = co_await s.exists(0, "t", "k");
+  }(srv, r));
+  rig.sim.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+}
+
+TEST(Server, EngineLimitsIngestRate) {
+  // Two big puts to the same server serialize on the single-core engine
+  // even with ample NIC bandwidth.
+  Rig rig;
+  ServerCosts costs;
+  costs.cpu_per_request = 0.0;
+  costs.cpu_per_byte = 0.01;  // engine rate: 100 bytes/s
+  costs.membw_per_byte = 0.0;
+  Server srv(rig.sim, rig.fabric, 1, 1 << 30, "t", rig.hooks(), costs);
+  SimTime done = -1;
+  rig.sim.spawn([](sim::Simulator& s, Server& srv, SimTime& d) -> sim::Task<> {
+    std::vector<sim::Task<>> ops;
+    for (int i = 0; i < 2; ++i) {
+      ops.push_back([](Server& sv, int idx) -> sim::Task<> {
+        co_await sv.put(0, "t", "k" + std::to_string(idx),
+                        Blob::ghost(100));
+      }(srv, i));
+    }
+    co_await sim::when_all(s, std::move(ops));
+    d = s.now();
+  }(rig.sim, srv, done));
+  rig.sim.run();
+  // 200 bytes of engine work at 100 B/s ~ 2s, plus ~1s of request and
+  // response envelopes on the slow test NIC.
+  EXPECT_GT(done, 1.9);
+  EXPECT_LT(done, 3.5);
+}
+
+TEST(Server, RequestBurstRaisesMeter) {
+  // Fast NIC so the envelope transfer is instantaneous and the meter is
+  // sampled before the decayed mass fades.
+  sim::Simulator sim;
+  net::Fabric fabric(sim, 4, net::NicSpec{1e12, 1e12, 1e-6});
+  Server srv(sim, fabric, 1, 1 << 30, "t", {});
+  sim.spawn([](Server& s) -> sim::Task<> {
+    co_await s.request_burst(0, 500.0);
+  }(srv));
+  sim.run();
+  EXPECT_GT(srv.request_rate(), 50.0);
+}
+
+TEST(Server, ByteRateTracksTraffic) {
+  Rig rig;
+  Server srv(rig.sim, rig.fabric, 1, 1 << 30, "t", rig.hooks());
+  rig.sim.spawn([](Server& s) -> sim::Task<> {
+    co_await s.put(0, "t", "k", Blob::ghost(50000));
+  }(srv));
+  rig.sim.run();
+  EXPECT_GT(srv.byte_rate(), 0.0);
+}
+
+TEST(Server, MigrateKeyMovesDataBetweenServers) {
+  Rig rig;
+  Server a(rig.sim, rig.fabric, 1, 1 << 30, "t", rig.hooks());
+  Server b(rig.sim, rig.fabric, 2, 1 << 30, "t", {});
+  Status mig{Errc::io_error, ""};
+  rig.sim.spawn([](Server& src, Server& dst, Status& out) -> sim::Task<> {
+    co_await src.put(0, "t", "k", Blob::ghost(1234));
+    out = co_await src.migrate_key("t", "k", dst);
+  }(a, b, mig));
+  rig.sim.run();
+  EXPECT_TRUE(mig.ok());
+  EXPECT_EQ(a.store().key_count(), 0u);
+  EXPECT_EQ(b.store().key_count(), 1u);
+  EXPECT_EQ(rig.mem.used(), 0u);  // node-1 memory released
+}
+
+TEST(Server, MigrateMissingKeyIsNotFound) {
+  Rig rig;
+  Server a(rig.sim, rig.fabric, 1, 1 << 30, "t", {});
+  Server b(rig.sim, rig.fabric, 2, 1 << 30, "t", {});
+  Status mig;
+  rig.sim.spawn([](Server& src, Server& dst, Status& out) -> sim::Task<> {
+    out = co_await src.migrate_key("t", "nope", dst);
+  }(a, b, mig));
+  rig.sim.run();
+  EXPECT_EQ(mig.code(), Errc::not_found);
+}
+
+TEST(Server, WipeReleasesMemory) {
+  Rig rig;
+  Server srv(rig.sim, rig.fabric, 1, 1 << 30, "t", rig.hooks());
+  rig.sim.spawn([](Server& s) -> sim::Task<> {
+    co_await s.put(0, "t", "a", Blob::ghost(100));
+    co_await s.put(0, "t", "b", Blob::ghost(200));
+  }(srv));
+  rig.sim.run();
+  EXPECT_GT(rig.mem.used(), 0u);
+  srv.wipe();
+  EXPECT_EQ(rig.mem.used(), 0u);
+  EXPECT_EQ(srv.store().key_count(), 0u);
+}
+
+}  // namespace
+}  // namespace memfss::kvstore

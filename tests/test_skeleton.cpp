@@ -1,0 +1,72 @@
+#include "hash/skeleton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/str.hpp"
+
+namespace memfss::hash {
+namespace {
+
+std::vector<NodeId> make_nodes(std::size_t n) {
+  std::vector<NodeId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<NodeId>(i);
+  return v;
+}
+
+TEST(SkeletonHrw, Deterministic) {
+  SkeletonHrw s(make_nodes(64), 8);
+  for (int k = 0; k < 200; ++k) {
+    const std::string key = strformat("k%d", k);
+    EXPECT_EQ(s.select(key), s.select(key));
+  }
+}
+
+TEST(SkeletonHrw, ConstructionOrderIrrelevant) {
+  auto nodes = make_nodes(30);
+  auto reversed = nodes;
+  std::reverse(reversed.begin(), reversed.end());
+  SkeletonHrw a(nodes, 4), b(reversed, 4);
+  for (int k = 0; k < 100; ++k) {
+    const std::string key = strformat("o%d", k);
+    EXPECT_EQ(a.select(key), b.select(key));
+  }
+}
+
+TEST(SkeletonHrw, SingleNode) {
+  SkeletonHrw s({7}, 8);
+  EXPECT_EQ(s.select("x"), 7u);
+  EXPECT_EQ(s.node_count(), 1u);
+}
+
+TEST(SkeletonHrw, DepthIsLogarithmic) {
+  SkeletonHrw s(make_nodes(4096), 8);
+  EXPECT_EQ(s.depth(), 4u);  // 8^4 = 4096
+  SkeletonHrw t(make_nodes(64), 8);
+  EXPECT_EQ(t.depth(), 2u);
+}
+
+TEST(SkeletonHrw, RoughlyBalanced) {
+  // Hierarchical HRW trades some balance for O(log n) decisions; expect
+  // load within a loose band.
+  const std::size_t n = 32;
+  SkeletonHrw s(make_nodes(n), 4);
+  std::map<NodeId, int> counts;
+  const int keys = 32000;
+  for (int k = 0; k < keys; ++k) ++counts[s.select(strformat("b%d", k))];
+  for (const auto& [node, c] : counts)
+    EXPECT_NEAR(c, keys / double(n), keys / double(n) * 0.5)
+        << "node " << node;
+}
+
+TEST(SkeletonHrw, AllNodesReachable) {
+  const std::size_t n = 17;  // non-power-of-fanout
+  SkeletonHrw s(make_nodes(n), 4);
+  std::map<NodeId, int> counts;
+  for (int k = 0; k < 20000; ++k) ++counts[s.select(strformat("r%d", k))];
+  EXPECT_EQ(counts.size(), n);
+}
+
+}  // namespace
+}  // namespace memfss::hash

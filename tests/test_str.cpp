@@ -1,0 +1,68 @@
+#include "common/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memfss {
+namespace {
+
+TEST(Split, KeepsEmptyPieces) {
+  const auto v = split("a//b", '/');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+}
+
+TEST(Split, SingleToken) {
+  const auto v = split("abc", '/');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "abc");
+}
+
+TEST(SplitPath, DropsEmptyAndDot) {
+  const auto v = split_path("/a//b/./c/");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(SplitPath, RootIsEmpty) {
+  EXPECT_TRUE(split_path("/").empty());
+  EXPECT_TRUE(split_path("").empty());
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(Strformat, Formats) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(FormatBytes, UnitSelection) {
+  EXPECT_EQ(format_bytes(17), "17 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * units::MiB), "3.00 MiB");
+  EXPECT_EQ(format_bytes(units::GiB + units::GiB / 2), "1.50 GiB");
+  EXPECT_EQ(format_bytes(2 * units::TiB), "2.00 TiB");
+}
+
+TEST(FormatRate, UnitSelection) {
+  EXPECT_EQ(format_rate(500.0), "500 B/s");
+  EXPECT_EQ(format_rate(1.5e6), "1.50 MB/s");
+  EXPECT_EQ(format_rate(3e9), "3.00 GB/s");
+}
+
+TEST(FormatDuration, UnitSelection) {
+  EXPECT_EQ(format_duration(42.0), "42.0 s");
+  EXPECT_EQ(format_duration(600.0), "10.0 min");
+  EXPECT_EQ(format_duration(2.0 * 3600.0 + 1800.0), "2.50 h");
+}
+
+}  // namespace
+}  // namespace memfss

@@ -1,0 +1,143 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace memfss::sim {
+namespace {
+
+TEST(Event, TriggerWakesAllWaiters) {
+  Simulator sim;
+  Event ev(sim);
+  int woken = 0;
+  auto waiter = [](Event& e, int& w) -> Task<> {
+    co_await e;
+    ++w;
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter(ev, woken));
+  sim.schedule(2.0, [&] { ev.trigger(); });
+  sim.run();
+  EXPECT_EQ(woken, 3);
+  EXPECT_TRUE(ev.triggered());
+}
+
+TEST(Event, AwaitAfterTriggerIsImmediate) {
+  Simulator sim;
+  Event ev(sim);
+  ev.trigger();
+  SimTime woke_at = -1;
+  sim.spawn([](Simulator& s, Event& e, SimTime& t) -> Task<> {
+    co_await s.delay(1.0);
+    co_await e;  // already triggered: no extra delay
+    t = s.now();
+  }(sim, ev, woke_at));
+  sim.run();
+  EXPECT_EQ(woke_at, 1.0);
+}
+
+TEST(Event, DoubleTriggerIsIdempotent) {
+  Simulator sim;
+  Event ev(sim);
+  ev.trigger();
+  ev.trigger();
+  EXPECT_TRUE(ev.triggered());
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int active = 0, peak = 0;
+  auto worker = [](Simulator& s, Semaphore& sm, int& a, int& p) -> Task<> {
+    co_await sm.acquire();
+    ++a;
+    p = std::max(p, a);
+    co_await s.delay(1.0);
+    --a;
+    sm.release();
+  };
+  for (int i = 0; i < 6; ++i) sim.spawn(worker(sim, sem, active, peak));
+  sim.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(sim.now(), 3.0);  // 6 jobs, 2 wide, 1s each
+}
+
+TEST(Semaphore, FifoHandoff) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  std::vector<int> order;
+  auto worker = [](Simulator& s, Semaphore& sm, std::vector<int>& o,
+                   int id) -> Task<> {
+    co_await sm.acquire();
+    o.push_back(id);
+    co_await s.delay(1.0);
+    sm.release();
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(worker(sim, sem, order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Channel, PopWaitsForPush) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  int got = 0;
+  SimTime when = 0;
+  sim.spawn([](Simulator& s, Channel<int>& c, int& g, SimTime& w) -> Task<> {
+    g = co_await c.pop();
+    w = s.now();
+  }(sim, ch, got, when));
+  sim.schedule(3.0, [&] { ch.push(7); });
+  sim.run();
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(when, 3.0);
+}
+
+TEST(Channel, BufferedItemsPopInOrder) {
+  Simulator sim;
+  Channel<std::string> ch(sim);
+  ch.push("a");
+  ch.push("b");
+  std::vector<std::string> got;
+  sim.spawn([](Channel<std::string>& c,
+               std::vector<std::string>& g) -> Task<> {
+    g.push_back(co_await c.pop());
+    g.push_back(co_await c.pop());
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(WhenAll, WaitsForSlowest) {
+  Simulator sim;
+  auto sleeper = [](Simulator& s, double d) -> Task<> { co_await s.delay(d); };
+  SimTime done_at = 0;
+  sim.spawn([](Simulator& s, SimTime& t, Task<> a, Task<> b,
+               Task<> c) -> Task<> {
+    std::vector<Task<>> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    v.push_back(std::move(c));
+    co_await when_all(s, std::move(v));
+    t = s.now();
+  }(sim, done_at, sleeper(sim, 1.0), sleeper(sim, 5.0), sleeper(sim, 2.0)));
+  sim.run();
+  EXPECT_EQ(done_at, 5.0);
+}
+
+TEST(WhenAll, EmptyCompletesImmediately) {
+  Simulator sim;
+  bool done = false;
+  sim.spawn([](Simulator& s, bool& d) -> Task<> {
+    co_await when_all(s, {});
+    d = true;
+  }(sim, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace memfss::sim

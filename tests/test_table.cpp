@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memfss {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| 22"), std::string::npos);
+  // Three horizontal rule lines: top, after header, bottom.
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; pos < s.size();) {
+    if (s[pos] == '+') ++rules;
+    const auto nl = s.find('\n', pos);
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(Table, TitleIsPrinted) {
+  Table t({"a"});
+  t.set_title("Figure 2f");
+  EXPECT_EQ(t.render().rfind("Figure 2f", 0), 0u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| only |"), std::string::npos);
+}
+
+TEST(Table, NumericRowPrecision) {
+  Table t({"label", "x", "y"});
+  t.add_row_numeric("r", {1.23456, 2.0}, 3);
+  const auto s = t.render();
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("2.000"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h"});
+  t.add_row({"wide-cell-content"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| h                 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memfss

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "co_test.hpp"
+#include "tenant/runner.hpp"
+#include "tenant/suites.hpp"
+
+namespace memfss::tenant {
+namespace {
+
+TEST(Suites, HpccHasPaperCategories) {
+  const auto suite = hpcc_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  std::vector<std::string> names;
+  for (const auto& a : suite) names.push_back(a.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "DGEMM", "STREAM", "FFT", "PTRANS", "RandomAccess",
+                       "Latency", "Bandwidth", "HPL"}));
+  for (const auto& a : suite) {
+    EXPECT_EQ(a.suite, "hpcc");
+    EXPECT_EQ(a.resident_memory, 48 * units::GiB);
+    EXPECT_FALSE(a.phases.empty());
+  }
+}
+
+TEST(Suites, HadoopHasSixRepresentativeBenchmarks) {
+  const auto suite = hibench_hadoop_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[3].name, "TeraSort");
+  // DFSIO-read depends on the page cache.
+  bool cache_sensitive = false;
+  for (const auto& p : suite[4].phases)
+    if (p.cache_working_set > 0) cache_sensitive = true;
+  EXPECT_TRUE(cache_sensitive);
+}
+
+TEST(Suites, SparkExcludesDfsioAndPinsExecutors) {
+  const auto suite = hibench_spark_suite();
+  ASSERT_EQ(suite.size(), 4u);
+  for (const auto& a : suite) {
+    EXPECT_EQ(a.resident_memory, 48 * units::GiB);
+    EXPECT_TRUE(a.name.find("DFSIO") == std::string::npos);
+  }
+}
+
+TEST(Suites, FindAppLocatesByName) {
+  EXPECT_TRUE(find_app("STREAM").has_value());
+  EXPECT_TRUE(find_app("TeraSort").has_value());
+  EXPECT_FALSE(find_app("DoesNotExist").has_value());
+}
+
+TEST(App, DeclaredBaseSecondsSumsSections) {
+  TenantApp a;
+  a.iterations = 2;
+  Phase p;
+  p.sensitive.base_seconds = 3.0;
+  p.cache_bound_seconds = 2.0;
+  a.phases = {p};
+  EXPECT_DOUBLE_EQ(a.declared_base_seconds(), 10.0);
+}
+
+struct Rig {
+  sim::Simulator sim;
+  cluster::Cluster cl{sim, 4};
+
+  TenantResult run_app(TenantApp app, std::vector<NodeId> nodes,
+                       fs::FileSystem* scavenger = nullptr) {
+    TenantRunner runner(cl, std::move(nodes), scavenger);
+    TenantResult out;
+    sim.spawn([](TenantRunner& r, TenantApp a, TenantResult& o) -> sim::Task<> {
+      o = co_await r.run(std::move(a));
+    }(runner, std::move(app), out));
+    sim.run();
+    return out;
+  }
+};
+
+TEST(Runner, CpuPhaseDurationMatchesDemand) {
+  Rig rig;
+  TenantApp app;
+  app.name = "cpu-only";
+  Phase p;
+  p.cpu_core_seconds = 32.0;  // 16 cores -> 2s
+  p.cpu_cores = 16.0;
+  app.phases = {p};
+  auto res = rig.run_app(app, {0, 1});
+  EXPECT_NEAR(res.duration, 2.0, 0.01);
+}
+
+TEST(Runner, PhasesBarrierAcrossNodes) {
+  // Nothing distinguishes the nodes here, but iterations multiply.
+  Rig rig;
+  TenantApp app;
+  Phase p;
+  p.cpu_core_seconds = 16.0;
+  p.cpu_cores = 16.0;
+  app.phases = {p, p};
+  app.iterations = 3;
+  auto res = rig.run_app(app, {0, 1, 2});
+  EXPECT_NEAR(res.duration, 6.0, 0.05);
+}
+
+TEST(Runner, NetworkPhaseMovesBytes) {
+  Rig rig;
+  TenantApp app;
+  Phase p;
+  p.net_bytes = 3ull << 30;  // 3 GiB at ~3 GB/s NIC -> ~1.07s
+  app.phases = {p};
+  auto res = rig.run_app(app, {0, 1, 2, 3});
+  EXPECT_GT(res.duration, 0.9);
+  EXPECT_LT(res.duration, 2.0);
+  EXPECT_GT(rig.cl.fabric().total_bytes_moved(), 3.0 * (3ull << 30));
+}
+
+TEST(Runner, AllToAllUsesEveryPeer) {
+  Rig rig;
+  TenantApp app;
+  Phase p;
+  p.net_bytes = 3ull << 30;
+  p.pattern = NetPattern::alltoall;
+  app.phases = {p};
+  (void)rig.run_app(app, {0, 1, 2, 3});
+  for (NodeId n = 0; n < 4; ++n)
+    EXPECT_GT(rig.cl.fabric().avg_down_utilization(n, rig.sim.now()), 0.0);
+}
+
+TEST(Runner, ResidentMemoryPinnedAndReleased) {
+  Rig rig;
+  TenantApp app;
+  app.resident_memory = 10 * units::GiB;
+  Phase p;
+  p.cpu_core_seconds = 1.0;
+  app.phases = {p};
+  auto res = rig.run_app(app, {0, 1});
+  EXPECT_TRUE(res.resident_memory_ok);
+  EXPECT_EQ(rig.cl.node(0).memory().used(), 0u);
+  EXPECT_EQ(rig.cl.node(0).memory().high_water(), 10 * units::GiB);
+}
+
+TEST(Runner, ResidentMemoryFailureIsReported) {
+  Rig rig;
+  ASSERT_TRUE(rig.cl.node(0).memory().try_alloc(60 * units::GiB));
+  TenantApp app;
+  app.resident_memory = 10 * units::GiB;  // does not fit on node 0
+  Phase p;
+  p.cpu_core_seconds = 1.0;
+  app.phases = {p};
+  auto res = rig.run_app(app, {0, 1});
+  EXPECT_FALSE(res.resident_memory_ok);
+}
+
+TEST(Runner, CacheSectionSlowsWhenMemoryIsScarce) {
+  Rig rig;
+  TenantApp app;
+  Phase p;
+  p.cache_bound_seconds = 10.0;
+  p.cache_working_set = 32 * units::GiB;
+  p.cache_miss_penalty = 2.0;
+  app.phases = {p};
+
+  // Plenty of free memory: clean duration.
+  auto clean = rig.run_app(app, {0});
+  EXPECT_NEAR(clean.duration, 10.0, 0.01);
+
+  // Eat memory so only ~16 GiB remain: penalty kicks in.
+  Rig rig2;
+  ASSERT_TRUE(rig2.cl.node(0).memory().try_alloc(48 * units::GiB));
+  auto squeezed = rig2.run_app(app, {0});
+  EXPECT_GT(squeezed.duration, 10.5);
+}
+
+TEST(Runner, SensitiveSectionUnaffectedWithoutScavenger) {
+  Rig rig;
+  TenantApp app;
+  Phase p;
+  p.sensitive.base_seconds = 5.0;
+  p.sensitive.to_krequests = 100.0;
+  app.phases = {p};
+  auto res = rig.run_app(app, {0, 1});
+  EXPECT_NEAR(res.duration, 5.0, 0.01);
+}
+
+TEST(Runner, StandaloneSuitesFinishInPlausibleTime) {
+  // Every catalog entry must run clean in, say, under an hour of
+  // simulated time and over 10 seconds (sanity band for calibration).
+  for (const auto& suite :
+       {hpcc_suite(), hibench_hadoop_suite(), hibench_spark_suite()}) {
+    for (const auto& app : suite) {
+      Rig rig;
+      auto res = rig.run_app(app, {0, 1, 2, 3});
+      EXPECT_GT(res.duration, 10.0) << app.suite << "/" << app.name;
+      EXPECT_LT(res.duration, 3600.0) << app.suite << "/" << app.name;
+      EXPECT_TRUE(res.resident_memory_ok) << app.suite << "/" << app.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memfss::tenant

@@ -1,0 +1,72 @@
+#include "exp/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fluid.hpp"
+
+namespace memfss::exp {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  cluster::Cluster cl{sim, 2};
+};
+
+TEST(TimeSeriesProbe, SamplesAtInterval) {
+  Rig rig;
+  TimeSeriesProbe probe(rig.cl, {0, 1}, 1.0);
+  probe.start();
+  rig.sim.schedule(5.5, [&] { probe.stop(); });
+  // Keep a timer alive so run() covers the full window.
+  rig.sim.schedule(10.0, [] {});
+  rig.sim.run();
+  // Stopped after the sample covering [5, 6): 6 samples.
+  EXPECT_EQ(probe.samples().size(), 6u);
+  EXPECT_DOUBLE_EQ(probe.samples()[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(probe.samples()[5].t, 6.0);
+}
+
+TEST(TimeSeriesProbe, CapturesLoadWindow) {
+  Rig rig;
+  TimeSeriesProbe probe(rig.cl, {0}, 1.0);
+  probe.start();
+  // CPU busy (8 of 16 cores) from t=2 to t=4.
+  rig.sim.schedule(2.0, [&] {
+    rig.sim.spawn([](Rig& r) -> sim::Task<> {
+      co_await r.cl.node(0).cpu().consume(16.0, 8.0);
+    }(rig));
+  });
+  rig.sim.schedule(6.0, [&] { probe.stop(); });
+  rig.sim.run();
+  ASSERT_GE(probe.samples().size(), 4u);
+  EXPECT_NEAR(probe.samples()[0].util.cpu, 0.0, 1e-9);   // [0,1)
+  EXPECT_NEAR(probe.samples()[2].util.cpu, 0.5, 1e-9);   // [2,3): 8/16
+  EXPECT_NEAR(probe.peak(&GroupUtilization::cpu), 0.5, 1e-9);
+}
+
+TEST(TimeSeriesProbe, SparklineShapesFollowLoad) {
+  Rig rig;
+  TimeSeriesProbe probe(rig.cl, {0}, 1.0);
+  probe.start();
+  rig.sim.schedule(5.0, [&] {
+    rig.sim.spawn([](Rig& r) -> sim::Task<> {
+      co_await r.cl.node(0).cpu().consume(80.0, 16.0);  // full load 5s
+    }(rig));
+  });
+  rig.sim.schedule(10.0, [&] { probe.stop(); });
+  rig.sim.run();
+  const auto line = probe.sparkline(&GroupUtilization::cpu, 10);
+  ASSERT_EQ(line.size(), 10u);
+  EXPECT_EQ(line[0], ' ');   // idle start
+  EXPECT_EQ(line[7], '@');   // saturated middle
+}
+
+TEST(TimeSeriesProbe, EmptySeriesRendersEmpty) {
+  Rig rig;
+  TimeSeriesProbe probe(rig.cl, {0}, 1.0);
+  EXPECT_TRUE(probe.sparkline(&GroupUtilization::cpu).empty());
+  EXPECT_EQ(probe.peak(&GroupUtilization::cpu), 0.0);
+}
+
+}  // namespace
+}  // namespace memfss::exp

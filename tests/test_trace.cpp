@@ -1,0 +1,133 @@
+#include "workflow/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace memfss::workflow {
+namespace {
+
+TEST(ParseSize, UnitsAndErrors) {
+  EXPECT_EQ(parse_size("512").value(), 512u);
+  EXPECT_EQ(parse_size("2K").value(), 2048u);
+  EXPECT_EQ(parse_size("128M").value(), 128 * units::MiB);
+  EXPECT_EQ(parse_size("4G").value(), 4 * units::GiB);
+  EXPECT_EQ(parse_size("1T").value(), units::TiB);
+  EXPECT_EQ(parse_size("1.5G").value(), units::GiB + units::GiB / 2);
+  EXPECT_FALSE(parse_size("").ok());
+  EXPECT_FALSE(parse_size("abc").ok());
+  EXPECT_FALSE(parse_size("12X").ok());
+  EXPECT_FALSE(parse_size("12Mx").ok());
+  EXPECT_FALSE(parse_size("-5M").ok());
+}
+
+constexpr const char* kSample = R"(
+# A two-stage pipeline.
+workflow demo
+task gen stage=produce cpu=2.5
+out /data/a 64M
+out /data/b 32M
+
+task crunch stage=consume cpu=10 cores=4 reqs_per_mib=12
+in /data/a
+in /data/b
+out /data/result 1G
+)";
+
+TEST(ParseWorkflow, ParsesSample) {
+  auto wf = parse_workflow_text(kSample);
+  ASSERT_TRUE(wf.ok()) << wf.error().to_string();
+  EXPECT_EQ(wf.value().name, "demo");
+  ASSERT_EQ(wf.value().tasks.size(), 2u);
+  const auto& gen = wf.value().tasks[0];
+  EXPECT_EQ(gen.stage, "produce");
+  EXPECT_EQ(gen.cpu_seconds, 2.5);
+  EXPECT_EQ(gen.outputs.size(), 2u);
+  EXPECT_EQ(gen.outputs[0].bytes, 64 * units::MiB);
+  const auto& crunch = wf.value().tasks[1];
+  EXPECT_EQ(crunch.cores, 4.0);
+  EXPECT_EQ(crunch.io.extra_requests_per_mib, 12.0);
+  EXPECT_EQ(crunch.inputs.size(), 2u);
+  // Dependency derived from the files.
+  auto dag = Dag::build(wf.value());
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag.value().dependencies(1), (std::vector<std::size_t>{0}));
+}
+
+TEST(ParseWorkflow, DefaultStageIsTaskName) {
+  auto wf = parse_workflow_text("task solo cpu=1\n");
+  ASSERT_TRUE(wf.ok());
+  EXPECT_EQ(wf.value().tasks[0].stage, "solo");
+}
+
+TEST(ParseWorkflow, ErrorsNameTheLine) {
+  auto r = parse_workflow_text("task a cpu=1\nbogus directive\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(ParseWorkflow, RejectsOrphanInOut) {
+  EXPECT_FALSE(parse_workflow_text("in /x\n").ok());
+  EXPECT_FALSE(parse_workflow_text("out /x 1M\n").ok());
+}
+
+TEST(ParseWorkflow, RejectsUnknownAttributes) {
+  EXPECT_FALSE(parse_workflow_text("task a cpu=1 color=red\n").ok());
+}
+
+TEST(ParseWorkflow, RejectsCycles) {
+  constexpr const char* kCycle = R"(
+task a cpu=1
+in /y
+out /x 1M
+task b cpu=1
+in /x
+out /y 1M
+)";
+  auto r = parse_workflow_text(kCycle);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("cycle"), std::string::npos);
+}
+
+TEST(ParseWorkflow, RejectsDuplicateProducers) {
+  constexpr const char* kDup = R"(
+task a cpu=1
+out /x 1M
+task b cpu=1
+out /x 1M
+)";
+  EXPECT_FALSE(parse_workflow_text(kDup).ok());
+}
+
+TEST(Trace, RoundtripsGeneratedWorkflows) {
+  Rng rng(17);
+  MontageParams p;
+  p.tiles = 12;
+  const auto original = make_montage(p, rng);
+  const auto text = to_trace(original);
+  auto parsed = parse_workflow_text(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed.value().tasks.size(), original.tasks.size());
+  EXPECT_EQ(parsed.value().total_output_bytes(),
+            original.total_output_bytes());
+  for (std::size_t i = 0; i < original.tasks.size(); ++i) {
+    EXPECT_EQ(parsed.value().tasks[i].name, original.tasks[i].name);
+    EXPECT_EQ(parsed.value().tasks[i].inputs, original.tasks[i].inputs);
+    EXPECT_NEAR(parsed.value().tasks[i].cpu_seconds,
+                original.tasks[i].cpu_seconds, 1e-6);
+  }
+}
+
+TEST(Trace, FileRoundtrip) {
+  const auto wf = make_fork_join(3, 1.0, units::MiB);
+  const std::string path = "/tmp/memfss_trace_test.wf";
+  ASSERT_TRUE(save_workflow_file(wf, path).ok());
+  auto back = load_workflow_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().tasks.size(), wf.tasks.size());
+  EXPECT_FALSE(load_workflow_file("/nonexistent/path.wf").ok());
+}
+
+}  // namespace
+}  // namespace memfss::workflow

@@ -1,0 +1,125 @@
+#include "hash/weight_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace memfss::hash {
+namespace {
+
+class TwoClassRoundtrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwoClassRoundtrip, ClosedFormInvertsItself) {
+  const double alpha = GetParam();
+  const auto w = two_class_weights(alpha);
+  EXPECT_NEAR(two_class_fraction(w), alpha, 1e-12);
+  // At least one weight is normalized to zero.
+  EXPECT_EQ(std::min(w.own, w.victim), 0.0);
+  EXPECT_GE(w.own, 0.0);
+  EXPECT_GE(w.victim, 0.0);
+  EXPECT_LE(std::max(w.own, w.victim), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, TwoClassRoundtrip,
+                         ::testing::Values(0.0, 0.05, 0.25, 0.5, 0.75, 0.95,
+                                           1.0));
+
+TEST(TwoClassWeights, MonotoneInAlpha) {
+  // Larger own share -> relatively smaller own weight (subtractive).
+  double prev = two_class_weights(0.0).own - two_class_weights(0.0).victim;
+  for (double a = 0.1; a <= 1.0; a += 0.1) {
+    const auto w = two_class_weights(a);
+    const double d = w.own - w.victim;
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(WinFractions, MatchesClosedFormForTwoClasses) {
+  for (double alpha : {0.1, 0.3, 0.5, 0.8}) {
+    const auto w = two_class_weights(alpha);
+    const auto p = win_fractions({w.own, w.victim});
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_NEAR(p[0], alpha, 2e-3);
+    EXPECT_NEAR(p[1], 1.0 - alpha, 2e-3);
+  }
+}
+
+TEST(WinFractions, EqualWeightsAreUniform) {
+  const auto p = win_fractions({0.2, 0.2, 0.2, 0.2});
+  for (double x : p) EXPECT_NEAR(x, 0.25, 2e-3);
+}
+
+TEST(WinFractions, SingleClassWinsEverything) {
+  const auto p = win_fractions({0.7});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 1.0);
+}
+
+TEST(WinFractions, SumsToOne) {
+  const auto p = win_fractions({0.0, 0.17, 0.42, 0.05});
+  double sum = 0.0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(WinFractions, AgreesWithMonteCarlo) {
+  const std::vector<double> weights{0.0, 0.15, 0.35};
+  const auto analytic = win_fractions(weights);
+  Rng rng(404);
+  std::vector<int> wins(weights.size(), 0);
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    std::size_t best = 0;
+    double best_score = -1e9;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double s = rng.next_double() - weights[i];
+      if (s > best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    ++wins[best];
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    EXPECT_NEAR(wins[i] / double(trials), analytic[i], 5e-3) << "class " << i;
+}
+
+TEST(SolveClassWeights, TwoClassesUsesClosedForm) {
+  const auto w = solve_class_weights({0.25, 0.75});
+  const auto expect = two_class_weights(0.25);
+  EXPECT_NEAR(w[0], expect.own, 1e-12);
+  EXPECT_NEAR(w[1], expect.victim, 1e-12);
+}
+
+TEST(SolveClassWeights, ThreeClassTargetsConverge) {
+  const std::vector<double> targets{0.5, 0.3, 0.2};
+  const auto w = solve_class_weights(targets);
+  const auto p = win_fractions(w);
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    EXPECT_NEAR(p[i], targets[i], 0.01) << "class " << i;
+}
+
+TEST(SolveClassWeights, FourClassSkewedTargets) {
+  const std::vector<double> targets{0.70, 0.15, 0.10, 0.05};
+  const auto w = solve_class_weights(targets, 400);
+  const auto p = win_fractions(w);
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    EXPECT_NEAR(p[i], targets[i], 0.015) << "class " << i;
+}
+
+TEST(SolveClassWeights, ZeroTargetClassNeverWins) {
+  const auto w = solve_class_weights({0.6, 0.4, 0.0});
+  const auto p = win_fractions(w);
+  EXPECT_NEAR(p[2], 0.0, 1e-6);
+  EXPECT_NEAR(p[0], 0.6, 0.01);
+}
+
+TEST(SolveClassWeights, SingleClass) {
+  const auto w = solve_class_weights({1.0});
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], 0.0);
+}
+
+}  // namespace
+}  // namespace memfss::hash

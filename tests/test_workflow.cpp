@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "co_test.hpp"
+#include "common/rng.hpp"
+#include "workflow/dag.hpp"
+#include "workflow/engine.hpp"
+#include "workflow/generators.hpp"
+
+namespace memfss::workflow {
+namespace {
+
+// --- Dag ---------------------------------------------------------------------
+
+TEST(Dag, BuildsEdgesFromFiles) {
+  Workflow wf;
+  wf.tasks.push_back({"a", "s", 1, 1, {}, {{"/x", 10}}, {}});
+  wf.tasks.push_back({"b", "s", 1, 1, {"/x"}, {{"/y", 10}}, {}});
+  wf.tasks.push_back({"c", "s", 1, 1, {"/x", "/y"}, {}, {}});
+  auto dag = Dag::build(wf);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag.value().dependencies(0).empty());
+  EXPECT_EQ(dag.value().dependencies(1),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dag.value().dependencies(2).size(), 2u);
+  EXPECT_EQ(dag.value().dependents(0).size(), 2u);
+  EXPECT_EQ(dag.value().roots(), (std::vector<std::size_t>{0}));
+}
+
+TEST(Dag, ExternalInputsIgnored) {
+  Workflow wf;
+  wf.tasks.push_back({"a", "s", 1, 1, {"/external"}, {{"/x", 1}}, {}});
+  auto dag = Dag::build(wf);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag.value().dependencies(0).empty());
+}
+
+TEST(Dag, RejectsDuplicateProducers) {
+  Workflow wf;
+  wf.tasks.push_back({"a", "s", 1, 1, {}, {{"/x", 1}}, {}});
+  wf.tasks.push_back({"b", "s", 1, 1, {}, {{"/x", 1}}, {}});
+  EXPECT_EQ(Dag::build(wf).code(), Errc::invalid_argument);
+}
+
+TEST(Dag, RejectsSelfDependency) {
+  Workflow wf;
+  wf.tasks.push_back({"a", "s", 1, 1, {"/x"}, {{"/x", 1}}, {}});
+  EXPECT_EQ(Dag::build(wf).code(), Errc::invalid_argument);
+}
+
+TEST(Dag, TopoOrderRespectsDependencies) {
+  Rng rng(3);
+  auto wf = make_montage(MontageParams{.tiles = 16}, rng);
+  auto dag = Dag::build(wf);
+  ASSERT_TRUE(dag.ok());
+  std::set<std::size_t> seen;
+  for (std::size_t t : dag.value().topo_order()) {
+    for (std::size_t d : dag.value().dependencies(t))
+      EXPECT_TRUE(seen.count(d)) << "task " << t << " before dep " << d;
+    seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), wf.tasks.size());
+}
+
+TEST(Dag, CriticalPathAndWidth) {
+  Workflow wf = make_fork_join(10, 2.0, 100);
+  auto dag = Dag::build(wf);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_NEAR(dag.value().critical_path_seconds(wf), 6.0, 1e-9);
+  EXPECT_EQ(dag.value().max_stage_width(wf), 10u);
+}
+
+// --- generators ----------------------------------------------------------------
+
+TEST(Generators, DdBagShape) {
+  auto wf = make_dd_bag(100, 8 * units::MiB);
+  EXPECT_EQ(wf.tasks.size(), 100u);
+  EXPECT_EQ(wf.total_output_bytes(), 800 * units::MiB);
+  auto dag = Dag::build(wf);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag.value().roots().size(), 100u);  // fully parallel
+}
+
+TEST(Generators, MontageShapeAndDeterminism) {
+  MontageParams p;
+  p.tiles = 64;
+  Rng rng1(9), rng2(9);
+  auto wf1 = make_montage(p, rng1);
+  auto wf2 = make_montage(p, rng2);
+  EXPECT_EQ(wf1.tasks.size(), wf2.tasks.size());
+  EXPECT_EQ(wf1.total_output_bytes(), wf2.total_output_bytes());
+
+  auto dag = Dag::build(wf1);
+  ASSERT_TRUE(dag.ok()) << dag.error().to_string();
+  // Wide stages exist...
+  EXPECT_GE(dag.value().max_stage_width(wf1), 64u);
+  // ...and the long sequential tail dominates the critical path.
+  double serial = p.concat_cpu + p.bgmodel_cpu + p.imgtbl_cpu + p.madd_cpu +
+                  p.shrink_cpu;
+  EXPECT_GT(dag.value().critical_path_seconds(wf1), serial);
+  // File sizes respect the configured band.
+  for (const auto& t : wf1.tasks) {
+    if (t.stage == "mProject") {
+      ASSERT_EQ(t.outputs.size(), 1u);
+      EXPECT_GE(t.outputs[0].bytes, p.proj_bytes_min);
+      EXPECT_LE(t.outputs[0].bytes, p.proj_bytes_max);
+    }
+  }
+}
+
+TEST(Generators, BlastShape) {
+  BlastParams p;
+  p.queries = 16;
+  Rng rng(11);
+  auto wf = make_blast(p, rng);
+  // split + 16 blastn + merge
+  EXPECT_EQ(wf.tasks.size(), 18u);
+  auto dag = Dag::build(wf);
+  ASSERT_TRUE(dag.ok());
+  // blastn tasks carry the chatty-I/O profile.
+  int chatty = 0;
+  for (const auto& t : wf.tasks)
+    if (t.io.extra_requests_per_mib > 0) ++chatty;
+  EXPECT_EQ(chatty, 16);
+  // merge depends on all blastn tasks.
+  EXPECT_EQ(dag.value().dependencies(17).size(), 16u);
+}
+
+// --- engine -----------------------------------------------------------------------
+
+struct EngineRig {
+  sim::Simulator sim;
+  cluster::Cluster cl{sim, 8};
+  fs::FileSystem fs;
+
+  EngineRig() : fs(cl, make_cfg()) {}
+
+  static fs::FileSystemConfig make_cfg() {
+    fs::FileSystemConfig cfg;
+    cfg.own_nodes = {0, 1, 2, 3};
+    cfg.own_store_capacity = 8 * units::GiB;
+    cfg.stripe_size = 1 * units::MiB;
+    return cfg;
+  }
+
+  Report run_wf(Workflow wf, EngineConfig ecfg = {}) {
+    Engine engine(cl, fs, {0, 1, 2, 3}, ecfg);
+    Report out;
+    sim.spawn([](Engine& e, Workflow w, Report& o) -> sim::Task<> {
+      o = co_await e.run(std::move(w));
+    }(engine, std::move(wf), out));
+    sim.run();
+    return out;
+  }
+};
+
+TEST(Engine, RunsForkJoinToCompletion) {
+  EngineRig rig;
+  auto report = rig.run_wf(make_fork_join(32, 1.0, units::MiB));
+  EXPECT_TRUE(report.status.ok());
+  EXPECT_EQ(report.tasks_run, 34u);
+  EXPECT_GT(report.makespan, 3.0);  // three serial levels of 1s compute
+  EXPECT_EQ(report.bytes_written, 65 * units::MiB);
+  EXPECT_EQ(report.bytes_read, 64 * units::MiB);  // source outputs + worker outputs read once
+  EXPECT_EQ(rig.fs.meta().ns().file_count(), 65u);
+}
+
+TEST(Engine, SlotsLimitParallelism) {
+  // 8 independent 1s tasks on 1 node with 2 slots -> makespan ~ 4s.
+  EngineRig rig;
+  Engine engine(rig.cl, rig.fs, {0}, EngineConfig{2.0});
+  Workflow wf;
+  for (int i = 0; i < 8; ++i) {
+    TaskSpec t;
+    t.name = "t" + std::to_string(i);
+    t.stage = "w";
+    t.cpu_seconds = 1.0;
+    wf.tasks.push_back(std::move(t));
+  }
+  Report out;
+  rig.sim.spawn([](Engine& e, Workflow w, Report& o) -> sim::Task<> {
+    o = co_await e.run(std::move(w));
+  }(engine, std::move(wf), out));
+  rig.sim.run();
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_NEAR(out.makespan, 4.0, 0.1);
+}
+
+TEST(Engine, StageDurationsRecorded) {
+  EngineRig rig;
+  auto report = rig.run_wf(make_fork_join(8, 0.5, units::KiB));
+  EXPECT_EQ(report.stage_durations.count("worker"), 1u);
+  EXPECT_EQ(report.stage_durations.at("worker").count(), 8u);
+  EXPECT_GT(report.stage_durations.at("worker").mean(), 0.4);
+}
+
+TEST(Engine, CyclicWorkflowReportsError) {
+  EngineRig rig;
+  Workflow wf;
+  wf.tasks.push_back({"a", "s", 1, 1, {"/b"}, {{"/a", 1}}, {}});
+  wf.tasks.push_back({"b", "s", 1, 1, {"/a"}, {{"/b", 1}}, {}});
+  auto report = rig.run_wf(std::move(wf));
+  EXPECT_EQ(report.status.code(), Errc::invalid_argument);
+  EXPECT_EQ(report.tasks_run, 0u);
+}
+
+TEST(Engine, MontageSmallEndToEnd) {
+  EngineRig rig;
+  MontageParams p;
+  p.tiles = 24;
+  p.concat_cpu = 5;
+  p.bgmodel_cpu = 8;
+  p.imgtbl_cpu = 2;
+  p.madd_cpu = 10;
+  p.shrink_cpu = 1;
+  Rng rng(21);
+  auto report = rig.run_wf(make_montage(p, rng));
+  EXPECT_TRUE(report.status.ok());
+  // Serial tail is a hard lower bound on the makespan.
+  EXPECT_GT(report.makespan, 26.0);
+  EXPECT_GT(report.bytes_read, report.bytes_written / 2);
+}
+
+TEST(Engine, NodeHoursMath) {
+  Report r;
+  r.makespan = 7200.0;
+  EXPECT_NEAR(r.node_hours(4), 8.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace memfss::workflow

@@ -1,0 +1,101 @@
+// Shape tests for the real-world workflow generators the paper cites
+// (§II-A): CyberShake, LIGO, SIPHT, Epigenomics. Each must be a valid
+// DAG whose structure shows the limited-parallelism pattern the paper
+// argues from: wide stages (high max width) combined with aggregation
+// bottlenecks (fan-in tasks) and deterministic generation per seed.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace memfss::workflow {
+namespace {
+
+struct GalleryCase {
+  std::string name;
+  Workflow wf;
+  std::size_t min_tasks;
+  std::size_t min_width;
+};
+
+std::vector<GalleryCase> gallery(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GalleryCase> out;
+  out.push_back({"cybershake",
+                 make_cybershake(CyberShakeParams{}, rng),
+                 8 * (1 + 2 * 48) + 1, 48});
+  out.push_back({"ligo", make_ligo(LigoParams{}, rng), 64 * 2 + 2 + 32 + 1,
+                 32});
+  out.push_back({"sipht", make_sipht(SiphtParams{}, rng), 32 * 3 + 2, 32});
+  out.push_back({"epigenomics",
+                 make_epigenomics(EpigenomicsParams{}, rng),
+                 4 * (32 * 3 + 1) + 1, 32});
+  return out;
+}
+
+TEST(Gallery, AllAreValidDags) {
+  for (const auto& c : gallery(1)) {
+    auto dag = Dag::build(c.wf);
+    ASSERT_TRUE(dag.ok()) << c.name << ": " << dag.error().to_string();
+    EXPECT_GE(c.wf.tasks.size(), c.min_tasks) << c.name;
+    EXPECT_GT(c.wf.total_output_bytes(), 0u) << c.name;
+    EXPECT_GT(c.wf.total_cpu_seconds(), 0.0) << c.name;
+  }
+}
+
+TEST(Gallery, WideStagesAndBottlenecks) {
+  for (const auto& c : gallery(2)) {
+    auto dag = Dag::build(c.wf).value();
+    // Wide parallel stages...
+    EXPECT_GE(dag.max_stage_width(c.wf), c.min_width) << c.name;
+    // ...and at least one aggregation task with wide fan-in.
+    std::size_t max_fanin = 0;
+    for (std::size_t t = 0; t < c.wf.tasks.size(); ++t)
+      max_fanin = std::max(max_fanin, dag.dependencies(t).size());
+    EXPECT_GE(max_fanin, c.min_width / 2) << c.name;
+    // Critical path far below total work: that gap is the scalability
+    // ceiling scavenging exploits.
+    EXPECT_LT(dag.critical_path_seconds(c.wf),
+              c.wf.total_cpu_seconds() / 4)
+        << c.name;
+  }
+}
+
+TEST(Gallery, DeterministicPerSeed) {
+  const auto a = gallery(7);
+  const auto b = gallery(7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].wf.total_output_bytes(), b[i].wf.total_output_bytes());
+    EXPECT_EQ(a[i].wf.tasks.size(), b[i].wf.tasks.size());
+  }
+}
+
+TEST(Gallery, SiphtTasksAreChatty) {
+  Rng rng(3);
+  const auto wf = make_sipht(SiphtParams{}, rng);
+  std::size_t chatty = 0;
+  for (const auto& t : wf.tasks)
+    if (t.io.extra_requests_per_mib > 0) ++chatty;
+  EXPECT_EQ(chatty, 96u);  // the BLAST-family searches
+}
+
+TEST(Gallery, EpigenomicsIsDeepAndNarrow) {
+  Rng rng(4);
+  EpigenomicsParams p;
+  p.lanes = 1;
+  p.chunks_per_lane = 4;
+  const auto wf = make_epigenomics(p, rng);
+  auto dag = Dag::build(wf).value();
+  // Chain depth: filter -> fastq2bfq -> map -> merge -> index = 5 levels.
+  std::vector<std::size_t> level(wf.tasks.size(), 0);
+  std::size_t depth = 0;
+  for (std::size_t t : dag.topo_order()) {
+    for (std::size_t d : dag.dependencies(t))
+      level[t] = std::max(level[t], level[d] + 1);
+    depth = std::max(depth, level[t] + 1);
+  }
+  EXPECT_EQ(depth, 5u);
+}
+
+}  // namespace
+}  // namespace memfss::workflow
