@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stripe.dir/ablation_stripe.cpp.o"
+  "CMakeFiles/ablation_stripe.dir/ablation_stripe.cpp.o.d"
+  "ablation_stripe"
+  "ablation_stripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

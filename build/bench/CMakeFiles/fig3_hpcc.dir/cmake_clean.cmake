@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hpcc.dir/fig3_hpcc.cpp.o"
+  "CMakeFiles/fig3_hpcc.dir/fig3_hpcc.cpp.o.d"
+  "fig3_hpcc"
+  "fig3_hpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hibench_hadoop.dir/fig4_hibench_hadoop.cpp.o"
+  "CMakeFiles/fig4_hibench_hadoop.dir/fig4_hibench_hadoop.cpp.o.d"
+  "fig4_hibench_hadoop"
+  "fig4_hibench_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hibench_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hibench_spark.dir/fig5_hibench_spark.cpp.o"
+  "CMakeFiles/fig5_hibench_spark.dir/fig5_hibench_spark.cpp.o.d"
+  "fig5_hibench_spark"
+  "fig5_hibench_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hibench_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_utilization.dir/table1_utilization.cpp.o"
+  "CMakeFiles/table1_utilization.dir/table1_utilization.cpp.o.d"
+  "table1_utilization"
+  "table1_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

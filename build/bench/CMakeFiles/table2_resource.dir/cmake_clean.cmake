@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_resource.dir/table2_resource.cpp.o"
+  "CMakeFiles/table2_resource.dir/table2_resource.cpp.o.d"
+  "table2_resource"
+  "table2_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_cli.dir/memfss_cli.cpp.o"
+  "CMakeFiles/memfss_cli.dir/memfss_cli.cpp.o.d"
+  "memfss_cli"
+  "memfss_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

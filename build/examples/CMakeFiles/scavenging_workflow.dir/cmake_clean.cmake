@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scavenging_workflow.dir/scavenging_workflow.cpp.o"
+  "CMakeFiles/scavenging_workflow.dir/scavenging_workflow.cpp.o.d"
+  "scavenging_workflow"
+  "scavenging_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scavenging_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

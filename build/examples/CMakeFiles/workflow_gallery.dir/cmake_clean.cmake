@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_gallery.dir/workflow_gallery.cpp.o"
+  "CMakeFiles/workflow_gallery.dir/workflow_gallery.cpp.o.d"
+  "workflow_gallery"
+  "workflow_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/memfss_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/memfss_cluster.dir/monitor.cpp.o"
+  "CMakeFiles/memfss_cluster.dir/monitor.cpp.o.d"
+  "CMakeFiles/memfss_cluster.dir/reservation.cpp.o"
+  "CMakeFiles/memfss_cluster.dir/reservation.cpp.o.d"
+  "libmemfss_cluster.a"
+  "libmemfss_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_common.dir/log.cpp.o"
+  "CMakeFiles/memfss_common.dir/log.cpp.o.d"
+  "CMakeFiles/memfss_common.dir/rng.cpp.o"
+  "CMakeFiles/memfss_common.dir/rng.cpp.o.d"
+  "CMakeFiles/memfss_common.dir/stats.cpp.o"
+  "CMakeFiles/memfss_common.dir/stats.cpp.o.d"
+  "CMakeFiles/memfss_common.dir/str.cpp.o"
+  "CMakeFiles/memfss_common.dir/str.cpp.o.d"
+  "CMakeFiles/memfss_common.dir/table.cpp.o"
+  "CMakeFiles/memfss_common.dir/table.cpp.o.d"
+  "libmemfss_common.a"
+  "libmemfss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_erasure.dir/gf256.cpp.o"
+  "CMakeFiles/memfss_erasure.dir/gf256.cpp.o.d"
+  "CMakeFiles/memfss_erasure.dir/reed_solomon.cpp.o"
+  "CMakeFiles/memfss_erasure.dir/reed_solomon.cpp.o.d"
+  "libmemfss_erasure.a"
+  "libmemfss_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

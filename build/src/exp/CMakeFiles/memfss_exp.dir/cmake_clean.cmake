@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_exp.dir/experiments.cpp.o"
+  "CMakeFiles/memfss_exp.dir/experiments.cpp.o.d"
+  "CMakeFiles/memfss_exp.dir/metrics.cpp.o"
+  "CMakeFiles/memfss_exp.dir/metrics.cpp.o.d"
+  "CMakeFiles/memfss_exp.dir/report.cpp.o"
+  "CMakeFiles/memfss_exp.dir/report.cpp.o.d"
+  "CMakeFiles/memfss_exp.dir/scenario.cpp.o"
+  "CMakeFiles/memfss_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/memfss_exp.dir/timeseries.cpp.o"
+  "CMakeFiles/memfss_exp.dir/timeseries.cpp.o.d"
+  "libmemfss_exp.a"
+  "libmemfss_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

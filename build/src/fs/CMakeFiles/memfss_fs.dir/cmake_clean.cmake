@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_fs.dir/client.cpp.o"
+  "CMakeFiles/memfss_fs.dir/client.cpp.o.d"
+  "CMakeFiles/memfss_fs.dir/filesystem.cpp.o"
+  "CMakeFiles/memfss_fs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/memfss_fs.dir/maintenance.cpp.o"
+  "CMakeFiles/memfss_fs.dir/maintenance.cpp.o.d"
+  "CMakeFiles/memfss_fs.dir/metadata.cpp.o"
+  "CMakeFiles/memfss_fs.dir/metadata.cpp.o.d"
+  "CMakeFiles/memfss_fs.dir/namespace.cpp.o"
+  "CMakeFiles/memfss_fs.dir/namespace.cpp.o.d"
+  "CMakeFiles/memfss_fs.dir/placement.cpp.o"
+  "CMakeFiles/memfss_fs.dir/placement.cpp.o.d"
+  "libmemfss_fs.a"
+  "libmemfss_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/class_hrw.cpp" "src/hash/CMakeFiles/memfss_hash.dir/class_hrw.cpp.o" "gcc" "src/hash/CMakeFiles/memfss_hash.dir/class_hrw.cpp.o.d"
+  "/root/repo/src/hash/consistent.cpp" "src/hash/CMakeFiles/memfss_hash.dir/consistent.cpp.o" "gcc" "src/hash/CMakeFiles/memfss_hash.dir/consistent.cpp.o.d"
+  "/root/repo/src/hash/hashes.cpp" "src/hash/CMakeFiles/memfss_hash.dir/hashes.cpp.o" "gcc" "src/hash/CMakeFiles/memfss_hash.dir/hashes.cpp.o.d"
+  "/root/repo/src/hash/hrw.cpp" "src/hash/CMakeFiles/memfss_hash.dir/hrw.cpp.o" "gcc" "src/hash/CMakeFiles/memfss_hash.dir/hrw.cpp.o.d"
+  "/root/repo/src/hash/skeleton.cpp" "src/hash/CMakeFiles/memfss_hash.dir/skeleton.cpp.o" "gcc" "src/hash/CMakeFiles/memfss_hash.dir/skeleton.cpp.o.d"
+  "/root/repo/src/hash/weight_solver.cpp" "src/hash/CMakeFiles/memfss_hash.dir/weight_solver.cpp.o" "gcc" "src/hash/CMakeFiles/memfss_hash.dir/weight_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memfss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

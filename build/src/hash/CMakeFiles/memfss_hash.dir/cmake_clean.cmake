@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_hash.dir/class_hrw.cpp.o"
+  "CMakeFiles/memfss_hash.dir/class_hrw.cpp.o.d"
+  "CMakeFiles/memfss_hash.dir/consistent.cpp.o"
+  "CMakeFiles/memfss_hash.dir/consistent.cpp.o.d"
+  "CMakeFiles/memfss_hash.dir/hashes.cpp.o"
+  "CMakeFiles/memfss_hash.dir/hashes.cpp.o.d"
+  "CMakeFiles/memfss_hash.dir/hrw.cpp.o"
+  "CMakeFiles/memfss_hash.dir/hrw.cpp.o.d"
+  "CMakeFiles/memfss_hash.dir/skeleton.cpp.o"
+  "CMakeFiles/memfss_hash.dir/skeleton.cpp.o.d"
+  "CMakeFiles/memfss_hash.dir/weight_solver.cpp.o"
+  "CMakeFiles/memfss_hash.dir/weight_solver.cpp.o.d"
+  "libmemfss_hash.a"
+  "libmemfss_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

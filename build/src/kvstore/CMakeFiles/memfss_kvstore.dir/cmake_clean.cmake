@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_kvstore.dir/rate_meter.cpp.o"
+  "CMakeFiles/memfss_kvstore.dir/rate_meter.cpp.o.d"
+  "CMakeFiles/memfss_kvstore.dir/server.cpp.o"
+  "CMakeFiles/memfss_kvstore.dir/server.cpp.o.d"
+  "CMakeFiles/memfss_kvstore.dir/store.cpp.o"
+  "CMakeFiles/memfss_kvstore.dir/store.cpp.o.d"
+  "libmemfss_kvstore.a"
+  "libmemfss_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_net.dir/fabric.cpp.o"
+  "CMakeFiles/memfss_net.dir/fabric.cpp.o.d"
+  "libmemfss_net.a"
+  "libmemfss_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

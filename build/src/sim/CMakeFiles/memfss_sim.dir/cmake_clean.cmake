@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_sim.dir/fluid.cpp.o"
+  "CMakeFiles/memfss_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/memfss_sim.dir/memory.cpp.o"
+  "CMakeFiles/memfss_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/memfss_sim.dir/simulator.cpp.o"
+  "CMakeFiles/memfss_sim.dir/simulator.cpp.o.d"
+  "libmemfss_sim.a"
+  "libmemfss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

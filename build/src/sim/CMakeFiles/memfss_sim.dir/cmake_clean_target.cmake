@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemfss_sim.a"
+)

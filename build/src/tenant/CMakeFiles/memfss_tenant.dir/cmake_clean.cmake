@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_tenant.dir/app.cpp.o"
+  "CMakeFiles/memfss_tenant.dir/app.cpp.o.d"
+  "CMakeFiles/memfss_tenant.dir/kernels.cpp.o"
+  "CMakeFiles/memfss_tenant.dir/kernels.cpp.o.d"
+  "CMakeFiles/memfss_tenant.dir/runner.cpp.o"
+  "CMakeFiles/memfss_tenant.dir/runner.cpp.o.d"
+  "CMakeFiles/memfss_tenant.dir/suites.cpp.o"
+  "CMakeFiles/memfss_tenant.dir/suites.cpp.o.d"
+  "libmemfss_tenant.a"
+  "libmemfss_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for memfss_tenant.
+# This may be replaced when dependencies are built.

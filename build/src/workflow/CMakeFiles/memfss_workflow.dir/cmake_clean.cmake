@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfss_workflow.dir/dag.cpp.o"
+  "CMakeFiles/memfss_workflow.dir/dag.cpp.o.d"
+  "CMakeFiles/memfss_workflow.dir/engine.cpp.o"
+  "CMakeFiles/memfss_workflow.dir/engine.cpp.o.d"
+  "CMakeFiles/memfss_workflow.dir/generators.cpp.o"
+  "CMakeFiles/memfss_workflow.dir/generators.cpp.o.d"
+  "CMakeFiles/memfss_workflow.dir/trace.cpp.o"
+  "CMakeFiles/memfss_workflow.dir/trace.cpp.o.d"
+  "libmemfss_workflow.a"
+  "libmemfss_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfss_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

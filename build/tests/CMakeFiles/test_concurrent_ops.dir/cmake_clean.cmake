@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent_ops.dir/test_concurrent_ops.cpp.o"
+  "CMakeFiles/test_concurrent_ops.dir/test_concurrent_ops.cpp.o.d"
+  "test_concurrent_ops"
+  "test_concurrent_ops.pdb"
+  "test_concurrent_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

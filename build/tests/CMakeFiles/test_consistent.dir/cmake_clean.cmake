@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistent.dir/test_consistent.cpp.o"
+  "CMakeFiles/test_consistent.dir/test_consistent.cpp.o.d"
+  "test_consistent"
+  "test_consistent.pdb"
+  "test_consistent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

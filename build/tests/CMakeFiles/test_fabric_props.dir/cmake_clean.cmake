@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric_props.dir/test_fabric_props.cpp.o"
+  "CMakeFiles/test_fabric_props.dir/test_fabric_props.cpp.o.d"
+  "test_fabric_props"
+  "test_fabric_props.pdb"
+  "test_fabric_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid_props.dir/test_fluid_props.cpp.o"
+  "CMakeFiles/test_fluid_props.dir/test_fluid_props.cpp.o.d"
+  "test_fluid_props"
+  "test_fluid_props.pdb"
+  "test_fluid_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashes.dir/test_hashes.cpp.o"
+  "CMakeFiles/test_hashes.dir/test_hashes.cpp.o.d"
+  "test_hashes"
+  "test_hashes.pdb"
+  "test_hashes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hrw.dir/test_hrw.cpp.o"
+  "CMakeFiles/test_hrw.dir/test_hrw.cpp.o.d"
+  "test_hrw"
+  "test_hrw.pdb"
+  "test_hrw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hrw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

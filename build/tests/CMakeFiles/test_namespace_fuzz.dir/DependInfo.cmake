@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_namespace_fuzz.cpp" "tests/CMakeFiles/test_namespace_fuzz.dir/test_namespace_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_namespace_fuzz.dir/test_namespace_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/memfss_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memfss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/memfss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/memfss_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/memfss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memfss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/memfss_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/memfss_erasure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_policies.dir/test_scheduler_policies.cpp.o"
+  "CMakeFiles/test_scheduler_policies.dir/test_scheduler_policies.cpp.o.d"
+  "test_scheduler_policies"
+  "test_scheduler_policies.pdb"
+  "test_scheduler_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrub_elasticity.dir/test_scrub_elasticity.cpp.o"
+  "CMakeFiles/test_scrub_elasticity.dir/test_scrub_elasticity.cpp.o.d"
+  "test_scrub_elasticity"
+  "test_scrub_elasticity.pdb"
+  "test_scrub_elasticity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrub_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

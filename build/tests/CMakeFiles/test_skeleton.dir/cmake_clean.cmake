@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skeleton.dir/test_skeleton.cpp.o"
+  "CMakeFiles/test_skeleton.dir/test_skeleton.cpp.o.d"
+  "test_skeleton"
+  "test_skeleton.pdb"
+  "test_skeleton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

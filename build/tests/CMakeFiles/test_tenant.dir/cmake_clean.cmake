@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tenant.dir/test_tenant.cpp.o"
+  "CMakeFiles/test_tenant.dir/test_tenant.cpp.o.d"
+  "test_tenant"
+  "test_tenant.pdb"
+  "test_tenant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

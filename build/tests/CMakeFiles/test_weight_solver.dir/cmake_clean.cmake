@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weight_solver.dir/test_weight_solver.cpp.o"
+  "CMakeFiles/test_weight_solver.dir/test_weight_solver.cpp.o.d"
+  "test_weight_solver"
+  "test_weight_solver.pdb"
+  "test_weight_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weight_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow_gallery.dir/test_workflow_gallery.cpp.o"
+  "CMakeFiles/test_workflow_gallery.dir/test_workflow_gallery.cpp.o.d"
+  "test_workflow_gallery"
+  "test_workflow_gallery.pdb"
+  "test_workflow_gallery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
