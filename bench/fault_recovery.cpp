@@ -1,0 +1,100 @@
+// Fault recovery: workflow slowdown vs victim fault intensity.
+//
+// Not a paper figure -- the paper assumes victims leave only through the
+// revocation protocol. This bench quantifies what the robustness layer
+// (ISSUE: crash/revocation recovery, retries, degraded reads) costs when
+// victims actually fail: each row runs the same seeded Montage twice,
+// once clean and once under a seed-deterministic FaultPlan, and reports
+// the slowdown plus the recovery metrics (degraded reads, retries,
+// stripes repaired, bytes re-replicated, mean time-to-repair).
+//
+// Sweeps the per-victim crash rate, then adds a whole-class revocation
+// row (the scavenging worst case: every victim leaves mid-run) for both
+// replication and Reed-Solomon redundancy.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+
+using namespace memfss;
+
+namespace {
+
+std::string fmt_row_label(const exp::FaultRecoveryOptions& opt) {
+  std::string label = strformat("%.2f", opt.crash_rate);
+  if (opt.revoke_mid_run) label += " +revoke";
+  return label;
+}
+
+void add_row(Table& t, const exp::FaultRecoveryOptions& opt) {
+  const auto row = exp::run_fault_recovery(opt);
+  t.add_row({fmt_row_label(opt),
+             strformat("%zu/%zu/%zu", row.crashes, row.revocations,
+                       row.stalls),
+             strformat("%.1f", row.runtime),
+             strformat("%+.1f%%", row.slowdown * 100),
+             strformat("%llu", (unsigned long long)row.degraded_reads),
+             strformat("%llu", (unsigned long long)(row.read_retries +
+                                                    row.write_retries)),
+             strformat("%zu", row.stripes_repaired),
+             format_bytes(row.bytes_re_replicated),
+             strformat("%.2f", row.mean_time_to_repair),
+             row.ok ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  exp::FaultRecoveryOptions opt;
+  opt.scenario.with_victims = true;
+  opt.scenario.redundancy = fs::RedundancyMode::replicated;
+  opt.scenario.copies = 2;
+  if (std::getenv("MEMFSS_FAST")) opt.montage_tiles = 192;
+
+  std::printf("Fault recovery: Montage under victim crashes/revocation\n");
+  std::printf("  setup: %zu own + %zu victim nodes, %zu tiles, "
+              "rpc_timeout=%.2fs, detect=%.2fs, grace=%.1fs\n\n",
+              opt.scenario.own_nodes,
+              opt.scenario.total_nodes - opt.scenario.own_nodes,
+              opt.montage_tiles, opt.rpc_timeout, opt.failure_detect_delay,
+              opt.revocation_grace);
+
+  const std::vector<std::string> headers = {
+      "crash rate", "crash/rev/stall", "runtime (s)", "slowdown",
+      "degraded rd", "retries",        "repaired",    "re-replicated",
+      "MTTR (s)",   "ok"};
+
+  {
+    Table t(headers);
+    t.set_title("replicated x2: slowdown vs per-victim crash rate");
+    for (double rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+      opt.crash_rate = rate;
+      opt.revoke_mid_run = false;
+      add_row(t, opt);
+    }
+    // Worst case: the tenant takes the whole victim class back mid-run,
+    // on top of background crashes.
+    opt.crash_rate = 0.1;
+    opt.revoke_mid_run = true;
+    add_row(t, opt);
+    t.print();
+  }
+
+  {
+    Table t(headers);
+    t.set_title("Reed-Solomon 4+2: crashes and revocation");
+    opt.scenario.redundancy = fs::RedundancyMode::erasure;
+    for (double rate : {0.0, 0.2}) {
+      opt.crash_rate = rate;
+      opt.revoke_mid_run = false;
+      add_row(t, opt);
+    }
+    opt.crash_rate = 0.1;
+    opt.revoke_mid_run = true;
+    add_row(t, opt);
+    t.print();
+  }
+  return 0;
+}

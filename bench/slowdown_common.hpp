@@ -66,7 +66,10 @@ inline SuiteResult run_suite(const std::vector<tenant::TenantApp>& suite,
 
 inline const char* cache_path() {
   if (const char* p = std::getenv("MEMFSS_SLOWDOWN_CACHE")) return p;
-  return "memfss_slowdown_cache.csv";
+  // Repo-root invocations (scripts/run_all_experiments.sh) land on the
+  // tracked cache of measured cells; elsewhere the file is created next
+  // to the working directory's bench/ if present, else locally.
+  return "bench/memfss_slowdown_cache.csv";
 }
 
 inline void append_to_cache(const std::string& suite_label, double alpha,

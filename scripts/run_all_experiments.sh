@@ -6,8 +6,9 @@
 #
 # --fast sets MEMFSS_FAST=1 (small clusters / short workloads) for a
 # quick smoke pass. Figure-level slowdown cells are cached in
-# memfss_slowdown_cache.csv so Fig. 6 reuses the Fig. 3-5 sweeps;
-# delete that file to force fresh runs.
+# bench/memfss_slowdown_cache.csv (override with MEMFSS_SLOWDOWN_CACHE)
+# so Fig. 6 reuses the Fig. 3-5 sweeps; delete that file to force fresh
+# runs.
 set -euo pipefail
 
 if [[ "${1:-}" == "--fast" ]]; then

@@ -1,0 +1,151 @@
+#include "cluster/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace memfss::cluster {
+
+FaultPlan& FaultPlan::crash(SimTime at, NodeId node) {
+  events_.push_back({at, FaultKind::crash_node, node, 0, 0.0, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::revoke_class(SimTime at, std::uint32_t class_id) {
+  events_.push_back(
+      {at, FaultKind::revoke_class, kInvalidNode, class_id, 0.0, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall(SimTime at, NodeId node, SimTime duration) {
+  events_.push_back({at, FaultKind::stall_node, node, 0, duration, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_nic(SimTime at, NodeId node, double factor,
+                                  SimTime duration) {
+  events_.push_back(
+      {at, FaultKind::degrade_nic, node, 0, duration, factor});
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+FaultPlan FaultPlan::random(Rng& rng, const std::vector<NodeId>& nodes,
+                            const RandomParams& p) {
+  FaultPlan plan;
+  // Per-node, per-kind Poisson arrivals. Iterating nodes then kinds in a
+  // fixed order keeps the draw sequence (hence the plan) a pure function
+  // of the Rng state.
+  for (NodeId n : nodes) {
+    if (p.crash_rate > 0 && rng.chance(1.0 - std::exp(-p.crash_rate))) {
+      plan.crash(rng.uniform(0.0, p.horizon), n);
+    }
+    if (p.stall_rate > 0) {
+      const double mean_gap = p.horizon / p.stall_rate;
+      for (SimTime t = rng.exponential(mean_gap); t < p.horizon;
+           t += rng.exponential(mean_gap)) {
+        plan.stall(t, n, rng.exponential(p.stall_duration));
+      }
+    }
+    if (p.degrade_rate > 0) {
+      const double mean_gap = p.horizon / p.degrade_rate;
+      for (SimTime t = rng.exponential(mean_gap); t < p.horizon;
+           t += rng.exponential(mean_gap)) {
+        plan.degrade_nic(t, n, p.degrade_factor, p.degrade_duration);
+      }
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(sim::Simulator& sim, Cluster& cluster)
+    : sim_(sim), cluster_(cluster) {}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.sorted()) {
+    sim_.schedule(ev.at, [this, ev] { fire(ev); });
+  }
+}
+
+void FaultInjector::fire(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::crash_node:
+      crash_now(ev.node);
+      break;
+    case FaultKind::revoke_class:
+      revoke_class_now(ev.victim_class);
+      break;
+    case FaultKind::stall_node:
+      stall_now(ev.node, ev.duration);
+      break;
+    case FaultKind::degrade_nic:
+      degrade_nic_now(ev.node, ev.factor, ev.duration);
+      break;
+  }
+}
+
+void FaultInjector::crash_now(NodeId node) {
+  ++stats_.crashes;
+  injected_.push_back({sim_.now(), FaultKind::crash_node, node, 0, 0.0, 1.0});
+  LOG_INFO("fault") << "crash: node " << node;
+  for (const auto& h : crash_hooks_) h(node);
+}
+
+void FaultInjector::revoke_class_now(std::uint32_t class_id) {
+  ++stats_.revocations;
+  injected_.push_back(
+      {sim_.now(), FaultKind::revoke_class, kInvalidNode, class_id, 0.0, 1.0});
+  LOG_INFO("fault") << "revoke: victim class " << class_id;
+  for (const auto& h : revoke_hooks_) h(class_id);
+}
+
+void FaultInjector::stall_now(NodeId node, SimTime duration) {
+  ++stats_.stalls;
+  injected_.push_back(
+      {sim_.now(), FaultKind::stall_node, node, 0, duration, 1.0});
+  LOG_INFO("fault") << "stall: node " << node << " for " << duration << "s";
+  for (const auto& h : stall_hooks_) h(node, duration);
+}
+
+void FaultInjector::degrade_nic_now(NodeId node, double factor,
+                                    SimTime duration) {
+  if (node >= cluster_.node_count() || factor <= 0.0) return;
+  ++stats_.nic_degradations;
+  injected_.push_back(
+      {sim_.now(), FaultKind::degrade_nic, node, 0, duration, factor});
+  net::Fabric& fabric = cluster_.fabric();
+  const net::NicSpec original = fabric.nic(node);
+  net::NicSpec degraded = original;
+  degraded.up = original.up * factor;
+  degraded.down = original.down * factor;
+  fabric.set_nic(node, degraded);
+  LOG_INFO("fault") << "degrade-nic: node " << node << " x" << factor
+                    << " for " << duration << "s";
+  // Restore by scaling back up rather than reinstating `original`, so
+  // overlapping degradations compose instead of clobbering each other.
+  sim_.schedule(duration, [this, node, factor] {
+    net::Fabric& f = cluster_.fabric();
+    net::NicSpec spec = f.nic(node);
+    spec.up /= factor;
+    spec.down /= factor;
+    f.set_nic(node, spec);
+  });
+}
+
+void FaultInjector::evict_now(NodeId node) {
+  ++stats_.evictions;
+  injected_.push_back({sim_.now(), FaultKind::revoke_class, node, 0, 0.0, 1.0});
+  LOG_INFO("fault") << "evict: node " << node << " (monitor reclaim)";
+  for (const auto& h : evict_hooks_) h(node);
+}
+
+}  // namespace memfss::cluster

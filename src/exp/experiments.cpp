@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cluster/fault.hpp"
 #include "common/log.hpp"
 #include "common/str.hpp"
 #include "exp/timeseries.hpp"
+#include "hash/hashes.hpp"
 #include "tenant/runner.hpp"
 #include "workflow/engine.hpp"
 #include "workflow/generators.hpp"
@@ -327,6 +329,117 @@ Table2Row run_table2_scavenging(std::size_t own, const Table2Options& opt) {
       strformat("Montage scavenging (%zu own + %zu victims)", own, victims));
   out.data_footprint = footprint;
   return out;
+}
+
+// --- fault recovery ----------------------------------------------------------
+
+namespace {
+
+workflow::Workflow make_fault_workload(const FaultRecoveryOptions& opt,
+                                       Rng& rng) {
+  if (opt.workload == Workload::montage) {
+    // Montage reads every intermediate back (mProject outputs feed
+    // mBackground / mAdd), so degraded reads actually happen; the scale
+    // knob keeps the fault bench fast.
+    workflow::MontageParams p;
+    p.tiles = opt.montage_tiles;
+    p.proj_bytes_min = opt.proj_bytes_min;
+    p.proj_bytes_max = opt.proj_bytes_max;
+    // Same I/O-heavy stage shape as the slowdown-scale montage: short
+    // serial aggregations so the run is dominated by the data paths the
+    // faults hit, not by CPU.
+    p.concat_cpu = 15.0;
+    p.bgmodel_cpu = 25.0;
+    p.imgtbl_cpu = 8.0;
+    p.madd_cpu = 35.0;
+    p.shrink_cpu = 5.0;
+    return workflow::make_montage(p, rng);
+  }
+  return make_workload(opt.workload, rng);
+}
+
+struct FaultRunOut {
+  SimTime runtime = 0.0;
+  bool ok = true;
+  fs::FsCounters counters;
+  fs::RecoveryStats recovery;
+  cluster::FaultInjectorStats injected;
+};
+
+FaultRunOut fault_run_once(const FaultRecoveryOptions& opt, bool with_faults) {
+  ScenarioParams p = opt.scenario;
+  if (p.redundancy == fs::RedundancyMode::none) {
+    p.redundancy = fs::RedundancyMode::replicated;
+    p.copies = 2;
+  }
+  Scenario sc(p);
+  sc.fs().set_fault_tuning(opt.rpc_timeout, opt.failure_detect_delay,
+                           opt.revocation_grace);
+  cluster::FaultInjector inj(sc.sim(), sc.cluster());
+  sc.fs().attach_fault_injector(inj);
+
+  if (with_faults && !sc.victim_nodes().empty()) {
+    Rng fault_rng(hash::mix64(opt.seed, 0xfa117));
+    cluster::FaultPlan::RandomParams rp;
+    rp.horizon = opt.fault_horizon;
+    rp.crash_rate = opt.crash_rate;
+    rp.stall_rate = opt.stall_rate;
+    rp.stall_duration = opt.stall_duration;
+    auto plan =
+        cluster::FaultPlan::random(fault_rng, sc.victim_nodes(), rp);
+    if (opt.revoke_mid_run) plan.revoke_class(opt.revoke_at, 1);
+    inj.arm(plan);
+  }
+
+  Rng rng(opt.seed);
+  auto wf = make_fault_workload(opt, rng);
+  workflow::Engine engine(sc.cluster(), sc.fs(), sc.own_nodes());
+  RunOut out;
+  sc.sim().spawn(run_workflow_once(engine, std::move(wf), out));
+  sc.sim().run();
+
+  FaultRunOut r;
+  r.runtime = out.report.makespan;
+  r.ok = out.report.status.ok();
+  if (!r.ok) {
+    LOG_WARN("exp") << "fault-recovery workflow failed: "
+                    << out.report.status.error().to_string();
+  }
+  r.counters = sc.fs().counters();
+  r.recovery = sc.fs().recovery();
+  r.injected = inj.stats();
+  return r;
+}
+
+}  // namespace
+
+FaultRecoveryRow run_fault_recovery(const FaultRecoveryOptions& opt) {
+  const FaultRunOut clean = fault_run_once(opt, /*with_faults=*/false);
+  // Auto-scale the fault window to the workload: faults that all land in
+  // the first seconds of a long run measure nothing.
+  FaultRecoveryOptions eff = opt;
+  if (eff.fault_horizon <= 0) eff.fault_horizon = 0.6 * clean.runtime;
+  if (eff.revoke_at <= 0) eff.revoke_at = 0.35 * clean.runtime;
+  const FaultRunOut faulty = fault_run_once(eff, /*with_faults=*/true);
+
+  FaultRecoveryRow row;
+  row.runtime = faulty.runtime;
+  row.clean_runtime = clean.runtime;
+  row.slowdown =
+      clean.runtime > 0 ? faulty.runtime / clean.runtime - 1.0 : 0.0;
+  row.crashes = faulty.injected.crashes;
+  row.revocations = faulty.injected.revocations;
+  row.stalls = faulty.injected.stalls;
+  row.degraded_reads = faulty.counters.degraded_reads;
+  row.rpc_timeouts = faulty.counters.rpc_timeouts;
+  row.read_retries = faulty.counters.read_retries;
+  row.write_retries = faulty.counters.write_retries;
+  row.failures_handled = faulty.recovery.failures_handled;
+  row.stripes_repaired = faulty.recovery.stripes_repaired;
+  row.bytes_re_replicated = faulty.recovery.bytes_re_replicated;
+  row.mean_time_to_repair = faulty.recovery.mean_time_to_repair();
+  row.ok = faulty.ok && clean.ok;
+  return row;
 }
 
 }  // namespace memfss::exp

@@ -89,6 +89,57 @@ std::vector<SlowdownCell> run_slowdown_sweep(
     const std::vector<Workload>& workloads, double alpha,
     const SlowdownOptions& opt);
 
+// --- Fault recovery: workflow robustness under crashes + revocations ---------
+
+struct FaultRecoveryOptions {
+  /// Redundancy defaults to replicated x2 if the caller leaves `none`
+  /// (an unredundant store cannot survive a crash at all).
+  ScenarioParams scenario{};
+  Workload workload = Workload::montage;
+  std::uint64_t seed = 1;
+  /// Montage scale (the read-heavy workload that exercises degraded
+  /// reads); ignored for dd/blast, which use make_workload() scale.
+  std::size_t montage_tiles = 768;
+  Bytes proj_bytes_min = 4 * units::MiB;
+  Bytes proj_bytes_max = 8 * units::MiB;
+
+  // Fault plan shaping (victims only; own nodes never crash here).
+  // horizon/revoke_at <= 0 auto-scale to the clean run's makespan
+  // (0.6x / 0.35x), so faults land while the workflow is active.
+  SimTime fault_horizon = 0.0;  ///< faults land in [0, horizon)
+  double crash_rate = 0.0;      ///< expected crashes per victim node
+  double stall_rate = 0.0;      ///< stalls per victim node over horizon
+  SimTime stall_duration = 1.0;
+  bool revoke_mid_run = false;  ///< tenant takes victim class 1 back
+  SimTime revoke_at = 0.0;
+
+  // Client fault tuning (see FileSystemConfig). rpc_timeout is ON here,
+  // unlike the global default: fault rigs accept the deadline because the
+  // scenario is not driven into deep saturation.
+  SimTime rpc_timeout = 0.25;
+  SimTime failure_detect_delay = 0.2;
+  SimTime revocation_grace = 2.0;
+};
+
+struct FaultRecoveryRow {
+  SimTime runtime = 0.0;        ///< faulty-run makespan
+  SimTime clean_runtime = 0.0;  ///< same seed, no fault plan
+  double slowdown = 0.0;        ///< runtime / clean_runtime - 1
+  // What the injector actually did.
+  std::size_t crashes = 0, revocations = 0, stalls = 0;
+  // Client-side robustness counters.
+  std::uint64_t degraded_reads = 0, rpc_timeouts = 0;
+  std::uint64_t read_retries = 0, write_retries = 0;
+  // Recovery-side metrics.
+  std::size_t failures_handled = 0, stripes_repaired = 0;
+  Bytes bytes_re_replicated = 0;
+  double mean_time_to_repair = 0.0;
+  bool ok = true;  ///< workflow completed without error
+};
+
+/// One faulty run + one clean reference run at the same seed.
+FaultRecoveryRow run_fault_recovery(const FaultRecoveryOptions& opt);
+
 // --- Table II / Fig. 7: resource consumption reduction ----------------------
 
 struct Table2Options {

@@ -40,6 +40,27 @@ std::string shard_key(const std::string& stripe, std::size_t j) {
   return stripe + ".s" + std::to_string(j);
 }
 
+/// Exponential backoff with deterministic jitter. The jitter derives from
+/// (key, attempt) -- not from a shared RNG -- so retry timing is a pure
+/// function of the failure pattern and runs stay seed-reproducible while
+/// concurrent retries on different stripes still de-synchronize.
+SimTime backoff_delay(const FileSystemConfig& cfg, std::string_view key,
+                      int attempt) {
+  SimTime d = cfg.retry_backoff * static_cast<double>(1u << std::min(attempt, 20));
+  d = std::min(d, cfg.retry_backoff_max);
+  const double u = static_cast<double>(
+                       hash::mix64(hash::key_digest(key),
+                                   0x9e3779b9u + static_cast<std::uint64_t>(
+                                                     attempt)) >>
+                       11) *
+                   0x1.0p-53;
+  return d * (1.0 + cfg.retry_jitter * u);
+}
+
+bool transient(Errc code) {
+  return code == Errc::unavailable || code == Errc::io_error;
+}
+
 }  // namespace
 
 // --- namespace forwards -----------------------------------------------------
@@ -142,34 +163,78 @@ sim::Task<Status> Client::write_impl(std::string path, Bytes size,
   co_return Status{};
 }
 
+sim::Task<> Client::put_stripe_copy(const ClassHrwPolicy& policy,
+                                    const FileAttr& attr,
+                                    std::string base_key,
+                                    std::string store_key, std::size_t idx,
+                                    std::shared_ptr<kvstore::Blob> blob,
+                                    OpState& state) {
+  const auto& cfg = fs_->config();
+  auto& sim = fs_->cluster().sim();
+  Status last{Errc::unavailable, "no servers: " + store_key};
+  for (int attempt = 0; attempt <= cfg.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++fs_->counters().write_retries;
+      co_await sim.delay(backoff_delay(cfg, store_key, attempt - 1));
+    }
+    // Fresh placement every attempt: a crash between attempts moved the
+    // target (membership removal reshuffles HRW).
+    NodeId target = kInvalidNode;
+    if (attr.redundancy == RedundancyMode::erasure) {
+      const auto order = policy.probe_order(base_key);
+      if (!order.empty()) target = order[idx % order.size()];
+    } else {
+      const auto targets = policy.place(base_key, copy_count(attr));
+      if (!targets.empty()) target = targets[idx % targets.size()];
+    }
+    if (target == kInvalidNode || !fs_->has_server(target)) continue;
+    auto& srv = fs_->server(target);
+    Status st{};
+    if (cfg.rpc_timeout > 0) {
+      auto r = co_await sim::with_timeout(
+          sim, srv.put(node_, fs_->token(), store_key, *blob),
+          cfg.rpc_timeout);
+      if (!r) {  // deadline missed: dead, stalled, or just slow -- walk away
+        ++fs_->counters().rpc_timeouts;
+        fs_->report_suspect(target);
+        last = {Errc::unavailable, "rpc timeout: " + store_key};
+        continue;
+      }
+      st = *r;
+    } else {
+      st = co_await srv.put(node_, fs_->token(), store_key, *blob);
+    }
+    if (st.ok()) co_return;
+    last = st;
+    if (!transient(st.code())) break;  // permission etc.: do not spin
+    fs_->report_suspect(target);
+  }
+  state.status = last;
+}
+
 sim::Task<> Client::write_stripe(const ClassHrwPolicy& policy,
                                  const FileAttr& attr, std::string key,
                                  kvstore::Blob blob, OpState& state) {
   const std::size_t copies = copy_count(attr);
-  const auto targets = policy.place(key, copies);
   auto& sim = fs_->cluster().sim();
   const double burst = state.extra_requests_per_mib *
                        static_cast<double>(blob.size()) /
                        static_cast<double>(units::MiB);
-  if (targets.size() == 1) {
-    const NodeId t0 = targets[0];
-    auto st = co_await fs_->server(t0).put(node_, fs_->token(), key,
-                                           std::move(blob));
-    if (burst > 0) co_await fs_->server(t0).request_burst(node_, burst);
-    if (!st.ok()) state.status = st;
+  auto shared = std::make_shared<kvstore::Blob>(std::move(blob));
+  if (copies == 1) {
+    co_await put_stripe_copy(policy, attr, key, key, 0, shared, state);
+    if (burst > 0) {
+      const auto targets = policy.place(key, 1);
+      if (!targets.empty() && fs_->has_server(targets[0]))
+        co_await fs_->server(targets[0]).request_burst(node_, burst);
+    }
   } else {
     // Replicas stream in parallel (client NIC is the shared bottleneck).
     std::vector<sim::Task<>> puts;
-    auto shared = std::make_shared<kvstore::Blob>(std::move(blob));
-    for (NodeId t : targets) {
-      puts.push_back([](Client* c, NodeId target, std::string k,
-                        std::shared_ptr<kvstore::Blob> b,
-                        OpState& s) -> sim::Task<> {
-        auto st = co_await c->fs_->server(target).put(c->node_,
-                                                      c->fs_->token(), k, *b);
-        if (!st.ok()) s.status = st;
-      }(this, t, key, shared, state));
-    }
+    puts.reserve(copies);
+    for (std::size_t c = 0; c < copies; ++c)
+      puts.push_back(put_stripe_copy(policy, attr, key, key, c, shared,
+                                     state));
     co_await sim::when_all(sim, std::move(puts));
   }
   ++fs_->counters().stripes_written;
@@ -209,15 +274,11 @@ sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
   }
 
   std::vector<sim::Task<>> puts;
+  puts.reserve(shards.size());
   for (std::size_t j = 0; j < shards.size(); ++j) {
-    const NodeId target = order[j % order.size()];
-    puts.push_back([](Client* c, NodeId t, std::string sk, kvstore::Blob b,
-                      OpState& s) -> sim::Task<> {
-      auto st =
-          co_await c->fs_->server(t).put(c->node_, c->fs_->token(), sk,
-                                         std::move(b));
-      if (!st.ok()) s.status = st;
-    }(this, target, shard_key(key, j), std::move(shards[j]), state));
+    puts.push_back(put_stripe_copy(
+        policy, attr, key, shard_key(key, j), j,
+        std::make_shared<kvstore::Blob>(std::move(shards[j])), state));
   }
   co_await sim::when_all(sim, std::move(puts));
   ++fs_->counters().stripes_written;
@@ -225,38 +286,72 @@ sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
 
 // --- read path ----------------------------------------------------------------
 
+sim::Task<Result<kvstore::Blob>> Client::timed_get(NodeId n, std::string key,
+                                                   bool* faulted) {
+  const SimTime deadline = fs_->config().rpc_timeout;
+  Result<kvstore::Blob> out = Error{Errc::unavailable, "rpc timeout"};
+  if (deadline > 0) {
+    auto r = co_await sim::with_timeout(
+        fs_->cluster().sim(),
+        fs_->server(n).get(node_, fs_->token(), std::move(key)), deadline);
+    if (!r) {
+      ++fs_->counters().rpc_timeouts;
+      if (faulted) *faulted = true;
+      fs_->report_suspect(n);
+      co_return out;
+    }
+    out = std::move(*r);
+  } else {
+    out = co_await fs_->server(n).get(node_, fs_->token(), std::move(key));
+  }
+  if (!out.ok() && transient(out.code())) {
+    if (faulted) *faulted = true;
+    fs_->report_suspect(n);
+  }
+  co_return std::move(out);
+}
+
 sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
     const ClassHrwPolicy& policy, const FileAttr& attr,
     const std::string& key) {
+  const auto& cfg = fs_->config();
   const std::size_t copies = copy_count(attr);
   auto& sim = fs_->cluster().sim();
-  constexpr int kRounds = 4;
-  for (int round = 0; round < kRounds; ++round) {
+  // A read is *degraded* when it succeeds after a fault-type failure
+  // (timeout / unavailable / io_error); plain not_found misses from lazy
+  // relocation do not count.
+  bool faulted = false;
+  const int rounds = std::max(1, cfg.max_retries);
+  for (int round = 0; round < rounds; ++round) {
     const auto order = policy.probe_order(key);  // refresh: members change
     for (std::size_t rank = 0; rank < order.size(); ++rank) {
       const NodeId n = order[rank];
       if (!fs_->has_server(n)) continue;
-      auto r = co_await fs_->server(n).get(node_, fs_->token(), key);
+      auto r = co_await timed_get(n, key, &faulted);
       if (r.ok()) {
+        if (faulted) ++fs_->counters().degraded_reads;
         // Lazy relocation: a hit below the expected replica ranks means
         // the membership changed since the stripe was written.
-        if (rank >= copies && fs_->config().lazy_relocation &&
-            !order.empty() && order[0] != n) {
+        if (rank >= copies && cfg.lazy_relocation && order[0] != n) {
           sim.spawn(relocate(fs_, key, n, order[0]));
         }
         co_return r;
       }
-      if (r.code() != Errc::not_found && r.code() != Errc::unavailable)
+      if (r.code() != Errc::not_found && !transient(r.code()))
         co_return r;  // real error (e.g. permission): do not mask it
     }
     // Fall back to nodes that are mid-evacuation.
     for (NodeId n : fs_->draining_nodes()) {
       if (!fs_->has_server(n)) continue;
-      auto r = co_await fs_->server(n).get(node_, fs_->token(), key);
-      if (r.ok()) co_return r;
+      auto r = co_await timed_get(n, key, &faulted);
+      if (r.ok()) {
+        if (faulted) ++fs_->counters().degraded_reads;
+        co_return r;
+      }
     }
     ++fs_->counters().read_retries;
-    co_await sim.delay(0.005);
+    if (round + 1 < rounds)
+      co_await sim.delay(backoff_delay(cfg, key, round));
   }
   co_return Error{Errc::not_found, key};
 }
@@ -292,24 +387,25 @@ sim::Task<Result<kvstore::Blob>> Client::read_stripe_erasure(
 
   // Fetch shards until k are in hand; prefer the data shards (systematic
   // code: no decode needed when shards 0..k-1 arrive).
+  bool faulted = false;
   std::vector<std::pair<std::size_t, kvstore::Blob>> have;
   for (std::size_t j = 0; j < k + m && have.size() < k; ++j) {
     const std::string sk = shard_key(key, j);
     const NodeId expected = order[j % order.size()];
     Result<kvstore::Blob> r = Error{Errc::not_found, sk};
     if (fs_->has_server(expected))
-      r = co_await fs_->server(expected).get(node_, fs_->token(), sk);
+      r = co_await timed_get(expected, sk, &faulted);
     if (!r.ok()) {
       // Shard not where expected: probe the class + draining nodes.
       for (NodeId n : order) {
         if (n == expected || !fs_->has_server(n)) continue;
-        r = co_await fs_->server(n).get(node_, fs_->token(), sk);
+        r = co_await timed_get(n, sk, &faulted);
         if (r.ok()) break;
       }
       if (!r.ok()) {
         for (NodeId n : fs_->draining_nodes()) {
           if (!fs_->has_server(n)) continue;
-          r = co_await fs_->server(n).get(node_, fs_->token(), sk);
+          r = co_await timed_get(n, sk, &faulted);
           if (r.ok()) break;
         }
       }
@@ -329,6 +425,9 @@ sim::Task<Result<kvstore::Blob>> Client::read_stripe_erasure(
   // metadata by the caller (ghost) or decode (materialized).
 
   const bool ghost = have.front().second.is_ghost();
+  // Parity reconstruction after a lost data shard is the degraded-read
+  // path of an erasure file, whether or not an RPC visibly failed.
+  if (faulted || needs_decode) ++fs_->counters().degraded_reads;
   if (needs_decode) {
     ++fs_->counters().reconstructions;
     // Decode cost on the client node.

@@ -20,6 +20,7 @@
 // the same placement and transfer paths.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,22 @@ class Client {
   sim::Task<Result<kvstore::Blob>> probe_ranked(const ClassHrwPolicy& policy,
                                                 const FileAttr& attr,
                                                 const std::string& key);
+
+  /// get() under the config's rpc_timeout; a deadline miss counts as a
+  /// timeout, reports the node suspect, and maps to `unavailable`.
+  /// `faulted` (optional) is set on timeout/unavailable/io_error.
+  sim::Task<Result<kvstore::Blob>> timed_get(NodeId node, std::string key,
+                                             bool* faulted);
+
+  /// Write one replica (`idx` = replica rank) or one erasure shard
+  /// (`idx` = shard index) with timeout + bounded retry. Placement is
+  /// re-resolved on every attempt, so a retry lands on the post-failure
+  /// membership instead of the dead node.
+  sim::Task<> put_stripe_copy(const ClassHrwPolicy& policy,
+                              const FileAttr& attr, std::string base_key,
+                              std::string store_key, std::size_t idx,
+                              std::shared_ptr<kvstore::Blob> blob,
+                              OpState& state);
 
   FileSystem* fs_;
   NodeId node_;

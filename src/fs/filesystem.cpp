@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <set>
 
+#include "cluster/fault.hpp"
 #include "common/log.hpp"
 #include "common/str.hpp"
 #include "fs/client.hpp"
 #include "hash/hrw.hpp"
 #include "hash/weight_solver.hpp"
+#include "sim/sync.hpp"
 
 namespace memfss::fs {
 
@@ -267,14 +270,268 @@ void FileSystem::arm_victim_monitors(double threshold_fraction) {
     monitors_.push_back(std::make_unique<cluster::VictimMonitor>(
         cluster_.sim(), cluster_.node(n).memory(), n, threshold_fraction,
         [this](NodeId victim) {
+          if (injector_ != nullptr) {
+            // Route through the fault bus: shared accounting, and the
+            // eviction gets graceful-drain-or-kill handling plus targeted
+            // repair instead of an unbounded best-effort evacuation.
+            injector_->evict_now(victim);
+            return;
+          }
           cluster_.sim().spawn([](FileSystem& fs, NodeId v) -> sim::Task<> {
-            auto st = co_await fs.evacuate_victim(v);
-            if (!st.ok())
+            const Status st = co_await fs.evacuate_victim(v);
+            if (!st.ok()) {
               LOG_WARN("fs") << "evacuation of node " << v
                              << " failed: " << st.error().to_string();
+            }
           }(*this, victim));
         }));
   }
+}
+
+// --- fault handling ----------------------------------------------------------
+
+void FileSystem::attach_fault_injector(cluster::FaultInjector& injector) {
+  injector_ = &injector;
+  injector.on_crash([this](NodeId n) { handle_crash(n); });
+  injector.on_stall([this](NodeId n, SimTime d) {
+    if (auto it = servers_.find(n); it != servers_.end())
+      it->second->stall_for(d);
+  });
+  injector.on_revoke([this](std::uint32_t cls) { handle_revoke(cls); });
+  injector.on_evict([this](NodeId n) { handle_evict(n); });
+}
+
+std::vector<std::pair<InodeId, std::size_t>> FileSystem::collect_affected(
+    const std::vector<std::string>& keys) const {
+  std::set<std::pair<InodeId, std::size_t>> uniq;
+  for (const auto& k : keys) {
+    if (auto ref = Namespace::parse_stripe_key(k))
+      uniq.emplace(ref->inode, ref->stripe);
+  }
+  return {uniq.begin(), uniq.end()};
+}
+
+void FileSystem::handle_crash(NodeId node) {
+  auto it = servers_.find(node);
+  if (it == servers_.end() ||
+      it->second->liveness() == kvstore::Liveness::down)
+    return;
+  // Snapshot what the node held *before* the crash wipes it: afterwards
+  // neither the data nor the HRW answer "what was here" exists.
+  PendingFailure pf;
+  pf.at = cluster_.sim().now();
+  pf.affected = collect_affected(it->second->store().keys());
+  it->second->crash();
+  ++recovery_.failures_handled;
+  pending_failures_[node] = std::move(pf);
+  // Nobody notices instantly: membership removal + repair start when the
+  // failure detector fires, or earlier via a client's report_suspect.
+  // Reads in the gap exercise the timeout/fallback paths.
+  cluster_.sim().schedule(config_.failure_detect_delay,
+                          [this, node] { detect_failure(node); });
+}
+
+void FileSystem::report_suspect(NodeId node) {
+  auto it = servers_.find(node);
+  if (it == servers_.end()) return;
+  // Ground truth check: a stalled or merely slow server must never be
+  // evicted on a timeout alone.
+  if (it->second->liveness() != kvstore::Liveness::down) return;
+  detect_failure(node);
+}
+
+void FileSystem::detect_failure(NodeId node) {
+  auto it = pending_failures_.find(node);
+  if (it == pending_failures_.end()) return;  // already handled
+  PendingFailure pf = std::move(it->second);
+  pending_failures_.erase(it);
+  LOG_INFO("fs") << "node " << node << " declared failed ("
+                 << pf.affected.size() << " stripes affected)";
+  retire_node(node);
+  cluster_.sim().spawn(run_targeted_repair(std::move(pf.affected), pf.at));
+}
+
+void FileSystem::retire_node(NodeId node) {
+  auto cls_it = node_class_.find(node);
+  if (cls_it == node_class_.end()) return;
+  const std::uint32_t cls = cls_it->second;
+  if (cls == kOwnClass) {
+    if (config_.own_nodes.size() <= 1) {
+      LOG_ERROR("fs") << "last own node " << node
+                      << " failed; filesystem cannot continue";
+      return;
+    }
+    config_.own_nodes.erase(std::remove(config_.own_nodes.begin(),
+                                        config_.own_nodes.end(), node),
+                            config_.own_nodes.end());
+    meta_.set_own_nodes(config_.own_nodes);
+  }
+  membership_.remove_member(cls, node);
+  draining_.erase(node);
+}
+
+sim::Task<> FileSystem::run_targeted_repair(
+    std::vector<std::pair<InodeId, std::size_t>> affected,
+    SimTime failed_at) {
+  auto report = co_await repair_affected(std::move(affected));
+  ++recovery_.repairs;
+  recovery_.stripes_repaired += report.stripes_repaired;
+  recovery_.bytes_re_replicated += report.bytes_moved;
+  recovery_.total_repair_time += cluster_.sim().now() - failed_at;
+  if (!report.status.ok()) {
+    LOG_WARN("fs") << "targeted repair incomplete: "
+                   << report.status.error().to_string();
+  }
+}
+
+void FileSystem::handle_revoke(std::uint32_t class_id) {
+  cluster_.sim().spawn(
+      [](FileSystem& fs, std::uint32_t cls) -> sim::Task<> {
+        const Status st =
+            co_await fs.revoke_victim_class(cls, fs.config_.revocation_grace);
+        if (!st.ok()) {
+          LOG_WARN("fs") << "revocation of class " << cls
+                         << " lost data: " << st.error().to_string();
+        }
+      }(*this, class_id));
+}
+
+sim::Task<Status> FileSystem::revoke_victim_class(std::uint32_t class_id,
+                                                  SimTime grace) {
+  if (class_id == kOwnClass)
+    co_return Status{Errc::invalid_argument, "cannot revoke the own class"};
+  if (!membership_.has_class(class_id) ||
+      membership_.members(class_id).empty())
+    co_return Status{Errc::not_found, strformat("victim class %u", class_id)};
+  const std::vector<NodeId> members = membership_.members(class_id);
+  const SimTime started = cluster_.sim().now();
+  ++recovery_.failures_handled;
+
+  // Snapshot what the class holds before anything is lost: the targeted
+  // repair below needs the stripe list even if grace expires and nodes
+  // are killed mid-drain.
+  std::vector<std::string> keys;
+  for (NodeId n : members) {
+    auto ks = server(n).store().keys();
+    keys.insert(keys.end(), std::make_move_iterator(ks.begin()),
+                std::make_move_iterator(ks.end()));
+  }
+  auto affected = collect_affected(keys);
+
+  // Leave the membership first: select_class skips empty classes, so every
+  // lookup -- under any epoch -- resolves to the remaining classes from
+  // here on. Reads racing the drain fall back to draining nodes.
+  for (NodeId n : members) {
+    membership_.remove_member(class_id, n);
+    draining_.insert(n);
+  }
+  LOG_INFO("fs") << "revoking class " << class_id << ": " << members.size()
+                 << " nodes, " << affected.size() << " stripes, grace "
+                 << grace << "s";
+
+  std::vector<sim::Task<>> drains;
+  drains.reserve(members.size());
+  for (NodeId n : members) drains.push_back(drain_or_kill(n, grace));
+  co_await sim::when_all(cluster_.sim(), std::move(drains));
+
+  auto report = co_await repair_affected(std::move(affected));
+  ++recovery_.repairs;
+  recovery_.stripes_repaired += report.stripes_repaired;
+  recovery_.bytes_re_replicated += report.bytes_moved;
+  recovery_.total_repair_time += cluster_.sim().now() - started;
+  co_return report.status;
+}
+
+sim::Task<> FileSystem::drain_or_kill(NodeId node, SimTime grace) {
+  auto drained = co_await sim::with_timeout(cluster_.sim(),
+                                            drain_node(node), grace);
+  auto& srv = server(node);
+  if (!drained) {
+    LOG_WARN("fs") << "node " << node
+                   << " not drained within grace; killing it";
+    srv.crash();  // leftover keys are lost; targeted repair restores them
+  } else if (srv.liveness() != kvstore::Liveness::down) {
+    srv.close();
+  }
+  draining_.erase(node);
+}
+
+sim::Task<Status> FileSystem::drain_node(NodeId node) {
+  auto& src = server(node);
+  Status result{};
+  for (const auto& k : src.store().keys()) {
+    const NodeId dst = drain_target(k, node);
+    if (dst == kInvalidNode) continue;  // redundant copy: drop it
+    if (auto st = co_await src.migrate_key(config_.auth_token, k,
+                                           server(dst));
+        !st.ok() && st.code() != Errc::not_found)
+      result = st;
+  }
+  co_return result;
+}
+
+NodeId FileSystem::drain_target(const std::string& key, NodeId src) {
+  const auto live = [&](NodeId n) {
+    auto it = servers_.find(n);
+    return n != src && it != servers_.end() && it->second->is_up() &&
+           draining_.count(n) == 0;
+  };
+  // Placement-correct home: parse the key back to its file, rank under the
+  // file's epoch (the revoked class is empty, so select_class falls back),
+  // and land on the first live expected holder that lacks the key.
+  if (auto ref = Namespace::parse_stripe_key(key)) {
+    if (auto st = meta_.ns().stat(ref->inode); st.ok()) {
+      const FileAttr& attr = st.value().attr;
+      const ClassHrwPolicy policy = policy_for_epoch(attr.epoch);
+      const std::string base = Namespace::stripe_key(ref->inode, ref->stripe);
+      std::vector<NodeId> cand;
+      const auto order = policy.probe_order(base);
+      if (ref->is_shard && !order.empty())
+        cand.push_back(order[ref->shard % order.size()]);
+      else if (attr.redundancy == RedundancyMode::replicated)
+        cand = policy.place(base, std::max<std::size_t>(1, attr.copies));
+      for (NodeId n : order) cand.push_back(n);
+      for (NodeId n : cand) {
+        if (!live(n)) continue;
+        if (!servers_.at(n)->store()
+                 .value_size(config_.auth_token, key)
+                 .ok())
+          return n;
+      }
+      return kInvalidNode;  // every expected holder already has it
+    }
+  }
+  // Foreign or orphaned key: park it on the own class.
+  const auto& own = membership_.members(kOwnClass);
+  if (own.empty()) return kInvalidNode;
+  const NodeId n = hash::hrw_select(key, own, config_.score_fn);
+  return live(n) ? n : kInvalidNode;
+}
+
+void FileSystem::handle_evict(NodeId node) {
+  auto it = servers_.find(node);
+  if (it == servers_.end() || draining_.count(node) ||
+      it->second->liveness() == kvstore::Liveness::down)
+    return;
+  ++recovery_.failures_handled;
+  const SimTime started = cluster_.sim().now();
+  auto affected = collect_affected(it->second->store().keys());
+  cluster_.sim().spawn(
+      [](FileSystem& fs, NodeId n, SimTime t0,
+         std::vector<std::pair<InodeId, std::size_t>> aff) -> sim::Task<> {
+        // The tenant wants its memory back within the grace window; an
+        // evacuation that overruns it is cut short.
+        auto done = co_await sim::with_timeout(
+            fs.cluster_.sim(), fs.evacuate_victim(n),
+            fs.config_.revocation_grace);
+        if (!done) {
+          LOG_WARN("fs") << "eviction of node " << n
+                         << " exceeded grace; killing it";
+          fs.server(n).crash();
+          fs.draining_.erase(n);
+        }
+        co_await fs.run_targeted_repair(std::move(aff), t0);
+      }(*this, node, started, std::move(affected)));
 }
 
 }  // namespace memfss::fs

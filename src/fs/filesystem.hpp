@@ -37,6 +37,10 @@
 #include "kvstore/server.hpp"
 #include "sim/task.hpp"
 
+namespace memfss::cluster {
+class FaultInjector;
+}
+
 namespace memfss::fs {
 
 class Client;
@@ -58,6 +62,26 @@ struct FileSystemConfig {
   MetadataCosts metadata_costs{};
   std::size_t write_window = 4;  ///< in-flight stripes per file operation
   bool lazy_relocation = true;   ///< migrate misplaced stripes on read
+
+  // --- fault handling (client retries + failure detection) -----------------
+  /// Per-stripe RPC deadline (s); 0 disables the deadline. Off by default:
+  /// under saturation a healthy stripe transfer can take seconds (fluid
+  /// fair-sharing), so a fixed deadline must be chosen against the
+  /// deployment's load -- fault-aware setups pick e.g. 0.25. Crashed nodes
+  /// fail fast regardless (connection refused / io_error mid-transfer);
+  /// the deadline matters for stalled-node failover.
+  SimTime rpc_timeout = 0.0;
+  int max_retries = 4;             ///< probe/put rounds before giving up
+  SimTime retry_backoff = 0.02;    ///< first retry delay; doubles per round
+  SimTime retry_backoff_max = 0.5; ///< backoff ceiling
+  double retry_jitter = 0.5;       ///< deterministic jitter fraction on backoff
+  /// Time between a node dying and the filesystem acting on it (membership
+  /// removal + targeted repair). Clients that time out on the node first
+  /// accelerate detection via report_suspect.
+  SimTime failure_detect_delay = 0.2;
+  /// Drain window granted to revoked/evicted victims before leftover data
+  /// is declared lost and the node is killed.
+  SimTime revocation_grace = 5.0;
 };
 
 struct FsCounters {
@@ -66,8 +90,23 @@ struct FsCounters {
   std::uint64_t lazy_relocations = 0;
   std::uint64_t read_retries = 0;
   std::uint64_t reconstructions = 0;  ///< erasure decodes that used parity
+  std::uint64_t degraded_reads = 0;   ///< reads that fell back past a failure
+  std::uint64_t rpc_timeouts = 0;     ///< per-stripe RPCs abandoned at deadline
+  std::uint64_t write_retries = 0;    ///< stripe put attempts after a failure
   Bytes bytes_written = 0;
   Bytes bytes_read = 0;
+};
+
+/// Aggregated outcome of fault handling (exp-layer recovery metrics).
+struct RecoveryStats {
+  std::size_t failures_handled = 0;  ///< crash / revocation / eviction events
+  std::size_t repairs = 0;           ///< targeted repair passes completed
+  std::size_t stripes_repaired = 0;  ///< copies/shards restored by them
+  Bytes bytes_re_replicated = 0;
+  double total_repair_time = 0.0;    ///< sum of failure -> repaired intervals
+  double mean_time_to_repair() const {
+    return repairs ? total_repair_time / static_cast<double>(repairs) : 0.0;
+  }
 };
 
 class FileSystem {
@@ -111,7 +150,44 @@ class FileSystem {
 
   /// Wire pressure monitors on every current victim node: when tenant
   /// memory passes `threshold_fraction`, evacuation starts automatically.
+  /// With a fault injector attached, evictions are routed through its
+  /// event bus (shared accounting + graceful-drain-or-kill handling).
   void arm_victim_monitors(double threshold_fraction);
+
+  // --- fault handling ------------------------------------------------------
+
+  /// Subscribe this filesystem to an injector's fault bus. Crashes mark
+  /// the node's server down and (after failure_detect_delay) remove it
+  /// from the membership and start a targeted repair of exactly the
+  /// stripes it held; stalls freeze the server; class revocations drain
+  /// the whole class under revocation_grace.
+  void attach_fault_injector(cluster::FaultInjector& injector);
+
+  /// Client-side failure detector input: a client that timed out (or saw
+  /// unavailable/io_error) on `node` reports it. Checked against server
+  /// liveness ground truth -- a slow-but-alive node is never evicted --
+  /// and accelerates the pending crash detection if the node is dead.
+  void report_suspect(NodeId node);
+
+  /// Revoke a whole victim class: the owner tenant takes its machines
+  /// back. Members leave the membership immediately (lookups fall back to
+  /// remaining classes), drain cooperatively for `grace` seconds, then
+  /// stragglers are killed and a targeted repair restores redundancy.
+  sim::Task<Status> revoke_victim_class(std::uint32_t class_id,
+                                        SimTime grace);
+
+  const RecoveryStats& recovery() const { return recovery_; }
+
+  /// Tune the client fault-handling knobs after mount (the rest of the
+  /// config is fixed at construction). The right rpc_timeout depends on
+  /// the deployment's load -- see FileSystemConfig::rpc_timeout -- so
+  /// fault-aware rigs set it explicitly instead of baking in a default.
+  void set_fault_tuning(SimTime rpc_timeout, SimTime failure_detect_delay,
+                        SimTime revocation_grace) {
+    config_.rpc_timeout = rpc_timeout;
+    config_.failure_detect_delay = failure_detect_delay;
+    config_.revocation_grace = revocation_grace;
+  }
 
   // --- placement ----------------------------------------------------------
 
@@ -172,6 +248,13 @@ class FileSystem {
   /// `corruption` if an unredundant stripe was lost.
   sim::Task<MaintenanceReport> scrub_all();
 
+  /// Targeted repair: like repair_all but restricted to the given
+  /// (inode, stripe index) list -- the stripes a failed node actually
+  /// held. O(affected) instead of O(namespace), which is what makes
+  /// crash recovery cheap on large trees.
+  sim::Task<MaintenanceReport> repair_affected(
+      std::vector<std::pair<InodeId, std::size_t>> stripes);
+
   // --- elasticity (own-class membership; MemEFS heritage) -----------------
 
   /// Grow the own class: the nodes start storing data (and metadata
@@ -189,6 +272,32 @@ class FileSystem {
 
   void make_server(NodeId node, Bytes capacity, Rate net_cap, bool victim);
 
+  // --- fault handling internals (filesystem.cpp / maintenance.cpp) --------
+  void handle_crash(NodeId node);
+  void handle_revoke(std::uint32_t class_id);
+  void handle_evict(NodeId node);
+  /// Act on a pending failure: membership removal + targeted repair.
+  void detect_failure(NodeId node);
+  /// Remove a dead node from membership/own-node bookkeeping.
+  void retire_node(NodeId node);
+  /// Dedupe raw storage keys into (inode, stripe) pairs.
+  std::vector<std::pair<InodeId, std::size_t>> collect_affected(
+      const std::vector<std::string>& keys) const;
+  sim::Task<> run_targeted_repair(
+      std::vector<std::pair<InodeId, std::size_t>> affected,
+      SimTime failed_at);
+  /// Migrate every key off `node` to its placement-correct home.
+  sim::Task<Status> drain_node(NodeId node);
+  sim::Task<> drain_or_kill(NodeId node, SimTime grace);
+  /// Where a drained key belongs under live membership (kInvalidNode:
+  /// nowhere useful -- drop it).
+  NodeId drain_target(const std::string& key, NodeId src);
+  /// Restore missing copies/shards of one stripe (shared by repair_all
+  /// and repair_affected).
+  sim::Task<> repair_stripe(const ClassHrwPolicy& policy, const Stat& st,
+                            std::size_t stripe_index,
+                            MaintenanceReport& report);
+
   cluster::Cluster& cluster_;
   FileSystemConfig config_;
   MetadataService meta_;
@@ -200,6 +309,16 @@ class FileSystem {
   std::set<NodeId> draining_;
   std::vector<std::unique_ptr<cluster::VictimMonitor>> monitors_;
   FsCounters counters_;
+  cluster::FaultInjector* injector_ = nullptr;
+  RecoveryStats recovery_;
+  /// Crash snapshots awaiting detection: what the node held, taken the
+  /// instant it died (afterwards the data -- and the HRW answer "what was
+  /// here" -- are gone).
+  struct PendingFailure {
+    SimTime at = 0.0;
+    std::vector<std::pair<InodeId, std::size_t>> affected;
+  };
+  std::map<NodeId, PendingFailure> pending_failures_;
 };
 
 }  // namespace memfss::fs

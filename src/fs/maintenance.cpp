@@ -118,96 +118,183 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::rebalance_all() {
   co_return report;
 }
 
+sim::Task<> FileSystem::repair_stripe(const ClassHrwPolicy& policy,
+                                      const Stat& st,
+                                      std::size_t stripe_index,
+                                      MaintenanceReport& report) {
+  const NodeId admin = config_.own_nodes.front();
+  const std::string key = Namespace::stripe_key(st.inode, stripe_index);
+  if (st.attr.redundancy == RedundancyMode::replicated) {
+    const auto targets = policy.place(key, copies_of(st.attr));
+    NodeId holder = kInvalidNode;
+    Bytes size = 0;
+    std::vector<NodeId> missing;
+    for (NodeId n : targets) {
+      if (!has_server(n)) continue;
+      if (auto sz = server(n).store().value_size(config_.auth_token, key);
+          sz.ok()) {
+        if (holder == kInvalidNode) {
+          holder = n;
+          size = sz.value();
+        }
+      } else {
+        missing.push_back(n);
+      }
+    }
+    if (holder == kInvalidNode) {
+      // Last resort before declaring data loss: a survivor outside the
+      // expected ranks. A node retirement shifts every HRW rank below the
+      // dead node's, so copies can sit one rank off; mid-drain nodes hold
+      // keys with no rank at all.
+      for (NodeId n : policy.probe_order(key)) {
+        if (!has_server(n)) continue;
+        if (auto sz = server(n).store().value_size(config_.auth_token, key);
+            sz.ok()) {
+          holder = n;
+          size = sz.value();
+          break;
+        }
+      }
+    }
+    if (holder == kInvalidNode) {
+      for (NodeId n : draining_) {
+        if (!has_server(n)) continue;
+        if (auto sz = server(n).store().value_size(config_.auth_token, key);
+            sz.ok()) {
+          holder = n;
+          size = sz.value();
+          break;
+        }
+      }
+    }
+    if (holder == kInvalidNode) {
+      if (report.status.ok())
+        report.status = {Errc::corruption, "all copies lost: " + key};
+      co_return;
+    }
+    for (NodeId dst : missing) {
+      auto stt = co_await server(holder).replicate_key(config_.auth_token,
+                                                       key, server(dst));
+      if (stt.ok()) {
+        ++report.stripes_repaired;
+        report.bytes_moved += size;
+      }
+    }
+  } else {  // erasure
+    const auto order = policy.probe_order(key);
+    if (order.empty()) co_return;
+    const std::size_t k = st.attr.ec_k, m = st.attr.ec_m;
+    std::vector<std::pair<std::size_t, kvstore::Blob>> have;
+    std::vector<std::size_t> missing;
+    for (std::size_t j = 0; j < k + m; ++j) {
+      const std::string sk = shard_key(key, j);
+      // Expected node first, then the rest of the order and mid-drain
+      // nodes: a retirement shifts the ranks below the dead node, so a
+      // surviving shard is often one rank off its expected home.
+      const NodeId expected = order[j % order.size()];
+      NodeId shard_holder = kInvalidNode;
+      auto present = [&](NodeId n) {
+        return has_server(n) &&
+               server(n).store().value_size(config_.auth_token, sk).ok();
+      };
+      if (present(expected)) {
+        shard_holder = expected;
+      } else {
+        for (NodeId n : order) {
+          if (n != expected && present(n)) {
+            shard_holder = n;
+            break;
+          }
+        }
+      }
+      if (shard_holder == kInvalidNode) {
+        for (NodeId n : draining_) {
+          if (present(n)) {
+            shard_holder = n;
+            break;
+          }
+        }
+      }
+      bool found = false;
+      if (shard_holder != kInvalidNode) {
+        auto r =
+            co_await server(shard_holder).get(admin, config_.auth_token, sk);
+        if (r.ok()) {
+          have.emplace_back(j, std::move(r.value()));
+          found = true;
+        }
+      }
+      if (!found) missing.push_back(j);
+    }
+    if (missing.empty()) co_return;
+    if (have.size() < k) {
+      if (report.status.ok())
+        report.status = {Errc::corruption,
+                         "fewer than k shards survive: " + key};
+      co_return;
+    }
+    const bool ghost = have.front().second.is_ghost();
+    std::vector<std::vector<std::uint8_t>> slots;
+    erasure::ReedSolomon rs(std::max<std::size_t>(1, k), m);
+    if (!ghost) {
+      slots.assign(k + m, {});
+      for (auto& [j, b] : have)
+        slots[j].assign(b.bytes().begin(), b.bytes().end());
+      if (auto stt = rs.reconstruct(slots); !stt.ok()) {
+        if (report.status.ok()) report.status = stt;
+        co_return;
+      }
+    }
+    // Reconstruction happens on the admin node's CPU.
+    const Bytes ss = have.front().second.size();
+    co_await cluster_.node(admin).cpu().consume(
+        0.6e-9 * static_cast<double>(ss) * static_cast<double>(k), 1.0);
+    for (std::size_t j : missing) {
+      const NodeId dst = order[j % order.size()];
+      if (!has_server(dst)) continue;
+      kvstore::Blob shard = ghost ? kvstore::Blob::ghost(ss, 0)
+                                  : kvstore::Blob::materialized(slots[j]);
+      auto stt = co_await server(dst).put(admin, config_.auth_token,
+                                          shard_key(key, j),
+                                          std::move(shard));
+      if (stt.ok()) {
+        ++report.stripes_repaired;
+        report.bytes_moved += ss;
+      }
+    }
+  }
+}
+
 sim::Task<FileSystem::MaintenanceReport> FileSystem::repair_all() {
   MaintenanceReport report;
-  const NodeId admin = config_.own_nodes.front();
-
   for (const auto& [path, st] : meta_.ns().list_files()) {
     ++report.files_scanned;
     if (st.attr.redundancy == RedundancyMode::none) continue;
     const ClassHrwPolicy policy = policy_for_epoch(st.attr.epoch);
-
-    for (std::size_t i = 0; i < st.stripe_count; ++i) {
-      const std::string key = Namespace::stripe_key(st.inode, i);
-      if (st.attr.redundancy == RedundancyMode::replicated) {
-        const auto targets = policy.place(key, copies_of(st.attr));
-        NodeId holder = kInvalidNode;
-        std::vector<NodeId> missing;
-        for (NodeId n : targets) {
-          if (!has_server(n)) continue;
-          if (server(n).store().value_size(config_.auth_token, key).ok()) {
-            if (holder == kInvalidNode) holder = n;
-          } else {
-            missing.push_back(n);
-          }
-        }
-        if (holder == kInvalidNode) {
-          if (report.status.ok())
-            report.status = {Errc::corruption, "all copies lost: " + key};
-          continue;
-        }
-        for (NodeId dst : missing) {
-          auto stt = co_await server(holder).replicate_key(
-              config_.auth_token, key, server(dst));
-          if (stt.ok()) ++report.stripes_repaired;
-        }
-      } else {  // erasure
-        const auto order = policy.probe_order(key);
-        const std::size_t k = st.attr.ec_k, m = st.attr.ec_m;
-        std::vector<std::pair<std::size_t, kvstore::Blob>> have;
-        std::vector<std::size_t> missing;
-        for (std::size_t j = 0; j < k + m; ++j) {
-          const NodeId expected = order[j % order.size()];
-          bool found = false;
-          if (has_server(expected)) {
-            auto r = co_await server(expected).get(admin, config_.auth_token,
-                                                   shard_key(key, j));
-            if (r.ok()) {
-              have.emplace_back(j, std::move(r.value()));
-              found = true;
-            }
-          }
-          if (!found) missing.push_back(j);
-        }
-        if (missing.empty()) continue;
-        if (have.size() < k) {
-          if (report.status.ok())
-            report.status = {Errc::corruption,
-                             "fewer than k shards survive: " + key};
-          continue;
-        }
-        const bool ghost = have.front().second.is_ghost();
-        std::vector<std::vector<std::uint8_t>> slots;
-        erasure::ReedSolomon rs(std::max<std::size_t>(1, k), m);
-        if (!ghost) {
-          slots.assign(k + m, {});
-          for (auto& [j, b] : have)
-            slots[j].assign(b.bytes().begin(), b.bytes().end());
-          if (auto stt = rs.reconstruct(slots); !stt.ok()) {
-            if (report.status.ok()) report.status = stt;
-            continue;
-          }
-        }
-        // Reconstruction happens on the admin node's CPU.
-        const Bytes ss = have.front().second.size();
-        co_await cluster_.node(admin).cpu().consume(
-            0.6e-9 * static_cast<double>(ss) * static_cast<double>(k), 1.0);
-        for (std::size_t j : missing) {
-          const NodeId dst = order[j % order.size()];
-          if (!has_server(dst)) continue;
-          kvstore::Blob shard =
-              ghost ? kvstore::Blob::ghost(ss, 0)
-                    : kvstore::Blob::materialized(slots[j]);
-          auto stt = co_await server(dst).put(admin, config_.auth_token,
-                                              shard_key(key, j),
-                                              std::move(shard));
-          if (stt.ok()) ++report.stripes_repaired;
-        }
-      }
-    }
+    for (std::size_t i = 0; i < st.stripe_count; ++i)
+      co_await repair_stripe(policy, st, i, report);
   }
   LOG_INFO("fs") << "repair: " << report.stripes_repaired
                  << " stripes repaired";
+  co_return report;
+}
+
+sim::Task<FileSystem::MaintenanceReport> FileSystem::repair_affected(
+    std::vector<std::pair<InodeId, std::size_t>> stripes) {
+  MaintenanceReport report;
+  std::set<InodeId> files_seen;
+  for (const auto& [ino, idx] : stripes) {
+    auto st = meta_.ns().stat(ino);
+    if (!st.ok()) continue;  // unlinked since the failure
+    if (files_seen.insert(ino).second) ++report.files_scanned;
+    if (st.value().attr.redundancy == RedundancyMode::none) continue;
+    if (idx >= st.value().stripe_count) continue;
+    const ClassHrwPolicy policy = policy_for_epoch(st.value().attr.epoch);
+    co_await repair_stripe(policy, st.value(), idx, report);
+  }
+  LOG_INFO("fs") << "targeted repair: " << stripes.size()
+                 << " stripes checked, " << report.stripes_repaired
+                 << " restored";
   co_return report;
 }
 

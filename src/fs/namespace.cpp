@@ -251,4 +251,38 @@ std::string Namespace::stripe_key(InodeId ino, std::size_t index) {
   return strformat("i%llu:%zu", static_cast<unsigned long long>(ino), index);
 }
 
+namespace {
+bool eat_number(std::string_view& s, std::uint64_t& out) {
+  if (s.empty() || s.front() < '0' || s.front() > '9') return false;
+  out = 0;
+  while (!s.empty() && s.front() >= '0' && s.front() <= '9') {
+    out = out * 10 + static_cast<std::uint64_t>(s.front() - '0');
+    s.remove_prefix(1);
+  }
+  return true;
+}
+}  // namespace
+
+std::optional<Namespace::StripeRef> Namespace::parse_stripe_key(
+    std::string_view key) {
+  // "i<ino>:<stripe>" with an optional ".s<shard>" suffix.
+  if (key.empty() || key.front() != 'i') return std::nullopt;
+  key.remove_prefix(1);
+  std::uint64_t ino = 0, stripe = 0, shard = 0;
+  if (!eat_number(key, ino)) return std::nullopt;
+  if (key.empty() || key.front() != ':') return std::nullopt;
+  key.remove_prefix(1);
+  if (!eat_number(key, stripe)) return std::nullopt;
+  StripeRef ref;
+  ref.inode = ino;
+  ref.stripe = static_cast<std::size_t>(stripe);
+  if (key.empty()) return ref;
+  if (key.size() < 3 || key[0] != '.' || key[1] != 's') return std::nullopt;
+  key.remove_prefix(2);
+  if (!eat_number(key, shard) || !key.empty()) return std::nullopt;
+  ref.is_shard = true;
+  ref.shard = static_cast<std::size_t>(shard);
+  return ref;
+}
+
 }  // namespace memfss::fs

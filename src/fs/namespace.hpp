@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,6 +92,21 @@ class Namespace {
   /// The storage key of stripe `index` of inode `ino` -- inode-based so
   /// rename never relocates data.
   static std::string stripe_key(InodeId ino, std::size_t index);
+
+  /// A storage key parsed back to its file coordinates. Failure recovery
+  /// depends on this inversion: the stripes a dead node held can only be
+  /// learned from its key list, because HRW cannot answer "what was here"
+  /// once the membership changes.
+  struct StripeRef {
+    InodeId inode = 0;
+    std::size_t stripe = 0;
+    bool is_shard = false;  ///< key names an erasure shard (".s<j>" suffix)
+    std::size_t shard = 0;
+  };
+
+  /// Inverse of stripe_key (and of the shard-key suffixing in the client
+  /// and maintenance paths). Nullopt for keys in neither format.
+  static std::optional<StripeRef> parse_stripe_key(std::string_view key);
 
  private:
   struct Node {

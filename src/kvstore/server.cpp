@@ -28,6 +28,30 @@ void Server::wipe() {
   if (hooks_.mem && freed > 0) hooks_.mem->free(freed);
 }
 
+void Server::crash() {
+  if (live_ == Liveness::down) return;
+  live_ = Liveness::down;
+  ++incarnation_;
+  wipe();           // in-memory data is gone with the process
+  store_.close();   // direct store users (drain paths) see unavailable
+}
+
+void Server::stall_for(SimTime duration) {
+  if (live_ == Liveness::down || duration <= 0) return;
+  live_ = Liveness::stalled;
+  const SimTime until = sim_.now() + duration;
+  if (until > stalled_until_) stalled_until_ = until;
+  sim_.schedule(duration, [this] {
+    if (live_ == Liveness::stalled && sim_.now() >= stalled_until_)
+      live_ = Liveness::up;
+  });
+}
+
+sim::Task<> Server::stall_gate() {
+  while (live_ == Liveness::stalled && sim_.now() < stalled_until_)
+    co_await sim_.delay(stalled_until_ - sim_.now());
+}
+
 sim::Task<> Server::charge(NodeId client, Bytes payload, bool to_client) {
   meter_.record(sim_.now());
   byte_meter_.record(sim_.now(), static_cast<double>(payload));
@@ -56,8 +80,14 @@ sim::Task<Status> Server::put(NodeId client, std::string_view token,
                               std::string key, Blob value) {
   // Request envelope to the server, then payload + processing, then reply.
   co_await fabric_.message(client, node_);
+  if (live_ == Liveness::down)  // connection refused
+    co_return Status{Errc::unavailable, "node down"};
+  co_await stall_gate();
+  const std::uint64_t inc = incarnation_;
   const Bytes payload = value.size();
   co_await charge(client, payload, /*to_client=*/false);
+  if (live_ == Liveness::down || incarnation_ != inc)
+    co_return Status{Errc::io_error, "server died mid-transfer"};
   Status st = store_.put(token, key, std::move(value));
   if (st.ok() && hooks_.mem) {
     if (!hooks_.mem->try_alloc(payload + Store::kPerKeyOverhead)) {
@@ -74,9 +104,15 @@ sim::Task<Status> Server::put(NodeId client, std::string_view token,
 sim::Task<Result<Blob>> Server::get(NodeId client, std::string_view token,
                                     std::string key) {
   co_await fabric_.message(client, node_);
+  if (live_ == Liveness::down)
+    co_return Error{Errc::unavailable, "node down"};
+  co_await stall_gate();
+  const std::uint64_t inc = incarnation_;
   Result<Blob> r = store_.get(token, key);
   const Bytes payload = r.ok() ? r.value().size() : 0;
   co_await charge(client, payload, /*to_client=*/true);
+  if (live_ == Liveness::down || incarnation_ != inc)
+    co_return Error{Errc::io_error, "server died mid-transfer"};
   co_await fabric_.message(node_, client);
   co_return r;
 }
@@ -84,6 +120,9 @@ sim::Task<Result<Blob>> Server::get(NodeId client, std::string_view token,
 sim::Task<Result<bool>> Server::exists(NodeId client, std::string_view token,
                                        std::string key) {
   co_await fabric_.message(client, node_);
+  if (live_ == Liveness::down)
+    co_return Error{Errc::unavailable, "node down"};
+  co_await stall_gate();
   meter_.record(sim_.now());
   Result<bool> r = store_.exists(token, key);
   co_await fabric_.message(node_, client);
@@ -93,6 +132,9 @@ sim::Task<Result<bool>> Server::exists(NodeId client, std::string_view token,
 sim::Task<Status> Server::del(NodeId client, std::string_view token,
                               std::string key) {
   co_await fabric_.message(client, node_);
+  if (live_ == Liveness::down)
+    co_return Status{Errc::unavailable, "node down"};
+  co_await stall_gate();
   meter_.record(sim_.now());
   Bytes freed = 0;
   if (auto sz = store_.value_size(token, key); sz.ok())
@@ -104,7 +146,8 @@ sim::Task<Status> Server::del(NodeId client, std::string_view token,
 }
 
 sim::Task<> Server::request_burst(NodeId client, double count) {
-  if (count <= 0.0) co_return;
+  if (count <= 0.0 || live_ == Liveness::down) co_return;
+  co_await stall_gate();
   meter_.record(sim_.now(), count);
   std::vector<sim::Task<>> work;
   // Request envelopes on the wire (aggregated into one transfer).

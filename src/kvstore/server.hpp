@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/result.hpp"
 #include "common/types.hpp"
@@ -27,6 +28,25 @@
 #include "sim/task.hpp"
 
 namespace memfss::kvstore {
+
+/// Liveness lifecycle of a simulated server process.
+///
+///   up      -- serving normally;
+///   stalled -- transient straggler: requests hang until the stall ends
+///              (clients are expected to time out and fail over);
+///   down    -- crashed or revoked: the in-memory store is gone, new
+///              requests fail fast (connection refused) and transfers
+///              in flight at crash time fail rather than complete.
+enum class Liveness { up, stalled, down };
+
+constexpr std::string_view liveness_name(Liveness l) {
+  switch (l) {
+    case Liveness::up: return "up";
+    case Liveness::stalled: return "stalled";
+    case Liveness::down: return "down";
+  }
+  return "?";
+}
 
 /// Resource hooks the server charges; any may be null (not charged).
 struct ResourceHooks {
@@ -100,7 +120,26 @@ class Server {
   /// charged. Used by experiment harnesses between repetitions.
   void wipe();
 
+  // --- liveness lifecycle (fault injection) -------------------------------
+
+  Liveness liveness() const { return live_; }
+  bool is_up() const { return live_ == Liveness::up; }
+
+  /// Hard failure: the process dies, its in-memory data is lost, and every
+  /// operation in flight fails instead of completing. Irreversible (a
+  /// restarted store would come back empty under a new identity; the
+  /// filesystem treats the node as gone).
+  void crash();
+
+  /// Transient straggler: requests arriving (or already queued) during the
+  /// stall are held until it ends. Overlapping stalls extend the window.
+  void stall_for(SimTime duration);
+
+  SimTime stalled_until() const { return stalled_until_; }
+
  private:
+  /// Hold the calling operation while the server is stalled.
+  sim::Task<> stall_gate();
   /// Charge request bookkeeping + overlapped CPU/membw/wire costs.
   sim::Task<> charge(NodeId client, Bytes payload, bool to_client);
 
@@ -113,6 +152,11 @@ class Server {
   RateMeter meter_;        ///< requests/s
   RateMeter byte_meter_;   ///< payload bytes/s
   sim::FluidResource engine_;  ///< single-threaded store engine
+  Liveness live_ = Liveness::up;
+  SimTime stalled_until_ = 0.0;
+  /// Bumped by crash(); an operation that observes a different value after
+  /// a resource charge knows its transfer raced the failure.
+  std::uint64_t incarnation_ = 0;
 };
 
 }  // namespace memfss::kvstore

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
+#include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -169,6 +171,44 @@ inline Task<> when_all(Simulator& sim, std::vector<Task<>> tasks) {
   for (auto& t : tasks)
     sim.spawn(detail::join_wrapper(state, std::move(t)));
   co_await state->done;
+}
+
+namespace detail {
+template <typename T>
+struct TimeoutState {
+  explicit TimeoutState(Simulator& sim) : done(sim) {}
+  std::optional<T> result;
+  Event done;
+};
+
+template <typename T>
+Task<> timeout_runner(std::shared_ptr<TimeoutState<T>> state, Task<T> inner) {
+  auto value = co_await std::move(inner);
+  state->result.emplace(std::move(value));
+  state->done.trigger();
+}
+}  // namespace detail
+
+/// Run `inner` under a deadline. Returns its value if it completes within
+/// `timeout` simulated seconds, nullopt otherwise. A timed-out operation
+/// is *abandoned, not cancelled*: it keeps running detached and its late
+/// result is discarded -- exactly a client walking away from an RPC whose
+/// server may still be processing it. The objects `inner` references must
+/// therefore outlive the operation, not just the deadline (true for
+/// servers/filesystems, which live until the simulation drains).
+template <typename T>
+Task<std::optional<T>> with_timeout(Simulator& sim, Task<T> inner,
+                                    SimTime timeout) {
+  static_assert(!std::is_void_v<T>, "use a Status-returning task");
+  auto state = std::make_shared<detail::TimeoutState<T>>(sim);
+  sim.spawn(detail::timeout_runner<T>(state, std::move(inner)));
+  if (state->done.triggered())  // completed synchronously
+    co_return std::move(state->result);
+  const EventId deadline =
+      sim.schedule(timeout, [state] { state->done.trigger(); });
+  co_await state->done;
+  sim.cancel(deadline);
+  co_return std::move(state->result);
 }
 
 }  // namespace memfss::sim

@@ -77,6 +77,32 @@ TEST(Determinism, TenantRunsReplay) {
   EXPECT_EQ(a.duration, b.duration);
 }
 
+TEST(Determinism, FaultyRunsAreExactReplays) {
+  // A run under an injected fault schedule must replay exactly too: the
+  // plan itself is seed-derived, and every retry/backoff/repair decision
+  // flows from the same deterministic inputs.
+  exp::FaultRecoveryOptions opt;
+  opt.scenario = tiny();
+  opt.scenario.with_victims = true;
+  opt.montage_tiles = 24;
+  opt.crash_rate = 0.5;
+  opt.revoke_mid_run = true;
+  const auto a = exp::run_fault_recovery(opt);
+  const auto b = exp::run_fault_recovery(opt);
+  EXPECT_EQ(a.runtime, b.runtime);  // bitwise, not approximate
+  EXPECT_EQ(a.clean_runtime, b.clean_runtime);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.revocations, b.revocations);
+  EXPECT_EQ(a.degraded_reads, b.degraded_reads);
+  EXPECT_EQ(a.rpc_timeouts, b.rpc_timeouts);
+  EXPECT_EQ(a.read_retries, b.read_retries);
+  EXPECT_EQ(a.write_retries, b.write_retries);
+  EXPECT_EQ(a.stripes_repaired, b.stripes_repaired);
+  EXPECT_EQ(a.bytes_re_replicated, b.bytes_re_replicated);
+  EXPECT_EQ(a.mean_time_to_repair, b.mean_time_to_repair);
+  EXPECT_TRUE(a.ok && b.ok);
+}
+
 TEST(Determinism, DifferentSeedsDifferentWorkflows) {
   Rng a(1), b(2);
   const auto wa = exp::make_workload(exp::Workload::blast, a);

@@ -1,0 +1,169 @@
+// Fault injector: plan building, seed determinism, scheduled delivery,
+// NIC degradation/restoration, and the monitor-eviction routing that the
+// filesystem subscribes to.
+#include "cluster/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace memfss::cluster {
+namespace {
+
+TEST(FaultPlan, FluentBuilderAndSortedOrder) {
+  FaultPlan plan;
+  plan.crash(5.0, 3)
+      .stall(1.0, 2, 0.5)
+      .revoke_class(3.0, 1)
+      .degrade_nic(1.0, 4, 0.25, 2.0);
+  EXPECT_EQ(plan.size(), 4u);
+  EXPECT_FALSE(plan.empty());
+
+  const auto sorted = plan.sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].kind, FaultKind::stall_node);   // t=1, inserted first
+  EXPECT_EQ(sorted[1].kind, FaultKind::degrade_nic);  // t=1, inserted second
+  EXPECT_EQ(sorted[2].kind, FaultKind::revoke_class);
+  EXPECT_EQ(sorted[3].kind, FaultKind::crash_node);
+  EXPECT_EQ(sorted[3].node, 3u);
+  EXPECT_EQ(sorted[2].victim_class, 1u);
+}
+
+TEST(FaultPlan, RandomIsSeedDeterministic) {
+  const std::vector<NodeId> nodes = {4, 5, 6, 7, 8, 9, 10, 11};
+  FaultPlan::RandomParams p;
+  p.horizon = 100.0;
+  p.crash_rate = 0.5;
+  p.stall_rate = 1.0;
+  p.degrade_rate = 0.5;
+
+  Rng a(42), b(42), c(43);
+  const auto pa = FaultPlan::random(a, nodes, p).events();
+  const auto pb = FaultPlan::random(b, nodes, p).events();
+  const auto pc = FaultPlan::random(c, nodes, p).events();
+
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].at, pb[i].at);
+    EXPECT_EQ(pa[i].kind, pb[i].kind);
+    EXPECT_EQ(pa[i].node, pb[i].node);
+    EXPECT_EQ(pa[i].duration, pb[i].duration);
+  }
+  // A different seed gives a different plan (with these rates the chance
+  // of a byte-identical schedule is negligible).
+  bool differs = pa.size() != pc.size();
+  for (std::size_t i = 0; !differs && i < pa.size(); ++i)
+    differs = pa[i].at != pc[i].at || pa[i].node != pc[i].node;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, RandomRespectsHorizonAndSingleCrashPerNode) {
+  const std::vector<NodeId> nodes = {1, 2, 3, 4, 5};
+  FaultPlan::RandomParams p;
+  p.horizon = 50.0;
+  p.crash_rate = 5.0;  // ~certain crash per node, still at most one
+  p.stall_rate = 2.0;
+  Rng rng(7);
+  const auto events = FaultPlan::random(rng, nodes, p).events();
+  std::map<NodeId, int> crashes;
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.at, 0.0);
+    EXPECT_LT(ev.at, p.horizon);
+    if (ev.kind == FaultKind::crash_node) ++crashes[ev.node];
+  }
+  for (const auto& [node, n] : crashes) EXPECT_EQ(n, 1) << "node " << node;
+  EXPECT_EQ(crashes.size(), nodes.size());  // rate 5 => everyone dies
+}
+
+TEST(FaultInjector, ArmDeliversHooksAtScheduledTimes) {
+  sim::Simulator sim;
+  Cluster cl(sim, 4);
+  FaultInjector inj(sim, cl);
+
+  std::vector<std::pair<SimTime, NodeId>> crashes;
+  std::vector<std::pair<SimTime, std::uint32_t>> revokes;
+  std::vector<SimTime> stall_durations;
+  inj.on_crash([&](NodeId n) { crashes.emplace_back(sim.now(), n); });
+  inj.on_revoke([&](std::uint32_t c) { revokes.emplace_back(sim.now(), c); });
+  inj.on_stall([&](NodeId, SimTime d) { stall_durations.push_back(d); });
+
+  FaultPlan plan;
+  plan.crash(2.0, 1).crash(4.0, 2).revoke_class(3.0, 1).stall(1.0, 3, 0.75);
+  inj.arm(plan);
+  sim.run();
+
+  ASSERT_EQ(crashes.size(), 2u);
+  EXPECT_EQ(crashes[0], (std::pair<SimTime, NodeId>{2.0, 1}));
+  EXPECT_EQ(crashes[1], (std::pair<SimTime, NodeId>{4.0, 2}));
+  ASSERT_EQ(revokes.size(), 1u);
+  EXPECT_EQ(revokes[0].first, 3.0);
+  EXPECT_EQ(revokes[0].second, 1u);
+  ASSERT_EQ(stall_durations.size(), 1u);
+  EXPECT_EQ(stall_durations[0], 0.75);
+
+  EXPECT_EQ(inj.stats().crashes, 2u);
+  EXPECT_EQ(inj.stats().revocations, 1u);
+  EXPECT_EQ(inj.stats().stalls, 1u);
+  EXPECT_EQ(inj.injected().size(), 4u);
+}
+
+TEST(FaultInjector, DegradeNicScalesAndRestores) {
+  sim::Simulator sim;
+  Cluster cl(sim, 3);
+  FaultInjector inj(sim, cl);
+  const auto base = cl.fabric().nic(1);
+
+  FaultPlan plan;
+  plan.degrade_nic(1.0, 1, 0.25, 2.0);
+  inj.arm(plan);
+
+  sim.schedule(2.0, [&] {  // mid-degradation
+    EXPECT_NEAR(cl.fabric().nic(1).up, base.up * 0.25, base.up * 1e-9);
+    EXPECT_NEAR(cl.fabric().nic(1).down, base.down * 0.25, base.down * 1e-9);
+  });
+  sim.run();
+
+  // Past t=3 the rates are back to baseline.
+  EXPECT_NEAR(cl.fabric().nic(1).up, base.up, base.up * 1e-9);
+  EXPECT_NEAR(cl.fabric().nic(1).down, base.down, base.down * 1e-9);
+  EXPECT_EQ(inj.stats().nic_degradations, 1u);
+}
+
+TEST(FaultInjector, OverlappingDegradationsCompose) {
+  sim::Simulator sim;
+  Cluster cl(sim, 2);
+  FaultInjector inj(sim, cl);
+  const auto base = cl.fabric().nic(0);
+
+  FaultPlan plan;
+  plan.degrade_nic(1.0, 0, 0.5, 4.0);   // restores at t=5
+  plan.degrade_nic(2.0, 0, 0.25, 1.0);  // restores at t=3
+  inj.arm(plan);
+
+  sim.schedule(2.5, [&] {  // both active: 0.5 * 0.25
+    EXPECT_NEAR(cl.fabric().nic(0).up, base.up * 0.125, base.up * 1e-9);
+  });
+  sim.schedule(4.0, [&] {  // inner restored, outer still active
+    EXPECT_NEAR(cl.fabric().nic(0).up, base.up * 0.5, base.up * 1e-9);
+  });
+  sim.run();
+  EXPECT_NEAR(cl.fabric().nic(0).up, base.up, base.up * 1e-9);
+}
+
+TEST(FaultInjector, EvictRoutesThroughBus) {
+  sim::Simulator sim;
+  Cluster cl(sim, 2);
+  FaultInjector inj(sim, cl);
+  std::vector<NodeId> evicted;
+  inj.on_evict([&](NodeId n) { evicted.push_back(n); });
+  inj.evict_now(1);
+  EXPECT_EQ(evicted, std::vector<NodeId>{1});
+  EXPECT_EQ(inj.stats().evictions, 1u);
+}
+
+}  // namespace
+}  // namespace memfss::cluster
