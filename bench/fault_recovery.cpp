@@ -17,6 +17,7 @@
 #include "common/str.hpp"
 #include "common/table.hpp"
 #include "exp/experiments.hpp"
+#include "exp/report.hpp"
 
 using namespace memfss;
 
@@ -28,8 +29,21 @@ std::string fmt_row_label(const exp::FaultRecoveryOptions& opt) {
   return label;
 }
 
-void add_row(Table& t, const exp::FaultRecoveryOptions& opt) {
+std::string file_label(const exp::FaultRecoveryOptions& opt,
+                       const char* redundancy) {
+  std::string label = strformat("%s_c%.2f", redundancy, opt.crash_rate);
+  if (opt.revoke_mid_run) label += "_revoke";
+  return label;
+}
+
+void add_row(Table& t, exp::FaultRecoveryOptions opt,
+             const char* redundancy) {
+  const char* trace_dir = std::getenv("MEMFSS_TRACE_DIR");
+  opt.capture_trace = trace_dir != nullptr;
   const auto row = exp::run_fault_recovery(opt);
+  // Repair latency quantiles come from the registry's per-stripe
+  // "fs.repair.latency" histogram (faulty run).
+  const auto& rl = row.repair_latency;
   t.add_row({fmt_row_label(opt),
              strformat("%zu/%zu/%zu", row.crashes, row.revocations,
                        row.stalls),
@@ -41,7 +55,17 @@ void add_row(Table& t, const exp::FaultRecoveryOptions& opt) {
              strformat("%zu", row.stripes_repaired),
              format_bytes(row.bytes_re_replicated),
              strformat("%.2f", row.mean_time_to_repair),
+             rl.count ? strformat("%.0f/%.0f/%.0f", rl.p50 * 1e3,
+                                  rl.p95 * 1e3, rl.p99 * 1e3)
+                      : std::string("-"),
              row.ok ? "yes" : "NO"});
+  if (trace_dir) {
+    const std::string base =
+        std::string(trace_dir) + "/fault_" + file_label(opt, redundancy);
+    if (exp::write_text_file(base + ".trace.json", row.trace_json).ok() &&
+        exp::write_text_file(base + ".metrics.csv", row.metrics_csv).ok())
+      std::printf("(wrote %s.{trace.json,metrics.csv})\n", base.c_str());
+  }
 }
 
 }  // namespace
@@ -64,7 +88,7 @@ int main() {
   const std::vector<std::string> headers = {
       "crash rate", "crash/rev/stall", "runtime (s)", "slowdown",
       "degraded rd", "retries",        "repaired",    "re-replicated",
-      "MTTR (s)",   "ok"};
+      "MTTR (s)",   "repair p50/95/99 (ms)", "ok"};
 
   {
     Table t(headers);
@@ -72,13 +96,13 @@ int main() {
     for (double rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
       opt.crash_rate = rate;
       opt.revoke_mid_run = false;
-      add_row(t, opt);
+      add_row(t, opt, "rep2");
     }
     // Worst case: the tenant takes the whole victim class back mid-run,
     // on top of background crashes.
     opt.crash_rate = 0.1;
     opt.revoke_mid_run = true;
-    add_row(t, opt);
+    add_row(t, opt, "rep2");
     t.print();
   }
 
@@ -89,11 +113,11 @@ int main() {
     for (double rate : {0.0, 0.2}) {
       opt.crash_rate = rate;
       opt.revoke_mid_run = false;
-      add_row(t, opt);
+      add_row(t, opt, "rs42");
     }
     opt.crash_rate = 0.1;
     opt.revoke_mid_run = true;
-    add_row(t, opt);
+    add_row(t, opt, "rs42");
     t.print();
   }
   return 0;

@@ -36,8 +36,12 @@ int main() {
               opt.scenario.total_nodes - opt.scenario.own_nodes,
               opt.dd_tasks, format_bytes(opt.dd_bytes).c_str());
 
+  const char* trace_dir = std::getenv("MEMFSS_TRACE_DIR");
+  opt.capture_trace = trace_dir != nullptr;
+
   Table t({"alpha (% own)", "own CPU %", "victim CPU %", "own NIC %",
-           "victim NIC %", "victim NIC MB/s", "runtime (s)"});
+           "victim NIC %", "victim NIC MB/s", "runtime (s)",
+           "write p50/95/99 (ms)"});
   t.set_title("Fig. 2a-f: group utilization and runtime vs alpha");
 
   double best_runtime = 1e300;
@@ -46,13 +50,24 @@ int main() {
   for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     const auto row = exp::run_fig2(alpha, opt);
     rows.push_back(row);
+    // Per-stripe write latency quantiles from the metrics registry.
+    const auto& wl = row.write_latency;
     t.add_row({strformat("%.0f", alpha * 100),
                strformat("%.1f", row.own.cpu * 100),
                strformat("%.1f", row.victim.cpu * 100),
                strformat("%.1f", row.own.nic() * 100),
                strformat("%.1f", row.victim.nic() * 100),
                strformat("%.0f", row.victim_nic_rate / 1e6),
-               strformat("%.1f", row.runtime)});
+               strformat("%.1f", row.runtime),
+               strformat("%.0f/%.0f/%.0f", wl.p50 * 1e3, wl.p95 * 1e3,
+                         wl.p99 * 1e3)});
+    if (trace_dir) {
+      const std::string base = std::string(trace_dir) +
+                               strformat("/fig2_alpha%02.0f", alpha * 100);
+      if (exp::write_text_file(base + ".trace.json", row.trace_json).ok() &&
+          exp::write_text_file(base + ".metrics.csv", row.metrics_csv).ok())
+        std::printf("(wrote %s.{trace.json,metrics.csv})\n", base.c_str());
+    }
     if (row.runtime < best_runtime) {
       best_runtime = row.runtime;
       best_alpha = alpha;

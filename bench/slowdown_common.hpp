@@ -81,8 +81,13 @@ inline void append_to_cache(const std::string& suite_label, double alpha,
     for (auto w : workloads) {
       auto it = row.find(w);
       if (it == row.end()) continue;
-      out << suite_label << ',' << alpha << ',' << bench << ','
-          << exp::workload_name(w) << ',' << it->second << '\n';
+      // Labels are RFC 4180-escaped through the shared common/table helper
+      // (the same one exp::report uses), so a suite or benchmark name
+      // containing a comma cannot corrupt the cache.
+      out << csv_row({suite_label, strformat("%g", alpha), bench,
+                      exp::workload_name(w),
+                      strformat("%g", it->second)})
+          << '\n';
     }
   }
 }

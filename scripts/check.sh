@@ -3,19 +3,27 @@
 # sanitized one (ASan + UBSan via -DMEMFSS_SANITIZE=address,undefined).
 # Run from the repository root.
 #
-#   scripts/check.sh [--plain-only|--sanitize-only]
+#   scripts/check.sh [--plain-only|--sanitize-only|--coverage]
 #
-# The sanitized pass uses its own build tree (build-san/) so it never
-# perturbs incremental state in build/.
+# --coverage builds with gcov instrumentation (-DMEMFSS_COVERAGE=ON) in
+# build-cov/, runs the tests, prints per-directory line coverage, and
+# fails if src/obs/ is below 90% -- the observability layer is the
+# regression oracle for everything else, so it stays fully tested.
+#
+# The sanitized and coverage passes use their own build trees
+# (build-san/, build-cov/) so they never perturb incremental state in
+# build/.
 set -euo pipefail
 
 run_plain=1
 run_san=1
+run_cov=0
 case "${1:-}" in
   --plain-only) run_san=0 ;;
   --sanitize-only) run_plain=0 ;;
+  --coverage) run_plain=0; run_san=0; run_cov=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage]" >&2; exit 2 ;;
 esac
 
 # MEMFSS_WERROR stays off: GCC 12's libstdc++ emits -Wrestrict false
@@ -38,6 +46,19 @@ if [[ $run_san -eq 1 ]]; then
   # reports; detect_leaks stays on (the sim owns everything by value).
   ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-san --output-on-failure
+fi
+
+if [[ $run_cov -eq 1 ]]; then
+  echo "== coverage build (gcov) =="
+  cmake -B build-cov -G Ninja \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DMEMFSS_WERROR=OFF \
+    -DMEMFSS_COVERAGE=ON
+  cmake --build build-cov
+  # Stale .gcda from a previous run would inflate the numbers.
+  find build-cov -name '*.gcda' -delete
+  ctest --test-dir build-cov --output-on-failure
+  python3 scripts/coverage_report.py build-cov --require src/obs=90
 fi
 
 echo "== all checks passed =="

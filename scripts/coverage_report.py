@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage report from a MEMFSS_COVERAGE build tree.
+
+Walks the build tree for .gcda files (written when the instrumented tests
+run), asks gcov for JSON intermediate output, and aggregates executed /
+executable lines per source directory under src/. Exits non-zero when a
+directory named with --require falls below its threshold, which is how
+scripts/check.sh --coverage enforces the src/obs/ floor.
+
+Usage:
+  scripts/coverage_report.py BUILD_DIR [--require DIR=PCT ...]
+
+Example:
+  scripts/coverage_report.py build-cov --require src/obs=90
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+def find_gcda(build_dir: str):
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                yield os.path.join(dirpath, name)
+
+def gcov_json(gcda: str):
+    """Run gcov on one .gcda; yield the per-file dicts of its JSON report."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.abspath(gcda)],
+        capture_output=True, text=True, cwd=os.path.dirname(gcda))
+    if proc.returncode != 0:
+        return
+    # One JSON document per translation unit, newline-separated.
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        yield from doc.get("files", [])
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("build_dir")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="DIR=PCT",
+                    help="fail if repo-relative DIR is below PCT%% lines")
+    args = ap.parse_args()
+
+    root = repo_root()
+    # line -> executed?, keyed by (relpath, lineno) so the same header or
+    # source seen from several translation units is counted once, and a
+    # line counts as covered if *any* unit executed it.
+    lines: dict[tuple, bool] = {}
+    gcda_seen = 0
+    for gcda in sorted(find_gcda(args.build_dir)):
+        gcda_seen += 1
+        for f in gcov_json(gcda):
+            path = os.path.realpath(
+                os.path.join(args.build_dir, f.get("file", "")))
+            if not path.startswith(root + os.sep):
+                continue  # system and third-party headers
+            rel = os.path.relpath(path, root)
+            for ln in f.get("lines", []):
+                key = (rel, ln.get("line_number"))
+                lines[key] = lines.get(key, False) or ln.get("count", 0) > 0
+
+    if gcda_seen == 0:
+        print(f"error: no .gcda files under {args.build_dir}; "
+              "configure with -DMEMFSS_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    # Aggregate per source directory (and total over src/).
+    per_dir: dict[str, list] = {}
+    for (rel, _line), hit in lines.items():
+        d = os.path.dirname(rel)
+        stats = per_dir.setdefault(d, [0, 0])
+        stats[1] += 1
+        if hit:
+            stats[0] += 1
+
+    def pct(stats):
+        return 100.0 * stats[0] / stats[1] if stats[1] else 0.0
+
+    print(f"{'directory':32} {'lines':>8} {'covered':>8} {'%':>7}")
+    total = [0, 0]
+    for d in sorted(per_dir):
+        stats = per_dir[d]
+        print(f"{d:32} {stats[1]:8} {stats[0]:8} {pct(stats):6.1f}%")
+        if d.startswith("src" + os.sep) or d == "src":
+            total[0] += stats[0]
+            total[1] += stats[1]
+    print(f"{'TOTAL (src/)':32} {total[1]:8} {total[0]:8} {pct(total):6.1f}%")
+
+    failed = False
+    for req in args.require:
+        want_dir, _, want_pct = req.partition("=")
+        want_dir = want_dir.rstrip("/")
+        threshold = float(want_pct)
+        # Sum the directory and everything nested under it.
+        agg = [0, 0]
+        for d, stats in per_dir.items():
+            if d == want_dir or d.startswith(want_dir + os.sep):
+                agg[0] += stats[0]
+                agg[1] += stats[1]
+        if agg[1] == 0:
+            print(f"FAIL {want_dir}: no coverage data", file=sys.stderr)
+            failed = True
+        elif pct(agg) < threshold:
+            print(f"FAIL {want_dir}: {pct(agg):.1f}% < {threshold:.1f}%",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK   {want_dir}: {pct(agg):.1f}% >= {threshold:.1f}%")
+    return 1 if failed else 0
+
+if __name__ == "__main__":
+    sys.exit(main())

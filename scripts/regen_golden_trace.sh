@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Re-bless the golden trace in tests/golden/ after an *intended* change
+# to placement, retry ordering, repair scheduling, or the tracer itself.
+# Run from the repository root; then review the diff like any other code
+# change before committing.
+set -euo pipefail
+
+cmake -B build -G Ninja -DMEMFSS_WERROR=OFF >/dev/null
+cmake --build build --target test_golden_trace >/dev/null
+MEMFSS_REGEN_GOLDEN=1 ./build/tests/test_golden_trace \
+  --gtest_filter='GoldenTrace.MatchesCheckedInGolden'
+# Sanity: the regenerated file must immediately pass.
+./build/tests/test_golden_trace
+git --no-pager diff --stat -- tests/golden || true

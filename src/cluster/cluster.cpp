@@ -15,7 +15,8 @@ Node::Node(sim::Simulator& sim, NodeId id, const NodeSpec& spec)
                                              strformat("mem[%u]", id))) {}
 
 Cluster::Cluster(sim::Simulator& sim, std::size_t node_count, NodeSpec spec)
-    : sim_(sim), fabric_(sim, node_count, spec.nic) {
+    : sim_(sim), obs_(sim), fabric_(sim, node_count, spec.nic) {
+  fabric_.set_observability(&obs_);
   nodes_.reserve(node_count);
   for (std::size_t n = 0; n < node_count; ++n)
     nodes_.push_back(

@@ -9,6 +9,7 @@
 
 #include "common/types.hpp"
 #include "net/fabric.hpp"
+#include "obs/obs.hpp"
 #include "sim/fluid.hpp"
 #include "sim/memory.hpp"
 #include "sim/simulator.hpp"
@@ -52,6 +53,13 @@ class Cluster {
 
   sim::Simulator& sim() { return sim_; }
   net::Fabric& fabric() { return fabric_; }
+
+  /// Deployment-wide metrics registry + event tracer. Every layer that
+  /// holds a Cluster (or is handed the pointer, like fabric and servers)
+  /// reports here.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
+
   std::size_t node_count() const { return nodes_.size(); }
   Node& node(NodeId n) { return *nodes_[n]; }
   const Node& node(NodeId n) const { return *nodes_[n]; }
@@ -61,6 +69,7 @@ class Cluster {
 
  private:
   sim::Simulator& sim_;
+  obs::Observability obs_;  ///< before fabric_: fabric keeps a pointer
   net::Fabric fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "common/str.hpp"
 
 namespace memfss::cluster {
 
@@ -70,6 +71,14 @@ FaultPlan FaultPlan::random(Rng& rng, const std::vector<NodeId>& nodes,
 FaultInjector::FaultInjector(sim::Simulator& sim, Cluster& cluster)
     : sim_(sim), cluster_(cluster) {}
 
+void FaultInjector::observe(const char* name, NodeId node,
+                            const std::string& detail) {
+  auto& obs = cluster_.obs();
+  obs.metrics.counter(name).inc();
+  if (obs.tracer.enabled(obs::Component::cluster))
+    obs.tracer.instant(obs::Component::cluster, node, name, detail);
+}
+
 void FaultInjector::arm(const FaultPlan& plan) {
   for (const FaultEvent& ev : plan.sorted()) {
     sim_.schedule(ev.at, [this, ev] { fire(ev); });
@@ -96,6 +105,7 @@ void FaultInjector::fire(const FaultEvent& ev) {
 void FaultInjector::crash_now(NodeId node) {
   ++stats_.crashes;
   injected_.push_back({sim_.now(), FaultKind::crash_node, node, 0, 0.0, 1.0});
+  observe("fault.crash", node, "");
   LOG_INFO("fault") << "crash: node " << node;
   for (const auto& h : crash_hooks_) h(node);
 }
@@ -104,6 +114,7 @@ void FaultInjector::revoke_class_now(std::uint32_t class_id) {
   ++stats_.revocations;
   injected_.push_back(
       {sim_.now(), FaultKind::revoke_class, kInvalidNode, class_id, 0.0, 1.0});
+  observe("fault.revoke", kInvalidNode, strformat("class=%u", class_id));
   LOG_INFO("fault") << "revoke: victim class " << class_id;
   for (const auto& h : revoke_hooks_) h(class_id);
 }
@@ -112,6 +123,7 @@ void FaultInjector::stall_now(NodeId node, SimTime duration) {
   ++stats_.stalls;
   injected_.push_back(
       {sim_.now(), FaultKind::stall_node, node, 0, duration, 1.0});
+  observe("fault.stall", node, strformat("dur=%.6f", duration));
   LOG_INFO("fault") << "stall: node " << node << " for " << duration << "s";
   for (const auto& h : stall_hooks_) h(node, duration);
 }
@@ -122,6 +134,7 @@ void FaultInjector::degrade_nic_now(NodeId node, double factor,
   ++stats_.nic_degradations;
   injected_.push_back(
       {sim_.now(), FaultKind::degrade_nic, node, 0, duration, factor});
+  observe("fault.degrade_nic", node, strformat("x%.3f", factor));
   net::Fabric& fabric = cluster_.fabric();
   const net::NicSpec original = fabric.nic(node);
   net::NicSpec degraded = original;
@@ -144,6 +157,7 @@ void FaultInjector::degrade_nic_now(NodeId node, double factor,
 void FaultInjector::evict_now(NodeId node) {
   ++stats_.evictions;
   injected_.push_back({sim_.now(), FaultKind::revoke_class, node, 0, 0.0, 1.0});
+  observe("fault.evict", node, "");
   LOG_INFO("fault") << "evict: node " << node << " (monitor reclaim)";
   for (const auto& h : evict_hooks_) h(node);
 }

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -131,6 +132,9 @@ class FaultInjector {
 
  private:
   void fire(const FaultEvent& ev);
+  /// Count the fault in the metrics registry and (when cluster tracing is
+  /// on) drop an instant event on the timeline.
+  void observe(const char* name, NodeId node, const std::string& detail);
 
   sim::Simulator& sim_;
   Cluster& cluster_;

@@ -7,6 +7,28 @@
 
 namespace memfss {
 
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
 
 void Table::add_row(std::vector<std::string> row) {

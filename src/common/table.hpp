@@ -1,11 +1,21 @@
 // ASCII table renderer used by the benchmark harness to print the paper's
-// tables and figure data series in a readable, diffable form.
+// tables and figure data series in a readable, diffable form, plus the
+// shared CSV quoting helpers every machine-readable export goes through.
 #pragma once
 
 #include <string>
 #include <vector>
 
 namespace memfss {
+
+/// CSV field quoting per RFC 4180: quotes are doubled and the field is
+/// wrapped in quotes when it contains a comma, quote or newline. The one
+/// CSV-escaping implementation in the codebase -- exp::report and the
+/// bench result caches both route through it.
+std::string csv_escape(const std::string& field);
+
+/// Escape and join fields into one CSV line (no trailing newline).
+std::string csv_row(const std::vector<std::string>& fields);
 
 class Table {
  public:

@@ -93,6 +93,7 @@ Fig2Row run_fig2(double alpha, const Fig2Options& opt) {
   ScenarioParams p = opt.scenario;
   p.own_fraction = alpha;
   Scenario sc(p);
+  if (opt.capture_trace) sc.cluster().obs().tracer.enable_all(true);
 
   UtilizationWindow own_w(sc.cluster(), sc.own_nodes());
   UtilizationWindow vic_w(sc.cluster(), sc.victim_nodes());
@@ -132,6 +133,10 @@ Fig2Row run_fig2(double alpha, const Fig2Options& opt) {
     row.victim_nic_series = vic_probe.sparkline(&GroupUtilization::nic_down);
     row.victim_nic_peak = vic_probe.peak(&GroupUtilization::nic_down);
   }
+  auto& obs = sc.cluster().obs();
+  row.write_latency = obs.metrics.histogram_summary("fs.write_stripe.latency");
+  row.metrics_csv = obs.metrics.snapshot(sc.sim().now()).to_csv();
+  if (opt.capture_trace) row.trace_json = obs.tracer.chrome_json();
   if (!out.report.status.ok()) {
     LOG_WARN("exp") << "fig2 alpha=" << alpha << " workflow error: "
                     << out.report.status.error().to_string();
@@ -364,6 +369,10 @@ struct FaultRunOut {
   fs::FsCounters counters;
   fs::RecoveryStats recovery;
   cluster::FaultInjectorStats injected;
+  obs::HistogramSummary repair_latency;
+  std::string metrics_csv;
+  std::string trace_json;
+  std::string trace_text;
 };
 
 FaultRunOut fault_run_once(const FaultRecoveryOptions& opt, bool with_faults) {
@@ -373,6 +382,7 @@ FaultRunOut fault_run_once(const FaultRecoveryOptions& opt, bool with_faults) {
     p.copies = 2;
   }
   Scenario sc(p);
+  if (opt.capture_trace) sc.cluster().obs().tracer.enable_all(true);
   sc.fs().set_fault_tuning(opt.rpc_timeout, opt.failure_detect_delay,
                            opt.revocation_grace);
   cluster::FaultInjector inj(sc.sim(), sc.cluster());
@@ -408,6 +418,13 @@ FaultRunOut fault_run_once(const FaultRecoveryOptions& opt, bool with_faults) {
   r.counters = sc.fs().counters();
   r.recovery = sc.fs().recovery();
   r.injected = inj.stats();
+  auto& obs = sc.cluster().obs();
+  r.repair_latency = obs.metrics.histogram_summary("fs.repair.latency");
+  r.metrics_csv = obs.metrics.snapshot(sc.sim().now()).to_csv();
+  if (opt.capture_trace) {
+    r.trace_json = obs.tracer.chrome_json();
+    r.trace_text = obs.tracer.text_dump();
+  }
   return r;
 }
 
@@ -438,6 +455,10 @@ FaultRecoveryRow run_fault_recovery(const FaultRecoveryOptions& opt) {
   row.stripes_repaired = faulty.recovery.stripes_repaired;
   row.bytes_re_replicated = faulty.recovery.bytes_re_replicated;
   row.mean_time_to_repair = faulty.recovery.mean_time_to_repair();
+  row.repair_latency = faulty.repair_latency;
+  row.metrics_csv = faulty.metrics_csv;
+  row.trace_json = faulty.trace_json;
+  row.trace_text = faulty.trace_text;
   row.ok = faulty.ok && clean.ok;
   return row;
 }

@@ -13,6 +13,7 @@
 #include "common/types.hpp"
 #include "exp/metrics.hpp"
 #include "exp/scenario.hpp"
+#include "obs/histogram.hpp"
 #include "tenant/app.hpp"
 #include "workflow/dag.hpp"
 
@@ -37,6 +38,9 @@ struct Fig2Options {
   /// Record utilization-vs-time sparklines (the actual Fig. 2a-e curves).
   bool with_timeseries = false;
   SimTime sample_interval = 1.0;
+  /// Enable the event tracer for all components and return the Chrome
+  /// trace JSON + metrics CSV in the row (chrome://tracing / Perfetto).
+  bool capture_trace = false;
 };
 
 struct Fig2Row {
@@ -51,6 +55,11 @@ struct Fig2Row {
   std::string own_cpu_series, own_nic_series;
   std::string victim_cpu_series, victim_nic_series;
   double victim_nic_peak = 0.0;
+  /// Per-stripe write latency from the observability registry.
+  obs::HistogramSummary write_latency;
+  /// Full metrics dump (always) and Chrome trace (capture_trace only).
+  std::string metrics_csv;
+  std::string trace_json;
 };
 
 /// One alpha point of Fig. 2 (a-f).
@@ -119,6 +128,10 @@ struct FaultRecoveryOptions {
   SimTime rpc_timeout = 0.25;
   SimTime failure_detect_delay = 0.2;
   SimTime revocation_grace = 2.0;
+
+  /// Enable the event tracer on the faulty run and return the Chrome
+  /// trace JSON and deterministic text dump in the row.
+  bool capture_trace = false;
 };
 
 struct FaultRecoveryRow {
@@ -134,6 +147,14 @@ struct FaultRecoveryRow {
   std::size_t failures_handled = 0, stripes_repaired = 0;
   Bytes bytes_re_replicated = 0;
   double mean_time_to_repair = 0.0;
+  /// Per-stripe repair latency quantiles (faulty run, from the registry's
+  /// "fs.repair.latency" histogram).
+  obs::HistogramSummary repair_latency;
+  /// Faulty-run metrics dump; trace_json/trace_text only with
+  /// capture_trace (text_dump() is the deterministic replay format).
+  std::string metrics_csv;
+  std::string trace_json;
+  std::string trace_text;
   bool ok = true;  ///< workflow completed without error
 };
 

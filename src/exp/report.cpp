@@ -6,19 +6,6 @@
 
 namespace memfss::exp {
 
-std::string csv_escape(const std::string& field) {
-  const bool needs_quotes =
-      field.find_first_of(",\"\n") != std::string::npos;
-  if (!needs_quotes) return field;
-  std::string out = "\"";
-  for (char c : field) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
 std::string fig2_csv(const std::vector<Fig2Row>& rows) {
   std::string out =
       "alpha,own_cpu,victim_cpu,own_nic,victim_nic,victim_nic_mbps,"
@@ -53,6 +40,10 @@ std::string table2_csv(const std::vector<Table2Row>& rows) {
                      (unsigned long long)r.data_footprint);
   }
   return out;
+}
+
+std::string metrics_csv(const obs::MetricsSnapshot& snapshot) {
+  return snapshot.to_csv();
 }
 
 Status write_text_file(const std::string& path, const std::string& text) {

@@ -7,13 +7,11 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/table.hpp"  // csv_escape / csv_row
 #include "exp/experiments.hpp"
+#include "obs/metrics.hpp"
 
 namespace memfss::exp {
-
-/// CSV field quoting per RFC 4180 (quotes doubled, field quoted when it
-/// contains a comma, quote or newline).
-std::string csv_escape(const std::string& field);
 
 /// One line per alpha point, header included:
 /// alpha,own_cpu,victim_cpu,own_nic,victim_nic,victim_nic_mbps,runtime_s,
@@ -27,6 +25,11 @@ std::string slowdown_csv(const std::vector<SlowdownCell>& cells);
 /// Table II rows:
 /// label,nodes,feasible,runtime_s,node_hours,data_footprint_bytes
 std::string table2_csv(const std::vector<Table2Row>& rows);
+
+/// Registry dump (header + one row per instrument), via
+/// MetricsSnapshot::to_csv:
+/// kind,name,count,value,peak,sum,min,max,p50,p95,p99
+std::string metrics_csv(const obs::MetricsSnapshot& snapshot);
 
 /// Write any exported text to a file.
 Status write_text_file(const std::string& path, const std::string& text);

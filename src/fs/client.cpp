@@ -63,6 +63,14 @@ bool transient(Errc code) {
 
 }  // namespace
 
+void Client::record_stripe_op(const char* hist, const char* span, SimTime t0,
+                              const std::string& key) {
+  auto& obs = fs_->cluster().obs();
+  obs.metrics.histogram(hist).add(fs_->cluster().sim().now() - t0);
+  if (obs.tracer.enabled(obs::Component::fs))
+    obs.tracer.span(obs::Component::fs, node_, span, t0, key);
+}
+
 // --- namespace forwards -----------------------------------------------------
 
 sim::Task<Status> Client::mkdirs(std::string path) {
@@ -175,6 +183,7 @@ sim::Task<> Client::put_stripe_copy(const ClassHrwPolicy& policy,
   for (int attempt = 0; attempt <= cfg.max_retries; ++attempt) {
     if (attempt > 0) {
       ++fs_->counters().write_retries;
+      fs_->cluster().obs().metrics.counter("fs.write.retries").inc();
       co_await sim.delay(backoff_delay(cfg, store_key, attempt - 1));
     }
     // Fresh placement every attempt: a crash between attempts moved the
@@ -217,6 +226,7 @@ sim::Task<> Client::write_stripe(const ClassHrwPolicy& policy,
                                  kvstore::Blob blob, OpState& state) {
   const std::size_t copies = copy_count(attr);
   auto& sim = fs_->cluster().sim();
+  const SimTime t0 = sim.now();
   const double burst = state.extra_requests_per_mib *
                        static_cast<double>(blob.size()) /
                        static_cast<double>(units::MiB);
@@ -238,6 +248,7 @@ sim::Task<> Client::write_stripe(const ClassHrwPolicy& policy,
     co_await sim::when_all(sim, std::move(puts));
   }
   ++fs_->counters().stripes_written;
+  record_stripe_op("fs.write_stripe.latency", "fs.write_stripe", t0, key);
 }
 
 sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
@@ -252,6 +263,7 @@ sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
     co_return;
   }
   auto& sim = fs_->cluster().sim();
+  const SimTime t0 = sim.now();
 
   // Encoding cost on the client node: ~1 byte of GF math per payload byte
   // per parity shard.
@@ -282,6 +294,7 @@ sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
   }
   co_await sim::when_all(sim, std::move(puts));
   ++fs_->counters().stripes_written;
+  record_stripe_op("fs.write_stripe.latency", "fs.write_stripe", t0, key);
 }
 
 // --- read path ----------------------------------------------------------------
@@ -350,6 +363,7 @@ sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
       }
     }
     ++fs_->counters().read_retries;
+    fs_->cluster().obs().metrics.counter("fs.read.retries").inc();
     if (round + 1 < rounds)
       co_await sim.delay(backoff_delay(cfg, key, round));
   }
@@ -359,6 +373,7 @@ sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
 sim::Task<Result<kvstore::Blob>> Client::read_stripe(
     const ClassHrwPolicy& policy, const FileAttr& attr, std::string key,
     double extra_requests_per_mib) {
+  const SimTime t0 = fs_->cluster().sim().now();
   auto r = co_await probe_ranked(policy, attr, key);
   if (r.ok()) {
     ++fs_->counters().stripes_read;
@@ -376,6 +391,7 @@ sim::Task<Result<kvstore::Blob>> Client::read_stripe(
       }
     }
   }
+  record_stripe_op("fs.read_stripe.latency", "fs.read_stripe", t0, key);
   co_return r;
 }
 
@@ -384,6 +400,7 @@ sim::Task<Result<kvstore::Blob>> Client::read_stripe_erasure(
   const std::size_t k = attr.ec_k, m = attr.ec_m;
   const auto order = policy.probe_order(key);
   if (order.empty()) co_return Error{Errc::unavailable, "no servers"};
+  const SimTime t0 = fs_->cluster().sim().now();
 
   // Fetch shards until k are in hand; prefer the data shards (systematic
   // code: no decode needed when shards 0..k-1 arrive).
@@ -412,9 +429,11 @@ sim::Task<Result<kvstore::Blob>> Client::read_stripe_erasure(
     }
     if (r.ok()) have.emplace_back(j, std::move(r.value()));
   }
-  if (have.size() < k)
+  if (have.size() < k) {
+    record_stripe_op("fs.read_stripe.latency", "fs.read_stripe", t0, key);
     co_return Error{Errc::corruption,
                     "fewer than k shards reachable: " + key};
+  }
 
   const bool needs_decode =
       std::any_of(have.begin(), have.end(),
@@ -438,6 +457,7 @@ sim::Task<Result<kvstore::Blob>> Client::read_stripe_erasure(
   }
   if (ghost) {
     ++fs_->counters().stripes_read;
+    record_stripe_op("fs.read_stripe.latency", "fs.read_stripe", t0, key);
     co_return kvstore::Blob::ghost(stripe_len, 0);
   }
   // Materialized: run the real decoder.
@@ -449,6 +469,7 @@ sim::Task<Result<kvstore::Blob>> Client::read_stripe_erasure(
     payload_cap = slots[j].size() * k;
   }
   auto decoded = rs.decode(slots, payload_cap);
+  record_stripe_op("fs.read_stripe.latency", "fs.read_stripe", t0, key);
   if (!decoded.ok()) co_return decoded.error();
   ++fs_->counters().stripes_read;
   co_return kvstore::Blob::materialized(std::move(decoded).value());

@@ -104,6 +104,12 @@ class Client {
   sim::Task<Result<kvstore::Blob>> timed_get(NodeId node, std::string key,
                                              bool* faulted);
 
+  /// Record one finished stripe operation in the deployment's metrics
+  /// registry (latency histogram `hist`) and, when fs tracing is on, as a
+  /// span named `span` with the stripe key as detail.
+  void record_stripe_op(const char* hist, const char* span, SimTime t0,
+                        const std::string& key);
+
   /// Write one replica (`idx` = replica rank) or one erasure shard
   /// (`idx` = shard index) with timeout + bounded retry. Placement is
   /// re-resolved on every attempt, so a retry lands on the post-failure

@@ -44,6 +44,7 @@ void FileSystem::make_server(NodeId node, Bytes capacity, Rate net_cap,
   hooks.cpu = &nd.cpu();
   hooks.membw = &nd.membw();
   hooks.mem = &nd.memory();
+  hooks.obs = &cluster_.obs();
   if (victim && std::isfinite(net_cap)) {
     auto group = std::make_unique<net::CapGroup>(net_cap);
     hooks.net_cap = group.get();
@@ -373,11 +374,21 @@ void FileSystem::retire_node(NodeId node) {
 sim::Task<> FileSystem::run_targeted_repair(
     std::vector<std::pair<InodeId, std::size_t>> affected,
     SimTime failed_at) {
+  const std::size_t n_stripes = affected.size();
   auto report = co_await repair_affected(std::move(affected));
   ++recovery_.repairs;
   recovery_.stripes_repaired += report.stripes_repaired;
   recovery_.bytes_re_replicated += report.bytes_moved;
   recovery_.total_repair_time += cluster_.sim().now() - failed_at;
+  auto& obs = cluster_.obs();
+  obs.metrics.histogram("fs.recovery.latency")
+      .add(cluster_.sim().now() - failed_at);
+  if (obs.tracer.enabled(obs::Component::cluster)) {
+    obs.tracer.span(obs::Component::cluster, kInvalidNode, "fs.recovery",
+                    failed_at,
+                    strformat("stripes=%zu repaired=%zu", n_stripes,
+                              report.stripes_repaired));
+  }
   if (!report.status.ok()) {
     LOG_WARN("fs") << "targeted repair incomplete: "
                    << report.status.error().to_string();
@@ -439,6 +450,15 @@ sim::Task<Status> FileSystem::revoke_victim_class(std::uint32_t class_id,
   recovery_.stripes_repaired += report.stripes_repaired;
   recovery_.bytes_re_replicated += report.bytes_moved;
   recovery_.total_repair_time += cluster_.sim().now() - started;
+  auto& obs = cluster_.obs();
+  obs.metrics.histogram("fs.recovery.latency")
+      .add(cluster_.sim().now() - started);
+  if (obs.tracer.enabled(obs::Component::cluster)) {
+    obs.tracer.span(obs::Component::cluster, kInvalidNode, "fs.revoke_class",
+                    started,
+                    strformat("class=%u repaired=%zu", class_id,
+                              report.stripes_repaired));
+  }
   co_return report.status;
 }
 

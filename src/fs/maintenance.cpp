@@ -271,8 +271,12 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::repair_all() {
     ++report.files_scanned;
     if (st.attr.redundancy == RedundancyMode::none) continue;
     const ClassHrwPolicy policy = policy_for_epoch(st.attr.epoch);
-    for (std::size_t i = 0; i < st.stripe_count; ++i)
+    auto& repair_hist = cluster_.obs().metrics.histogram("fs.repair.latency");
+    for (std::size_t i = 0; i < st.stripe_count; ++i) {
+      const SimTime t0 = cluster_.sim().now();
       co_await repair_stripe(policy, st, i, report);
+      repair_hist.add(cluster_.sim().now() - t0);
+    }
   }
   LOG_INFO("fs") << "repair: " << report.stripes_repaired
                  << " stripes repaired";
@@ -283,6 +287,7 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::repair_affected(
     std::vector<std::pair<InodeId, std::size_t>> stripes) {
   MaintenanceReport report;
   std::set<InodeId> files_seen;
+  auto& repair_hist = cluster_.obs().metrics.histogram("fs.repair.latency");
   for (const auto& [ino, idx] : stripes) {
     auto st = meta_.ns().stat(ino);
     if (!st.ok()) continue;  // unlinked since the failure
@@ -290,7 +295,9 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::repair_affected(
     if (st.value().attr.redundancy == RedundancyMode::none) continue;
     if (idx >= st.value().stripe_count) continue;
     const ClassHrwPolicy policy = policy_for_epoch(st.value().attr.epoch);
+    const SimTime t0 = cluster_.sim().now();
     co_await repair_stripe(policy, st.value(), idx, report);
+    repair_hist.add(cluster_.sim().now() - t0);
   }
   LOG_INFO("fs") << "targeted repair: " << stripes.size()
                  << " stripes checked, " << report.stripes_repaired

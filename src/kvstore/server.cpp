@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/str.hpp"
 #include "sim/sync.hpp"
 
 namespace memfss::kvstore {
@@ -15,7 +16,26 @@ Server::Server(sim::Simulator& sim, net::Fabric& fabric, NodeId node,
       store_(store_capacity, std::move(auth_token)),
       hooks_(hooks),
       costs_(costs),
-      engine_(sim, costs.engine_cores, "kv-engine") {}
+      engine_(sim, costs.engine_cores, "kv-engine") {
+  if (hooks_.obs) {
+    auto& m = hooks_.obs->metrics;
+    h_put_ = &m.histogram("kv.put.service");
+    h_get_ = &m.histogram("kv.get.service");
+    g_queue_ = &m.gauge(strformat("kv.n%u.queue_depth", node_));
+    g_mem_ = &m.gauge(strformat("kv.n%u.mem_bytes", node_));
+  }
+}
+
+void Server::enter_request() {
+  ++inflight_;
+  if (g_queue_) g_queue_->set(static_cast<double>(inflight_));
+}
+
+void Server::leave_request() {
+  --inflight_;
+  if (g_queue_) g_queue_->set(static_cast<double>(inflight_));
+  if (g_mem_) g_mem_->set(static_cast<double>(store_.used()));
+}
 
 double Server::request_rate() const { return meter_.rate(sim_.now()); }
 
@@ -78,6 +98,33 @@ sim::Task<> Server::charge(NodeId client, Bytes payload, bool to_client) {
 
 sim::Task<Status> Server::put(NodeId client, std::string_view token,
                               std::string key, Blob value) {
+  const SimTime t0 = sim_.now();
+  enter_request();
+  Status st =
+      co_await put_impl(client, token, std::move(key), std::move(value));
+  leave_request();
+  if (h_put_) h_put_->add(sim_.now() - t0);
+  if (hooks_.obs && hooks_.obs->tracer.enabled(obs::Component::kvstore))
+    hooks_.obs->tracer.span(obs::Component::kvstore, node_, "kv.put", t0,
+                            st.ok() ? "" : "err");
+  co_return st;
+}
+
+sim::Task<Result<Blob>> Server::get(NodeId client, std::string_view token,
+                                    std::string key) {
+  const SimTime t0 = sim_.now();
+  enter_request();
+  Result<Blob> r = co_await get_impl(client, token, std::move(key));
+  leave_request();
+  if (h_get_) h_get_->add(sim_.now() - t0);
+  if (hooks_.obs && hooks_.obs->tracer.enabled(obs::Component::kvstore))
+    hooks_.obs->tracer.span(obs::Component::kvstore, node_, "kv.get", t0,
+                            r.ok() ? "" : "err");
+  co_return r;
+}
+
+sim::Task<Status> Server::put_impl(NodeId client, std::string_view token,
+                                   std::string key, Blob value) {
   // Request envelope to the server, then payload + processing, then reply.
   co_await fabric_.message(client, node_);
   if (live_ == Liveness::down)  // connection refused
@@ -101,8 +148,9 @@ sim::Task<Status> Server::put(NodeId client, std::string_view token,
   co_return st;
 }
 
-sim::Task<Result<Blob>> Server::get(NodeId client, std::string_view token,
-                                    std::string key) {
+sim::Task<Result<Blob>> Server::get_impl(NodeId client,
+                                         std::string_view token,
+                                         std::string key) {
   co_await fabric_.message(client, node_);
   if (live_ == Liveness::down)
     co_return Error{Errc::unavailable, "node down"};

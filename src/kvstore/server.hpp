@@ -23,6 +23,7 @@
 #include "kvstore/rate_meter.hpp"
 #include "kvstore/store.hpp"
 #include "net/fabric.hpp"
+#include "obs/obs.hpp"
 #include "sim/fluid.hpp"
 #include "sim/memory.hpp"
 #include "sim/task.hpp"
@@ -54,6 +55,7 @@ struct ResourceHooks {
   sim::FluidResource* membw = nullptr;   ///< node memory bandwidth (B/s)
   sim::MemoryPool* mem = nullptr;        ///< node memory capacity
   net::CapGroup* net_cap = nullptr;      ///< container bandwidth ceiling
+  obs::Observability* obs = nullptr;     ///< metrics + tracing sink
 };
 
 struct ServerCosts {
@@ -143,6 +145,19 @@ class Server {
   /// Charge request bookkeeping + overlapped CPU/membw/wire costs.
   sim::Task<> charge(NodeId client, Bytes payload, bool to_client);
 
+  // put/get split into timing shells + _impl bodies: the impls have
+  // several early co_return paths (down, died mid-transfer) and the
+  // service-time histogram must see all of them.
+  sim::Task<Status> put_impl(NodeId client, std::string_view token,
+                             std::string key, Blob value);
+  sim::Task<Result<Blob>> get_impl(NodeId client, std::string_view token,
+                                   std::string key);
+
+  /// Bump/drop the in-flight request count and refresh the queue-depth
+  /// and memory-watermark gauges (no-ops when obs is not attached).
+  void enter_request();
+  void leave_request();
+
   sim::Simulator& sim_;
   net::Fabric& fabric_;
   NodeId node_;
@@ -157,6 +172,13 @@ class Server {
   /// Bumped by crash(); an operation that observes a different value after
   /// a resource charge knows its transfer raced the failure.
   std::uint64_t incarnation_ = 0;
+
+  // Observability handles (null when hooks_.obs is not set).
+  obs::Histogram* h_put_ = nullptr;    ///< kv.put.service (s)
+  obs::Histogram* h_get_ = nullptr;    ///< kv.get.service (s)
+  obs::Gauge* g_queue_ = nullptr;      ///< kv.n<id>.queue_depth
+  obs::Gauge* g_mem_ = nullptr;        ///< kv.n<id>.mem_bytes (watermark)
+  std::size_t inflight_ = 0;
 };
 
 }  // namespace memfss::kvstore

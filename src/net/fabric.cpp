@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/str.hpp"
+
 namespace memfss::net {
 
 namespace {
@@ -37,9 +39,24 @@ void Fabric::set_nic(NodeId n, NicSpec spec) {
   recompute();
 }
 
+void Fabric::set_observability(obs::Observability* o) {
+  obs_ = o;
+  if (!obs_) {
+    flow_lifetime_ = flow_fair_share_ = nullptr;
+    msg_count_ = nullptr;
+    return;
+  }
+  flow_lifetime_ = &obs_->metrics.histogram("net.flow.lifetime");
+  flow_fair_share_ = &obs_->metrics.histogram("net.flow.rate_vs_best");
+  msg_count_ = &obs_->metrics.counter("net.msg.count");
+}
+
 sim::Task<> Fabric::transfer(NodeId src, NodeId dst, Bytes size,
                              Rate flow_cap, CapGroup* group) {
   assert(src < node_count() && dst < node_count());
+  const bool bulk = size >= kObsMinFlowBytes;
+  if (obs_ && !bulk) msg_count_->inc();
+  const SimTime t0 = sim_.now();
   // Wire latency before the first byte lands.
   co_await sim_.delay(nics_[src].latency);
   if (size == 0) co_return;
@@ -52,6 +69,22 @@ sim::Task<> Fabric::transfer(NodeId src, NodeId dst, Bytes size,
   auto it = std::prev(flows_.end());
   schedule_recompute();
   co_await it->done;
+
+  if (obs_ && bulk) {
+    const SimTime life = sim_.now() - t0;
+    flow_lifetime_->add(life);
+    // Achieved rate vs. the best this flow could ever get: the tightest
+    // of its own cap and the two NIC ports. < 1 means it was sharing.
+    const Rate best =
+        std::min({flow_cap, nics_[src].up, nics_[dst].down});
+    const SimTime xfer = life - nics_[src].latency;
+    if (xfer > 0.0 && best > 0.0 && std::isfinite(best))
+      flow_fair_share_->add((static_cast<double>(size) / xfer) / best);
+    if (obs_->tracer.enabled(obs::Component::net))
+      obs_->tracer.span(obs::Component::net, src, "net.flow", t0,
+                        strformat("dst=%u bytes=%llu", dst,
+                                  (unsigned long long)size));
+  }
 }
 
 void Fabric::schedule_recompute() {

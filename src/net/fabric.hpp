@@ -27,6 +27,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -66,6 +67,16 @@ class Fabric {
   std::size_t node_count() const { return nics_.size(); }
   const NicSpec& nic(NodeId n) const { return nics_[n]; }
   void set_nic(NodeId n, NicSpec spec);
+
+  /// Attach the deployment's observability context (cluster::Cluster does
+  /// this for clusters; standalone fabrics stay uninstrumented). Bulk
+  /// flows >= kObsMinFlowBytes record a lifetime histogram, an
+  /// achieved-vs-fair-rate histogram, and (when net tracing is enabled)
+  /// one span per flow; smaller control messages only count.
+  void set_observability(obs::Observability* o);
+
+  /// Flows below this size are control messages: counted, not traced.
+  static constexpr Bytes kObsMinFlowBytes = 4096;
 
   /// Bulk transfer of `size` bytes src -> dst. Completes when the last
   /// byte arrives (one latency charge + fluid transmission). Same-node
@@ -139,6 +150,12 @@ class Fabric {
   sim::EventId completion_event_ = 0;
   bool recompute_pending_ = false;
   double bytes_moved_ = 0.0;
+
+  // Observability handles (null when not attached; resolved once).
+  obs::Observability* obs_ = nullptr;
+  obs::Histogram* flow_lifetime_ = nullptr;  ///< seconds, bulk flows
+  obs::Histogram* flow_fair_share_ = nullptr;  ///< achieved / best-case rate
+  obs::Counter* msg_count_ = nullptr;
 };
 
 }  // namespace memfss::net

@@ -1,0 +1,103 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace memfss::obs {
+
+Histogram::Histogram() : Histogram(Layout{}) {}
+
+Histogram::Histogram(Layout layout)
+    : layout_(layout),
+      inv_log_growth_(1.0 / std::log(layout.growth)),
+      counts_(layout.buckets, 0) {
+  assert(layout.lo > 0.0 && layout.growth > 1.0 && layout.buckets >= 2);
+}
+
+std::size_t Histogram::bucket_index(double x) const {
+  if (!(x > layout_.lo)) return 0;  // also catches NaN and negatives
+  const double idx = std::log(x / layout_.lo) * inv_log_growth_;
+  const auto i = static_cast<std::size_t>(idx) + 1;  // bucket 0 is (-inf, lo]
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bucket_index(x)];
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(layout_ == other.layout_);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  if (i == 0) return 0.0;
+  return layout_.lo * std::pow(layout_.growth, static_cast<double>(i - 1));
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return layout_.lo * std::pow(layout_.growth, static_cast<double>(i));
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, count]; find the bucket holding it.
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts_[i];
+    if (rank <= static_cast<double>(cum)) {
+      const double frac =
+          (rank - before) / static_cast<double>(counts_[i]);
+      const double v = bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace memfss::obs

@@ -1,0 +1,88 @@
+// Log-scale latency histogram for the observability layer.
+//
+// Fixed geometric buckets (each `growth` times wider than the previous
+// one) cover the whole latency range of the simulator -- microsecond RPC
+// envelopes to hundreds of seconds of saturated bulk transfers -- with a
+// bounded relative quantile error of `growth - 1`. Recording is a clamp,
+// a log, and an array increment: cheap enough for per-stripe and
+// per-request hot paths.
+//
+// Histograms with the same Layout form a commutative monoid under
+// merge(): merging preserves the total count and sum exactly, which is
+// what lets per-run registries be combined across repetitions (and what
+// tests/test_obs_props.cpp locks down).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memfss::obs {
+
+/// Point summary of a histogram (what reports and CSV dumps carry).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+class Histogram {
+ public:
+  struct Layout {
+    double lo = 1e-7;       ///< upper bound of the first bucket (seconds)
+    double growth = 1.1892; ///< bucket-width ratio (2^(1/4): 4 per octave)
+    std::size_t buckets = 128;  ///< covers lo .. lo * growth^(buckets-1)
+
+    bool operator==(const Layout& o) const {
+      return lo == o.lo && growth == o.growth && buckets == o.buckets;
+    }
+  };
+
+  Histogram();  ///< default Layout
+  explicit Histogram(Layout layout);
+
+  /// Record one observation. Values <= lo land in bucket 0; values past
+  /// the top bound clamp to the last bucket (no observation is dropped).
+  void add(double x);
+
+  void merge(const Histogram& other);  ///< other.layout() must match
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Quantile estimate for q in [0, 1]: linear interpolation inside the
+  /// owning bucket, clamped to the observed [min, max]. Monotone in q.
+  double quantile(double q) const;
+
+  HistogramSummary summary() const;
+
+  const Layout& layout() const { return layout_; }
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  double bucket_lo(std::size_t i) const;  ///< lower bound of bucket i
+  double bucket_hi(std::size_t i) const;  ///< upper bound of bucket i
+
+  void reset();
+
+ private:
+  std::size_t bucket_index(double x) const;
+
+  Layout layout_;
+  double inv_log_growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace memfss::obs

@@ -1,0 +1,112 @@
+#include "obs/metrics.hpp"
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+namespace memfss::obs {
+
+namespace {
+
+template <typename Map, typename Make>
+decltype(auto) get_or_make(Map& map, std::string_view name, Make make) {
+  if (auto it = map.find(name); it != map.end()) return (it->second);
+  return (map.emplace(std::string(name), make()).first->second);
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_make(counters_, name, [] { return Counter{}; });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_make(gauges_, name, [] { return Gauge{}; });
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      Histogram::Layout layout) {
+  return get_or_make(histograms_, name,
+                     [&] { return Histogram(layout); });
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(SimTime at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.rows.reserve(size());
+  for (const auto& [name, c] : counters_) {
+    MetricRow r;
+    r.kind = MetricRow::Kind::counter;
+    r.name = name;
+    r.count = c.value();
+    snap.rows.push_back(std::move(r));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricRow r;
+    r.kind = MetricRow::Kind::gauge;
+    r.name = name;
+    r.value = g.value();
+    r.peak = g.peak();
+    snap.rows.push_back(std::move(r));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow r;
+    r.kind = MetricRow::Kind::histogram;
+    r.name = name;
+    r.count = h.count();
+    r.hist = h.summary();
+    snap.rows.push_back(std::move(r));
+  }
+  return snap;
+}
+
+HistogramSummary MetricsRegistry::histogram_summary(
+    std::string_view name) const {
+  if (auto it = histograms_.find(name); it != histograms_.end())
+    return it->second.summary();
+  return {};
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  if (auto it = counters_.find(name); it != counters_.end())
+    return it->second.value();
+  return 0;
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+const MetricRow* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& r : rows)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "kind,name,count,value,peak,sum,min,max,p50,p95,p99\n";
+  for (const auto& r : rows) {
+    switch (r.kind) {
+      case MetricRow::Kind::counter:
+        out += "counter," + csv_escape(r.name) +
+               strformat(",%llu,,,,,,,,\n",
+                         static_cast<unsigned long long>(r.count));
+        break;
+      case MetricRow::Kind::gauge:
+        out += "gauge," + csv_escape(r.name) +
+               strformat(",,%.6g,%.6g,,,,,,\n", r.value, r.peak);
+        break;
+      case MetricRow::Kind::histogram:
+        out += "histogram," + csv_escape(r.name) +
+               strformat(",%llu,,,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+                         static_cast<unsigned long long>(r.count),
+                         r.hist.sum, r.hist.min, r.hist.max, r.hist.p50,
+                         r.hist.p95, r.hist.p99);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace memfss::obs

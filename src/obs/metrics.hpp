@@ -1,0 +1,104 @@
+// MetricsRegistry: named counters, gauges, and log-scale latency
+// histograms for the observability layer.
+//
+// Hot paths resolve their instruments once (counter()/gauge()/histogram()
+// create-or-get; returned references stay valid for the registry's
+// lifetime -- node-based map) and then update them with plain arithmetic.
+// snapshot() copies every instrument into a value type at one instant, so
+// reports never see a half-updated registry, and exports are sorted by
+// name for deterministic output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/histogram.hpp"
+
+namespace memfss::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level with a high-watermark (peak) memory.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > peak_) peak_ = v;
+  }
+  void add(double delta) { set(value_ + delta); }
+  double value() const { return value_; }
+  double peak() const { return peak_; }
+
+ private:
+  double value_ = 0.0;
+  double peak_ = 0.0;
+};
+
+/// One instrument in a snapshot (kind tells which fields are meaningful).
+struct MetricRow {
+  enum class Kind { counter, gauge, histogram };
+  Kind kind = Kind::counter;
+  std::string name;
+  std::uint64_t count = 0;     ///< counter value / histogram count
+  double value = 0.0;          ///< gauge level
+  double peak = 0.0;           ///< gauge high watermark
+  HistogramSummary hist;       ///< histogram summary
+};
+
+struct MetricsSnapshot {
+  SimTime at = 0.0;
+  std::vector<MetricRow> rows;  ///< sorted by name within each kind group
+
+  /// One row per instrument:
+  /// kind,name,count,value,peak,sum,min,max,p50,p95,p99
+  std::string to_csv() const;
+
+  /// Row for `name`, or nullptr.
+  const MetricRow* find(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-get. References remain valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       Histogram::Layout layout = Histogram::Layout{});
+
+  /// Consistent copy of every instrument at time `at`.
+  MetricsSnapshot snapshot(SimTime at = 0.0) const;
+
+  /// Convenience: summary of a histogram (empty summary if absent) --
+  /// read-only, does not create the instrument.
+  HistogramSummary histogram_summary(std::string_view name) const;
+  std::uint64_t counter_value(std::string_view name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  void reset();  ///< drop all instruments (between experiment repetitions)
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace memfss::obs

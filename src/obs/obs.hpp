@@ -1,0 +1,21 @@
+// Observability bundle: one MetricsRegistry + one Tracer per simulated
+// deployment. Owned by cluster::Cluster so every layer that can reach the
+// cluster (fabric, servers, filesystem, fault injector, experiment
+// drivers) shares a single accounting point, and independent scenarios
+// in one process never mix their telemetry.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace memfss::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  explicit Observability(sim::Simulator& sim) : tracer(sim) {}
+};
+
+}  // namespace memfss::obs

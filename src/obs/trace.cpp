@@ -1,0 +1,156 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/str.hpp"
+
+namespace memfss::obs {
+
+std::string_view component_name(Component c) {
+  switch (c) {
+    case Component::fs: return "fs";
+    case Component::kvstore: return "kvstore";
+    case Component::net: return "net";
+    case Component::cluster: return "cluster";
+    case Component::workflow: return "workflow";
+    case Component::kCount: break;
+  }
+  return "?";
+}
+
+void Tracer::enable(Component c, bool on) {
+  const std::uint32_t bit = 1u << static_cast<unsigned>(c);
+  mask_ = on ? (mask_ | bit) : (mask_ & ~bit);
+}
+
+void Tracer::enable_all(bool on) {
+  mask_ = on ? (1u << static_cast<unsigned>(Component::kCount)) - 1u : 0u;
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  capacity_ = std::max<std::size_t>(cap, 1);
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Tracer::push(TraceEvent ev) {
+  ev.seq = next_seq_++;
+  events_.push_back(std::move(ev));
+  if (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Tracer::span(Component c, NodeId node, std::string_view name,
+                  SimTime begin, std::string detail) {
+  if (!enabled(c)) return;
+  TraceEvent ev;
+  ev.phase = 'X';
+  ev.ts = begin;
+  ev.dur = std::max(0.0, sim_.now() - begin);
+  ev.comp = c;
+  ev.node = node;
+  ev.name = std::string(name);
+  ev.detail = std::move(detail);
+  push(std::move(ev));
+}
+
+void Tracer::instant(Component c, NodeId node, std::string_view name,
+                     std::string detail) {
+  if (!enabled(c)) return;
+  TraceEvent ev;
+  ev.phase = 'i';
+  ev.ts = sim_.now();
+  ev.dur = 0.0;
+  ev.comp = c;
+  ev.node = node;
+  ev.name = std::string(name);
+  ev.detail = std::move(detail);
+  push(std::move(ev));
+}
+
+void Tracer::clear() {
+  events_.clear();
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += strformat("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome trace tids are ints; map the invalid-node sentinel to -1.
+long long tid_of(NodeId node) {
+  return node == kInvalidNode ? -1ll : static_cast<long long>(node);
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  // ts/dur are microseconds in the trace_event format.
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += strformat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f",
+        json_escape(ev.name).c_str(),
+        std::string(component_name(ev.comp)).c_str(), ev.phase,
+        ev.ts * 1e6);
+    if (ev.phase == 'X') out += strformat(",\"dur\":%.3f", ev.dur * 1e6);
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    out += strformat(",\"pid\":%u,\"tid\":%lld",
+                     static_cast<unsigned>(ev.comp), tid_of(ev.node));
+    if (!ev.detail.empty())
+      out += ",\"args\":{\"detail\":\"" + json_escape(ev.detail) + "\"}";
+    out += "}";
+  }
+  out += "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+  out += strformat("\"recorded\":%llu,\"dropped\":%llu",
+                   static_cast<unsigned long long>(next_seq_),
+                   static_cast<unsigned long long>(dropped_));
+  out += "}}\n";
+  return out;
+}
+
+std::string Tracer::text_dump() const {
+  std::string out;
+  for (const auto& ev : events_) {
+    out += strformat("%c t=%.9f", ev.phase, ev.ts);
+    if (ev.phase == 'X') out += strformat(" dur=%.9f", ev.dur);
+    out += strformat(" %s", std::string(component_name(ev.comp)).c_str());
+    if (ev.node == kInvalidNode) {
+      out += " n=-";
+    } else {
+      out += strformat(" n=%u", ev.node);
+    }
+    out += " " + ev.name;
+    if (!ev.detail.empty()) out += " " + ev.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace memfss::obs

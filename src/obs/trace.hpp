@@ -1,0 +1,108 @@
+// Structured event tracing against sim-time.
+//
+// The tracer records typed span ('X', with a duration) and instant ('i')
+// events -- stripe writes, RPCs, repairs, evictions, faults -- tagged
+// with the emitting component and node. Because the simulator is
+// deterministic, two identically-seeded runs produce byte-identical
+// event sequences, which makes traces usable as regression oracles
+// (tests/test_golden_trace.cpp) and not just debugging aids.
+//
+// Recording is gated per component: a disabled component costs one bit
+// test. The buffer is a ring capped at `capacity` events; when full, the
+// oldest events are dropped (and counted), so a runaway scenario cannot
+// eat unbounded memory.
+//
+// Exports:
+//   chrome_json() -- Chrome trace_event array ("catapult") JSON; load it
+//                    in chrome://tracing or https://ui.perfetto.dev.
+//                    pid = component, tid = node.
+//   text_dump()   -- one line per event, fixed formatting; the compact
+//                    deterministic form golden-trace tests diff against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace memfss::obs {
+
+enum class Component : std::uint8_t {
+  fs = 0,        ///< client striping / redundancy / repair paths
+  kvstore = 1,   ///< per-node store servers
+  net = 2,       ///< fabric flows
+  cluster = 3,   ///< faults, evictions, recovery
+  workflow = 4,  ///< task scheduling (reserved for engine instrumentation)
+  kCount = 5,
+};
+
+std::string_view component_name(Component c);
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< global record order (stable tie-break)
+  char phase = 'i';       ///< 'X' span, 'i' instant
+  SimTime ts = 0.0;       ///< span begin / instant time (sim seconds)
+  SimTime dur = 0.0;      ///< span length; 0 for instants
+  Component comp = Component::fs;
+  NodeId node = kInvalidNode;
+  std::string name;    ///< event type, e.g. "write_stripe", "fault.crash"
+  std::string detail;  ///< freeform "k=v ..." payload (deterministic)
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(sim::Simulator& sim) : sim_(sim) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- per-component enable flags -----------------------------------------
+  void enable(Component c, bool on = true);
+  void enable_all(bool on = true);
+  bool enabled(Component c) const {
+    return (mask_ >> static_cast<unsigned>(c)) & 1u;
+  }
+  bool any_enabled() const { return mask_ != 0; }
+
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const { return capacity_; }
+
+  // --- recording ----------------------------------------------------------
+  /// Record a completed span that began at `begin` (sim-time) and ends
+  /// now. Callers capture `sim.now()` before the operation and report
+  /// after it -- the natural shape for coroutine hot paths.
+  void span(Component c, NodeId node, std::string_view name, SimTime begin,
+            std::string detail = {});
+
+  /// Record a point event at the current sim-time.
+  void instant(Component c, NodeId node, std::string_view name,
+               std::string detail = {});
+
+  // --- inspection / export -------------------------------------------------
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::uint64_t recorded() const { return next_seq_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Chrome trace_event JSON (object form: {"traceEvents":[...]}).
+  std::string chrome_json() const;
+
+  /// Deterministic one-line-per-event dump for golden-file diffs.
+  std::string text_dump() const;
+
+ private:
+  void push(TraceEvent ev);
+
+  sim::Simulator& sim_;
+  std::uint32_t mask_ = 0;  ///< all components disabled by default
+  std::size_t capacity_ = kDefaultCapacity;
+  std::deque<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace memfss::obs

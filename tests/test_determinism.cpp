@@ -103,6 +103,29 @@ TEST(Determinism, FaultyRunsAreExactReplays) {
   EXPECT_TRUE(a.ok && b.ok);
 }
 
+TEST(Determinism, FaultyTraceReplaysEventForEvent) {
+  // Stronger than comparing aggregate counters: with tracing on, two
+  // replays of a faulty run must record the *same event sequence* --
+  // every span and instant, same order, same timestamps, same details.
+  // This is the property the golden-trace regression test builds on.
+  exp::FaultRecoveryOptions opt;
+  opt.scenario = tiny();
+  opt.scenario.with_victims = true;
+  opt.montage_tiles = 24;
+  opt.crash_rate = 0.5;
+  opt.revoke_mid_run = true;
+  opt.capture_trace = true;
+  const auto a = exp::run_fault_recovery(opt);
+  const auto b = exp::run_fault_recovery(opt);
+  ASSERT_FALSE(a.trace_text.empty());
+  EXPECT_EQ(a.trace_text, b.trace_text);  // byte-identical event log
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.metrics_csv, b.metrics_csv);
+  // The trace actually covers the faulty run: fault instants are there.
+  EXPECT_NE(a.trace_text.find("fault.crash"), std::string::npos);
+  EXPECT_NE(a.trace_text.find("fault.revoke"), std::string::npos);
+}
+
 TEST(Determinism, DifferentSeedsDifferentWorkflows) {
   Rng a(1), b(2);
   const auto wa = exp::make_workload(exp::Workload::blast, a);

@@ -1,0 +1,165 @@
+// Golden-trace regression test.
+//
+// Runs one fixed-seed scenario -- write two files, crash a data-holding
+// victim, let targeted repair run, read back -- with the tracer enabled
+// for the fs and cluster components only, and diffs the deterministic
+// text dump against a checked-in golden file. Because the simulation is
+// an exact replay (see test_determinism.cpp), any diff means observable
+// behaviour changed: placement, retry ordering, repair scheduling, or
+// the instrumentation itself. That is exactly what this test is for --
+// fail loudly, then either fix the regression or consciously re-bless
+// the new behaviour:
+//
+//   scripts/regen_golden_trace.sh        # rewrites tests/golden/
+//
+// (or MEMFSS_REGEN_GOLDEN=1 ./build/tests/test_golden_trace).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cluster/fault.hpp"
+#include "co_test.hpp"
+#include "fs/client.hpp"
+#include "fs/filesystem.hpp"
+
+namespace memfss {
+namespace {
+
+const char* golden_path() {
+  return MEMFSS_GOLDEN_DIR "/fault_scenario.trace.txt";
+}
+
+struct TraceOut {
+  std::string text;
+  std::string json;
+  std::size_t recorded = 0;
+  std::size_t dropped = 0;
+};
+
+/// The fixed scenario. Everything -- node count, placement seeds, fault
+/// target selection, timings -- is deterministic, so the trace is too.
+TraceOut run_scenario() {
+  sim::Simulator sim;
+  cluster::Cluster cl(sim, 12);
+
+  // Only fs + cluster events: the kvstore/net layers emit per-message
+  // spans that would bloat the golden file without adding signal here.
+  cl.obs().tracer.enable(obs::Component::fs);
+  cl.obs().tracer.enable(obs::Component::cluster);
+
+  fs::FileSystemConfig cfg;
+  cfg.own_nodes = {0, 1, 2, 3};
+  cfg.own_store_capacity = 4 * units::GiB;
+  cfg.stripe_size = 1 * units::MiB;
+  cfg.redundancy = fs::RedundancyMode::replicated;
+  cfg.copies = 2;
+  cfg.rpc_timeout = 0.25;
+  fs::FileSystem fs(cl, std::move(cfg));
+
+  std::vector<cluster::ScavengeOffer> offers;
+  for (NodeId n = 4; n < 12; ++n)
+    offers.push_back({n, units::GiB, 500e6, "tenant"});
+  EXPECT_TRUE(fs.add_victim_class(1, std::move(offers), 0.25).ok());
+
+  cluster::FaultInjector inj(sim, cl);
+  fs.attach_fault_injector(inj);
+
+  bool finished = false;
+  sim.spawn([](sim::Simulator& s, fs::FileSystem& f,
+               cluster::FaultInjector& i, bool& done) -> sim::Task<> {
+    fs::Client c = f.client(0);
+    CO_ASSERT_TRUE((co_await c.write_file("/a", 4 * units::MiB)).ok());
+    CO_ASSERT_TRUE((co_await c.write_file("/b", 6 * units::MiB)).ok());
+    // Crash the first victim holding data; deterministic because the
+    // distribution map iterates in node order.
+    NodeId victim = kInvalidNode;
+    for (const auto& [node, bytes] : f.distribution())
+      if (node >= 4 && bytes > 0 && victim == kInvalidNode) victim = node;
+    CO_ASSERT_TRUE(victim != kInvalidNode);
+    i.crash_now(victim);
+    // Detection + targeted repair, then a degraded-turned-clean read.
+    co_await s.delay(2.0);
+    auto back = co_await c.read_file("/a");
+    CO_ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), 4 * units::MiB);
+    done = true;
+  }(sim, fs, inj, finished));
+  sim.run();
+  EXPECT_TRUE(finished);
+
+  TraceOut out;
+  out.text = cl.obs().tracer.text_dump();
+  out.json = cl.obs().tracer.chrome_json();
+  out.recorded = cl.obs().tracer.recorded();
+  out.dropped = cl.obs().tracer.dropped();
+  return out;
+}
+
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(GoldenTrace, MatchesCheckedInGolden) {
+  const TraceOut got = run_scenario();
+  ASSERT_GT(got.recorded, 0u);
+  EXPECT_EQ(got.dropped, 0u) << "golden scenario must fit the ring buffer";
+
+  if (std::getenv("MEMFSS_REGEN_GOLDEN")) {
+    std::ofstream out(golden_path(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << got.text;
+    GTEST_SKIP() << "regenerated " << golden_path() << " ("
+                 << got.recorded << " events)";
+  }
+
+  const std::string want = read_file(golden_path());
+  ASSERT_FALSE(want.empty())
+      << "missing golden file " << golden_path()
+      << "; run scripts/regen_golden_trace.sh";
+  // One expectation for the whole diff: gtest prints both strings with a
+  // line diff, which is the most useful failure output here.
+  EXPECT_EQ(got.text, want)
+      << "trace diverged from golden; if the change is intended, re-bless "
+         "with scripts/regen_golden_trace.sh";
+}
+
+TEST(GoldenTrace, ReplayIsByteIdentical) {
+  // Guard against golden-file flakiness at the source: two in-process
+  // runs of the scenario must produce byte-identical dumps.
+  const TraceOut a = run_scenario();
+  const TraceOut b = run_scenario();
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.json, b.json);
+}
+
+TEST(GoldenTrace, ChromeJsonIsWellFormed) {
+  const TraceOut got = run_scenario();
+  const std::string& j = got.json;
+  ASSERT_FALSE(j.empty());
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"displayTimeUnit\""), std::string::npos);
+  // The scenario must actually exercise the fs and cluster span types.
+  EXPECT_NE(j.find("fs.write_stripe"), std::string::npos);
+  EXPECT_NE(j.find("fs.read_stripe"), std::string::npos);
+  EXPECT_NE(j.find("fault.crash"), std::string::npos);
+  EXPECT_NE(j.find("fs.recovery"), std::string::npos);
+  // Braces and brackets balance (no string in the trace contains them:
+  // names are dotted identifiers and details are key=value pairs).
+  long depth = 0;
+  for (char ch : j) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace memfss

@@ -1,0 +1,295 @@
+// Unit tests for the observability layer: metrics registry instruments,
+// histogram readout, tracer recording/gating/ring-buffer, and both
+// exporters (Chrome trace JSON, deterministic text dump, metrics CSV).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+
+namespace memfss::obs {
+namespace {
+
+// --- instruments -------------------------------------------------------------
+
+TEST(Counter, IncrementsByDelta) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksValueAndPeak) {
+  Gauge g;
+  g.set(3.0);
+  g.set(9.0);
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_DOUBLE_EQ(g.peak(), 9.0);
+  g.add(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Histogram, EmptySummaryIsZero) {
+  Histogram h;
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, SingleObservationQuantilesHitIt) {
+  Histogram h;
+  h.add(0.125);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.125);
+}
+
+TEST(Histogram, QuantilesBoundedByObservedRange) {
+  Histogram h;
+  for (double x : {1e-6, 1e-4, 1e-2, 1.0, 10.0}) h.add(x);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+  }
+}
+
+TEST(Histogram, QuantileRelativeErrorBoundedByGrowth) {
+  Histogram h;
+  // All mass at one value: every quantile must land within one bucket
+  // (relative error <= growth - 1) of it.
+  const double v = 0.0333;
+  for (int i = 0; i < 1000; ++i) h.add(v);
+  for (double q : {0.1, 0.5, 0.95}) {
+    EXPECT_NEAR(h.quantile(q), v, v * (h.layout().growth - 1.0) + 1e-12);
+  }
+}
+
+TEST(Histogram, OutOfRangeValuesClampNotDrop) {
+  Histogram h;
+  h.add(-5.0);   // below: bucket 0
+  h.add(0.0);    // at/below lo: bucket 0
+  h.add(1e12);   // far above the top bound: clamps to the last bucket
+  EXPECT_EQ(h.count(), 3u);
+  std::uint64_t total = 0;
+  for (auto c : h.buckets()) total += c;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.add(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (auto c : h.buckets()) EXPECT_EQ(c, 0u);
+}
+
+TEST(Histogram, BucketBoundsAreContiguous) {
+  Histogram h;
+  const auto& lay = h.layout();
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), lay.lo);
+  for (std::size_t i = 1; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(h.bucket_lo(i), h.bucket_hi(i - 1));
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(reg.counter_value("x"), 1u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+}
+
+TEST(MetricsRegistry, InstrumentReferencesSurviveGrowth) {
+  // The registry must be usable with cached pointers from hot paths:
+  // creating many instruments must not invalidate earlier references.
+  MetricsRegistry reg;
+  Counter& first = reg.counter("first");
+  Histogram& h = reg.histogram("h");
+  for (int i = 0; i < 200; ++i) reg.counter("c" + std::to_string(i));
+  for (int i = 0; i < 200; ++i) reg.histogram("h" + std::to_string(i));
+  first.inc(7);
+  h.add(0.5);
+  EXPECT_EQ(reg.counter_value("first"), 7u);
+  EXPECT_EQ(reg.histogram_summary("h").count, 1u);
+}
+
+TEST(MetricsRegistry, HistogramSummaryIsReadOnly) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.histogram_summary("never_created").count, 0u);
+  EXPECT_EQ(reg.size(), 0u);  // the read did not create it
+}
+
+TEST(MetricsRegistry, SnapshotCoversEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("ops").inc(3);
+  reg.gauge("depth").set(2.5);
+  reg.histogram("lat").add(0.001);
+  const auto snap = reg.snapshot(12.0);
+  EXPECT_DOUBLE_EQ(snap.at, 12.0);
+  ASSERT_EQ(snap.rows.size(), 3u);
+  const MetricRow* ops = snap.find("ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->kind, MetricRow::Kind::counter);
+  EXPECT_EQ(ops->count, 3u);
+  const MetricRow* depth = snap.find("depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 2.5);
+  const MetricRow* lat = snap.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count, 1u);
+  EXPECT_EQ(snap.find("absent"), nullptr);
+}
+
+TEST(MetricsRegistry, CsvHasHeaderAndOneRowPerInstrument) {
+  MetricsRegistry reg;
+  reg.counter("a").inc();
+  reg.gauge("b").set(1.0);
+  reg.histogram("c").add(0.5);
+  const std::string csv = reg.snapshot().to_csv();
+  EXPECT_NE(csv.find("kind,name,count,value,peak,sum,min,max,p50,p95,p99"),
+            std::string::npos);
+  std::size_t lines = 0;
+  for (char ch : csv)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 4u);  // header + 3 rows
+  EXPECT_NE(csv.find("counter,a"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,b"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c"), std::string::npos);
+}
+
+// --- tracer ------------------------------------------------------------------
+
+TEST(Tracer, DisabledComponentsRecordNothing) {
+  sim::Simulator sim;
+  Tracer tr(sim);
+  EXPECT_FALSE(tr.any_enabled());
+  tr.instant(Component::fs, 0, "x");
+  tr.span(Component::net, 1, "y", 0.0);
+  EXPECT_EQ(tr.events().size(), 0u);
+  tr.enable(Component::fs);
+  EXPECT_TRUE(tr.enabled(Component::fs));
+  EXPECT_FALSE(tr.enabled(Component::net));
+  tr.instant(Component::fs, 0, "x");
+  tr.span(Component::net, 1, "y", 0.0);  // still gated off
+  EXPECT_EQ(tr.events().size(), 1u);
+}
+
+TEST(Tracer, SpanMeasuresSimTime) {
+  sim::Simulator sim;
+  Tracer tr(sim);
+  tr.enable_all(true);
+  const SimTime t0 = sim.now();
+  sim.schedule(2.5, [&] { tr.span(Component::kvstore, 3, "op", t0, "k=v"); });
+  sim.run();
+  ASSERT_EQ(tr.events().size(), 1u);
+  const TraceEvent& ev = tr.events().front();
+  EXPECT_EQ(ev.phase, 'X');
+  EXPECT_DOUBLE_EQ(ev.ts, 0.0);
+  EXPECT_DOUBLE_EQ(ev.dur, 2.5);
+  EXPECT_EQ(ev.comp, Component::kvstore);
+  EXPECT_EQ(ev.node, 3u);
+  EXPECT_EQ(ev.name, "op");
+  EXPECT_EQ(ev.detail, "k=v");
+}
+
+TEST(Tracer, RingBufferDropsOldest) {
+  sim::Simulator sim;
+  Tracer tr(sim);
+  tr.enable_all(true);
+  tr.set_capacity(4);
+  for (int i = 0; i < 10; ++i)
+    tr.instant(Component::fs, 0, "e" + std::to_string(i));
+  EXPECT_EQ(tr.events().size(), 4u);
+  EXPECT_EQ(tr.recorded(), 10u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  EXPECT_EQ(tr.events().front().name, "e6");  // oldest surviving
+  EXPECT_EQ(tr.events().back().name, "e9");
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  sim::Simulator sim;
+  Tracer tr(sim);
+  tr.enable_all(true);
+  tr.instant(Component::cluster, kInvalidNode, "fault.crash", "n=2");
+  tr.span(Component::fs, 1, "write \"q\"", 0.0, "path\\x");
+  const std::string j = tr.chrome_json();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"cat\":\"cluster\""), std::string::npos);
+  EXPECT_NE(j.find("\"tid\":-1"), std::string::npos);  // kInvalidNode
+  // Quotes and backslashes in names/details must be escaped.
+  EXPECT_NE(j.find("write \\\"q\\\""), std::string::npos);
+  EXPECT_NE(j.find("path\\\\x"), std::string::npos);
+  // Balanced braces/brackets (crude but catches truncation bugs).
+  int braces = 0, brackets = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    const char c = j[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Tracer, TextDumpOneLinePerEvent) {
+  sim::Simulator sim;
+  Tracer tr(sim);
+  tr.enable_all(true);
+  tr.instant(Component::fs, 2, "a");
+  tr.instant(Component::net, kInvalidNode, "b", "d=1");
+  const std::string dump = tr.text_dump();
+  std::size_t lines = 0;
+  for (char c : dump)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(dump.find("fs"), std::string::npos);
+  EXPECT_NE(dump.find("n=-"), std::string::npos);  // invalid node marker
+}
+
+TEST(Tracer, ClearResetsBufferNotEnableMask) {
+  sim::Simulator sim;
+  Tracer tr(sim);
+  tr.enable(Component::fs);
+  tr.instant(Component::fs, 0, "x");
+  tr.clear();
+  EXPECT_EQ(tr.events().size(), 0u);
+  EXPECT_TRUE(tr.enabled(Component::fs));
+}
+
+TEST(Observability, BundlesRegistryAndTracer) {
+  sim::Simulator sim;
+  Observability obs(sim);
+  obs.metrics.counter("c").inc();
+  obs.tracer.enable(Component::workflow);
+  obs.tracer.instant(Component::workflow, 0, "t");
+  EXPECT_EQ(obs.metrics.counter_value("c"), 1u);
+  EXPECT_EQ(obs.tracer.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace memfss::obs

@@ -52,5 +52,49 @@ TEST(Table, ColumnsAlignToWidestCell) {
   EXPECT_NE(s.find("| h                 |"), std::string::npos);
 }
 
+// --- CSV escaping (RFC 4180) -------------------------------------------------
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("alpha"), "alpha");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+  EXPECT_EQ(csv_escape("a b c"), "a b c");  // spaces alone need no quoting
+}
+
+TEST(CsvEscape, EmptyFieldStaysEmpty) {
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape(","), "\",\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubledAndWrapped) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+}
+
+TEST(CsvEscape, NewlinesTriggerQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(csv_escape("a\r\nb"), "\"a\r\nb\"");
+}
+
+TEST(CsvRow, JoinsEscapedFields) {
+  EXPECT_EQ(csv_row({"a", "b", "c"}), "a,b,c");
+  EXPECT_EQ(csv_row({"a,x", "b"}), "\"a,x\",b");
+}
+
+TEST(CsvRow, EmptyFieldsKeepTheirColumns) {
+  // Empty fields must still occupy a column, including at the edges --
+  // a parser must see exactly fields.size() columns.
+  EXPECT_EQ(csv_row({"", "mid", ""}), ",mid,");
+  EXPECT_EQ(csv_row({"", "", ""}), ",,");
+}
+
+TEST(CsvRow, SingleAndNoFields) {
+  EXPECT_EQ(csv_row({"only"}), "only");
+  EXPECT_EQ(csv_row({}), "");
+}
+
 }  // namespace
 }  // namespace memfss
