@@ -3,12 +3,17 @@
 # sanitized one (ASan + UBSan via -DMEMFSS_SANITIZE=address,undefined).
 # Run from the repository root.
 #
-#   scripts/check.sh [--plain-only|--sanitize-only|--coverage]
+#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf]
 #
 # --coverage builds with gcov instrumentation (-DMEMFSS_COVERAGE=ON) in
 # build-cov/, runs the tests, prints per-directory line coverage, and
 # fails if src/obs/ is below 90% -- the observability layer is the
 # regression oracle for everything else, so it stays fully tested.
+#
+# --perf builds Release in build-perf/, runs bench/perf_hotpath, and
+# fails if sim events/sec regresses more than 20% against the committed
+# BENCH_hotpath.json. Only meaningful on the machine that produced the
+# committed numbers (wall-clock benches don't transfer across hosts).
 #
 # The sanitized and coverage passes use their own build trees
 # (build-san/, build-cov/) so they never perturb incremental state in
@@ -18,12 +23,15 @@ set -euo pipefail
 run_plain=1
 run_san=1
 run_cov=0
+run_perf=0
 case "${1:-}" in
   --plain-only) run_san=0 ;;
   --sanitize-only) run_plain=0 ;;
   --coverage) run_plain=0; run_san=0; run_cov=1 ;;
+  --perf) run_plain=0; run_san=0; run_perf=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf]" >&2
+     exit 2 ;;
 esac
 
 # MEMFSS_WERROR stays off: GCC 12's libstdc++ emits -Wrestrict false
@@ -59,6 +67,31 @@ if [[ $run_cov -eq 1 ]]; then
   find build-cov -name '*.gcda' -delete
   ctest --test-dir build-cov --output-on-failure
   python3 scripts/coverage_report.py build-cov --require src/obs=90
+fi
+
+if [[ $run_perf -eq 1 ]]; then
+  echo "== perf check (Release) =="
+  cmake -B build-perf -G Ninja -DCMAKE_BUILD_TYPE=Release -DMEMFSS_WERROR=OFF
+  cmake --build build-perf --target perf_hotpath
+  fresh=$(mktemp); trap 'rm -f "$fresh"' EXIT
+  ./build-perf/bench/perf_hotpath "$fresh"
+  # Compare the scalar least prone to run-to-run noise: event-loop
+  # throughput. A >20% drop against the committed number is a regression.
+  python3 - "$fresh" BENCH_hotpath.json <<'EOF'
+import json, sys
+def events_per_sec(path, bench):
+    for r in json.load(open(path)):
+        if r["bench"] == bench and r["metric"] == "events_per_sec":
+            return r["value"]
+    sys.exit(f"{path}: no {bench} events_per_sec row")
+fresh = events_per_sec(sys.argv[1], "sim")
+committed = events_per_sec(sys.argv[2], "sim")
+ratio = fresh / committed
+print(f"events/sec: fresh {fresh:.3g} vs committed {committed:.3g} "
+      f"(ratio {ratio:.2f})")
+if ratio < 0.8:
+    sys.exit("perf regression: events/sec dropped more than 20%")
+EOF
 fi
 
 echo "== all checks passed =="

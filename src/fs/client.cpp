@@ -14,10 +14,10 @@ namespace memfss::fs {
 
 namespace {
 
-/// Content tag of a ghost stripe: deterministic in (stripe key, file tag)
-/// so a parity-reconstructed ghost matches the original checksum.
-std::uint64_t ghost_tag(std::string_view key, std::uint64_t file_tag) {
-  return hash::mix64(hash::key_digest(key), file_tag);
+/// Content tag of a ghost stripe: deterministic in (stripe-key digest,
+/// file tag) so a parity-reconstructed ghost matches the original checksum.
+std::uint64_t ghost_tag(std::uint64_t key_digest, std::uint64_t file_tag) {
+  return hash::mix64(key_digest, file_tag);
 }
 
 /// Background stripe migration (lazy relocation / dedup is free: drain on
@@ -146,20 +146,21 @@ sim::Task<Status> Client::write_impl(std::string path, Bytes size,
     const Bytes off = static_cast<Bytes>(i) * attr.stripe_size;
     const Bytes len = std::min<Bytes>(attr.stripe_size, size - off);
     std::string key = Namespace::stripe_key(ino, i);
+    const std::uint64_t digest = Namespace::stripe_key_digest(ino, i);
     kvstore::Blob blob;
     if (data) {
       blob = kvstore::Blob::materialized(std::vector<std::uint8_t>(
           data->begin() + static_cast<std::ptrdiff_t>(off),
           data->begin() + static_cast<std::ptrdiff_t>(off + len)));
     } else {
-      blob = kvstore::Blob::ghost(len, ghost_tag(key, tag));
+      blob = kvstore::Blob::ghost(len, ghost_tag(digest, tag));
     }
     sim::Task<> op =
         attr.redundancy == RedundancyMode::erasure
-            ? write_stripe_erasure(policy, attr, std::move(key),
+            ? write_stripe_erasure(policy, attr, std::move(key), digest,
                                    std::move(blob), state)
-            : write_stripe(policy, attr, std::move(key), std::move(blob),
-                           state);
+            : write_stripe(policy, attr, std::move(key), digest,
+                           std::move(blob), state);
     tasks.push_back(guarded(window, std::move(op)));
   }
   co_await sim::when_all(sim, std::move(tasks));
@@ -173,7 +174,7 @@ sim::Task<Status> Client::write_impl(std::string path, Bytes size,
 
 sim::Task<> Client::put_stripe_copy(const ClassHrwPolicy& policy,
                                     const FileAttr& attr,
-                                    std::string base_key,
+                                    std::uint64_t base_digest,
                                     std::string store_key, std::size_t idx,
                                     std::shared_ptr<kvstore::Blob> blob,
                                     OpState& state) {
@@ -190,10 +191,10 @@ sim::Task<> Client::put_stripe_copy(const ClassHrwPolicy& policy,
     // target (membership removal reshuffles HRW).
     NodeId target = kInvalidNode;
     if (attr.redundancy == RedundancyMode::erasure) {
-      const auto order = policy.probe_order(base_key);
+      const auto order = policy.probe_order(base_digest);
       if (!order.empty()) target = order[idx % order.size()];
     } else {
-      const auto targets = policy.place(base_key, copy_count(attr));
+      const auto targets = policy.place(base_digest, copy_count(attr));
       if (!targets.empty()) target = targets[idx % targets.size()];
     }
     if (target == kInvalidNode || !fs_->has_server(target)) continue;
@@ -223,7 +224,8 @@ sim::Task<> Client::put_stripe_copy(const ClassHrwPolicy& policy,
 
 sim::Task<> Client::write_stripe(const ClassHrwPolicy& policy,
                                  const FileAttr& attr, std::string key,
-                                 kvstore::Blob blob, OpState& state) {
+                                 std::uint64_t key_digest, kvstore::Blob blob,
+                                 OpState& state) {
   const std::size_t copies = copy_count(attr);
   auto& sim = fs_->cluster().sim();
   const SimTime t0 = sim.now();
@@ -232,9 +234,10 @@ sim::Task<> Client::write_stripe(const ClassHrwPolicy& policy,
                        static_cast<double>(units::MiB);
   auto shared = std::make_shared<kvstore::Blob>(std::move(blob));
   if (copies == 1) {
-    co_await put_stripe_copy(policy, attr, key, key, 0, shared, state);
+    co_await put_stripe_copy(policy, attr, key_digest, key, 0, shared,
+                             state);
     if (burst > 0) {
-      const auto targets = policy.place(key, 1);
+      const auto targets = policy.place(key_digest, 1);
       if (!targets.empty() && fs_->has_server(targets[0]))
         co_await fs_->server(targets[0]).request_burst(node_, burst);
     }
@@ -243,8 +246,8 @@ sim::Task<> Client::write_stripe(const ClassHrwPolicy& policy,
     std::vector<sim::Task<>> puts;
     puts.reserve(copies);
     for (std::size_t c = 0; c < copies; ++c)
-      puts.push_back(put_stripe_copy(policy, attr, key, key, c, shared,
-                                     state));
+      puts.push_back(put_stripe_copy(policy, attr, key_digest, key, c,
+                                     shared, state));
     co_await sim::when_all(sim, std::move(puts));
   }
   ++fs_->counters().stripes_written;
@@ -253,11 +256,12 @@ sim::Task<> Client::write_stripe(const ClassHrwPolicy& policy,
 
 sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
                                          const FileAttr& attr,
-                                         std::string key, kvstore::Blob blob,
-                                         OpState& state) {
+                                         std::string key,
+                                         std::uint64_t key_digest,
+                                         kvstore::Blob blob, OpState& state) {
   const std::size_t k = attr.ec_k, m = attr.ec_m;
   assert(k >= 1);
-  const auto order = policy.probe_order(key);
+  const auto order = policy.probe_order(key_digest);
   if (order.empty()) {
     state.status = Status{Errc::unavailable, "no servers"};
     co_return;
@@ -289,7 +293,7 @@ sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
   puts.reserve(shards.size());
   for (std::size_t j = 0; j < shards.size(); ++j) {
     puts.push_back(put_stripe_copy(
-        policy, attr, key, shard_key(key, j), j,
+        policy, attr, key_digest, shard_key(key, j), j,
         std::make_shared<kvstore::Blob>(std::move(shards[j])), state));
   }
   co_await sim::when_all(sim, std::move(puts));
@@ -326,7 +330,7 @@ sim::Task<Result<kvstore::Blob>> Client::timed_get(NodeId n, std::string key,
 
 sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
     const ClassHrwPolicy& policy, const FileAttr& attr,
-    const std::string& key) {
+    const std::string& key, std::uint64_t key_digest) {
   const auto& cfg = fs_->config();
   const std::size_t copies = copy_count(attr);
   auto& sim = fs_->cluster().sim();
@@ -336,7 +340,8 @@ sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
   bool faulted = false;
   const int rounds = std::max(1, cfg.max_retries);
   for (int round = 0; round < rounds; ++round) {
-    const auto order = policy.probe_order(key);  // refresh: members change
+    // Refresh: members change. The digest spares the re-hash per round.
+    const auto order = policy.probe_order(key_digest);
     for (std::size_t rank = 0; rank < order.size(); ++rank) {
       const NodeId n = order[rank];
       if (!fs_->has_server(n)) continue;
@@ -372,15 +377,15 @@ sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
 
 sim::Task<Result<kvstore::Blob>> Client::read_stripe(
     const ClassHrwPolicy& policy, const FileAttr& attr, std::string key,
-    double extra_requests_per_mib) {
+    std::uint64_t key_digest, double extra_requests_per_mib) {
   const SimTime t0 = fs_->cluster().sim().now();
-  auto r = co_await probe_ranked(policy, attr, key);
+  auto r = co_await probe_ranked(policy, attr, key, key_digest);
   if (r.ok()) {
     ++fs_->counters().stripes_read;
     if (extra_requests_per_mib > 0) {
       // Charge the chatty sub-stripe requests against the server that
       // actually held the stripe (the probe order's first live holder).
-      const auto order = policy.probe_order(key);
+      const auto order = policy.probe_order(key_digest);
       for (NodeId n : order) {
         if (!fs_->has_server(n)) continue;
         co_await fs_->server(n).request_burst(
@@ -396,9 +401,10 @@ sim::Task<Result<kvstore::Blob>> Client::read_stripe(
 }
 
 sim::Task<Result<kvstore::Blob>> Client::read_stripe_erasure(
-    const ClassHrwPolicy& policy, const FileAttr& attr, std::string key) {
+    const ClassHrwPolicy& policy, const FileAttr& attr, std::string key,
+    std::uint64_t key_digest) {
   const std::size_t k = attr.ec_k, m = attr.ec_m;
-  const auto order = policy.probe_order(key);
+  const auto order = policy.probe_order(key_digest);
   if (order.empty()) co_return Error{Errc::unavailable, "no servers"};
   const SimTime t0 = fs_->cluster().sim().now();
 
@@ -498,18 +504,19 @@ sim::Task<Result<Bytes>> Client::read_file(std::string path,
   std::vector<sim::Task<>> tasks;
   for (std::size_t i = 0; i < s.stripe_count; ++i) {
     std::string key = Namespace::stripe_key(s.inode, i);
+    const std::uint64_t digest = Namespace::stripe_key_digest(s.inode, i);
     tasks.push_back(guarded(
         window, [](Client* c, const ClassHrwPolicy& p, const FileAttr& a,
-                   std::string k, ReadCtx& cx, std::size_t idx,
-                   double extra) -> sim::Task<> {
+                   std::string k, std::uint64_t d, ReadCtx& cx,
+                   std::size_t idx, double extra) -> sim::Task<> {
           if (a.redundancy == RedundancyMode::erasure) {
             cx.results[idx] =
-                co_await c->read_stripe_erasure(p, a, std::move(k));
+                co_await c->read_stripe_erasure(p, a, std::move(k), d);
           } else {
             cx.results[idx] =
-                co_await c->read_stripe(p, a, std::move(k), extra);
+                co_await c->read_stripe(p, a, std::move(k), d, extra);
           }
-        }(this, policy, s.attr, std::move(key), ctx, i,
+        }(this, policy, s.attr, std::move(key), digest, ctx, i,
           extra_requests_per_mib)));
   }
   co_await sim::when_all(sim, std::move(tasks));
@@ -537,11 +544,13 @@ sim::Task<Result<std::vector<std::uint8_t>>> Client::read_file_bytes(
   out.reserve(s.attr.size);
   for (std::size_t i = 0; i < s.stripe_count; ++i) {
     std::string key = Namespace::stripe_key(s.inode, i);
+    const std::uint64_t digest = Namespace::stripe_key_digest(s.inode, i);
     Result<kvstore::Blob> r = Error{Errc::not_found, key};
     if (s.attr.redundancy == RedundancyMode::erasure) {
-      r = co_await read_stripe_erasure(policy, s.attr, std::move(key));
+      r = co_await read_stripe_erasure(policy, s.attr, std::move(key),
+                                       digest);
     } else {
-      r = co_await read_stripe(policy, s.attr, std::move(key), 0.0);
+      r = co_await read_stripe(policy, s.attr, std::move(key), digest, 0.0);
     }
     if (!r.ok()) co_return r.error();
     const auto& blob = r.value();
@@ -572,16 +581,17 @@ sim::Task<Status> Client::unlink(std::string path) {
 
   for (std::size_t i = 0; i < s.stripe_count; ++i) {
     const std::string key = Namespace::stripe_key(s.inode, i);
+    const std::uint64_t digest = Namespace::stripe_key_digest(s.inode, i);
     std::vector<std::pair<NodeId, std::string>> victims;
     if (s.attr.redundancy == RedundancyMode::erasure) {
-      const auto order = policy.probe_order(key);
+      const auto order = policy.probe_order(digest);
       for (std::size_t j = 0;
            j < static_cast<std::size_t>(s.attr.ec_k + s.attr.ec_m) &&
            !order.empty();
            ++j)
         victims.emplace_back(order[j % order.size()], shard_key(key, j));
     } else {
-      for (NodeId n : policy.place(key, copy_count(s.attr)))
+      for (NodeId n : policy.place(digest, copy_count(s.attr)))
         victims.emplace_back(n, key);
     }
     for (auto& [n, k] : victims) {

@@ -82,21 +82,29 @@ class Client {
                                const std::vector<std::uint8_t>* data,
                                std::uint64_t tag,
                                double extra_requests_per_mib);
+  // The per-stripe entry points carry the stripe key twice: the string
+  // (kvstore key, logs) and its precomputed placement digest
+  // (Namespace::stripe_key_digest), so retry/probe loops re-resolve
+  // placement against live membership without re-hashing the key.
   sim::Task<> write_stripe(const ClassHrwPolicy& policy, const FileAttr& attr,
-                           std::string key, kvstore::Blob blob,
-                           OpState& state);
+                           std::string key, std::uint64_t key_digest,
+                           kvstore::Blob blob, OpState& state);
   sim::Task<> write_stripe_erasure(const ClassHrwPolicy& policy,
                                    const FileAttr& attr, std::string key,
+                                   std::uint64_t key_digest,
                                    kvstore::Blob blob, OpState& state);
   sim::Task<Result<kvstore::Blob>> read_stripe(const ClassHrwPolicy& policy,
                                                const FileAttr& attr,
                                                std::string key,
+                                               std::uint64_t key_digest,
                                                double extra_requests_per_mib);
   sim::Task<Result<kvstore::Blob>> read_stripe_erasure(
-      const ClassHrwPolicy& policy, const FileAttr& attr, std::string key);
+      const ClassHrwPolicy& policy, const FileAttr& attr, std::string key,
+      std::uint64_t key_digest);
   sim::Task<Result<kvstore::Blob>> probe_ranked(const ClassHrwPolicy& policy,
                                                 const FileAttr& attr,
-                                                const std::string& key);
+                                                const std::string& key,
+                                                std::uint64_t key_digest);
 
   /// get() under the config's rpc_timeout; a deadline miss counts as a
   /// timeout, reports the node suspect, and maps to `unavailable`.
@@ -112,10 +120,12 @@ class Client {
 
   /// Write one replica (`idx` = replica rank) or one erasure shard
   /// (`idx` = shard index) with timeout + bounded retry. Placement is
-  /// re-resolved on every attempt, so a retry lands on the post-failure
-  /// membership instead of the dead node.
+  /// re-resolved on every attempt (from `base_digest`, the digest of the
+  /// base stripe key), so a retry lands on the post-failure membership
+  /// instead of the dead node.
   sim::Task<> put_stripe_copy(const ClassHrwPolicy& policy,
-                              const FileAttr& attr, std::string base_key,
+                              const FileAttr& attr,
+                              std::uint64_t base_digest,
                               std::string store_key, std::size_t idx,
                               std::shared_ptr<kvstore::Blob> blob,
                               OpState& state);

@@ -503,7 +503,8 @@ NodeId FileSystem::drain_target(const std::string& key, NodeId src) {
     if (auto st = meta_.ns().stat(ref->inode); st.ok()) {
       const FileAttr& attr = st.value().attr;
       const ClassHrwPolicy policy = policy_for_epoch(attr.epoch);
-      const std::string base = Namespace::stripe_key(ref->inode, ref->stripe);
+      const std::uint64_t base =
+          Namespace::stripe_key_digest(ref->inode, ref->stripe);
       std::vector<NodeId> cand;
       const auto order = policy.probe_order(base);
       if (ref->is_shard && !order.empty())

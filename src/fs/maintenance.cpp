@@ -51,9 +51,10 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::rebalance_all() {
     bool moved_any = false;
     for (std::size_t i = 0; i < st.stripe_count; ++i) {
       const std::string key = Namespace::stripe_key(st.inode, i);
+      const std::uint64_t digest = Namespace::stripe_key_digest(st.inode, i);
       if (st.attr.redundancy == RedundancyMode::erasure) {
-        const auto old_order = old.probe_order(key);
-        const auto new_order = target.probe_order(key);
+        const auto old_order = old.probe_order(digest);
+        const auto new_order = target.probe_order(digest);
         const std::size_t shards = st.attr.ec_k + st.attr.ec_m;
         for (std::size_t j = 0; j < shards; ++j) {
           const NodeId src = old_order[j % old_order.size()];
@@ -72,8 +73,8 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::rebalance_all() {
         }
       } else {
         const std::size_t copies = copies_of(st.attr);
-        const auto old_nodes = old.place(key, copies);
-        const auto new_nodes = target.place(key, copies);
+        const auto old_nodes = old.place(digest, copies);
+        const auto new_nodes = target.place(digest, copies);
         if (old_nodes == new_nodes) continue;
         const std::set<NodeId> old_set(old_nodes.begin(), old_nodes.end());
         const std::set<NodeId> new_set(new_nodes.begin(), new_nodes.end());
@@ -124,8 +125,10 @@ sim::Task<> FileSystem::repair_stripe(const ClassHrwPolicy& policy,
                                       MaintenanceReport& report) {
   const NodeId admin = config_.own_nodes.front();
   const std::string key = Namespace::stripe_key(st.inode, stripe_index);
+  const std::uint64_t digest =
+      Namespace::stripe_key_digest(st.inode, stripe_index);
   if (st.attr.redundancy == RedundancyMode::replicated) {
-    const auto targets = policy.place(key, copies_of(st.attr));
+    const auto targets = policy.place(digest, copies_of(st.attr));
     NodeId holder = kInvalidNode;
     Bytes size = 0;
     std::vector<NodeId> missing;
@@ -146,7 +149,7 @@ sim::Task<> FileSystem::repair_stripe(const ClassHrwPolicy& policy,
       // expected ranks. A node retirement shifts every HRW rank below the
       // dead node's, so copies can sit one rank off; mid-drain nodes hold
       // keys with no rank at all.
-      for (NodeId n : policy.probe_order(key)) {
+      for (NodeId n : policy.probe_order(digest)) {
         if (!has_server(n)) continue;
         if (auto sz = server(n).store().value_size(config_.auth_token, key);
             sz.ok()) {
@@ -181,7 +184,7 @@ sim::Task<> FileSystem::repair_stripe(const ClassHrwPolicy& policy,
       }
     }
   } else {  // erasure
-    const auto order = policy.probe_order(key);
+    const auto order = policy.probe_order(digest);
     if (order.empty()) co_return;
     const std::size_t k = st.attr.ec_k, m = st.attr.ec_m;
     std::vector<std::pair<std::size_t, kvstore::Blob>> have;
@@ -314,15 +317,16 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::scrub_all() {
     const ClassHrwPolicy policy = policy_for_epoch(st.attr.epoch);
     for (std::size_t i = 0; i < st.stripe_count; ++i) {
       const std::string key = Namespace::stripe_key(st.inode, i);
+      const std::uint64_t digest = Namespace::stripe_key_digest(st.inode, i);
       // Enumerate every (node, key) copy this stripe should have.
       std::vector<std::pair<NodeId, std::string>> copies;
       if (st.attr.redundancy == RedundancyMode::erasure) {
-        const auto order = policy.probe_order(key);
+        const auto order = policy.probe_order(digest);
         const std::size_t shards = st.attr.ec_k + st.attr.ec_m;
         for (std::size_t j = 0; j < shards && !order.empty(); ++j)
           copies.emplace_back(order[j % order.size()], shard_key(key, j));
       } else {
-        for (NodeId n : policy.place(key, copies_of(st.attr)))
+        for (NodeId n : policy.place(digest, copies_of(st.attr)))
           copies.emplace_back(n, key);
       }
       for (const auto& [node, ck] : copies) {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/str.hpp"
+#include "hash/hashes.hpp"
 
 namespace memfss::fs {
 
@@ -249,6 +250,17 @@ std::size_t Namespace::stripe_count(Bytes size, Bytes stripe_size) {
 
 std::string Namespace::stripe_key(InodeId ino, std::size_t index) {
   return strformat("i%llu:%zu", static_cast<unsigned long long>(ino), index);
+}
+
+std::uint64_t Namespace::stripe_key_digest(InodeId ino, std::size_t index) {
+  // FNV-1a over the exact character sequence of stripe_key(), folded
+  // incrementally: 'i', the decimal inode, ':', the decimal index.
+  std::uint64_t h = hash::fnv1a_seed();
+  h = hash::fnv1a_byte(h, 'i');
+  h = hash::fnv1a_decimal(h, ino);
+  h = hash::fnv1a_byte(h, ':');
+  h = hash::fnv1a_decimal(h, index);
+  return h;
 }
 
 namespace {

@@ -93,6 +93,12 @@ class Namespace {
   /// rename never relocates data.
   static std::string stripe_key(InodeId ino, std::size_t index);
 
+  /// Placement digest of stripe_key(ino, index), computed without forming
+  /// the string: equals hash::key_digest(stripe_key(ino, index)) exactly,
+  /// so digest-path placements select the same nodes as string-key ones.
+  /// The string form remains the kvstore key and parse_stripe_key input.
+  static std::uint64_t stripe_key_digest(InodeId ino, std::size_t index);
+
   /// A storage key parsed back to its file coordinates. Failure recovery
   /// depends on this inversion: the stripes a dead node held can only be
   /// learned from its key list, because HRW cannot answer "what was here"

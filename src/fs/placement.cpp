@@ -14,18 +14,26 @@ namespace memfss::fs {
 void ClassMembership::set_members(std::uint32_t class_id,
                                   std::vector<NodeId> nodes) {
   members_[class_id] = std::move(nodes);
+  ++generation_;
 }
 
 void ClassMembership::add_member(std::uint32_t class_id, NodeId node) {
   auto& v = members_[class_id];
-  if (std::find(v.begin(), v.end(), node) == v.end()) v.push_back(node);
+  if (std::find(v.begin(), v.end(), node) == v.end()) {
+    v.push_back(node);
+    ++generation_;
+  }
 }
 
 void ClassMembership::remove_member(std::uint32_t class_id, NodeId node) {
   auto it = members_.find(class_id);
   if (it == members_.end()) return;
   auto& v = it->second;
-  v.erase(std::remove(v.begin(), v.end(), node), v.end());
+  const auto end = std::remove(v.begin(), v.end(), node);
+  if (end != v.end()) {
+    v.erase(end, v.end());
+    ++generation_;
+  }
 }
 
 const std::vector<NodeId>& ClassMembership::members(
@@ -60,37 +68,57 @@ ClassHrwPolicy::ClassHrwPolicy(const PlacementEpoch& epoch,
                                hash::ScoreFn fn)
     : epoch_(epoch), members_(members), fn_(fn) {}
 
-std::vector<hash::NodeClass> ClassHrwPolicy::snapshot() const {
-  std::vector<hash::NodeClass> classes;
-  classes.reserve(epoch_.weights.size());
-  for (const auto& cw : epoch_.weights) {
-    classes.push_back(
-        hash::NodeClass{cw.class_id, cw.weight, members_.members(cw.class_id)});
+const std::vector<hash::NodeClass>& ClassHrwPolicy::snapshot() const {
+  // Rebuild only when the live membership has mutated since the cached
+  // copy was taken; placements between membership changes share one
+  // snapshot instead of re-copying every member vector per call.
+  const std::uint64_t gen = members_.generation();
+  if (snapshot_generation_ != gen) {
+    snapshot_cache_.clear();
+    snapshot_cache_.reserve(epoch_.weights.size());
+    for (const auto& cw : epoch_.weights) {
+      snapshot_cache_.push_back(hash::NodeClass{
+          cw.class_id, cw.weight, members_.members(cw.class_id)});
+    }
+    snapshot_generation_ = gen;
   }
-  return classes;
+  return snapshot_cache_;
 }
 
-std::vector<NodeId> ClassHrwPolicy::place(std::string_view stripe_key,
+std::vector<NodeId> ClassHrwPolicy::place(std::uint64_t key_digest,
                                           std::size_t copies) const {
-  const auto classes = snapshot();
-  auto placements = hash::place_replicas(stripe_key, classes, copies, fn_);
+  const auto& classes = snapshot();
+  auto placements = hash::place_replicas(key_digest, classes, copies, fn_);
   std::vector<NodeId> out;
   out.reserve(placements.size());
   for (const auto& p : placements) out.push_back(p.node);
   return out;
 }
 
+std::vector<NodeId> ClassHrwPolicy::place(std::string_view stripe_key,
+                                          std::size_t copies) const {
+  return place(hash::key_digest(stripe_key), copies);
+}
+
+std::vector<NodeId> ClassHrwPolicy::probe_order(
+    std::uint64_t key_digest) const {
+  return hash::rank_in_winning_class(key_digest, snapshot(), fn_);
+}
+
 std::vector<NodeId> ClassHrwPolicy::probe_order(
     std::string_view stripe_key) const {
-  const auto classes = snapshot();
-  return hash::rank_in_winning_class(stripe_key, classes, fn_);
+  return probe_order(hash::key_digest(stripe_key));
+}
+
+std::uint32_t ClassHrwPolicy::winning_class(std::uint64_t key_digest) const {
+  const auto& classes = snapshot();
+  const std::size_t i = hash::select_class(key_digest, classes, fn_);
+  return classes[i].class_id;
 }
 
 std::uint32_t ClassHrwPolicy::winning_class(
     std::string_view stripe_key) const {
-  const auto classes = snapshot();
-  const std::size_t i = hash::select_class(stripe_key, classes, fn_);
-  return classes[i].class_id;
+  return winning_class(hash::key_digest(stripe_key));
 }
 
 std::string ClassHrwPolicy::describe() const {

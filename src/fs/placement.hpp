@@ -49,8 +49,14 @@ class ClassMembership {
   bool has_class(std::uint32_t class_id) const;
   std::vector<NodeId> all_members() const;
 
+  /// Bumped on every mutation (set_members / add_member / remove_member
+  /// that changes a member list). Policies key their membership-snapshot
+  /// caches on this, so a stale snapshot can never outlive a revocation.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   std::map<std::uint32_t, std::vector<NodeId>> members_;
+  std::uint64_t generation_ = 0;
 };
 
 /// Strategy interface: map a stripe key to servers.
@@ -70,6 +76,14 @@ class PlacementPolicy {
 };
 
 /// MemFSS: class layer weighted HRW, node layer plain HRW.
+///
+/// Digest fast path: the `std::uint64_t` overloads take a precomputed key
+/// digest (Namespace::stripe_key_digest) and skip both the stripe-key
+/// string formatting and the per-layer re-hash; they resolve to exactly
+/// the same nodes as the string forms. The class-membership snapshot is
+/// cached and rebuilt only when ClassMembership::generation() moves, so
+/// steady-state placements copy no membership vectors; epoch weights are
+/// captured at construction (a new epoch is a new policy object).
 class ClassHrwPolicy final : public PlacementPolicy {
  public:
   ClassHrwPolicy(const PlacementEpoch& epoch, const ClassMembership& members,
@@ -77,17 +91,25 @@ class ClassHrwPolicy final : public PlacementPolicy {
 
   std::vector<NodeId> place(std::string_view stripe_key,
                             std::size_t copies) const override;
+  std::vector<NodeId> place(std::uint64_t key_digest,
+                            std::size_t copies) const;
   std::vector<NodeId> probe_order(std::string_view stripe_key) const override;
+  std::vector<NodeId> probe_order(std::uint64_t key_digest) const;
   std::string describe() const override;
 
   /// The class that wins the stripe (exposed for tests / telemetry).
   std::uint32_t winning_class(std::string_view stripe_key) const;
+  std::uint32_t winning_class(std::uint64_t key_digest) const;
 
  private:
-  std::vector<hash::NodeClass> snapshot() const;
+  const std::vector<hash::NodeClass>& snapshot() const;
   PlacementEpoch epoch_;
   const ClassMembership& members_;
   hash::ScoreFn fn_;
+  // Membership snapshot cache, keyed on the membership generation. ~0 is
+  // "never built" (generations count up from 0 and cannot reach it).
+  mutable std::vector<hash::NodeClass> snapshot_cache_;
+  mutable std::uint64_t snapshot_generation_ = ~0ull;
 };
 
 /// Uniform HRW over one flat node set (no classes, no weights).

@@ -29,6 +29,17 @@ std::uint64_t fnv1a(std::string_view bytes) {
 
 std::uint64_t key_digest(std::string_view key) { return fnv1a(key); }
 
+std::uint64_t fnv1a_decimal(std::uint64_t h, std::uint64_t value) {
+  char digits[20];  // 2^64 has at most 20 decimal digits
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  while (n > 0) h = fnv1a_byte(h, static_cast<unsigned char>(digits[--n]));
+  return h;
+}
+
 std::uint32_t fold31(std::uint64_t x) {
   return static_cast<std::uint32_t>((x ^ (x >> 31) ^ (x >> 62)) & 0x7fffffffu);
 }

@@ -29,6 +29,18 @@ std::uint64_t fnv1a(std::string_view bytes);
 /// Digest a string key for use with mix64/tr_weight.
 std::uint64_t key_digest(std::string_view key);
 
+/// Incremental FNV-1a: start from fnv1a_seed(), fold bytes (or the decimal
+/// rendering of an integer) in one at a time. Folding the same byte
+/// sequence yields exactly fnv1a() of the equivalent string, so composite
+/// keys ("i<ino>:<idx>") can be digested without materializing the string.
+constexpr std::uint64_t fnv1a_seed() { return 0xcbf29ce484222325ull; }
+constexpr std::uint64_t fnv1a_byte(std::uint64_t h, unsigned char c) {
+  return (h ^ c) * 0x100000001b3ull;
+}
+
+/// Fold the decimal digits of `value` (no sign, no padding) into `h`.
+std::uint64_t fnv1a_decimal(std::uint64_t h, std::uint64_t value);
+
 /// Fold a 64-bit digest to the 31-bit domain tr_weight expects.
 std::uint32_t fold31(std::uint64_t x);
 

@@ -7,28 +7,30 @@
 
 namespace memfss::hash {
 
-std::uint64_t hrw_score(NodeId server, std::string_view key, ScoreFn fn) {
-  const std::uint64_t digest = key_digest(key);
+std::uint64_t hrw_score(NodeId server, std::uint64_t key_digest, ScoreFn fn) {
   switch (fn) {
     case ScoreFn::mix64:
-      return mix64(server, digest);
+      return mix64(server, key_digest);
     case ScoreFn::thaler_ravishankar:
-      return tr_weight(server, fold31(digest));
+      return tr_weight(server, fold31(key_digest));
   }
   return 0;
 }
 
-NodeId hrw_select(std::string_view key, std::span<const NodeId> servers,
+std::uint64_t hrw_score(NodeId server, std::string_view key, ScoreFn fn) {
+  return hrw_score(server, key_digest(key), fn);
+}
+
+NodeId hrw_select(std::uint64_t key_digest, std::span<const NodeId> servers,
                   ScoreFn fn) {
   assert(!servers.empty());
-  const std::uint64_t digest = key_digest(key);
   NodeId best = servers[0];
   std::uint64_t best_score = 0;
   bool first = true;
   for (NodeId s : servers) {
     const std::uint64_t score = fn == ScoreFn::mix64
-                                    ? mix64(s, digest)
-                                    : tr_weight(s, fold31(digest));
+                                    ? mix64(s, key_digest)
+                                    : tr_weight(s, fold31(key_digest));
     // Deterministic tie-break on the lower node id keeps results stable
     // regardless of input ordering.
     if (first || score > best_score || (score == best_score && s < best)) {
@@ -40,11 +42,16 @@ NodeId hrw_select(std::string_view key, std::span<const NodeId> servers,
   return best;
 }
 
+NodeId hrw_select(std::string_view key, std::span<const NodeId> servers,
+                  ScoreFn fn) {
+  return hrw_select(key_digest(key), servers, fn);
+}
+
 namespace {
 
 std::vector<std::pair<std::uint64_t, NodeId>> scored(
-    std::string_view key, std::span<const NodeId> servers, ScoreFn fn) {
-  const std::uint64_t digest = key_digest(key);
+    std::uint64_t digest, std::span<const NodeId> servers, std::size_t count,
+    ScoreFn fn) {
   std::vector<std::pair<std::uint64_t, NodeId>> v;
   v.reserve(servers.size());
   for (NodeId s : servers) {
@@ -53,19 +60,28 @@ std::vector<std::pair<std::uint64_t, NodeId>> scored(
                                     : tr_weight(s, fold31(digest));
     v.emplace_back(score, s);
   }
-  // Descending score, ascending id on ties.
-  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+  // Descending score, ascending id on ties -- a strict total order, so a
+  // partial selection of the leading `count` entries matches the full sort
+  // exactly when fewer than all ranks are requested.
+  const auto less = [](const auto& a, const auto& b) {
     return a.first != b.first ? a.first > b.first : a.second < b.second;
-  });
+  };
+  if (count < v.size()) {
+    std::partial_sort(v.begin(),
+                      v.begin() + static_cast<std::ptrdiff_t>(count), v.end(),
+                      less);
+  } else {
+    std::sort(v.begin(), v.end(), less);
+  }
   return v;
 }
 
 }  // namespace
 
-std::vector<NodeId> hrw_top(std::string_view key,
+std::vector<NodeId> hrw_top(std::uint64_t key_digest,
                             std::span<const NodeId> servers, std::size_t count,
                             ScoreFn fn) {
-  auto v = scored(key, servers, fn);
+  auto v = scored(key_digest, servers, count, fn);
   std::vector<NodeId> out;
   out.reserve(std::min(count, v.size()));
   for (std::size_t i = 0; i < v.size() && i < count; ++i)
@@ -73,9 +89,20 @@ std::vector<NodeId> hrw_top(std::string_view key,
   return out;
 }
 
+std::vector<NodeId> hrw_top(std::string_view key,
+                            std::span<const NodeId> servers, std::size_t count,
+                            ScoreFn fn) {
+  return hrw_top(key_digest(key), servers, count, fn);
+}
+
+std::vector<NodeId> hrw_rank(std::uint64_t key_digest,
+                             std::span<const NodeId> servers, ScoreFn fn) {
+  return hrw_top(key_digest, servers, servers.size(), fn);
+}
+
 std::vector<NodeId> hrw_rank(std::string_view key,
                              std::span<const NodeId> servers, ScoreFn fn) {
-  return hrw_top(key, servers, servers.size(), fn);
+  return hrw_rank(key_digest(key), servers, fn);
 }
 
 }  // namespace memfss::hash

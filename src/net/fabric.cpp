@@ -1,9 +1,9 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/str.hpp"
 
@@ -12,7 +12,27 @@ namespace memfss::net {
 namespace {
 constexpr double kWorkEpsilon = 1e-6;  // bytes; flows are >= 1 byte
 constexpr double kRateEpsilon = 1e-9;
+
+// splitmix64 finalizer (net stays independent of the hash module; this
+// map only needs scatter, not placement-grade hashing).
+constexpr std::uint64_t mix_bits(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
 }  // namespace
+
+std::size_t Fabric::BundleKeyHash::operator()(const BundleKey& k) const {
+  const std::uint64_t ports =
+      (static_cast<std::uint64_t>(k.src) << 32) | k.dst;
+  const std::uint64_t rest =
+      std::bit_cast<std::uint64_t>(k.cap) ^
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(k.group));
+  return static_cast<std::size_t>(mix_bits(ports ^ mix_bits(rest)));
+}
 
 Fabric::Fabric(sim::Simulator& sim, std::size_t node_count, NicSpec spec)
     : sim_(sim),
@@ -20,7 +40,11 @@ Fabric::Fabric(sim::Simulator& sim, std::size_t node_count, NicSpec spec)
       up_rate_(node_count, 0.0),
       down_rate_(node_count, 0.0),
       up_util_(node_count),
-      down_util_(node_count) {
+      down_util_(node_count),
+      wf_up_res_(node_count, 0.0),
+      wf_down_res_(node_count, 0.0),
+      wf_up_cnt_(node_count, 0),
+      wf_down_cnt_(node_count, 0) {
   const SimTime now = sim_.now();
   for (std::size_t n = 0; n < node_count; ++n) {
     up_util_[n].set(now, 0.0);
@@ -51,6 +75,23 @@ void Fabric::set_observability(obs::Observability* o) {
   msg_count_ = &obs_->metrics.counter("net.msg.count");
 }
 
+Fabric::Bundle& Fabric::join_bundle(NodeId src, NodeId dst, double cap,
+                                    CapGroup* group) {
+  Bundle& b = bundles_[BundleKey{src, dst, cap, group}];
+  if (b.count++ == 0) {
+    b.src = src;
+    b.dst = dst;
+    b.cap = cap;
+    b.group = group;
+  }
+  return b;
+}
+
+void Fabric::leave_bundle(Bundle& b) {
+  if (--b.count == 0)
+    bundles_.erase(BundleKey{b.src, b.dst, b.cap, b.group});
+}
+
 sim::Task<> Fabric::transfer(NodeId src, NodeId dst, Bytes size,
                              Rate flow_cap, CapGroup* group) {
   assert(src < node_count() && dst < node_count());
@@ -67,6 +108,7 @@ sim::Task<> Fabric::transfer(NodeId src, NodeId dst, Bytes size,
   flows_.emplace_back(sim_, src, dst, static_cast<double>(size), flow_cap,
                       group);
   auto it = std::prev(flows_.end());
+  it->bundle = &join_bundle(src, dst, flow_cap, group);
   schedule_recompute();
   co_await it->done;
 
@@ -111,107 +153,148 @@ void Fabric::settle() {
   last_update_ = now;
 }
 
+std::vector<Fabric::FlowInfo> Fabric::flow_snapshot() const {
+  std::vector<FlowInfo> out;
+  out.reserve(flows_.size());
+  for (const auto& f : flows_)
+    out.push_back({f.src, f.dst, f.cap, f.group, f.rate, f.remaining});
+  return out;
+}
+
 void Fabric::recompute() {
-  // Complete finished flows. (trigger() moves the waiter to the scheduler
-  // and releases all references to the Event, so erase is safe.)
+  // Complete finished flows: every flow whose work hit zero by now (one
+  // horizon event can retire a whole batch of same-rate flows).
+  // (trigger() moves the waiter to the scheduler and releases all
+  // references to the Event, so erase is safe.)
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->remaining <= kWorkEpsilon) {
       it->done.trigger();
+      leave_bundle(*it->bundle);
       it = flows_.erase(it);
     } else {
       ++it;
     }
   }
 
-  // Progressive filling. All unfrozen flows share the fill level `level`.
-  const std::size_t n = node_count();
-  std::vector<double> up_res(n), down_res(n);
-  std::vector<std::size_t> up_cnt(n, 0), down_cnt(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    up_res[i] = nics_[i].up;
-    down_res[i] = nics_[i].down;
-  }
-  std::unordered_set<CapGroup*> groups;
-  for (auto& f : flows_) {
-    f.frozen = false;
-    f.rate = 0.0;
-    ++up_cnt[f.src];
-    ++down_cnt[f.dst];
-    if (f.group) groups.insert(f.group);
-  }
-  for (CapGroup* g : groups) {
-    g->residual_ = g->limit();
-    g->count_ = 0;
-  }
-  for (auto& f : flows_)
-    if (f.group) ++f.group->count_;
-
-  std::size_t unfrozen = flows_.size();
-  double level = 0.0;
-  while (unfrozen > 0) {
-    // Smallest headroom per unfrozen flow across all constraints.
-    double delta = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (up_cnt[i] > 0)
-        delta = std::min(delta, up_res[i] / static_cast<double>(up_cnt[i]));
-      if (down_cnt[i] > 0)
-        delta =
-            std::min(delta, down_res[i] / static_cast<double>(down_cnt[i]));
+  // Progressive filling over bundles. All unfrozen bundles share the fill
+  // level `level`; per-port residuals/counts live in dense scratch arrays
+  // but only the ports on the active lists are touched, so one pass costs
+  // O(rounds x (active_ports + groups + bundles)) -- the per-flow work is
+  // the two linear sweeps (settle above, rate/telemetry below).
+  ++wf_stamp_;
+  wf_up_active_.clear();
+  wf_down_active_.clear();
+  wf_groups_.clear();
+  wf_unfrozen_.clear();
+  for (auto& [key, b] : bundles_) {
+    b.frozen = false;
+    b.rate = 0.0;
+    if (wf_up_cnt_[b.src] == 0) {
+      wf_up_active_.push_back(b.src);
+      wf_up_res_[b.src] = nics_[b.src].up;
     }
-    for (CapGroup* g : groups) {
+    wf_up_cnt_[b.src] += b.count;
+    if (wf_down_cnt_[b.dst] == 0) {
+      wf_down_active_.push_back(b.dst);
+      wf_down_res_[b.dst] = nics_[b.dst].down;
+    }
+    wf_down_cnt_[b.dst] += b.count;
+    if (b.group) {
+      if (b.group->stamp_ != wf_stamp_) {
+        b.group->stamp_ = wf_stamp_;
+        b.group->residual_ = b.group->limit();
+        b.group->count_ = 0;
+        wf_groups_.push_back(b.group);
+      }
+      b.group->count_ += b.count;
+    }
+    wf_unfrozen_.push_back(&b);
+  }
+
+  double level = 0.0;
+  while (!wf_unfrozen_.empty()) {
+    // Smallest headroom per unfrozen flow across all constraints. These
+    // are the same minima the per-flow loop computed: a port's count is
+    // the number of unfrozen flows through it (bundle multiplicities
+    // summed), and a bundle's cap headroom is its members' cap headroom.
+    double delta = std::numeric_limits<double>::infinity();
+    for (NodeId p : wf_up_active_) {
+      if (wf_up_cnt_[p] > 0)
+        delta = std::min(delta,
+                         wf_up_res_[p] / static_cast<double>(wf_up_cnt_[p]));
+    }
+    for (NodeId p : wf_down_active_) {
+      if (wf_down_cnt_[p] > 0)
+        delta = std::min(
+            delta, wf_down_res_[p] / static_cast<double>(wf_down_cnt_[p]));
+    }
+    for (CapGroup* g : wf_groups_) {
       if (g->count_ > 0)
         delta =
             std::min(delta, g->residual_ / static_cast<double>(g->count_));
     }
-    for (const auto& f : flows_) {
-      if (!f.frozen && std::isfinite(f.cap))
-        delta = std::min(delta, f.cap - level);
+    for (const Bundle* b : wf_unfrozen_) {
+      if (std::isfinite(b->cap)) delta = std::min(delta, b->cap - level);
     }
-    if (!std::isfinite(delta)) break;  // no constraints at all (n == 0)
+    if (!std::isfinite(delta)) break;  // no constraints at all
     delta = std::max(delta, 0.0);
     level += delta;
 
-    // Charge the raise against every constraint.
-    for (std::size_t i = 0; i < n; ++i) {
-      up_res[i] -= delta * static_cast<double>(up_cnt[i]);
-      down_res[i] -= delta * static_cast<double>(down_cnt[i]);
-    }
-    for (CapGroup* g : groups)
+    // Charge the raise against every constraint carrying unfrozen flows.
+    for (NodeId p : wf_up_active_)
+      wf_up_res_[p] -= delta * static_cast<double>(wf_up_cnt_[p]);
+    for (NodeId p : wf_down_active_)
+      wf_down_res_[p] -= delta * static_cast<double>(wf_down_cnt_[p]);
+    for (CapGroup* g : wf_groups_)
       g->residual_ -= delta * static_cast<double>(g->count_);
 
-    // Freeze flows whose path hit a saturated constraint (or own cap).
-    for (auto& f : flows_) {
-      if (f.frozen) continue;
-      const bool up_sat = up_res[f.src] <= kRateEpsilon * nics_[f.src].up;
+    // Freeze bundles whose path hit a saturated constraint (or own cap).
+    // The conditions depend only on bundle key fields, so member flows
+    // always freeze together, at the same level the per-flow loop gave.
+    for (std::size_t i = 0; i < wf_unfrozen_.size();) {
+      Bundle* b = wf_unfrozen_[i];
+      const bool up_sat =
+          wf_up_res_[b->src] <= kRateEpsilon * nics_[b->src].up;
       const bool down_sat =
-          down_res[f.dst] <= kRateEpsilon * nics_[f.dst].down;
+          wf_down_res_[b->dst] <= kRateEpsilon * nics_[b->dst].down;
       const bool grp_sat =
-          f.group && f.group->residual_ <= kRateEpsilon * (f.group->limit() + 1.0);
+          b->group &&
+          b->group->residual_ <= kRateEpsilon * (b->group->limit() + 1.0);
       const bool cap_sat =
-          std::isfinite(f.cap) &&
-          level >= f.cap - kRateEpsilon * std::max(1.0, f.cap);
+          std::isfinite(b->cap) &&
+          level >= b->cap - kRateEpsilon * std::max(1.0, b->cap);
       if (up_sat || down_sat || grp_sat || cap_sat) {
-        f.frozen = true;
-        f.rate = level;
-        --unfrozen;
-        --up_cnt[f.src];
-        --down_cnt[f.dst];
-        if (f.group) --f.group->count_;
+        b->frozen = true;
+        b->rate = level;
+        wf_up_cnt_[b->src] -= b->count;
+        wf_down_cnt_[b->dst] -= b->count;
+        if (b->group) b->group->count_ -= b->count;
+        wf_unfrozen_[i] = wf_unfrozen_.back();
+        wf_unfrozen_.pop_back();
+      } else {
+        ++i;
       }
     }
   }
-  // Any flow still unfrozen (unconstrained) keeps rate == level.
-  for (auto& f : flows_)
-    if (!f.frozen) f.rate = level;
+  // Any bundle still unfrozen (unconstrained) keeps rate == level.
+  for (Bundle* b : wf_unfrozen_) b->rate = level;
 
-  // Refresh per-node telemetry.
+  // Reset the port scratch counts for the next pass (freezes zero most of
+  // them already; the unconstrained case leaves nonzero counts behind).
+  for (NodeId p : wf_up_active_) wf_up_cnt_[p] = 0;
+  for (NodeId p : wf_down_active_) wf_down_cnt_[p] = 0;
+
+  // Refresh per-flow rates and per-node telemetry (flow arrival order, so
+  // the floating-point sums match the per-flow computation bit for bit).
   const SimTime now = sim_.now();
   std::fill(up_rate_.begin(), up_rate_.end(), 0.0);
   std::fill(down_rate_.begin(), down_rate_.end(), 0.0);
-  for (const auto& f : flows_) {
+  for (auto& f : flows_) {
+    f.rate = f.bundle->rate;
     up_rate_[f.src] += f.rate;
     down_rate_[f.dst] += f.rate;
   }
+  const std::size_t n = node_count();
   for (std::size_t i = 0; i < n; ++i) {
     up_util_[i].set(now, nics_[i].up > 0 ? up_rate_[i] / nics_[i].up : 0.0);
     down_util_[i].set(now,

@@ -17,12 +17,21 @@
 //
 // Per-node up/down utilization is tracked time-weighted; Fig. 2's
 // bandwidth plots read these accumulators.
+// Performance: flows identical in (src, dst, cap, group) -- e.g. the
+// thousands of concurrent same-path stripe transfers of a dd bag -- are
+// aggregated into *bundles* with a multiplicity count. Under max-min
+// fairness such flows are interchangeable: they share one fill-level
+// trajectory and freeze together, so the progressive-filling loop runs
+// over bundles and the ports/groups they actually touch instead of
+// rescanning every flow each round. Rates are provably (and bit-)
+// identical to the per-flow computation; see DESIGN.md §9.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <list>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -50,9 +59,11 @@ class CapGroup {
  private:
   friend class Fabric;
   Rate limit_;
-  // Scratch fields used during progressive filling.
+  // Scratch fields used during progressive filling. `stamp_` marks the
+  // filling pass that last initialized this group (first-touch reset).
   Rate residual_ = 0;
   std::size_t count_ = 0;
+  std::uint64_t stamp_ = 0;
 };
 
 class Fabric {
@@ -118,19 +129,61 @@ class Fabric {
 
   std::size_t active_flows() const { return flows_.size(); }
 
+  /// Distinct (src, dst, cap, group) aggregates among the active flows
+  /// (exposed for tests / telemetry; the water-filling loop is linear in
+  /// this, not in active_flows()).
+  std::size_t active_bundles() const { return bundles_.size(); }
+
+  /// Test/diagnostic view of the active flows in arrival order.
+  struct FlowInfo {
+    NodeId src, dst;
+    Rate cap;
+    const CapGroup* group;
+    Rate rate;
+    double remaining;
+  };
+  std::vector<FlowInfo> flow_snapshot() const;
+
  private:
+  struct Bundle;
+
   struct Flow {
     NodeId src, dst;
     double remaining;
     double cap;
     CapGroup* group;
+    Bundle* bundle = nullptr;
     double rate = 0.0;
-    bool frozen = false;  // scratch for the filling loop
     sim::Event done;
     Flow(sim::Simulator& s, NodeId a, NodeId b, double rem, double c,
          CapGroup* g)
         : src(a), dst(b), remaining(rem), cap(c), group(g), done(s) {}
   };
+
+  /// Aggregate of `count` flows identical in (src, dst, cap, group). The
+  /// filling loop freezes whole bundles: its freeze conditions depend only
+  /// on these key fields, so member flows always saturate together.
+  struct Bundle {
+    NodeId src = 0, dst = 0;
+    double cap = 0.0;
+    CapGroup* group = nullptr;
+    std::size_t count = 0;
+    double rate = 0.0;    // per-flow rate after the last recompute
+    bool frozen = false;  // scratch for the filling loop
+  };
+
+  struct BundleKey {
+    NodeId src, dst;
+    double cap;
+    CapGroup* group;
+    bool operator==(const BundleKey&) const = default;
+  };
+  struct BundleKeyHash {
+    std::size_t operator()(const BundleKey& k) const;
+  };
+
+  Bundle& join_bundle(NodeId src, NodeId dst, double cap, CapGroup* group);
+  void leave_bundle(Bundle& b);
 
   void settle();
   void recompute();
@@ -144,12 +197,24 @@ class Fabric {
   sim::Simulator& sim_;
   std::vector<NicSpec> nics_;
   std::list<Flow> flows_;
+  // Bundles live in a node-based map (stable addresses for Flow::bundle).
+  std::unordered_map<BundleKey, Bundle, BundleKeyHash> bundles_;
   std::vector<Rate> up_rate_, down_rate_;
   std::vector<TimeWeighted> up_util_, down_util_;
   SimTime last_update_ = 0.0;
   sim::EventId completion_event_ = 0;
   bool recompute_pending_ = false;
   double bytes_moved_ = 0.0;
+
+  // Water-filling scratch, reused across recomputes. Residuals/counts are
+  // dense per-port arrays, but only ports on the active lists are ever
+  // initialized, charged, or reset; groups are stamped per pass.
+  std::vector<double> wf_up_res_, wf_down_res_;
+  std::vector<std::size_t> wf_up_cnt_, wf_down_cnt_;
+  std::vector<NodeId> wf_up_active_, wf_down_active_;
+  std::vector<Bundle*> wf_unfrozen_;
+  std::vector<CapGroup*> wf_groups_;
+  std::uint64_t wf_stamp_ = 0;
 
   // Observability handles (null when not attached; resolved once).
   obs::Observability* obs_ = nullptr;

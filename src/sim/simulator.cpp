@@ -1,24 +1,52 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace memfss::sim {
 
-EventId Simulator::schedule(SimTime delay, std::function<void()> fn) {
+namespace {
+constexpr std::uint32_t ev_slot(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+constexpr std::uint32_t ev_gen(EventId id) {
+  return static_cast<std::uint32_t>(id);
+}
+constexpr EventId ev_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<EventId>(slot) << 32) | gen;
+}
+}  // namespace
+
+EventId Simulator::schedule(SimTime delay, EventFn fn) {
   assert(delay >= 0.0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+EventId Simulator::schedule_at(SimTime t, EventFn fn) {
   assert(t >= now_);
-  const EventId id = next_id_++;
-  heap_.push(Ev{t, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push(Ev{t, next_seq_++, slot, s.gen});
+  ++live_;
+  return ev_id(slot, s.gen);
 }
 
 void Simulator::cancel(EventId id) {
-  if (handlers_.erase(id) > 0) cancelled_.insert(id);
+  const std::uint32_t slot = ev_slot(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != ev_gen(id) || !s.fn) return;  // fired, cancelled, or reused
+  s.fn.reset();
+  release_slot(slot);  // the heap entry goes stale and is skipped lazily
+  --live_;
 }
 
 void Simulator::spawn(Task<> t) {
@@ -32,14 +60,15 @@ bool Simulator::step() {
   while (!heap_.empty()) {
     const Ev ev = heap_.top();
     heap_.pop();
-    if (cancelled_.erase(ev.id) > 0) continue;  // lazily dropped
-    auto it = handlers_.find(ev.id);
-    assert(it != handlers_.end());
-    auto fn = std::move(it->second);
-    handlers_.erase(it);
+    Slot& s = slots_[ev.slot];
+    if (s.gen != ev.gen) continue;  // cancelled: stale generation
+    assert(s.fn);
+    EventFn fn = std::move(s.fn);
+    release_slot(ev.slot);
     assert(ev.t >= now_);
     now_ = ev.t;
     ++executed_;
+    --live_;
     fn();
     return true;
   }
@@ -54,9 +83,9 @@ SimTime Simulator::run() {
 
 SimTime Simulator::run_until(SimTime t_end) {
   while (!heap_.empty()) {
-    // Peek past cancelled entries.
-    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
-      cancelled_.erase(heap_.top().id);
+    // Peek past cancelled (stale-generation) entries.
+    while (!heap_.empty() &&
+           slots_[heap_.top().slot].gen != heap_.top().gen) {
       heap_.pop();
     }
     if (heap_.empty() || heap_.top().t > t_end) break;

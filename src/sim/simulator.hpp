@@ -3,13 +3,21 @@
 // Events at the same timestamp fire in scheduling (FIFO) order, which --
 // together with the seeded RNGs -- makes every simulation run
 // deterministic and bit-reproducible.
+//
+// The queue is allocation-free on the steady-state path: handlers live in
+// a slab of reusable slots (free-list recycled, generation-counted so
+// cancel() is O(1) without touching the heap), and EventFn stores small
+// callables -- every lambda the simulation schedules -- inline instead of
+// on the heap.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -17,8 +25,95 @@
 
 namespace memfss::sim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Encodes (slot, generation);
+/// 0 is never a valid id (generations start at 1), so callers can keep
+/// using 0 as "no event pending".
 using EventId = std::uint64_t;
+
+/// Move-only callable with small-buffer storage. Captures up to
+/// kInlineBytes (a coroutine handle, a couple of pointers) are stored in
+/// place; larger callables fall back to one heap allocation.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F, typename D = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_) ops_->relocate(o.buf_, buf_);
+    o.ops_ = nullptr;
+  }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      if (ops_) ops_->destroy(buf_);
+      ops_ = o.ops_;
+      if (ops_) ops_->relocate(o.buf_, buf_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() {
+    if (ops_) ops_->destroy(buf_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_);
+    ops_->invoke(buf_);
+  }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D(std::move(*static_cast<D*>(from)));
+        static_cast<D*>(from)->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D*(*static_cast<D**>(from));
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); }};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
 
 class Simulator {
  public:
@@ -29,10 +124,10 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  EventId schedule(SimTime delay, std::function<void()> fn);
+  EventId schedule(SimTime delay, EventFn fn);
 
   /// Schedule at an absolute time (>= now()).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  EventId schedule_at(SimTime t, EventFn fn);
 
   /// Cancel a pending event; harmless if already fired or cancelled.
   void cancel(EventId id);
@@ -64,25 +159,43 @@ class Simulator {
   /// Execute a single event. Returns false if the queue is empty.
   bool step();
 
-  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return live_; }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
   struct Ev {
     SimTime t;
-    EventId id;
-    // min-heap: earliest time first; FIFO among equal times via id.
+    std::uint64_t seq;  // monotonic: FIFO among equal times
+    std::uint32_t slot;
+    std::uint32_t gen;
+    // min-heap: earliest time first; FIFO among equal times via seq.
     bool operator>(const Ev& o) const {
-      return t != o.t ? t > o.t : id > o.id;
+      return t != o.t ? t > o.t : seq > o.seq;
     }
   };
 
+  /// One reusable handler slot. A slot is live iff its fn is set; the
+  /// generation disambiguates heap entries left behind by cancel() or a
+  /// later reuse of the slot (bumped on every release, skipping 0 so an
+  /// EventId can never be all-zero).
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+  };
+
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    if (++s.gen == 0) s.gen = 1;
+    free_slots_.push_back(slot);
+  }
+
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // scheduled, not yet fired or cancelled
   std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> heap_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace memfss::sim

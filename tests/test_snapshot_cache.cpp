@@ -1,0 +1,190 @@
+// ClassHrwPolicy caches its class-membership snapshot behind
+// ClassMembership::generation(); these tests lock down the invalidation
+// contract. The failure mode that matters is a *stale read after
+// revocation*: if a victim node is evicted (remove_member) and a cached
+// policy keeps serving the old snapshot, reads get routed to a node that
+// no longer holds data. Every mutation must therefore be visible through
+// every live policy on the very next placement call.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fs/namespace.hpp"
+#include "fs/placement.hpp"
+
+namespace memfss::fs {
+namespace {
+
+PlacementEpoch two_class_epoch() {
+  PlacementEpoch e;
+  e.id = 1;
+  e.weights = {{0, 0.5}, {1, 0.25}};
+  return e;
+}
+
+std::vector<std::string> some_keys(int n) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < n; ++i)
+    keys.push_back(Namespace::stripe_key(42 + i, static_cast<std::size_t>(i)));
+  return keys;
+}
+
+// The cached policy must agree with a policy constructed from scratch
+// (which cannot have a stale snapshot) on every key, after any mutation.
+void expect_matches_fresh(const ClassHrwPolicy& cached,
+                          const PlacementEpoch& epoch,
+                          const ClassMembership& members) {
+  const ClassHrwPolicy fresh(epoch, members);
+  for (const auto& key : some_keys(64)) {
+    EXPECT_EQ(cached.place(key, 3), fresh.place(key, 3)) << key;
+    EXPECT_EQ(cached.probe_order(key), fresh.probe_order(key)) << key;
+  }
+}
+
+TEST(SnapshotCache, GenerationBumpsOnMutation) {
+  ClassMembership m;
+  EXPECT_EQ(m.generation(), 0u);
+  m.set_members(0, {1, 2, 3});
+  const auto g1 = m.generation();
+  EXPECT_GT(g1, 0u);
+  m.add_member(0, 4);
+  const auto g2 = m.generation();
+  EXPECT_GT(g2, g1);
+  m.remove_member(0, 4);
+  EXPECT_GT(m.generation(), g2);
+}
+
+TEST(SnapshotCache, NoOpMutationsDoNotInvalidate) {
+  ClassMembership m;
+  m.set_members(0, {1, 2, 3});
+  const auto g = m.generation();
+  m.add_member(0, 2);     // already a member
+  EXPECT_EQ(m.generation(), g);
+  m.remove_member(0, 9);  // not a member
+  EXPECT_EQ(m.generation(), g);
+  m.remove_member(7, 1);  // class does not exist
+  EXPECT_EQ(m.generation(), g);
+}
+
+TEST(SnapshotCache, StaleReadAfterRevocationIsImpossible) {
+  ClassMembership m;
+  m.set_members(0, {0, 1, 2, 3});
+  m.set_members(1, {10, 11, 12, 13, 14, 15});
+  const auto epoch = two_class_epoch();
+  const ClassHrwPolicy policy(epoch, m);
+
+  // Warm the cache, then revoke every node of the victim class one by one;
+  // none of them may ever be placed again.
+  (void)policy.place(Namespace::stripe_key(2, 0), 3);
+  for (NodeId revoked : {10, 11, 12, 13}) {
+    m.remove_member(1, revoked);
+    for (const auto& key : some_keys(96)) {
+      for (NodeId n : policy.probe_order(key))
+        EXPECT_NE(n, revoked) << "revoked node still probed for " << key;
+    }
+    expect_matches_fresh(policy, epoch, m);
+  }
+}
+
+TEST(SnapshotCache, AddMemberVisibleImmediately) {
+  ClassMembership m;
+  m.set_members(0, {0, 1});
+  m.set_members(1, {10});
+  const auto epoch = two_class_epoch();
+  const ClassHrwPolicy policy(epoch, m);
+  (void)policy.place(Namespace::stripe_key(2, 0), 2);  // warm cache
+
+  // Grow the victim class; the new nodes must start winning stripes.
+  for (NodeId added : {11, 12, 13, 14, 15, 16, 17, 18}) m.add_member(1, added);
+  bool new_node_used = false;
+  for (const auto& key : some_keys(128)) {
+    for (NodeId n : policy.place(key, 2)) new_node_used |= n >= 11;
+  }
+  EXPECT_TRUE(new_node_used) << "cache never picked up added members";
+  expect_matches_fresh(policy, epoch, m);
+}
+
+TEST(SnapshotCache, AddVictimClassVisibleThroughNewEpochPolicy) {
+  // Adding a whole victim class is: set_members of a fresh class + a new
+  // epoch carrying its weight. Epoch weights are captured per policy
+  // object, so the new class shows up via a new policy over the same
+  // membership -- and the old-epoch policy keeps resolving without it
+  // (files remember the epoch they were written under).
+  ClassMembership m;
+  m.set_members(0, {0, 1, 2});
+  PlacementEpoch e1;
+  e1.id = 1;
+  e1.weights = {{0, 0.5}};
+  const ClassHrwPolicy old_policy(e1, m);
+  const auto before = old_policy.place(Namespace::stripe_key(2, 0), 2);
+
+  m.set_members(1, {20, 21, 22, 23});
+  PlacementEpoch e2;
+  e2.id = 2;
+  e2.weights = {{0, 0.5}, {1, 0.9}};
+  const ClassHrwPolicy new_policy(e2, m);
+
+  // Old-epoch placements are unchanged (weight set has no class 1)...
+  EXPECT_EQ(old_policy.place(Namespace::stripe_key(2, 0), 2), before);
+  for (const auto& key : some_keys(64)) {
+    for (NodeId n : old_policy.probe_order(key)) EXPECT_LT(n, 20u);
+  }
+  // ...while the new epoch routes some stripes to the new class.
+  bool class1_used = false;
+  for (const auto& key : some_keys(128))
+    class1_used |= new_policy.winning_class(key) == 1;
+  EXPECT_TRUE(class1_used);
+  expect_matches_fresh(new_policy, e2, m);
+}
+
+TEST(SnapshotCache, EpochWeightChangeNeedsNewPolicyNotNewMembership) {
+  // Two policies over the same membership with different weights must not
+  // share cached state: each caches its own snapshot, both track the same
+  // generation counter independently.
+  ClassMembership m;
+  m.set_members(0, {0, 1, 2, 3});
+  m.set_members(1, {10, 11, 12, 13});
+  PlacementEpoch light = two_class_epoch();
+  PlacementEpoch heavy = two_class_epoch();
+  heavy.weights[1].weight = 0.95;  // subtractive: larger => fewer keys
+  const ClassHrwPolicy p_light(light, m);
+  const ClassHrwPolicy p_heavy(heavy, m);
+
+  std::size_t victim_light = 0, victim_heavy = 0;
+  for (const auto& key : some_keys(256)) {
+    victim_light += p_light.winning_class(key) == 1;
+    victim_heavy += p_heavy.winning_class(key) == 1;
+  }
+  EXPECT_LT(victim_heavy, victim_light);
+
+  // Mutate after both caches are warm; both must see it.
+  m.remove_member(1, 13);
+  expect_matches_fresh(p_light, light, m);
+  expect_matches_fresh(p_heavy, heavy, m);
+  for (const auto& key : some_keys(96)) {
+    for (NodeId n : p_light.probe_order(key)) EXPECT_NE(n, 13u);
+    for (NodeId n : p_heavy.probe_order(key)) EXPECT_NE(n, 13u);
+  }
+}
+
+TEST(SnapshotCache, DigestAndStringPathsShareInvalidation) {
+  // The digest fast path reads the same cached snapshot; a mutation must
+  // invalidate it for both entry points.
+  ClassMembership m;
+  m.set_members(0, {0, 1, 2, 3, 4});
+  PlacementEpoch e;
+  e.id = 1;
+  e.weights = {{0, 0.5}};
+  const ClassHrwPolicy policy(e, m);
+  const std::string key = Namespace::stripe_key(7, 3);
+  const std::uint64_t digest = Namespace::stripe_key_digest(7, 3);
+  EXPECT_EQ(policy.place(key, 3), policy.place(digest, 3));  // warm via both
+  m.remove_member(0, policy.place(digest, 1).front());
+  EXPECT_EQ(policy.place(key, 3), policy.place(digest, 3));
+  expect_matches_fresh(policy, e, m);
+}
+
+}  // namespace
+}  // namespace memfss::fs
