@@ -3,7 +3,7 @@
 # sanitized one (ASan + UBSan via -DMEMFSS_SANITIZE=address,undefined).
 # Run from the repository root.
 #
-#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf]
+#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|--chaos]
 #
 # --coverage builds with gcov instrumentation (-DMEMFSS_COVERAGE=ON) in
 # build-cov/, runs the tests, prints per-directory line coverage, and
@@ -15,6 +15,12 @@
 # BENCH_hotpath.json. Only meaningful on the machine that produced the
 # committed numbers (wall-clock benches don't transfer across hosts).
 #
+# --chaos runs the full-size chaos soak (bench/chaos_soak: randomized
+# partitions + crashes + revocation + pressure evictions, then heal and
+# check durability / accounting / recovery invariants) at three fixed
+# seeds under the sanitizer build, so memory errors surface alongside
+# invariant violations. Fails on either.
+#
 # The sanitized and coverage passes use their own build trees
 # (build-san/, build-cov/) so they never perturb incremental state in
 # build/.
@@ -24,13 +30,15 @@ run_plain=1
 run_san=1
 run_cov=0
 run_perf=0
+run_chaos=0
 case "${1:-}" in
   --plain-only) run_san=0 ;;
   --sanitize-only) run_plain=0 ;;
   --coverage) run_plain=0; run_san=0; run_cov=1 ;;
   --perf) run_plain=0; run_san=0; run_perf=1 ;;
+  --chaos) run_plain=0; run_san=0; run_chaos=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf]" >&2
+  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos]" >&2
      exit 2 ;;
 esac
 
@@ -92,6 +100,16 @@ print(f"events/sec: fresh {fresh:.3g} vs committed {committed:.3g} "
 if ratio < 0.8:
     sys.exit("perf regression: events/sec dropped more than 20%")
 EOF
+fi
+
+if [[ $run_chaos -eq 1 ]]; then
+  echo "== chaos soak (sanitized, seeds 1 2 3) =="
+  cmake -B build-san -G Ninja \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DMEMFSS_SANITIZE=address,undefined
+  cmake --build build-san --target chaos_soak
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./build-san/bench/chaos_soak 1 2 3
 fi
 
 echo "== all checks passed =="

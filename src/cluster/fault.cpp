@@ -31,6 +31,29 @@ FaultPlan& FaultPlan::degrade_nic(SimTime at, NodeId node, double factor,
   return *this;
 }
 
+FaultPlan& FaultPlan::partition(SimTime at, NodeId node, SimTime duration) {
+  events_.push_back(
+      {at, FaultKind::partition, node, 0, duration, 1.0, kInvalidNode, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cut_link(SimTime at, NodeId node, NodeId peer,
+                               SimTime duration, bool oneway) {
+  events_.push_back(
+      {at, FaultKind::partition, node, 0, duration, 1.0, peer, oneway});
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(SimTime at, NodeId node, NodeId peer) {
+  events_.push_back({at, FaultKind::heal, node, 0, 0.0, 1.0, peer, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::append(const FaultPlan& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  return *this;
+}
+
 std::vector<FaultEvent> FaultPlan::sorted() const {
   std::vector<FaultEvent> out = events_;
   std::stable_sort(out.begin(), out.end(),
@@ -62,6 +85,24 @@ FaultPlan FaultPlan::random(Rng& rng, const std::vector<NodeId>& nodes,
       for (SimTime t = rng.exponential(mean_gap); t < p.horizon;
            t += rng.exponential(mean_gap)) {
         plan.degrade_nic(t, n, p.degrade_factor, p.degrade_duration);
+      }
+    }
+    if (p.partition_rate > 0) {
+      const double mean_gap = p.horizon / p.partition_rate;
+      for (SimTime t = rng.exponential(mean_gap); t < p.horizon;
+           t += rng.exponential(mean_gap)) {
+        const SimTime dur = rng.exponential(p.partition_duration);
+        if (nodes.size() > 1 && rng.chance(p.partition_link_fraction)) {
+          // Single-link cut against a random distinct peer.
+          NodeId peer = n;
+          while (peer == n)
+            peer = nodes[static_cast<std::size_t>(
+                rng.uniform_u64(0, nodes.size() - 1))];
+          plan.cut_link(t, n, peer, dur,
+                        rng.chance(p.partition_oneway_fraction));
+        } else {
+          plan.partition(t, n, dur);
+        }
       }
     }
   }
@@ -98,6 +139,12 @@ void FaultInjector::fire(const FaultEvent& ev) {
       break;
     case FaultKind::degrade_nic:
       degrade_nic_now(ev.node, ev.factor, ev.duration);
+      break;
+    case FaultKind::partition:
+      partition_now(ev.node, ev.peer, ev.duration, ev.oneway);
+      break;
+    case FaultKind::heal:
+      heal_now(ev.node, ev.peer, ev.oneway);
       break;
   }
 }
@@ -152,6 +199,57 @@ void FaultInjector::degrade_nic_now(NodeId node, double factor,
     spec.down /= factor;
     f.set_nic(node, spec);
   });
+}
+
+void FaultInjector::partition_now(NodeId node, NodeId peer, SimTime duration,
+                                  bool oneway) {
+  if (node >= cluster_.node_count()) return;
+  if (peer != kInvalidNode && (peer >= cluster_.node_count() || peer == node))
+    return;
+  ++stats_.partitions;
+  injected_.push_back(
+      {sim_.now(), FaultKind::partition, node, 0, duration, 1.0, peer, oneway});
+  net::Fabric& fabric = cluster_.fabric();
+  if (peer == kInvalidNode) {
+    observe("fault.partition", node, "isolate");
+    LOG_INFO("fault") << "partition: node " << node << " isolated for "
+                      << duration << "s";
+    fabric.isolate(node);
+  } else {
+    observe("fault.partition", node,
+            strformat("peer=%u%s", peer, oneway ? " oneway" : ""));
+    LOG_INFO("fault") << "partition: link " << node
+                      << (oneway ? " -> " : " <-> ") << peer << " for "
+                      << duration << "s";
+    fabric.cut_link(node, peer, oneway);
+  }
+  for (const auto& h : partition_hooks_) h(node, peer);
+  // Cuts are a set: an overlapping later cut of the same link is healed
+  // by whichever heal fires first (documented in net::Fabric).
+  if (duration > 0.0)
+    sim_.schedule(duration,
+                  [this, node, peer, oneway] { heal_now(node, peer, oneway); });
+}
+
+void FaultInjector::heal_now(NodeId node, NodeId peer, bool oneway) {
+  ++stats_.heals;
+  injected_.push_back(
+      {sim_.now(), FaultKind::heal, node, 0, 0.0, 1.0, peer, oneway});
+  net::Fabric& fabric = cluster_.fabric();
+  if (node == kInvalidNode) {
+    observe("fault.heal", kInvalidNode, "all");
+    LOG_INFO("fault") << "heal: all links";
+    fabric.heal_all();
+  } else if (peer == kInvalidNode) {
+    observe("fault.heal", node, "node");
+    LOG_INFO("fault") << "heal: node " << node;
+    fabric.heal_node(node);
+  } else {
+    observe("fault.heal", node, strformat("peer=%u", peer));
+    LOG_INFO("fault") << "heal: link " << node << " <-> " << peer;
+    fabric.heal_link(node, peer, oneway);
+  }
+  for (const auto& h : heal_hooks_) h(node, peer);
 }
 
 void FaultInjector::evict_now(NodeId node) {

@@ -34,6 +34,8 @@ enum class FaultKind : std::uint8_t {
   revoke_class,  ///< owner tenant reclaims every machine of a victim class
   stall_node,    ///< transient straggler: requests hang for `duration`
   degrade_nic,   ///< NIC up/down rates scaled by `factor` for `duration`
+  partition,     ///< link(s) cut: node isolated, or node<->peer severed
+  heal,          ///< cut link(s) restored
 };
 
 constexpr std::string_view fault_kind_name(FaultKind k) {
@@ -42,6 +44,8 @@ constexpr std::string_view fault_kind_name(FaultKind k) {
     case FaultKind::revoke_class: return "revoke";
     case FaultKind::stall_node: return "stall";
     case FaultKind::degrade_nic: return "degrade-nic";
+    case FaultKind::partition: return "partition";
+    case FaultKind::heal: return "heal";
   }
   return "?";
 }
@@ -49,10 +53,15 @@ constexpr std::string_view fault_kind_name(FaultKind k) {
 struct FaultEvent {
   SimTime at = 0.0;
   FaultKind kind = FaultKind::crash_node;
-  NodeId node = kInvalidNode;      ///< crash / stall / degrade target
+  NodeId node = kInvalidNode;      ///< crash / stall / degrade / cut target
   std::uint32_t victim_class = 0;  ///< revoke_class target
-  SimTime duration = 0.0;          ///< stall / degrade length
+  SimTime duration = 0.0;          ///< stall / degrade / partition length
   double factor = 1.0;             ///< degrade: rate multiplier in (0, 1]
+  NodeId peer = kInvalidNode;      ///< partition/heal: other end of the
+                                   ///< link; kInvalidNode = all links of
+                                   ///< `node` (and heal with both ends
+                                   ///< invalid = heal every cut)
+  bool oneway = false;             ///< partition: cut node->peer only
 };
 
 /// A declarative fault schedule. Build it fluently, or derive one from a
@@ -64,6 +73,18 @@ class FaultPlan {
   FaultPlan& stall(SimTime at, NodeId node, SimTime duration);
   FaultPlan& degrade_nic(SimTime at, NodeId node, double factor,
                          SimTime duration);
+  /// Isolate `node` from every other node for `duration` (auto-heals).
+  FaultPlan& partition(SimTime at, NodeId node, SimTime duration);
+  /// Sever the node<->peer link for `duration` (auto-heals). With
+  /// `oneway`, only node->peer drops: requests arrive, replies vanish.
+  FaultPlan& cut_link(SimTime at, NodeId node, NodeId peer, SimTime duration,
+                      bool oneway = false);
+  /// Explicit heal: of node<->peer, of all of `node`'s links
+  /// (peer == kInvalidNode), or of every cut (both invalid).
+  FaultPlan& heal(SimTime at, NodeId node = kInvalidNode,
+                  NodeId peer = kInvalidNode);
+  /// Append every event of `other` to this plan.
+  FaultPlan& append(const FaultPlan& other);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
@@ -80,6 +101,10 @@ class FaultPlan {
     double degrade_rate = 0.0;     ///< expected NIC events per node
     double degrade_factor = 0.25;  ///< rate multiplier while degraded
     SimTime degrade_duration = 5.0;
+    double partition_rate = 0.0;   ///< expected partitions per node
+    SimTime partition_duration = 1.0;  ///< mean cut length (exponential)
+    double partition_link_fraction = 0.5;  ///< P(single link vs isolation)
+    double partition_oneway_fraction = 0.25;  ///< P(link cut is one-way)
   };
 
   /// Seed-deterministic random plan over `nodes`: per-node Poisson
@@ -98,6 +123,8 @@ struct FaultInjectorStats {
   std::size_t stalls = 0;
   std::size_t nic_degradations = 0;
   std::size_t evictions = 0;          ///< monitor-driven reclaims routed through
+  std::size_t partitions = 0;         ///< link cuts / isolations applied
+  std::size_t heals = 0;              ///< cut restorations applied
 };
 
 class FaultInjector {
@@ -107,12 +134,15 @@ class FaultInjector {
   using NodeHook = std::function<void(NodeId)>;
   using StallHook = std::function<void(NodeId, SimTime)>;
   using ClassHook = std::function<void(std::uint32_t)>;
+  using LinkHook = std::function<void(NodeId, NodeId)>;  ///< (node, peer)
 
   // --- subscriptions (multiple subscribers allowed) -----------------------
   void on_crash(NodeHook h) { crash_hooks_.push_back(std::move(h)); }
   void on_revoke(ClassHook h) { revoke_hooks_.push_back(std::move(h)); }
   void on_stall(StallHook h) { stall_hooks_.push_back(std::move(h)); }
   void on_evict(NodeHook h) { evict_hooks_.push_back(std::move(h)); }
+  void on_partition(LinkHook h) { partition_hooks_.push_back(std::move(h)); }
+  void on_heal(LinkHook h) { heal_hooks_.push_back(std::move(h)); }
 
   /// Schedule every event of `plan` on the simulator (relative to now).
   void arm(const FaultPlan& plan);
@@ -122,6 +152,14 @@ class FaultInjector {
   void revoke_class_now(std::uint32_t class_id);
   void stall_now(NodeId node, SimTime duration);
   void degrade_nic_now(NodeId node, double factor, SimTime duration);
+  /// Cut links now: node<->peer, or all of `node`'s links when peer is
+  /// kInvalidNode. duration > 0 schedules the matching heal.
+  void partition_now(NodeId node, NodeId peer, SimTime duration,
+                     bool oneway = false);
+  /// Restore links now: node<->peer, all of `node`'s (peer invalid), or
+  /// every cut in the fabric (both invalid).
+  void heal_now(NodeId node = kInvalidNode, NodeId peer = kInvalidNode,
+                bool oneway = false);
 
   /// Route a monitor-driven eviction (tenant wants its memory back)
   /// through the fault bus so subscribers and stats see it.
@@ -143,6 +181,7 @@ class FaultInjector {
   std::vector<NodeHook> crash_hooks_, evict_hooks_;
   std::vector<StallHook> stall_hooks_;
   std::vector<ClassHook> revoke_hooks_;
+  std::vector<LinkHook> partition_hooks_, heal_hooks_;
 };
 
 }  // namespace memfss::cluster

@@ -14,7 +14,7 @@ VictimMonitor::VictimMonitor(sim::Simulator& sim, sim::MemoryPool& pool,
 }
 
 void VictimMonitor::demand_memory() {
-  fired_ = true;
+  ++fire_count_;
   if (on_evict_) {
     // Defer to the event queue so the handler never re-enters the
     // allocation path that tripped the pressure callback.

@@ -4,11 +4,13 @@
 // itself from that node."
 //
 // The monitor watches the node's MemoryPool; when tenant allocations push
-// utilization past the threshold it fires the eviction handler exactly
-// once (re-arming if pressure recedes and returns). The filesystem wires
-// the handler to its victim-evacuation protocol.
+// utilization past the threshold it fires the eviction handler once per
+// upward crossing: the pool re-arms the pressure callback when usage
+// recedes below the threshold, so a recede-and-return cycle fires again.
+// The filesystem wires the handler to its victim-evacuation protocol.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 
 #include "common/types.hpp"
@@ -29,13 +31,18 @@ class VictimMonitor {
   void demand_memory();
 
   NodeId node() const { return node_; }
-  bool fired() const { return fired_; }
+  /// Whether the monitor has fired at least once.
+  bool fired() const { return fire_count_ > 0; }
+  /// Number of pressure crossings that fired the handler. The MemoryPool
+  /// callback re-arms when usage recedes below the threshold, so this
+  /// grows by one per crossing -- the monitor is *not* one-shot.
+  std::size_t fire_count() const { return fire_count_; }
 
  private:
   sim::Simulator& sim_;
   NodeId node_;
   std::function<void(NodeId)> on_evict_;
-  bool fired_ = false;
+  std::size_t fire_count_ = 0;
 };
 
 }  // namespace memfss::cluster

@@ -25,7 +25,38 @@ enum class Errc {
   unavailable,      ///< node down / evacuated / store closed
   io_error,         ///< transfer failed
   corruption,       ///< checksum / erasure decode failure
+  timeout,          ///< RPC deadline elapsed (peer may still be working)
+  unreachable,      ///< no network route to the peer (link cut / partition)
+  rejected,         ///< peer refused admission (breaker open, queue full)
+  fatal,            ///< unrecoverable internal error; never retry
 };
+
+/// Failure taxonomy for retry policies.  Connectivity faults are
+/// transient conditions of the *path or peer* -- another replica, or the
+/// same one later, may succeed.  Request faults mean the request itself
+/// is wrong (or the data is gone) and retrying the identical request
+/// cannot help.
+constexpr bool errc_connectivity(Errc e) {
+  return e == Errc::timeout || e == Errc::unreachable ||
+         e == Errc::unavailable || e == Errc::io_error ||
+         e == Errc::rejected;
+}
+
+/// Whether a failed operation is worth retrying (possibly elsewhere).
+/// out_of_memory is retryable: pressure is transient and placement may
+/// pick a different node on the next attempt.
+constexpr bool errc_retryable(Errc e) {
+  return errc_connectivity(e) || e == Errc::out_of_memory;
+}
+
+/// Whether a failure should count against a server's health (circuit
+/// breaker).  A clean application-level answer such as not_found or
+/// permission proves the server is alive and responsive, so only
+/// connectivity faults qualify -- except rejected, which the *client*
+/// synthesizes without talking to the server.
+constexpr bool errc_health_fault(Errc e) {
+  return errc_connectivity(e) && e != Errc::rejected;
+}
 
 /// Human-readable name of an error code.
 constexpr std::string_view errc_name(Errc e) {
@@ -42,6 +73,10 @@ constexpr std::string_view errc_name(Errc e) {
     case Errc::unavailable: return "unavailable";
     case Errc::io_error: return "io_error";
     case Errc::corruption: return "corruption";
+    case Errc::timeout: return "timeout";
+    case Errc::unreachable: return "unreachable";
+    case Errc::rejected: return "rejected";
+    case Errc::fatal: return "fatal";
   }
   return "unknown";
 }

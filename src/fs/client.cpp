@@ -57,10 +57,6 @@ SimTime backoff_delay(const FileSystemConfig& cfg, std::string_view key,
   return d * (1.0 + cfg.retry_jitter * u);
 }
 
-bool transient(Errc code) {
-  return code == Errc::unavailable || code == Errc::io_error;
-}
-
 }  // namespace
 
 void Client::record_stripe_op(const char* hist, const char* span, SimTime t0,
@@ -190,14 +186,42 @@ sim::Task<> Client::put_stripe_copy(const ClassHrwPolicy& policy,
     // Fresh placement every attempt: a crash between attempts moved the
     // target (membership removal reshuffles HRW).
     NodeId target = kInvalidNode;
+    std::vector<NodeId> placed;  // replica homes (co-location guard)
     if (attr.redundancy == RedundancyMode::erasure) {
       const auto order = policy.probe_order(base_digest);
       if (!order.empty()) target = order[idx % order.size()];
     } else {
-      const auto targets = policy.place(base_digest, copy_count(attr));
-      if (!targets.empty()) target = targets[idx % targets.size()];
+      placed = policy.place(base_digest, copy_count(attr));
+      if (!placed.empty()) target = placed[idx % placed.size()];
     }
     if (target == kInvalidNode || !fs_->has_server(target)) continue;
+    if (!fs_->health().allow(target, sim.now())) {
+      // Breaker open on the placed target: steer this copy to the next
+      // allowed node in the probe order instead of burning the attempt.
+      // Replicas never reroute onto another replica's home -- two copies
+      // behind one NIC is worse than a delayed write. Reads find the
+      // misplaced copy by probing the full order; lazy relocation moves
+      // it home once the breaker closes.
+      fs_->health().count_rejection();
+      const auto order = policy.probe_order(base_digest);
+      NodeId alt = kInvalidNode;
+      for (NodeId cand : order) {
+        if (cand == target || !fs_->has_server(cand)) continue;
+        if (std::find(placed.begin(), placed.end(), cand) != placed.end())
+          continue;
+        if (fs_->health().allow(cand, sim.now())) {
+          alt = cand;
+          break;
+        }
+      }
+      if (alt == kInvalidNode) {
+        ++fs_->counters().breaker_rejections;
+        last = {Errc::rejected, "all breakers open: " + store_key};
+        continue;
+      }
+      ++fs_->counters().breaker_reroutes;
+      target = alt;
+    }
     auto& srv = fs_->server(target);
     Status st{};
     if (cfg.rpc_timeout > 0) {
@@ -207,16 +231,18 @@ sim::Task<> Client::put_stripe_copy(const ClassHrwPolicy& policy,
       if (!r) {  // deadline missed: dead, stalled, or just slow -- walk away
         ++fs_->counters().rpc_timeouts;
         fs_->report_suspect(target);
-        last = {Errc::unavailable, "rpc timeout: " + store_key};
+        fs_->health().record(target, Errc::timeout, sim.now());
+        last = {Errc::timeout, "rpc timeout: " + store_key};
         continue;
       }
       st = *r;
     } else {
       st = co_await srv.put(node_, fs_->token(), store_key, *blob);
     }
+    fs_->health().record(target, st.ok() ? Errc::ok : st.code(), sim.now());
     if (st.ok()) co_return;
     last = st;
-    if (!transient(st.code())) break;  // permission etc.: do not spin
+    if (!errc_connectivity(st.code())) break;  // permission etc.: do not spin
     fs_->report_suspect(target);
   }
   state.status = last;
@@ -303,29 +329,92 @@ sim::Task<> Client::write_stripe_erasure(const ClassHrwPolicy& policy,
 
 // --- read path ----------------------------------------------------------------
 
-sim::Task<Result<kvstore::Blob>> Client::timed_get(NodeId n, std::string key,
-                                                   bool* faulted) {
-  const SimTime deadline = fs_->config().rpc_timeout;
-  Result<kvstore::Blob> out = Error{Errc::unavailable, "rpc timeout"};
+namespace {
+
+/// Shared get-with-deadline implementation. Free of Client state on
+/// purpose: hedged reads abandon the losing arm, and an abandoned
+/// coroutine must only reference objects that outlive the read -- the
+/// FileSystem and its servers qualify, the by-value Client handle and the
+/// caller's stack do not.
+sim::Task<Result<kvstore::Blob>> timed_get_impl(FileSystem* fs,
+                                                NodeId client_node, NodeId n,
+                                                std::string key,
+                                                bool* faulted) {
+  auto& sim = fs->cluster().sim();
+  // Circuit breaker: a node that kept timing out is rejected locally at
+  // zero simulated cost -- the probe loop walks to the next replica
+  // without burning a deadline on a peer known to be unreachable.
+  if (!fs->health().allow(n, sim.now())) {
+    ++fs->counters().breaker_rejections;
+    fs->health().count_rejection();
+    co_return Error{Errc::rejected,
+                    "breaker open: node " + std::to_string(n)};
+  }
+  const SimTime deadline = fs->config().rpc_timeout;
+  Result<kvstore::Blob> out = Error{Errc::timeout, "rpc timeout"};
   if (deadline > 0) {
     auto r = co_await sim::with_timeout(
-        fs_->cluster().sim(),
-        fs_->server(n).get(node_, fs_->token(), std::move(key)), deadline);
+        sim, fs->server(n).get(client_node, fs->token(), std::move(key)),
+        deadline);
     if (!r) {
-      ++fs_->counters().rpc_timeouts;
+      ++fs->counters().rpc_timeouts;
       if (faulted) *faulted = true;
-      fs_->report_suspect(n);
+      fs->report_suspect(n);
+      fs->health().record(n, Errc::timeout, sim.now());
       co_return out;
     }
     out = std::move(*r);
   } else {
-    out = co_await fs_->server(n).get(node_, fs_->token(), std::move(key));
+    out = co_await fs->server(n).get(client_node, fs->token(),
+                                     std::move(key));
   }
-  if (!out.ok() && transient(out.code())) {
+  if (!out.ok() && errc_health_fault(out.code())) {
     if (faulted) *faulted = true;
-    fs_->report_suspect(n);
+    fs->report_suspect(n);
   }
+  fs->health().record(n, out.ok() ? Errc::ok : out.code(), sim.now());
   co_return std::move(out);
+}
+
+/// Shared state of one hedged read: first success wins, the loser is
+/// abandoned (its result discarded on arrival). Held by shared_ptr from
+/// every arm so it outlives whichever finishes last.
+struct HedgeState {
+  explicit HedgeState(sim::Simulator& s) : done(s) {}
+  Result<kvstore::Blob> winner{Error{Errc::not_found, ""}};
+  bool have_winner = false;
+  NodeId winner_node = kInvalidNode;
+  std::size_t winner_rank = 0;
+  bool faulted = false;
+  std::size_t launched = 0;
+  std::size_t finished = 0;
+  sim::Event done;  ///< first success, or all arms failed
+};
+
+sim::Task<> hedge_arm(FileSystem* fs, NodeId client_node, NodeId n,
+                      std::size_t rank, std::string key,
+                      std::shared_ptr<HedgeState> st) {
+  bool fault = false;  // this frame outlives the op; safe for the impl
+  auto r = co_await timed_get_impl(fs, client_node, n, std::move(key),
+                                   &fault);
+  st->faulted |= fault;
+  ++st->finished;
+  if (r.ok() && !st->have_winner) {
+    st->have_winner = true;
+    st->winner = std::move(r);
+    st->winner_node = n;
+    st->winner_rank = rank;
+    st->done.trigger();
+  } else if (st->finished >= st->launched && !st->have_winner) {
+    st->done.trigger();  // idempotent; no-op if a winner already fired it
+  }
+}
+
+}  // namespace
+
+sim::Task<Result<kvstore::Blob>> Client::timed_get(NodeId n, std::string key,
+                                                   bool* faulted) {
+  co_return co_await timed_get_impl(fs_, node_, n, std::move(key), faulted);
 }
 
 sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
@@ -342,6 +431,64 @@ sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
   for (int round = 0; round < rounds; ++round) {
     // Refresh: members change. The digest spares the re-hash per round.
     const auto order = policy.probe_order(key_digest);
+
+    // Hedged read (first round, replicated files only): issue the get to
+    // the top-ranked holder, and if it has not resolved after the
+    // observed latency quantile (FileSystem::hedge_delay), fire the same
+    // get at the next replica; first success wins, the loser is
+    // abandoned. Tail latency insurance against stalled or silently
+    // partitioned primaries. The hedge decision depends only on
+    // simulated time and the metrics histogram, so it replays exactly.
+    if (round == 0 && copies >= 2) {
+      const SimTime hedge_after = fs_->hedge_delay();
+      NodeId n0 = kInvalidNode, n1 = kInvalidNode;
+      std::size_t r0 = 0, r1 = 0;
+      if (hedge_after > 0) {
+        for (std::size_t rank = 0; rank < order.size(); ++rank) {
+          if (!fs_->has_server(order[rank])) continue;
+          if (n0 == kInvalidNode) {
+            n0 = order[rank];
+            r0 = rank;
+          } else {
+            n1 = order[rank];
+            r1 = rank;
+            break;
+          }
+        }
+      }
+      if (n1 != kInvalidNode) {
+        auto st = std::make_shared<HedgeState>(sim);
+        st->launched = 1;
+        sim.spawn(hedge_arm(fs_, node_, n0, r0, key, st));
+        FileSystem* fs = fs_;
+        const NodeId me = node_;
+        const auto backup_ev =
+            sim.schedule(hedge_after, [fs, me, n1, r1, key, st] {
+              // Primary already resolved (either way): no second arm.
+              if (st->have_winner || st->finished >= st->launched) return;
+              ++st->launched;
+              ++fs->counters().hedged_reads;
+              fs->cluster().obs().metrics.counter("fs.read.hedges").inc();
+              fs->cluster().sim().spawn(hedge_arm(fs, me, n1, r1, key, st));
+            });
+        co_await st->done;
+        sim.cancel(backup_ev);
+        faulted |= st->faulted;
+        if (st->have_winner) {
+          if (st->winner_node == n1 && st->launched == 2)
+            ++fs_->counters().hedge_wins;
+          if (faulted) ++fs_->counters().degraded_reads;
+          if (st->winner_rank >= copies && cfg.lazy_relocation &&
+              order[0] != st->winner_node) {
+            sim.spawn(relocate(fs_, key, st->winner_node, order[0]));
+          }
+          co_return std::move(st->winner);
+        }
+        // Both arms failed: fall through to the sequential probe of the
+        // full order (the membership may already have shifted).
+      }
+    }
+
     for (std::size_t rank = 0; rank < order.size(); ++rank) {
       const NodeId n = order[rank];
       if (!fs_->has_server(n)) continue;
@@ -355,7 +502,7 @@ sim::Task<Result<kvstore::Blob>> Client::probe_ranked(
         }
         co_return r;
       }
-      if (r.code() != Errc::not_found && !transient(r.code()))
+      if (r.code() != Errc::not_found && !errc_connectivity(r.code()))
         co_return r;  // real error (e.g. permission): do not mask it
     }
     // Fall back to nodes that are mid-evacuation.

@@ -18,7 +18,10 @@ namespace memfss::fs {
 FileSystem::FileSystem(cluster::Cluster& cluster, FileSystemConfig config)
     : cluster_(cluster),
       config_(std::move(config)),
-      meta_(cluster, config_.own_nodes, config_.metadata_costs) {
+      meta_(cluster, config_.own_nodes, config_.metadata_costs),
+      health_(BreakerConfig{config_.breaker_failure_threshold,
+                            config_.breaker_cooldown},
+              &cluster.obs()) {
   assert(!config_.own_nodes.empty());
   membership_.set_members(kOwnClass, config_.own_nodes);
   epochs_.push_back(PlacementEpoch{0, {{kOwnClass, 0.0}}});
@@ -350,6 +353,26 @@ void FileSystem::detect_failure(NodeId node) {
                  << pf.affected.size() << " stripes affected)";
   retire_node(node);
   cluster_.sim().spawn(run_targeted_repair(std::move(pf.affected), pf.at));
+}
+
+void FileSystem::set_resilience_tuning(int breaker_failure_threshold,
+                                       SimTime breaker_cooldown,
+                                       double hedge_quantile,
+                                       std::uint64_t hedge_min_samples) {
+  config_.breaker_failure_threshold = breaker_failure_threshold;
+  config_.breaker_cooldown = breaker_cooldown;
+  config_.hedge_quantile = hedge_quantile;
+  config_.hedge_min_samples = hedge_min_samples;
+  health_.set_config(
+      BreakerConfig{breaker_failure_threshold, breaker_cooldown});
+}
+
+SimTime FileSystem::hedge_delay() const {
+  if (config_.hedge_quantile <= 0.0) return 0.0;
+  const auto& h =
+      cluster_.obs().metrics.histogram("fs.read_stripe.latency");
+  if (h.count() < config_.hedge_min_samples) return 0.0;
+  return h.quantile(config_.hedge_quantile);
 }
 
 void FileSystem::retire_node(NodeId node) {

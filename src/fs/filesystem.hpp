@@ -31,6 +31,7 @@
 #include "cluster/monitor.hpp"
 #include "cluster/reservation.hpp"
 #include "common/result.hpp"
+#include "fs/health.hpp"
 #include "fs/metadata.hpp"
 #include "fs/namespace.hpp"
 #include "fs/placement.hpp"
@@ -82,6 +83,23 @@ struct FileSystemConfig {
   /// Drain window granted to revoked/evicted victims before leftover data
   /// is declared lost and the node is killed.
   SimTime revocation_grace = 5.0;
+
+  // --- partition tolerance (per-server health, client resilience) ----------
+  /// Consecutive connectivity faults (timeout / unreachable / unavailable /
+  /// io_error) that open a node's circuit breaker; 0 disables breakers
+  /// entirely (the default -- fault-naive runs behave bit-identically to
+  /// builds without them).
+  int breaker_failure_threshold = 0;
+  /// Open -> half-open probe delay. While open, client requests to the
+  /// node fail locally with Errc::rejected at zero simulated cost.
+  SimTime breaker_cooldown = 1.0;
+  /// Hedged reads: when the primary replica has not answered after this
+  /// latency quantile of fs.read_stripe.latency, fire the same get at the
+  /// next replica and take whichever answers first. 0 disables (default).
+  double hedge_quantile = 0.0;
+  /// Observed stripe reads required before the quantile is trusted;
+  /// until then reads stay un-hedged.
+  std::uint64_t hedge_min_samples = 64;
 };
 
 struct FsCounters {
@@ -93,6 +111,10 @@ struct FsCounters {
   std::uint64_t degraded_reads = 0;   ///< reads that fell back past a failure
   std::uint64_t rpc_timeouts = 0;     ///< per-stripe RPCs abandoned at deadline
   std::uint64_t write_retries = 0;    ///< stripe put attempts after a failure
+  std::uint64_t hedged_reads = 0;     ///< second replica requests fired
+  std::uint64_t hedge_wins = 0;       ///< hedges that supplied the result
+  std::uint64_t breaker_rejections = 0;  ///< ops failed fast on open breaker
+  std::uint64_t breaker_reroutes = 0;    ///< writes steered off open breakers
   Bytes bytes_written = 0;
   Bytes bytes_read = 0;
 };
@@ -188,6 +210,22 @@ class FileSystem {
     config_.failure_detect_delay = failure_detect_delay;
     config_.revocation_grace = revocation_grace;
   }
+
+  /// Tune the partition-tolerance knobs after mount (see the matching
+  /// FileSystemConfig fields). breaker_failure_threshold = 0 and
+  /// hedge_quantile = 0 switch the respective feature off.
+  void set_resilience_tuning(int breaker_failure_threshold,
+                             SimTime breaker_cooldown, double hedge_quantile,
+                             std::uint64_t hedge_min_samples = 64);
+
+  /// Per-server circuit breakers (shared by every client handle).
+  HealthRegistry& health() { return health_; }
+  const HealthRegistry& health() const { return health_; }
+
+  /// Current hedged-read trigger delay: the configured latency quantile
+  /// of observed stripe reads, or 0 while hedging is off / the histogram
+  /// has fewer than hedge_min_samples samples.
+  SimTime hedge_delay() const;
 
   // --- placement ----------------------------------------------------------
 
@@ -309,6 +347,7 @@ class FileSystem {
   std::set<NodeId> draining_;
   std::vector<std::unique_ptr<cluster::VictimMonitor>> monitors_;
   FsCounters counters_;
+  HealthRegistry health_;
   cluster::FaultInjector* injector_ = nullptr;
   RecoveryStats recovery_;
   /// Crash snapshots awaiting detection: what the node held, taken the

@@ -1,0 +1,113 @@
+// Per-server health tracking for the client path (partition tolerance).
+//
+// One CircuitBreaker per participating node, shared by every Client of
+// the filesystem (clients are transient by-value handles; the registry
+// lives in the FileSystem). The breaker follows the classic three-state
+// machine:
+//
+//   closed     -- requests flow; `failure_threshold` *consecutive*
+//                 connectivity faults (timeout / unreachable /
+//                 unavailable / io_error, see errc_health_fault) open it;
+//   open       -- requests are rejected locally (Errc::rejected, zero
+//                 simulated cost) until `cooldown` elapses;
+//   half-open  -- exactly one trial request is let through; success
+//                 closes the breaker, failure re-opens it for another
+//                 cooldown.
+//
+// Application-level answers (not_found, permission, ...) prove the server
+// is alive and close the breaker like any success. Rejections the client
+// synthesizes itself never feed back into the state machine.
+//
+// Everything is driven by simulated time passed in by the caller, so the
+// state machine is deterministic and replays exactly under a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace memfss::obs {
+struct Observability;
+}
+
+namespace memfss::fs {
+
+enum class BreakerState : std::uint8_t { closed, open, half_open };
+
+constexpr std::string_view breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::closed: return "closed";
+    case BreakerState::open: return "open";
+    case BreakerState::half_open: return "half-open";
+  }
+  return "?";
+}
+
+struct BreakerConfig {
+  int failure_threshold = 0;  ///< consecutive faults to open; 0 disables
+  SimTime cooldown = 1.0;     ///< open -> half-open trial delay
+};
+
+class CircuitBreaker {
+ public:
+  /// Whether a request may be issued now. Performs the open -> half-open
+  /// transition when the cooldown has elapsed; in half-open, admits a
+  /// single trial until its outcome is recorded.
+  bool allow(const BreakerConfig& cfg, SimTime now);
+
+  /// Record a request outcome. `fault` per errc_health_fault. Returns
+  /// true when this record transitioned the breaker to open.
+  bool record(const BreakerConfig& cfg, bool fault, SimTime now);
+
+  BreakerState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_; }
+
+ private:
+  BreakerState state_ = BreakerState::closed;
+  int consecutive_ = 0;
+  SimTime opened_at_ = 0.0;
+  bool trial_in_flight_ = false;
+};
+
+/// NodeId -> CircuitBreaker map plus aggregate counters. With a zero
+/// failure_threshold the registry is inert: allow() is always true and
+/// record() never mutates, so default-configured deployments behave (and
+/// trace) exactly as if it did not exist.
+class HealthRegistry {
+ public:
+  HealthRegistry(BreakerConfig cfg, obs::Observability* obs)
+      : cfg_(cfg), obs_(obs) {}
+
+  bool enabled() const { return cfg_.failure_threshold > 0; }
+  const BreakerConfig& config() const { return cfg_; }
+  void set_config(BreakerConfig cfg) { cfg_ = cfg; }
+
+  /// Whether a request to `n` may be issued now.
+  bool allow(NodeId n, SimTime now);
+
+  /// Record the outcome of a request to `n` that was actually issued.
+  void record(NodeId n, Errc code, SimTime now);
+
+  BreakerState state(NodeId n) const;
+
+  std::size_t opens() const { return opens_; }       ///< closed/half -> open
+  std::size_t rejections() const { return rejections_; }
+
+  /// Count a locally synthesized rejection (caller saw allow() == false).
+  void count_rejection() { ++rejections_; }
+
+  /// Drop all breaker state (admin reset between experiment repetitions).
+  void reset();
+
+ private:
+  BreakerConfig cfg_;
+  obs::Observability* obs_;
+  std::unordered_map<NodeId, CircuitBreaker> breakers_;
+  std::size_t opens_ = 0;
+  std::size_t rejections_ = 0;
+};
+
+}  // namespace memfss::fs

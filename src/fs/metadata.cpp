@@ -19,62 +19,90 @@ NodeId MetadataService::shard_for(std::string_view path_or_key) const {
   return own_nodes_[d % own_nodes_.size()];
 }
 
-sim::Task<> MetadataService::round_trip(NodeId client, NodeId shard) {
+sim::Task<Status> MetadataService::round_trip(NodeId client, NodeId shard) {
+  auto& fab = cluster_.fabric();
+  if (!fab.reachable(client, shard) || !fab.reachable(shard, client))
+    co_return Status{Errc::unreachable, "metadata shard unreachable"};
   ++ops_;
-  co_await cluster_.fabric().message(client, shard, costs_.request_bytes);
+  co_await fab.message(client, shard, costs_.request_bytes);
   co_await cluster_.node(shard).cpu().consume(costs_.cpu_seconds, 1.0);
-  co_await cluster_.fabric().message(shard, client, costs_.response_bytes);
+  co_await fab.message(shard, client, costs_.response_bytes);
+  co_return Status{};
+}
+
+sim::Task<Status> MetadataService::shard_call(NodeId client,
+                                              std::uint64_t digest) {
+  const std::size_t n = own_nodes_.size();
+  Status last{Errc::unreachable, "no metadata shard reachable"};
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId shard = own_nodes_[(digest + i) % n];
+    last = co_await round_trip(client, shard);
+    if (last.ok()) {
+      if (i > 0) ++failovers_;
+      co_return last;
+    }
+  }
+  co_return last;
 }
 
 sim::Task<Status> MetadataService::mkdirs(NodeId client, std::string path) {
-  co_await round_trip(client, shard_for(path));
+  if (auto st = co_await shard_call(client, hash::key_digest(path)); !st.ok())
+    co_return st;
   co_return ns_.mkdirs(path);
 }
 
 sim::Task<Result<InodeId>> MetadataService::create(NodeId client,
                                                    std::string path,
                                                    FileAttr attr) {
-  co_await round_trip(client, shard_for(path));
+  if (auto st = co_await shard_call(client, hash::key_digest(path)); !st.ok())
+    co_return st.error();
   co_return ns_.create(path, attr);
 }
 
 sim::Task<Result<Stat>> MetadataService::stat(NodeId client,
                                               std::string path) {
-  co_await round_trip(client, shard_for(path));
+  if (auto st = co_await shard_call(client, hash::key_digest(path)); !st.ok())
+    co_return st.error();
   co_return ns_.stat(path);
 }
 
 sim::Task<Status> MetadataService::set_size(NodeId client, InodeId inode,
                                             Bytes size) {
-  co_await round_trip(
-      client, shard_for(strformat("i%llu", (unsigned long long)inode)));
+  const auto key = strformat("i%llu", (unsigned long long)inode);
+  if (auto st = co_await shard_call(client, hash::key_digest(key)); !st.ok())
+    co_return st;
   co_return ns_.set_size(inode, size);
 }
 
 sim::Task<Status> MetadataService::set_epoch(NodeId client, InodeId inode,
                                              std::uint32_t epoch) {
-  co_await round_trip(
-      client, shard_for(strformat("i%llu", (unsigned long long)inode)));
+  const auto key = strformat("i%llu", (unsigned long long)inode);
+  if (auto st = co_await shard_call(client, hash::key_digest(key)); !st.ok())
+    co_return st;
   co_return ns_.set_epoch(inode, epoch);
 }
 
 sim::Task<Result<std::vector<std::string>>> MetadataService::readdir(
     NodeId client, std::string path) {
-  co_await round_trip(client, shard_for(path));
+  if (auto st = co_await shard_call(client, hash::key_digest(path)); !st.ok())
+    co_return st.error();
   co_return ns_.readdir(path);
 }
 
 sim::Task<Result<Stat>> MetadataService::unlink(NodeId client,
                                                 std::string path) {
-  co_await round_trip(client, shard_for(path));
+  if (auto st = co_await shard_call(client, hash::key_digest(path)); !st.ok())
+    co_return st.error();
   co_return ns_.unlink(path);
 }
 
 sim::Task<Status> MetadataService::rename(NodeId client, std::string from,
                                           std::string to) {
   // Touches the shards of both names.
-  co_await round_trip(client, shard_for(from));
-  co_await round_trip(client, shard_for(to));
+  if (auto st = co_await shard_call(client, hash::key_digest(from)); !st.ok())
+    co_return st;
+  if (auto st = co_await shard_call(client, hash::key_digest(to)); !st.ok())
+    co_return st;
   co_return ns_.rename(from, to);
 }
 

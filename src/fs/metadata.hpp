@@ -7,6 +7,15 @@
 // updates); each operation charges a request/response message pair on the
 // fabric and a small CPU cost on the shard node.
 //
+// Partition tolerance: metadata sessions are heartbeat-monitored, so a
+// client never issues a round trip to a shard it cannot exchange traffic
+// with (either direction -- a half-open session is torn down like a dead
+// one). Instead it fails over to the next own node in shard order, and
+// only when *no* shard replica is reachable does the operation fail with
+// Errc::unreachable. Contrast the data path (kvstore::Server), which
+// deliberately models the asymmetric signature: a cut request link fails
+// fast, a cut reply link stalls into an RPC timeout.
+//
 // The namespace tree itself is one process-wide structure here: what the
 // simulation must reproduce is the *cost and placement* of metadata
 // traffic, not serialized tree blobs (see DESIGN.md substitution table).
@@ -65,16 +74,26 @@ class MetadataService {
   }
 
   std::uint64_t operation_count() const { return ops_; }
+  /// Round trips served by a non-primary shard because the primary was
+  /// behind a cut link (partition-tolerance telemetry).
+  std::uint64_t failover_count() const { return failovers_; }
 
  private:
   /// One metadata round trip: request to the shard, CPU, response.
-  sim::Task<> round_trip(NodeId client, NodeId shard);
+  /// Fails fast with Errc::unreachable (zero simulated cost) when either
+  /// direction of the client<->shard link is cut.
+  sim::Task<Status> round_trip(NodeId client, NodeId shard);
+
+  /// Round trip against the digest's primary shard, failing over through
+  /// the remaining own nodes in shard order when links are cut.
+  sim::Task<Status> shard_call(NodeId client, std::uint64_t digest);
 
   cluster::Cluster& cluster_;
   std::vector<NodeId> own_nodes_;
   MetadataCosts costs_;
   Namespace ns_;
   std::uint64_t ops_ = 0;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace memfss::fs

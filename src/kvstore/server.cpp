@@ -125,6 +125,12 @@ sim::Task<Result<Blob>> Server::get(NodeId client, std::string_view token,
 
 sim::Task<Status> Server::put_impl(NodeId client, std::string_view token,
                                    std::string key, Blob value) {
+  // A cut forward link fails fast (no route), like ENETUNREACH. A cut
+  // *reverse* link is deliberately not checked here: the request lands
+  // and executes but the reply stalls, so the client sees a timeout --
+  // the observable signature of an asymmetric partition.
+  if (!fabric_.reachable(client, node_))
+    co_return Status{Errc::unreachable, "no route to node"};
   // Request envelope to the server, then payload + processing, then reply.
   co_await fabric_.message(client, node_);
   if (live_ == Liveness::down)  // connection refused
@@ -135,8 +141,15 @@ sim::Task<Status> Server::put_impl(NodeId client, std::string_view token,
   co_await charge(client, payload, /*to_client=*/false);
   if (live_ == Liveness::down || incarnation_ != inc)
     co_return Status{Errc::io_error, "server died mid-transfer"};
+  // The pool mirror must track overwrites the way the store does: a put
+  // onto an existing key (client retry whose first attempt landed, repair
+  // re-replicating onto a holder) releases the replaced value's bytes.
+  Bytes replaced = 0;
+  if (const Blob* old = store_.peek(key))
+    replaced = old->size() + Store::kPerKeyOverhead;
   Status st = store_.put(token, key, std::move(value));
   if (st.ok() && hooks_.mem) {
+    if (replaced > 0) hooks_.mem->free(replaced);
     if (!hooks_.mem->try_alloc(payload + Store::kPerKeyOverhead)) {
       // Node memory exhausted even though the store cap allowed it:
       // undo and report. (Store cap <= node memory normally prevents this.)
@@ -151,6 +164,8 @@ sim::Task<Status> Server::put_impl(NodeId client, std::string_view token,
 sim::Task<Result<Blob>> Server::get_impl(NodeId client,
                                          std::string_view token,
                                          std::string key) {
+  if (!fabric_.reachable(client, node_))
+    co_return Error{Errc::unreachable, "no route to node"};
   co_await fabric_.message(client, node_);
   if (live_ == Liveness::down)
     co_return Error{Errc::unavailable, "node down"};
@@ -167,6 +182,8 @@ sim::Task<Result<Blob>> Server::get_impl(NodeId client,
 
 sim::Task<Result<bool>> Server::exists(NodeId client, std::string_view token,
                                        std::string key) {
+  if (!fabric_.reachable(client, node_))
+    co_return Error{Errc::unreachable, "no route to node"};
   co_await fabric_.message(client, node_);
   if (live_ == Liveness::down)
     co_return Error{Errc::unavailable, "node down"};
@@ -179,6 +196,8 @@ sim::Task<Result<bool>> Server::exists(NodeId client, std::string_view token,
 
 sim::Task<Status> Server::del(NodeId client, std::string_view token,
                               std::string key) {
+  if (!fabric_.reachable(client, node_))
+    co_return Status{Errc::unreachable, "no route to node"};
   co_await fabric_.message(client, node_);
   if (live_ == Liveness::down)
     co_return Status{Errc::unavailable, "node down"};
@@ -224,8 +243,30 @@ sim::Task<Status> Server::migrate_key(std::string_view token, std::string key,
   if (!blob) co_return Status{Errc::not_found, key};
   const Bytes payload = blob->size();
   if (hooks_.mem) hooks_.mem->free(payload + Store::kPerKeyOverhead);
-  Status st =
-      co_await dst.put(node_, token, std::move(key), std::move(*blob));
+  Status st = co_await dst.put(node_, token, key, *blob);
+  if (!st.ok()) {
+    // The destination refused or was unreachable/partitioned. Draining
+    // already removed the local copy -- put it back so a failed
+    // migration degrades to "not moved yet" instead of silent data loss.
+    // (If this node died mid-flight, the crash wiped the store and
+    // repair owns the data now; don't resurrect bytes into a wiped pool.)
+    if (live_ != Liveness::down) {
+      // A concurrent writer may have re-created the key while the failed
+      // migration was in flight; restore overwrites it, so the pool
+      // mirror must release the replaced bytes like put does.
+      Bytes replaced = 0;
+      if (const Blob* now = store_.peek(key))
+        replaced = now->size() + Store::kPerKeyOverhead;
+      if (!hooks_.mem ||
+          hooks_.mem->try_alloc(payload + Store::kPerKeyOverhead)) {
+        if (store_.restore(key, std::move(*blob)).ok()) {
+          if (hooks_.mem && replaced > 0) hooks_.mem->free(replaced);
+        } else if (hooks_.mem) {
+          hooks_.mem->free(payload + Store::kPerKeyOverhead);
+        }
+      }
+    }
+  }
   co_return st;
 }
 

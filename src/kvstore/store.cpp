@@ -135,4 +135,16 @@ std::optional<Blob> Store::drain(std::string_view key) {
   return b;
 }
 
+Status Store::restore(std::string_view key, Blob value) {
+  const Bytes incoming = value.size() + kPerKeyOverhead;
+  Bytes outgoing = 0;
+  auto it = map_.find(std::string(key));
+  if (it != map_.end()) outgoing = it->second.size() + kPerKeyOverhead;
+  if (used_ - outgoing + incoming > capacity_)
+    return {Errc::out_of_memory, "store capacity exceeded"};
+  used_ = used_ - outgoing + incoming;
+  map_[std::string(key)] = std::move(value);
+  return {};
+}
+
 }  // namespace memfss::kvstore

@@ -77,6 +77,12 @@ class Store {
   /// (the evacuation path uses this after close()).
   std::optional<Blob> drain(std::string_view key);
 
+  /// Inverse of drain(): put a value back, bypassing auth and closed
+  /// state. Owner-side only -- the evacuation path uses it to undo a
+  /// drain whose migration failed (e.g. destination unreachable), so the
+  /// data survives until a later retry or repair.
+  Status restore(std::string_view key, Blob value);
+
   /// Drop everything; returns the bytes that were accounted (payloads +
   /// per-key overhead) so owners can release external accounting.
   Bytes clear();

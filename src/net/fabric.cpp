@@ -129,6 +129,72 @@ sim::Task<> Fabric::transfer(NodeId src, NodeId dst, Bytes size,
   }
 }
 
+void Fabric::mutate_cuts(bool cut, NodeId src, NodeId dst, bool oneway) {
+  settle();
+  if (cut) {
+    cuts_.insert(link_key(src, dst));
+    if (!oneway) cuts_.insert(link_key(dst, src));
+  } else {
+    cuts_.erase(link_key(src, dst));
+    if (!oneway) cuts_.erase(link_key(dst, src));
+  }
+  if (obs_)
+    obs_->metrics.counter(cut ? "net.link.cut" : "net.link.heal").inc();
+  recompute();
+}
+
+void Fabric::cut_link(NodeId src, NodeId dst, bool oneway) {
+  assert(src < node_count() && dst < node_count());
+  mutate_cuts(true, src, dst, oneway);
+}
+
+void Fabric::heal_link(NodeId src, NodeId dst, bool oneway) {
+  mutate_cuts(false, src, dst, oneway);
+}
+
+void Fabric::cut_bisection(const std::vector<NodeId>& a,
+                           const std::vector<NodeId>& b) {
+  settle();
+  for (NodeId x : a)
+    for (NodeId y : b) {
+      if (x == y) continue;
+      cuts_.insert(link_key(x, y));
+      cuts_.insert(link_key(y, x));
+    }
+  if (obs_) obs_->metrics.counter("net.link.cut").inc();
+  recompute();
+}
+
+void Fabric::isolate(NodeId n) {
+  settle();
+  for (std::size_t m = 0; m < node_count(); ++m) {
+    if (m == n) continue;
+    cuts_.insert(link_key(n, static_cast<NodeId>(m)));
+    cuts_.insert(link_key(static_cast<NodeId>(m), n));
+  }
+  if (obs_) obs_->metrics.counter("net.link.cut").inc();
+  recompute();
+}
+
+void Fabric::heal_node(NodeId n) {
+  settle();
+  for (std::size_t m = 0; m < node_count(); ++m) {
+    if (m == n) continue;
+    cuts_.erase(link_key(n, static_cast<NodeId>(m)));
+    cuts_.erase(link_key(static_cast<NodeId>(m), n));
+  }
+  if (obs_) obs_->metrics.counter("net.link.heal").inc();
+  recompute();
+}
+
+void Fabric::heal_all() {
+  if (cuts_.empty()) return;
+  settle();
+  cuts_.clear();
+  if (obs_) obs_->metrics.counter("net.link.heal").inc();
+  recompute();
+}
+
 void Fabric::schedule_recompute() {
   if (recompute_pending_) return;
   recompute_pending_ = true;
@@ -189,6 +255,12 @@ void Fabric::recompute() {
   for (auto& [key, b] : bundles_) {
     b.frozen = false;
     b.rate = 0.0;
+    // Flows across a cut link stall: rate 0, no claim on any port or
+    // group, no completion horizon. They resume on the heal's recompute.
+    if (!cuts_.empty() && cuts_.contains(link_key(b.src, b.dst))) {
+      b.frozen = true;
+      continue;
+    }
     if (wf_up_cnt_[b.src] == 0) {
       wf_up_active_.push_back(b.src);
       wf_up_res_[b.src] = nics_[b.src].up;

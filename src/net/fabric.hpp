@@ -32,6 +32,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -98,6 +99,38 @@ class Fabric {
   /// Small control message: one latency charge plus the (tiny) serialized
   /// size through the fluid model.
   sim::Task<> message(NodeId src, NodeId dst, Bytes size = 256);
+
+  // --- link cuts (network partitions) ---------------------------------
+  //
+  // A cut is directional: cut_link(a, b, /*oneway=*/true) drops a -> b
+  // while b -> a still delivers (the classic asymmetric-routing failure).
+  // Flows already in flight across a cut link stall at rate 0 -- the
+  // bytes are neither delivered nor lost -- and resume when the link
+  // heals; clients observe the stall as an RPC timeout. Callers that
+  // check reachable() before sending can fail fast with
+  // Errc::unreachable instead. Cuts are a set, not a count: healing a
+  // link clears it regardless of how many overlapping cuts named it.
+
+  /// Drop src -> dst (and dst -> src unless `oneway`).
+  void cut_link(NodeId src, NodeId dst, bool oneway = false);
+  /// Cut every link between the two node sets, both directions -- a
+  /// bisection of the fabric.
+  void cut_bisection(const std::vector<NodeId>& a,
+                     const std::vector<NodeId>& b);
+  /// Cut every link to and from `n` (full isolation).
+  void isolate(NodeId n);
+  /// Restore src -> dst (and dst -> src unless `oneway`).
+  void heal_link(NodeId src, NodeId dst, bool oneway = false);
+  /// Restore every link to and from `n`.
+  void heal_node(NodeId n);
+  /// Restore all links.
+  void heal_all();
+  /// True when src -> dst currently delivers (loopback always does).
+  bool reachable(NodeId src, NodeId dst) const {
+    return src == dst || !cuts_.contains(link_key(src, dst));
+  }
+  /// Number of directed links currently cut.
+  std::size_t cut_link_count() const { return cuts_.size(); }
 
   /// Instantaneous allocated rates.
   Rate node_up_rate(NodeId n) const { return up_rate_[n]; }
@@ -185,6 +218,12 @@ class Fabric {
   Bundle& join_bundle(NodeId src, NodeId dst, double cap, CapGroup* group);
   void leave_bundle(Bundle& b);
 
+  static constexpr std::uint64_t link_key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+  /// Apply a cut-set mutation under settle/recompute bracketing.
+  void mutate_cuts(bool cut, NodeId src, NodeId dst, bool oneway);
+
   void settle();
   void recompute();
 
@@ -197,6 +236,7 @@ class Fabric {
   sim::Simulator& sim_;
   std::vector<NicSpec> nics_;
   std::list<Flow> flows_;
+  std::unordered_set<std::uint64_t> cuts_;  ///< directed links down
   // Bundles live in a node-based map (stable addresses for Flow::bundle).
   std::unordered_map<BundleKey, Bundle, BundleKeyHash> bundles_;
   std::vector<Rate> up_rate_, down_rate_;

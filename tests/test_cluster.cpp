@@ -123,6 +123,41 @@ TEST(VictimMonitor, ManualDemand) {
   mon.demand_memory();
   sim.run();
   EXPECT_EQ(count, 1);
+  EXPECT_EQ(mon.fire_count(), 1u);
+}
+
+// The header promises the monitor re-arms when pressure recedes below the
+// threshold: cross, free back under, cross again -- two firings, not one.
+TEST(VictimMonitor, ReArmsAfterPressureRecedes) {
+  sim::Simulator sim;
+  sim::MemoryPool pool(100);
+  int evictions = 0;
+  VictimMonitor mon(sim, pool, 5, 0.8, [&](NodeId) { ++evictions; });
+
+  ASSERT_TRUE(pool.try_alloc(85));  // first upward crossing
+  sim.run();
+  EXPECT_EQ(evictions, 1);
+  EXPECT_EQ(mon.fire_count(), 1u);
+
+  // Still above threshold: further allocations must NOT re-fire.
+  ASSERT_TRUE(pool.try_alloc(5));
+  sim.run();
+  EXPECT_EQ(mon.fire_count(), 1u);
+
+  // Recede below the threshold, then cross again.
+  pool.free(50);  // used 40 < 80
+  ASSERT_TRUE(pool.try_alloc(45));  // used 85: second crossing
+  sim.run();
+  EXPECT_EQ(evictions, 2);
+  EXPECT_EQ(mon.fire_count(), 2u);
+  EXPECT_TRUE(mon.fired());
+
+  // Freeing down to exactly the threshold does not re-arm (< is strict).
+  pool.free(5);  // used 80 == threshold
+  pool.free(1);  // used 79 < 80: re-armed
+  ASSERT_TRUE(pool.try_alloc(10));  // used 89: third crossing
+  sim.run();
+  EXPECT_EQ(mon.fire_count(), 3u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/experiments.hpp"
+#include "fs/client.hpp"
 #include "tenant/suites.hpp"
 #include "workflow/engine.hpp"
 #include "workflow/generators.hpp"
@@ -124,6 +125,52 @@ TEST(Determinism, FaultyTraceReplaysEventForEvent) {
   // The trace actually covers the faulty run: fault instants are there.
   EXPECT_NE(a.trace_text.find("fault.crash"), std::string::npos);
   EXPECT_NE(a.trace_text.find("fault.revoke"), std::string::npos);
+}
+
+TEST(Determinism, HedgedReadDecisionsReplay) {
+  // Hedged reads key off the observed latency histogram and simulated
+  // time only, so two identically-seeded runs must make the same hedge
+  // decisions -- same backup arms fired, same winners, and a byte-equal
+  // event trace (the property the golden-trace test builds on).
+  struct Out {
+    std::string trace;
+    std::uint64_t hedges = 0, wins = 0;
+    SimTime end = 0.0;
+  };
+  auto run_once = [] {
+    sim::Simulator sim;
+    cluster::Cluster cl(sim, 6);
+    cl.obs().tracer.enable_all(true);
+    fs::FileSystemConfig cfg;
+    cfg.own_nodes = {0, 1, 2, 3};
+    cfg.stripe_size = units::MiB;
+    cfg.redundancy = fs::RedundancyMode::replicated;
+    cfg.copies = 2;
+    fs::FileSystem fs(cl, cfg);
+    fs.set_resilience_tuning(/*threshold=*/2, /*cooldown=*/0.5,
+                             /*hedge_quantile=*/0.9, /*min_samples=*/8);
+    sim.spawn([](fs::FileSystem& f) -> sim::Task<> {
+      fs::Client c = f.client(0);
+      for (int i = 0; i < 4; ++i)
+        (void)co_await c.write_file("/f" + std::to_string(i),
+                                    4 * units::MiB);
+      for (int i = 0; i < 4; ++i)  // warm the latency histogram
+        (void)co_await c.read_file("/f" + std::to_string(i));
+      f.server(1).stall_for(60.0);  // force hedges on node-1 primaries
+      for (int i = 0; i < 4; ++i)
+        (void)co_await c.read_file("/f" + std::to_string(i));
+    }(fs));
+    sim.run();
+    return Out{cl.obs().tracer.text_dump(), fs.counters().hedged_reads,
+               fs.counters().hedge_wins, sim.now()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_GT(a.hedges, 0u);  // the scenario actually hedged
+  EXPECT_EQ(a.hedges, b.hedges);
+  EXPECT_EQ(a.wins, b.wins);
+  EXPECT_EQ(a.end, b.end);      // bitwise, not approximate
+  EXPECT_EQ(a.trace, b.trace);  // byte-identical event log
 }
 
 TEST(Determinism, DifferentSeedsDifferentWorkflows) {

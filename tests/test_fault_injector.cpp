@@ -154,6 +154,100 @@ TEST(FaultInjector, OverlappingDegradationsCompose) {
   EXPECT_NEAR(cl.fabric().nic(0).up, base.up, base.up * 1e-9);
 }
 
+TEST(FaultPlan, PartitionBuildersCarryPeerAndDirection) {
+  FaultPlan plan;
+  plan.partition(1.0, 2, 3.0)                         // full isolation
+      .cut_link(2.0, 0, 1, 4.0, /*oneway=*/true)      // directed single link
+      .heal(5.0);                                     // heal-all
+  const auto sorted = plan.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].kind, FaultKind::partition);
+  EXPECT_EQ(sorted[0].node, 2u);
+  EXPECT_EQ(sorted[0].peer, kInvalidNode);  // isolate-all
+  EXPECT_EQ(sorted[0].duration, 3.0);
+  EXPECT_EQ(sorted[1].kind, FaultKind::partition);
+  EXPECT_EQ(sorted[1].node, 0u);
+  EXPECT_EQ(sorted[1].peer, 1u);
+  EXPECT_TRUE(sorted[1].oneway);
+  EXPECT_EQ(sorted[2].kind, FaultKind::heal);
+  EXPECT_EQ(sorted[2].node, kInvalidNode);
+}
+
+TEST(FaultPlan, RandomPartitionsAreSeedDeterministic) {
+  const std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5};
+  FaultPlan::RandomParams p;
+  p.horizon = 100.0;
+  p.partition_rate = 2.0;  // high enough that an empty plan is ~impossible
+  p.partition_duration = 2.0;
+
+  Rng a(11), b(11);
+  const auto pa = FaultPlan::random(a, nodes, p).events();
+  const auto pb = FaultPlan::random(b, nodes, p).events();
+  ASSERT_EQ(pa.size(), pb.size());
+  ASSERT_FALSE(pa.empty());
+  std::size_t partitions = 0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].at, pb[i].at);
+    EXPECT_EQ(pa[i].kind, pb[i].kind);
+    EXPECT_EQ(pa[i].node, pb[i].node);
+    EXPECT_EQ(pa[i].peer, pb[i].peer);
+    EXPECT_EQ(pa[i].oneway, pb[i].oneway);
+    if (pa[i].kind == FaultKind::partition) {
+      ++partitions;
+      EXPECT_LT(pa[i].at, p.horizon);
+      EXPECT_GT(pa[i].duration, 0.0);
+      if (pa[i].peer != kInvalidNode) {
+        EXPECT_NE(pa[i].peer, pa[i].node);
+      }
+    }
+  }
+  EXPECT_GT(partitions, 0u);
+}
+
+TEST(FaultInjector, PartitionCutsFabricAndAutoHeals) {
+  sim::Simulator sim;
+  Cluster cl(sim, 4);
+  FaultInjector inj(sim, cl);
+  std::vector<std::pair<NodeId, NodeId>> cut_seen, heal_seen;
+  inj.on_partition([&](NodeId n, NodeId p) { cut_seen.emplace_back(n, p); });
+  inj.on_heal([&](NodeId n, NodeId p) { heal_seen.emplace_back(n, p); });
+
+  FaultPlan plan;
+  plan.cut_link(1.0, 0, 1, 2.0);  // heals itself at t=3
+  inj.arm(plan);
+
+  sim.schedule(2.0, [&] {  // mid-partition
+    EXPECT_FALSE(cl.fabric().reachable(0, 1));
+    EXPECT_FALSE(cl.fabric().reachable(1, 0));
+    EXPECT_TRUE(cl.fabric().reachable(0, 2));
+  });
+  sim.run();
+
+  EXPECT_TRUE(cl.fabric().reachable(0, 1));
+  EXPECT_EQ(cl.fabric().cut_link_count(), 0u);
+  ASSERT_EQ(cut_seen.size(), 1u);
+  EXPECT_EQ(cut_seen[0], (std::pair<NodeId, NodeId>{0, 1}));
+  ASSERT_EQ(heal_seen.size(), 1u);
+  EXPECT_EQ(inj.stats().partitions, 1u);
+  EXPECT_EQ(inj.stats().heals, 1u);
+}
+
+TEST(FaultInjector, IsolationPartitionSeversEveryLink) {
+  sim::Simulator sim;
+  Cluster cl(sim, 3);
+  FaultInjector inj(sim, cl);
+  inj.partition_now(1, kInvalidNode, /*duration=*/0.0);  // manual heal
+  EXPECT_FALSE(cl.fabric().reachable(1, 0));
+  EXPECT_FALSE(cl.fabric().reachable(0, 1));
+  EXPECT_FALSE(cl.fabric().reachable(1, 2));
+  EXPECT_TRUE(cl.fabric().reachable(0, 2));
+  inj.heal_now(1);
+  EXPECT_EQ(cl.fabric().cut_link_count(), 0u);
+  sim.run();  // no auto-heal was scheduled
+  EXPECT_EQ(inj.stats().partitions, 1u);
+  EXPECT_EQ(inj.stats().heals, 1u);
+}
+
 TEST(FaultInjector, EvictRoutesThroughBus) {
   sim::Simulator sim;
   Cluster cl(sim, 2);

@@ -67,6 +67,54 @@ TEST(Metadata, FullLifecycleThroughService) {
   EXPECT_GE(rig.meta.operation_count(), 7u);
 }
 
+TEST(Metadata, FailsOverToNextShardWhenPrimaryIsCut) {
+  Rig rig;
+  // Find a path whose primary shard is node 1, then cut client<->1: the
+  // operation must succeed via shard 0 and count one failover.
+  std::string path;
+  for (int i = 0; i < 64 && path.empty(); ++i) {
+    auto p = strformat("/p%d", i);
+    if (rig.meta.shard_for(p) == 1) path = p;
+  }
+  ASSERT_FALSE(path.empty());
+  rig.cl.fabric().cut_link(3, 1);
+  bool finished = false;
+  rig.sim.spawn([](Rig& r, std::string p, bool& done) -> sim::Task<> {
+    CO_ASSERT_TRUE((co_await r.meta.mkdirs(3, p)).ok());
+    done = true;
+  }(rig, path, finished));
+  rig.sim.run();
+  ASSERT_TRUE(finished);
+  EXPECT_EQ(rig.meta.failover_count(), 1u);
+}
+
+TEST(Metadata, TotalPartitionFailsFastWithUnreachable) {
+  Rig rig;
+  rig.cl.fabric().isolate(3);  // client can reach neither shard
+  Status st;
+  bool finished = false;
+  rig.sim.spawn([](Rig& r, Status& out, bool& done) -> sim::Task<> {
+    out = co_await r.meta.mkdirs(3, "/a");
+    done = true;
+  }(rig, st, finished));
+  rig.sim.run();
+  ASSERT_TRUE(finished);  // fails fast, never wedges on a frozen flow
+  EXPECT_EQ(st.code(), Errc::unreachable);
+  EXPECT_EQ(rig.sim.now(), 0.0);  // zero simulated cost
+  // A one-way cut is treated like a dead session too: reply link cut.
+  rig.cl.fabric().heal_node(3);
+  rig.cl.fabric().cut_link(0, 3, /*oneway=*/true);
+  rig.cl.fabric().cut_link(1, 3, /*oneway=*/true);
+  bool finished2 = false;
+  rig.sim.spawn([](Rig& r, Status& out, bool& done) -> sim::Task<> {
+    out = co_await r.meta.mkdirs(3, "/b");
+    done = true;
+  }(rig, st, finished2));
+  rig.sim.run();
+  ASSERT_TRUE(finished2);
+  EXPECT_EQ(st.code(), Errc::unreachable);
+}
+
 TEST(Metadata, ResetClearsNamespace) {
   Rig rig;
   rig.sim.spawn([](Rig& r) -> sim::Task<> {

@@ -59,10 +59,39 @@ TEST(ErrcName, AllNamed) {
                  Errc::out_of_memory, Errc::permission,
                  Errc::invalid_argument, Errc::not_a_directory,
                  Errc::is_a_directory, Errc::not_empty, Errc::unavailable,
-                 Errc::io_error, Errc::corruption}) {
+                 Errc::io_error, Errc::corruption, Errc::timeout,
+                 Errc::unreachable, Errc::rejected, Errc::fatal}) {
     EXPECT_FALSE(errc_name(e).empty());
     EXPECT_NE(errc_name(e), "unknown");
   }
+}
+
+TEST(ErrcTaxonomy, ConnectivityVsRetryableVsHealthFault) {
+  // Connectivity faults: the peer (or the path to it) is suspect.
+  for (auto e : {Errc::timeout, Errc::unreachable, Errc::unavailable,
+                 Errc::io_error, Errc::rejected}) {
+    EXPECT_TRUE(errc_connectivity(e)) << errc_name(e);
+    EXPECT_TRUE(errc_retryable(e)) << errc_name(e);
+  }
+  // Retryable but not a connectivity problem: capacity may free up.
+  EXPECT_TRUE(errc_retryable(Errc::out_of_memory));
+  EXPECT_FALSE(errc_connectivity(Errc::out_of_memory));
+  // Application-level answers prove the peer is alive: never retryable.
+  for (auto e : {Errc::ok, Errc::not_found, Errc::already_exists,
+                 Errc::permission, Errc::invalid_argument, Errc::corruption,
+                 Errc::fatal}) {
+    EXPECT_FALSE(errc_connectivity(e)) << errc_name(e);
+    EXPECT_FALSE(errc_retryable(e)) << errc_name(e);
+  }
+  // Health faults feed the circuit breaker; locally synthesized
+  // rejections must not (the breaker would feed itself).
+  for (auto e : {Errc::timeout, Errc::unreachable, Errc::unavailable,
+                 Errc::io_error}) {
+    EXPECT_TRUE(errc_health_fault(e)) << errc_name(e);
+  }
+  EXPECT_FALSE(errc_health_fault(Errc::rejected));
+  EXPECT_FALSE(errc_health_fault(Errc::ok));
+  EXPECT_FALSE(errc_health_fault(Errc::fatal));
 }
 
 }  // namespace
