@@ -1,0 +1,95 @@
+// Closed-loop load generator for the concurrent runtime (src/rt) --
+// memtier-style CLI over rt::run_loadgen.
+//
+// With no arguments it runs the thread-scaling sweep from EXPERIMENTS.md
+// ("Concurrent runtime"): the same total op count at 1, 2, 4 and 8
+// client+server threads over 16 shards with a 200us simulated
+// remote-access service time per op (the latency-bound regime a
+// disaggregated deployment lives in), prints one CSV row per point, and
+// reports the 8-vs-1-thread speedup on stderr. A single run with
+// explicit parameters:
+//
+//   loadgen --threads N [--server-threads N] [--shards N] [--ops N]
+//           [--batch N] [--value-size BYTES] [--get-ratio F] [--del-ratio F]
+//           [--skew THETA] [--keys N] [--service-us U] [--seed S]
+//
+// CSV schema: see rt::loadgen_csv_header() and EXPERIMENTS.md.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rt/loadgen.hpp"
+
+using namespace memfss;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--server-threads N] [--shards N]\n"
+               "          [--ops N] [--batch N] [--value-size BYTES]\n"
+               "          [--get-ratio F] [--del-ratio F] [--skew THETA]\n"
+               "          [--keys N] [--service-us U] [--seed S]\n"
+               "With no arguments: thread-scaling sweep (1,2,4,8).\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rt::LoadgenOptions opt;
+  opt.service_time_us = 200;
+  opt.value_size = 1024;
+  opt.get_fraction = 0.5;
+  bool single = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto want = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) { usage(argv[0]); std::exit(2); }
+      return true;
+    };
+    if (want("--threads")) { opt.client_threads = std::strtoul(argv[++i], nullptr, 10); opt.server_threads = opt.client_threads; single = true; }
+    else if (want("--server-threads")) { opt.server_threads = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--shards")) { opt.shards = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--ops")) { opt.ops_per_thread = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--batch")) { opt.batch = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--value-size")) { opt.value_size = std::strtoull(argv[++i], nullptr, 10); }
+    else if (want("--get-ratio")) { opt.get_fraction = std::strtod(argv[++i], nullptr); }
+    else if (want("--del-ratio")) { opt.del_fraction = std::strtod(argv[++i], nullptr); }
+    else if (want("--skew")) { opt.zipf_theta = std::strtod(argv[++i], nullptr); }
+    else if (want("--keys")) { opt.key_space = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--service-us")) { opt.service_time_us = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10)); }
+    else if (want("--seed")) { opt.seed = std::strtoull(argv[++i], nullptr, 10); }
+    else { usage(argv[0]); return 2; }
+  }
+
+  std::printf("%s\n", rt::loadgen_csv_header().c_str());
+
+  if (single) {
+    const auto r = rt::run_loadgen(opt);
+    std::printf("%s\n", rt::loadgen_csv_row(r).c_str());
+    return 0;
+  }
+
+  // Sweep: fixed total work (16k ops) redistributed over the thread
+  // counts so every point does the same job.
+  const std::size_t total_ops = 16384;
+  double ops_1 = 0.0, ops_8 = 0.0;
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    rt::LoadgenOptions o = opt;
+    o.client_threads = n;
+    o.server_threads = n;
+    o.ops_per_thread = total_ops / n;
+    const auto r = rt::run_loadgen(o);
+    std::printf("%s\n", rt::loadgen_csv_row(r).c_str());
+    std::fflush(stdout);
+    if (n == 1) ops_1 = r.ops_per_sec;
+    if (n == 8) ops_8 = r.ops_per_sec;
+  }
+  const double speedup = ops_1 > 0.0 ? ops_8 / ops_1 : 0.0;
+  std::fprintf(stderr, "loadgen: 8-thread vs 1-thread throughput: %.2fx\n",
+               speedup);
+  return 0;
+}

@@ -3,7 +3,7 @@
 # sanitized one (ASan + UBSan via -DMEMFSS_SANITIZE=address,undefined).
 # Run from the repository root.
 #
-#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|--chaos]
+#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan]
 #
 # --coverage builds with gcov instrumentation (-DMEMFSS_COVERAGE=ON) in
 # build-cov/, runs the tests, prints per-directory line coverage, and
@@ -14,6 +14,13 @@
 # fails if sim events/sec regresses more than 20% against the committed
 # BENCH_hotpath.json. Only meaningful on the machine that produced the
 # committed numbers (wall-clock benches don't transfer across hosts).
+#
+# --tsan builds with ThreadSanitizer (-DMEMFSS_SANITIZE=thread) in
+# build-tsan/ and runs only the `concurrency`-labeled ctest targets --
+# the multithreaded runtime suite (src/rt). TSan is mutually exclusive
+# with ASan, so this is a separate mode rather than part of the default
+# sanitize pass; only the concurrency targets are built since the
+# single-threaded sim suite has nothing for TSan to find.
 #
 # --chaos runs the full-size chaos soak (bench/chaos_soak: randomized
 # partitions + crashes + revocation + pressure evictions, then heal and
@@ -31,14 +38,16 @@ run_san=1
 run_cov=0
 run_perf=0
 run_chaos=0
+run_tsan=0
 case "${1:-}" in
   --plain-only) run_san=0 ;;
   --sanitize-only) run_plain=0 ;;
   --coverage) run_plain=0; run_san=0; run_cov=1 ;;
   --perf) run_plain=0; run_san=0; run_perf=1 ;;
   --chaos) run_plain=0; run_san=0; run_chaos=1 ;;
+  --tsan) run_plain=0; run_san=0; run_tsan=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos]" >&2
+  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan]" >&2
      exit 2 ;;
 esac
 
@@ -100,6 +109,21 @@ print(f"events/sec: fresh {fresh:.3g} vs committed {committed:.3g} "
 if ratio < 0.8:
     sys.exit("perf regression: events/sec dropped more than 20%")
 EOF
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== thread-sanitized build (concurrency suite) =="
+  cmake -B build-tsan -G Ninja \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DMEMFSS_WERROR=OFF \
+    -DMEMFSS_SANITIZE=thread
+  # Build only the concurrency-labeled test binaries; the rest of the
+  # tree is single-threaded and not what this pass is for.
+  cmake --build build-tsan --target \
+    test_rt_sharded_store test_rt_server test_rt_linearizability \
+    test_rt_stress test_rt_loadgen
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan -L concurrency --output-on-failure
 fi
 
 if [[ $run_chaos -eq 1 ]]; then

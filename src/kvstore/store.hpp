@@ -9,8 +9,11 @@
 //   - eviction/evacuation: close() flips the store to `unavailable` and
 //     the owner drains keys for migration.
 //
-// Single-threaded by design: in the simulator everything runs on one
-// logical thread; a concurrent deployment would shard stores per core.
+// A single Store instance is not thread-safe and performs no locking:
+// in the simulator everything runs on one logical thread. The concurrent
+// deployment is rt::ShardedStore (src/rt/sharded_store.hpp), which
+// partitions keys over many Store shards, one mutex each, with atomic
+// aggregate accounting -- see DESIGN.md §11 for the concurrency model.
 #pragma once
 
 #include <optional>

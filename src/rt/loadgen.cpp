@@ -1,0 +1,208 @@
+#include "rt/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hash/hashes.hpp"
+
+namespace memfss::rt {
+
+namespace {
+
+/// Cumulative Zipf(theta) distribution over `n` ranks, normalized to 1.
+std::vector<double> zipf_cdf(std::size_t n, double theta) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf[i] = total;
+  }
+  for (auto& c : cdf) c /= total;
+  return cdf;
+}
+
+std::uint32_t sample_key(Rng& rng, const std::vector<double>& cdf,
+                         std::size_t key_space) {
+  if (cdf.empty())
+    return static_cast<std::uint32_t>(rng.uniform_u64(0, key_space - 1));
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::uint32_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(it - cdf.begin()),
+                            key_space - 1));
+}
+
+/// Deterministic payload: a cheap byte pattern keyed by (key, op index)
+/// so overwrites change content and a replayed stream reproduces it.
+kvstore::Blob make_value(Bytes size, std::uint32_t key_index,
+                         std::size_t op_index) {
+  std::vector<std::uint8_t> bytes(size);
+  std::uint64_t x = (static_cast<std::uint64_t>(key_index) << 32) ^
+                    static_cast<std::uint64_t>(op_index);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(x = splitmix64(x));
+  return kvstore::Blob::materialized(std::move(bytes));
+}
+
+}  // namespace
+
+std::string loadgen_key(std::uint32_t key_index) {
+  return "k" + std::to_string(key_index);
+}
+
+std::vector<GenOp> generate_ops(const LoadgenOptions& opt,
+                                std::size_t thread_index) {
+  // Per-thread stream seeded by mixing the run seed with the thread
+  // index -- independent across threads, reproducible across runs.
+  std::uint64_t s = opt.seed ^ (0x9e3779b97f4a7c15ull *
+                                (static_cast<std::uint64_t>(thread_index) + 1));
+  Rng rng(splitmix64(s));
+  const auto cdf = opt.zipf_theta > 0.0
+                       ? zipf_cdf(opt.key_space, opt.zipf_theta)
+                       : std::vector<double>{};
+  std::vector<GenOp> ops;
+  ops.reserve(opt.ops_per_thread);
+  for (std::size_t i = 0; i < opt.ops_per_thread; ++i) {
+    GenOp op;
+    const double u = rng.next_double();
+    if (u < opt.get_fraction)
+      op.type = Op::Type::get;
+    else if (u < opt.get_fraction + opt.del_fraction)
+      op.type = Op::Type::del;
+    else
+      op.type = Op::Type::put;
+    op.key_index = sample_key(rng, cdf, opt.key_space);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+LoadgenResult run_loadgen(const LoadgenOptions& opt) {
+  LoadgenResult res;
+  res.opt = opt;
+
+  ShardedStore store({opt.shards, opt.capacity, opt.auth_token});
+  RuntimeServer server(
+      store, {opt.server_threads, opt.queue_capacity,
+              std::chrono::microseconds(opt.service_time_us)});
+
+  // Streams are generated before any thread starts so the generator's
+  // cost never pollutes the measured window.
+  std::vector<std::vector<GenOp>> streams;
+  streams.reserve(opt.client_threads);
+  for (std::size_t t = 0; t < opt.client_threads; ++t)
+    streams.push_back(generate_ops(opt, t));
+
+  struct ThreadTally {
+    std::uint64_t puts = 0, gets = 0, dels = 0, not_found = 0, rejected = 0,
+                  errors = 0;
+    std::uint64_t digest = hash::fnv1a_seed();
+  };
+  std::vector<ThreadTally> tallies(opt.client_threads);
+
+  auto client = [&](std::size_t t) {
+    auto& tally = tallies[t];
+    const auto& stream = streams[t];
+    std::size_t i = 0;
+    while (i < stream.size()) {
+      const std::size_t n = std::min(opt.batch, stream.size() - i);
+      std::vector<Op> batch;
+      batch.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const GenOp& g = stream[i + j];
+        Op op;
+        op.type = g.type;
+        op.key = loadgen_key(g.key_index);
+        if (g.type == Op::Type::put)
+          op.value = make_value(opt.value_size, g.key_index, i + j);
+        batch.push_back(std::move(op));
+      }
+      const auto results = server.run_batch(opt.auth_token, std::move(batch));
+      for (std::size_t j = 0; j < n; ++j) {
+        const GenOp& g = stream[i + j];
+        const OpResult& r = results[j];
+        std::uint64_t& d = tally.digest;
+        d = hash::fnv1a_byte(d, static_cast<unsigned char>(g.type));
+        d = hash::fnv1a_decimal(d, g.key_index);
+        d = hash::fnv1a_byte(d, static_cast<unsigned char>(r.code));
+        switch (r.code) {
+          case Errc::ok:
+            if (g.type == Op::Type::put) ++tally.puts;
+            if (g.type == Op::Type::del) ++tally.dels;
+            if (g.type == Op::Type::get) {
+              ++tally.gets;
+              d = hash::fnv1a_decimal(d, r.value.checksum());
+            }
+            break;
+          case Errc::not_found: ++tally.not_found; break;
+          case Errc::rejected: ++tally.rejected; break;
+          default: ++tally.errors; break;
+        }
+      }
+      i += n;
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(opt.client_threads);
+  for (std::size_t t = 0; t < opt.client_threads; ++t)
+    threads.emplace_back(client, t);
+  for (auto& th : threads) th.join();
+  res.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0).count();
+
+  std::uint64_t digest = hash::fnv1a_seed();
+  for (const auto& tally : tallies) {
+    res.puts += tally.puts;
+    res.gets += tally.gets;
+    res.dels += tally.dels;
+    res.not_found += tally.not_found;
+    res.rejected += tally.rejected;
+    res.errors += tally.errors;
+    digest = hash::fnv1a_decimal(digest, tally.digest);
+  }
+  res.result_digest = digest;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(opt.client_threads) * opt.ops_per_thread;
+  const std::uint64_t completed = total - res.rejected;
+  res.ops_per_sec =
+      res.wall_s > 0.0 ? static_cast<double>(completed) / res.wall_s : 0.0;
+  res.latency = server.metrics().histogram_summary("rt.op.latency_s");
+  return res;
+}
+
+std::string loadgen_csv_header() {
+  return csv_row({"client_threads", "server_threads", "shards",
+                  "ops_per_thread", "batch", "value_size", "get_fraction",
+                  "del_fraction", "zipf_theta", "service_time_us", "seed",
+                  "wall_s", "ops_per_sec", "puts", "gets", "dels",
+                  "not_found", "rejected", "errors", "lat_p50_s",
+                  "lat_p95_s", "lat_p99_s", "result_digest"});
+}
+
+std::string loadgen_csv_row(const LoadgenResult& r) {
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  const auto& o = r.opt;
+  return csv_row({std::to_string(o.client_threads),
+                  std::to_string(o.server_threads), std::to_string(o.shards),
+                  std::to_string(o.ops_per_thread), std::to_string(o.batch),
+                  std::to_string(o.value_size), num(o.get_fraction),
+                  num(o.del_fraction), num(o.zipf_theta),
+                  std::to_string(o.service_time_us), std::to_string(o.seed),
+                  num(r.wall_s), num(r.ops_per_sec), std::to_string(r.puts),
+                  std::to_string(r.gets), std::to_string(r.dels),
+                  std::to_string(r.not_found), std::to_string(r.rejected),
+                  std::to_string(r.errors), num(r.latency.p50),
+                  num(r.latency.p95), num(r.latency.p99),
+                  std::to_string(r.result_digest)});
+}
+
+}  // namespace memfss::rt

@@ -1,0 +1,80 @@
+// Closed-loop load generator for the concurrent runtime (memtier
+// style): N client threads each replay a seed-deterministic op stream
+// against a RuntimeServer, in batches, waiting for every batch before
+// issuing the next. Key popularity is uniform or Zipf-skewed, the
+// get:put:del mix and value size are configurable, and results come
+// back as one CSV row compatible with the other benches.
+//
+// Op streams are generated up front by a pure function of
+// (options, thread index) -- generate_ops() -- so a fixed seed replays
+// the identical stream every run; with one client thread and one worker
+// thread the *execution* order is the generation order too, which is
+// what the deterministic-replay smoke test pins down via result_digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/histogram.hpp"
+#include "rt/server.hpp"
+
+namespace memfss::rt {
+
+struct LoadgenOptions {
+  std::size_t client_threads = 1;   ///< closed-loop submitters
+  std::size_t server_threads = 1;   ///< RuntimeServer workers
+  std::size_t shards = 16;
+  std::size_t ops_per_thread = 20000;
+  std::size_t batch = 16;           ///< ops in flight per client
+  Bytes value_size = 1024;          ///< materialized payload bytes
+  double get_fraction = 0.5;        ///< P(get); rest split put/del
+  double del_fraction = 0.0;        ///< P(del)
+  double zipf_theta = 0.0;          ///< key skew (0 = uniform)
+  std::size_t key_space = 16384;    ///< distinct keys, shared by threads
+  Bytes capacity = 256 * units::MiB;
+  std::size_t queue_capacity = 4096;
+  std::uint64_t seed = 1;
+  std::uint32_t service_time_us = 0;  ///< simulated remote-access latency
+  std::string auth_token = "rt";
+};
+
+/// One element of a generated op stream.
+struct GenOp {
+  Op::Type type = Op::Type::get;
+  std::uint32_t key_index = 0;
+};
+
+/// The deterministic op stream for one client thread: a pure function
+/// of (opt.seed, opt mix parameters, thread_index).
+std::vector<GenOp> generate_ops(const LoadgenOptions& opt,
+                                std::size_t thread_index);
+
+/// Key string for a key index ("k<index>").
+std::string loadgen_key(std::uint32_t key_index);
+
+struct LoadgenResult {
+  LoadgenOptions opt;
+  std::uint64_t puts = 0;      ///< ok puts
+  std::uint64_t gets = 0;      ///< ok gets (hits)
+  std::uint64_t dels = 0;      ///< ok dels
+  std::uint64_t not_found = 0; ///< clean misses (get/del on absent key)
+  std::uint64_t rejected = 0;  ///< backpressure rejections
+  std::uint64_t errors = 0;    ///< anything else (oom, auth, ...)
+  double wall_s = 0.0;
+  double ops_per_sec = 0.0;    ///< completed (non-rejected) ops / wall
+  obs::HistogramSummary latency;  ///< per-op submit-to-completion
+  /// FNV-1a over every (thread, op type, key index, result code, get
+  /// checksum) in submission order, folded per thread then combined in
+  /// thread order. Identical streams + identical execution order =>
+  /// identical digest.
+  std::uint64_t result_digest = 0;
+};
+
+LoadgenResult run_loadgen(const LoadgenOptions& opt);
+
+std::string loadgen_csv_header();
+std::string loadgen_csv_row(const LoadgenResult& r);
+
+}  // namespace memfss::rt

@@ -1,0 +1,54 @@
+// MetricsSink: a mutex-guarded front for obs::MetricsRegistry so the
+// concurrent runtime can feed the same instrument types the simulator
+// uses. The registry itself is single-threaded by design (hot paths in
+// the sim cache bare references); the runtime instead funnels every
+// update through one short critical section -- updates are an array
+// increment or two, so the lock hold time is tens of nanoseconds and
+// snapshot() still sees a consistent registry.
+#pragma once
+
+#include <mutex>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace memfss::rt {
+
+class MetricsSink {
+ public:
+  void count(std::string_view name, std::uint64_t delta = 1) {
+    std::lock_guard lk(mu_);
+    reg_.counter(name).inc(delta);
+  }
+
+  void observe(std::string_view name, double value) {
+    std::lock_guard lk(mu_);
+    reg_.histogram(name).add(value);
+  }
+
+  void gauge_set(std::string_view name, double value) {
+    std::lock_guard lk(mu_);
+    reg_.gauge(name).set(value);
+  }
+
+  obs::MetricsSnapshot snapshot() const {
+    std::lock_guard lk(mu_);
+    return reg_.snapshot();
+  }
+
+  obs::HistogramSummary histogram_summary(std::string_view name) const {
+    std::lock_guard lk(mu_);
+    return reg_.histogram_summary(name);
+  }
+
+  std::uint64_t counter_value(std::string_view name) const {
+    std::lock_guard lk(mu_);
+    return reg_.counter_value(name);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  obs::MetricsRegistry reg_;
+};
+
+}  // namespace memfss::rt

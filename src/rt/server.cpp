@@ -1,0 +1,107 @@
+#include "rt/server.hpp"
+
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace memfss::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+RuntimeServer::RuntimeServer(ShardedStore& store, Options opt)
+    : store_(store),
+      opt_(opt),
+      pool_(ThreadPool::Options{opt.threads, opt.queue_capacity}) {}
+
+RuntimeServer::~RuntimeServer() { shutdown(); }
+
+OpResult RuntimeServer::execute(const std::string& token, Op& op) {
+  OpResult r;
+  switch (op.type) {
+    case Op::Type::put:
+      r.code = store_.put(token, op.key, std::move(op.value), &r.seq).code();
+      break;
+    case Op::Type::get: {
+      auto got = store_.get(token, op.key, &r.seq);
+      r.code = got.code();
+      if (got.ok()) r.value = std::move(got).value();
+      break;
+    }
+    case Op::Type::del:
+      r.code = store_.del(token, op.key, &r.seq).code();
+      break;
+    case Op::Type::exists: {
+      auto e = store_.exists(token, op.key);
+      r.code = e.code();
+      if (e.ok()) r.found = e.value();
+      break;
+    }
+    case Op::Type::auth:
+      r.code = store_.check_token(token).code();
+      break;
+  }
+  return r;
+}
+
+std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
+  struct Work {
+    std::promise<OpResult> done;
+    std::string token;
+    Op op;
+    Clock::time_point start;
+  };
+  auto w = std::make_shared<Work>();
+  w->token = token;
+  w->op = std::move(op);
+  w->start = Clock::now();
+  auto fut = w->done.get_future();
+
+  // auth carries no key; route it like an empty key so it still flows
+  // through a real worker queue (and shows up in queue metrics).
+  const std::size_t shard = store_.shard_of(w->op.key);
+  const std::size_t worker = shard % pool_.size();
+
+  const bool accepted = pool_.try_post(worker, [this, w] {
+    if (opt_.service_time.count() > 0)
+      std::this_thread::sleep_for(opt_.service_time);
+    OpResult r = execute(w->token, w->op);
+    r.latency_s = seconds_since(w->start);
+    metrics_.count(r.code == Errc::ok
+                       ? std::string("rt.ops.") + std::string(op_type_name(w->op.type))
+                       : std::string("rt.ops.failed"));
+    metrics_.observe("rt.op.latency_s", r.latency_s);
+    w->done.set_value(std::move(r));
+  });
+  if (!accepted) {
+    OpResult r;
+    r.code = Errc::rejected;
+    r.latency_s = seconds_since(w->start);
+    metrics_.count("rt.ops.rejected");
+    w->done.set_value(std::move(r));
+  } else {
+    metrics_.gauge_set("rt.queue.depth",
+                       static_cast<double>(pool_.queue_depth(worker)));
+  }
+  return fut;
+}
+
+std::vector<OpResult> RuntimeServer::run_batch(const std::string& token,
+                                               std::vector<Op> ops) {
+  std::vector<std::future<OpResult>> futs;
+  futs.reserve(ops.size());
+  for (auto& op : ops) futs.push_back(submit(token, std::move(op)));
+  std::vector<OpResult> out;
+  out.reserve(futs.size());
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace memfss::rt

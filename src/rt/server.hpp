@@ -1,0 +1,103 @@
+// RuntimeServer: the multithreaded front-end over ShardedStore -- the
+// real-traffic counterpart of the simulator's kvstore::Server.
+//
+// Clients submit put/get/del/exists/auth operations (singly or in
+// batches); each op is routed to the worker that owns the key's shard
+// (shard index mod pool size), executes there, and completes a future.
+// Admission control is the pool's bounded per-worker queue: when the
+// owning worker's queue is full the op completes immediately with
+// Errc::rejected, never blocking the submitter -- the same backpressure
+// taxonomy the sim path uses (common/result.hpp).
+//
+// An optional per-op service time models the remote-access latency of a
+// disaggregated deployment (NIC + fabric round trip); workers sleep it
+// off before touching the shard, so a latency-bound workload scales
+// with worker count the way remote memory does, independent of host
+// core count. The load generator uses this for its scaling sweeps.
+//
+// Metrics (per-op latency histograms, throughput counters, queue-depth
+// gauge) feed an obs::MetricsRegistry behind a mutex-guarded sink.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "kvstore/blob.hpp"
+#include "rt/metrics_sink.hpp"
+#include "rt/sharded_store.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace memfss::rt {
+
+struct Op {
+  enum class Type { put, get, del, exists, auth };
+  Type type = Type::get;
+  std::string key;       ///< ignored by auth
+  kvstore::Blob value;   ///< put only
+};
+
+constexpr std::string_view op_type_name(Op::Type t) {
+  switch (t) {
+    case Op::Type::put: return "put";
+    case Op::Type::get: return "get";
+    case Op::Type::del: return "del";
+    case Op::Type::exists: return "exists";
+    case Op::Type::auth: return "auth";
+  }
+  return "unknown";
+}
+
+struct OpResult {
+  Errc code = Errc::ok;
+  kvstore::Blob value;     ///< get: the fetched blob
+  bool found = false;      ///< exists: presence
+  std::uint64_t seq = 0;   ///< shard serialization index (0 if rejected)
+  double latency_s = 0.0;  ///< submit-to-completion wall time
+};
+
+class RuntimeServer {
+ public:
+  struct Options {
+    std::size_t threads = 1;            ///< worker threads
+    std::size_t queue_capacity = 1024;  ///< per-worker queue bound
+    /// Simulated remote-access latency applied per op inside the worker
+    /// (0 = pure in-memory execution).
+    std::chrono::microseconds service_time{0};
+  };
+
+  RuntimeServer(ShardedStore& store, Options opt);
+  ~RuntimeServer();
+  RuntimeServer(const RuntimeServer&) = delete;
+  RuntimeServer& operator=(const RuntimeServer&) = delete;
+
+  std::size_t threads() const { return pool_.size(); }
+
+  /// Submit one operation; the future completes when the owning worker
+  /// has executed it (immediately, with Errc::rejected, on backpressure).
+  std::future<OpResult> submit(const std::string& token, Op op);
+
+  /// Closed-loop batch: submit every op, then wait for all results
+  /// (returned in input order).
+  std::vector<OpResult> run_batch(const std::string& token,
+                                  std::vector<Op> ops);
+
+  MetricsSink& metrics() { return metrics_; }
+  const MetricsSink& metrics() const { return metrics_; }
+
+  /// Drain queues and join workers. Idempotent; the destructor calls it.
+  void shutdown() { pool_.stop(); }
+
+ private:
+  OpResult execute(const std::string& token, Op& op);
+
+  ShardedStore& store_;
+  Options opt_;
+  MetricsSink metrics_;
+  ThreadPool pool_;  // last member: workers die before anything they use
+};
+
+}  // namespace memfss::rt

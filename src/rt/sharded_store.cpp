@@ -1,0 +1,163 @@
+#include "rt/sharded_store.hpp"
+
+#include "hash/hashes.hpp"
+
+namespace memfss::rt {
+
+ShardedStore::ShardedStore(Options opt) : capacity_(opt.capacity) {
+  const std::size_t n = opt.shards ? opt.shards : 1;
+  shards_.reserve(n);
+  // Each shard's own Store is created with the *aggregate* cap so the
+  // per-shard check never binds; admission is decided solely by the
+  // atomic aggregate gate, which is strictly tighter.
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>(opt.capacity, opt.auth_token));
+}
+
+std::size_t ShardedStore::shard_of(std::string_view key) const {
+  return static_cast<std::size_t>(hash::key_digest(key) % shards_.size());
+}
+
+Status ShardedStore::check_token(std::string_view token) const {
+  // Tokens are immutable after construction; probe shard 0 without
+  // touching any key. exists() on a never-stored key runs the store's
+  // auth check first.
+  auto& sh = *shards_[0];
+  std::lock_guard lk(sh.mu);
+  auto r = sh.store.exists(token, "");
+  if (!r.ok() && r.code() == Errc::permission) return r.error();
+  return {};
+}
+
+bool ShardedStore::try_reserve(Bytes n) {
+  Bytes cur = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur + n > capacity_) return false;
+    if (used_.compare_exchange_weak(cur, cur + n, std::memory_order_relaxed))
+      return true;
+  }
+}
+
+Status ShardedStore::put(std::string_view token, std::string_view key,
+                         kvstore::Blob value, std::uint64_t* seq) {
+  auto& sh = shard(key);
+  std::lock_guard lk(sh.mu);
+  if (seq) *seq = ++sh.seq;
+  const Bytes incoming = value.size() + kvstore::Store::kPerKeyOverhead;
+  Bytes outgoing = 0;
+  if (const auto* prev = sh.store.peek(key))
+    outgoing = prev->size() + kvstore::Store::kPerKeyOverhead;
+  const Bytes grow = incoming > outgoing ? incoming - outgoing : 0;
+  if (grow > 0 && !try_reserve(grow))
+    return {Errc::out_of_memory, "aggregate capacity exceeded"};
+  auto st = sh.store.put(token, key, std::move(value));
+  if (!st.ok()) {
+    if (grow > 0) release(grow);
+    return st;
+  }
+  // Overwrite by a smaller value: the shard shrank, return the slack.
+  if (incoming < outgoing) release(outgoing - incoming);
+  return st;
+}
+
+Result<kvstore::Blob> ShardedStore::get(std::string_view token,
+                                        std::string_view key,
+                                        std::uint64_t* seq) {
+  auto& sh = shard(key);
+  std::lock_guard lk(sh.mu);
+  if (seq) *seq = ++sh.seq;
+  return sh.store.get(token, key);
+}
+
+Status ShardedStore::del(std::string_view token, std::string_view key,
+                         std::uint64_t* seq) {
+  auto& sh = shard(key);
+  std::lock_guard lk(sh.mu);
+  if (seq) *seq = ++sh.seq;
+  Bytes held = 0;
+  if (const auto* prev = sh.store.peek(key))
+    held = prev->size() + kvstore::Store::kPerKeyOverhead;
+  auto st = sh.store.del(token, key);
+  if (st.ok()) release(held);
+  return st;
+}
+
+Result<bool> ShardedStore::exists(std::string_view token,
+                                  std::string_view key) const {
+  auto& sh = *shards_[shard_of(key)];
+  std::lock_guard lk(sh.mu);
+  return sh.store.exists(token, key);
+}
+
+std::optional<kvstore::Blob> ShardedStore::evict(std::string_view key) {
+  auto& sh = shard(key);
+  std::lock_guard lk(sh.mu);
+  ++sh.seq;
+  auto b = sh.store.drain(key);
+  if (b) release(b->size() + kvstore::Store::kPerKeyOverhead);
+  return b;
+}
+
+void ShardedStore::close_shard(std::size_t shard) {
+  auto& sh = *shards_.at(shard);
+  std::lock_guard lk(sh.mu);
+  sh.store.close();
+}
+
+bool ShardedStore::shard_closed(std::size_t shard) const {
+  auto& sh = *shards_.at(shard);
+  std::lock_guard lk(sh.mu);
+  return sh.store.closed();
+}
+
+Bytes ShardedStore::clear_shard(std::size_t shard) {
+  auto& sh = *shards_.at(shard);
+  std::lock_guard lk(sh.mu);
+  ++sh.seq;
+  const Bytes freed = sh.store.clear();
+  release(freed);
+  return freed;
+}
+
+Bytes ShardedStore::shard_used(std::size_t shard) const {
+  auto& sh = *shards_.at(shard);
+  std::lock_guard lk(sh.mu);
+  return sh.store.used();
+}
+
+Bytes ShardedStore::shard_recomputed_used(std::size_t shard) const {
+  auto& sh = *shards_.at(shard);
+  std::lock_guard lk(sh.mu);
+  Bytes sum = 0;
+  for (const auto& key : sh.store.keys())
+    sum += sh.store.peek(key)->size() + kvstore::Store::kPerKeyOverhead;
+  return sum;
+}
+
+std::size_t ShardedStore::key_count() const {
+  std::size_t n = 0;
+  for (const auto& shp : shards_) {
+    std::lock_guard lk(shp->mu);
+    n += shp->store.key_count();
+  }
+  return n;
+}
+
+kvstore::StoreStats ShardedStore::stats() const {
+  kvstore::StoreStats total;
+  for (const auto& shp : shards_) {
+    std::lock_guard lk(shp->mu);
+    const auto& s = shp->store.stats();
+    total.puts += s.puts;
+    total.gets += s.gets;
+    total.dels += s.dels;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.auth_failures += s.auth_failures;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+  }
+  return total;
+}
+
+}  // namespace memfss::rt

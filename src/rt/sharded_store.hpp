@@ -1,0 +1,118 @@
+// ShardedStore: the concurrent deployment of kvstore::Store (DESIGN.md
+// §11). Keys are partitioned over N single-threaded Store shards by the
+// same FNV-1a digest the placement layer uses; each shard is guarded by
+// its own mutex, and a global memory cap is enforced across shards with
+// an atomic reserve-before-insert / release-after-remove protocol, so
+// the aggregate `used()` never exceeds `capacity()` at any instant even
+// while shards mutate concurrently.
+//
+// Lock order: at most one shard mutex is ever held at a time and the
+// aggregate accounting is a lock-free atomic, so there is no lock
+// ordering to get wrong and no deadlock surface. Whole-store scans
+// (key_count(), stats()) lock shards one at a time and are therefore
+// only instant-consistent per shard, which is all their callers need.
+//
+// Every mutating operation is assigned a per-shard serialization index
+// (`seq`, incremented under the shard mutex). Since a key lives on
+// exactly one shard, sorting one key's completed operations by seq
+// recovers the real execution order -- the linearizability test replays
+// that order against a sequential Store model.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "kvstore/blob.hpp"
+#include "kvstore/store.hpp"
+
+namespace memfss::rt {
+
+class ShardedStore {
+ public:
+  struct Options {
+    std::size_t shards = 8;          ///< number of Store partitions (>= 1)
+    Bytes capacity = 64 * units::MiB;  ///< aggregate memory cap
+    std::string auth_token;          ///< required by every op (empty = off)
+  };
+
+  explicit ShardedStore(Options opt);
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  Bytes capacity() const { return capacity_; }
+
+  /// Aggregate bytes accounted across all shards (atomic; includes
+  /// reservations of puts currently in flight).
+  Bytes used() const { return used_.load(std::memory_order_relaxed); }
+  Bytes available() const { return capacity_ - used(); }
+
+  /// Which shard owns `key`: FNV-1a digest mod shard count -- the same
+  /// digest family the placement layer uses (hash::key_digest).
+  std::size_t shard_of(std::string_view key) const;
+
+  /// Validate a token without touching any key (the AUTH verb).
+  Status check_token(std::string_view token) const;
+
+  // Key operations mirror kvstore::Store but enforce the aggregate cap.
+  // `seq` (optional) receives the per-shard serialization index assigned
+  // to this operation, including failed ones.
+  Status put(std::string_view token, std::string_view key,
+             kvstore::Blob value, std::uint64_t* seq = nullptr);
+  Result<kvstore::Blob> get(std::string_view token, std::string_view key,
+                            std::uint64_t* seq = nullptr);
+  Status del(std::string_view token, std::string_view key,
+             std::uint64_t* seq = nullptr);
+  Result<bool> exists(std::string_view token, std::string_view key) const;
+
+  /// Remove one key regardless of auth/closed state and release its
+  /// accounting (the eviction path).
+  std::optional<kvstore::Blob> evict(std::string_view key);
+
+  /// Stop serving one shard: later operations on its keys fail with
+  /// `unavailable`. Data stays drainable via evict().
+  void close_shard(std::size_t shard);
+  bool shard_closed(std::size_t shard) const;
+
+  /// Drop one shard's keys; returns the bytes released.
+  Bytes clear_shard(std::size_t shard);
+
+  // Introspection (locks the shard(s) in question).
+  Bytes shard_used(std::size_t shard) const;
+  /// Walks the shard's keys and re-sums payload + overhead -- the oracle
+  /// the stress test compares shard_used() against after quiesce.
+  Bytes shard_recomputed_used(std::size_t shard) const;
+  std::size_t key_count() const;
+  kvstore::StoreStats stats() const;  ///< summed over shards
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    kvstore::Store store;
+    std::uint64_t seq = 0;  ///< serialization index, guarded by mu
+
+    Shard(Bytes capacity, std::string token)
+        : store(capacity, std::move(token)) {}
+  };
+
+  Shard& shard(std::string_view key) { return *shards_[shard_of(key)]; }
+
+  /// CAS-reserve `n` bytes against the aggregate cap; false if it would
+  /// overflow. Reservations are taken *before* bytes land in a shard so
+  /// `used() <= capacity()` holds at every instant.
+  bool try_reserve(Bytes n);
+  void release(Bytes n) { used_.fetch_sub(n, std::memory_order_relaxed); }
+
+  Bytes capacity_;
+  std::atomic<Bytes> used_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace memfss::rt

@@ -1,0 +1,66 @@
+#include "rt/thread_pool.hpp"
+
+namespace memfss::rt {
+
+ThreadPool::ThreadPool(Options opt)
+    : cap_(opt.queue_capacity ? opt.queue_capacity : 1) {
+  const std::size_t n = opt.threads ? opt.threads : 1;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  // Threads start only after the vector is fully built so run() never
+  // sees a partially constructed pool.
+  for (auto& wp : workers_) wp->th = std::thread([this, w = wp.get()] { run(*w); });
+}
+
+ThreadPool::~ThreadPool() { stop(); }
+
+bool ThreadPool::try_post(std::size_t worker, Job job) {
+  auto& w = *workers_[worker % workers_.size()];
+  {
+    std::lock_guard lk(w.mu);
+    if (stopping_.load(std::memory_order_relaxed) || w.q.size() >= cap_)
+      return false;
+    w.q.push_back(std::move(job));
+  }
+  w.cv.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queue_depth(std::size_t worker) const {
+  auto& w = *workers_[worker % workers_.size()];
+  std::lock_guard lk(w.mu);
+  return w.q.size();
+}
+
+void ThreadPool::run(Worker& w) {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock lk(w.mu);
+      w.cv.wait(lk, [&] {
+        return !w.q.empty() || stopping_.load(std::memory_order_relaxed);
+      });
+      if (w.q.empty()) return;  // stopping and drained
+      job = std::move(w.q.front());
+      w.q.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::stop() {
+  // Set the flag under every worker's mutex so a worker between its
+  // predicate check and its wait cannot miss the final notify.
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& wp : workers_) {
+    {
+      std::lock_guard lk(wp->mu);
+    }
+    wp->cv.notify_all();
+  }
+  for (auto& wp : workers_)
+    if (wp->th.joinable()) wp->th.join();
+}
+
+}  // namespace memfss::rt

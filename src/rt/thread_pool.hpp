@@ -1,0 +1,69 @@
+// Fixed pool of worker threads, each with its own bounded FIFO queue.
+//
+// The runtime front-end pins every shard to one worker (shard index mod
+// pool size), so jobs touching one shard execute in submission order on
+// one thread and the per-shard queues give natural backpressure: when a
+// worker's queue is full, try_post() fails immediately and the caller
+// turns that into Errc::rejected instead of queueing unbounded work --
+// the same admission-control shape kvstore::Server uses in the sim.
+//
+// Shutdown drains: stop() stops admission, lets every worker finish the
+// jobs already queued, then joins. The destructor calls stop().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memfss::rt {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  struct Options {
+    std::size_t threads = 1;         ///< worker count (>= 1)
+    std::size_t queue_capacity = 1024;  ///< per-worker queue bound (>= 1)
+  };
+
+  explicit ThreadPool(Options opt);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue `job` on worker `worker % size()`. Returns false (job not
+  /// taken) when that worker's queue is at capacity or the pool is
+  /// stopping -- the caller's backpressure signal.
+  bool try_post(std::size_t worker, Job job);
+
+  /// Current queue length of one worker (jobs waiting, not the one
+  /// executing).
+  std::size_t queue_depth(std::size_t worker) const;
+
+  /// Stop admission, drain queued jobs, join all workers. Idempotent.
+  void stop();
+
+ private:
+  struct Worker {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> q;
+    std::thread th;
+  };
+
+  void run(Worker& w);
+
+  std::size_t cap_;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace memfss::rt

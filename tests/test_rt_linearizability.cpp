@@ -1,0 +1,145 @@
+// Linearizability-lite property test for the sharded runtime store.
+//
+// Method (DESIGN.md §11): every ShardedStore operation is stamped with a
+// per-shard serialization index (`seq`) inside the shard's critical
+// section, and a key lives on exactly one shard -- so sorting the
+// completed operations of a shard by seq recovers the order in which
+// they really executed. Racing threads record (op, seq, outcome)
+// histories; afterwards each shard's merged history is replayed, in seq
+// order, against a sequential kvstore::Store model. If the concurrent
+// store is a linearizable composition of its shards, every recorded
+// outcome (result code, fetched checksum) must match the model exactly.
+//
+// Values are ghost blobs (size + tag checksum, no payload) so the test
+// can push >=4 threads x >=10k ops through quickly even under TSan, and
+// the aggregate capacity is ample so the only cross-shard coupling (the
+// atomic memory gate, which a per-shard model cannot replay) never
+// fires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kvstore/store.hpp"
+#include "rt/sharded_store.hpp"
+
+namespace memfss::rt {
+namespace {
+
+enum class Kind : std::uint8_t { put, get, del };
+
+struct Record {
+  Kind kind;
+  std::uint32_t key_index;
+  std::uint64_t seq;
+  Errc code;
+  Bytes size;              // put: stored size
+  std::uint64_t tag;       // put: ghost tag
+  std::uint64_t checksum;  // get: fetched checksum
+};
+
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kOpsPerThread = 12000;
+constexpr std::size_t kKeySpace = 64;  // small => heavy cross-thread races
+constexpr char kToken[] = "tok";
+
+std::string key_name(std::uint32_t i) { return "k" + std::to_string(i); }
+
+std::vector<Record> run_thread(ShardedStore& store, std::uint64_t seed,
+                               std::size_t thread_index) {
+  Rng rng(seed * 1000003 + thread_index);
+  std::vector<Record> hist;
+  hist.reserve(kOpsPerThread);
+  for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+    Record rec{};
+    rec.key_index = static_cast<std::uint32_t>(
+        rng.uniform_u64(0, kKeySpace - 1));
+    const std::string key = key_name(rec.key_index);
+    const double u = rng.next_double();
+    if (u < 0.45) {
+      rec.kind = Kind::put;
+      rec.size = rng.uniform_u64(0, 256);
+      rec.tag = rng.next_u64();
+      rec.code = store.put(kToken, key,
+                           kvstore::Blob::ghost(rec.size, rec.tag),
+                           &rec.seq).code();
+    } else if (u < 0.85) {
+      rec.kind = Kind::get;
+      auto r = store.get(kToken, key, &rec.seq);
+      rec.code = r.code();
+      if (r.ok()) rec.checksum = r.value().checksum();
+    } else {
+      rec.kind = Kind::del;
+      rec.code = store.del(kToken, key, &rec.seq).code();
+    }
+    hist.push_back(rec);
+  }
+  return hist;
+}
+
+void check_seed(std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  ShardedStore store({8, 64 * units::MiB, kToken});  // cap never binds
+
+  std::vector<std::vector<Record>> histories(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] { histories[t] = run_thread(store, seed, t); });
+  for (auto& th : threads) th.join();
+
+  // Merge histories per shard and order by the shard serialization seq.
+  std::vector<std::vector<Record>> by_shard(store.shard_count());
+  for (const auto& hist : histories)
+    for (const auto& rec : hist)
+      by_shard[store.shard_of(key_name(rec.key_index))].push_back(rec);
+  for (auto& recs : by_shard)
+    std::sort(recs.begin(), recs.end(),
+              [](const Record& a, const Record& b) { return a.seq < b.seq; });
+
+  std::size_t replayed = 0;
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    kvstore::Store model(64 * units::MiB, kToken);
+    std::uint64_t prev_seq = 0;
+    for (const auto& rec : by_shard[s]) {
+      ASSERT_GT(rec.seq, prev_seq)
+          << "shard " << s << ": serialization indices not unique";
+      prev_seq = rec.seq;
+      const std::string key = key_name(rec.key_index);
+      switch (rec.kind) {
+        case Kind::put:
+          ASSERT_EQ(model.put(kToken, key,
+                              kvstore::Blob::ghost(rec.size, rec.tag)).code(),
+                    rec.code)
+              << "shard " << s << " seq " << rec.seq;
+          break;
+        case Kind::get: {
+          auto m = model.get(kToken, key);
+          ASSERT_EQ(m.code(), rec.code) << "shard " << s << " seq " << rec.seq;
+          if (m.ok()) {
+            ASSERT_EQ(m.value().checksum(), rec.checksum)
+                << "shard " << s << " seq " << rec.seq
+                << ": fetched a value no sequential witness explains";
+          }
+          break;
+        }
+        case Kind::del:
+          ASSERT_EQ(model.del(kToken, key).code(), rec.code)
+              << "shard " << s << " seq " << rec.seq;
+          break;
+      }
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(replayed, kThreads * kOpsPerThread);
+}
+
+TEST(RtLinearizability, ConcurrentHistoriesHaveSequentialWitness) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) check_seed(seed);
+}
+
+}  // namespace
+}  // namespace memfss::rt

@@ -1,0 +1,118 @@
+#include "rt/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+namespace memfss::rt {
+namespace {
+
+LoadgenOptions small_opts() {
+  LoadgenOptions opt;
+  opt.client_threads = 1;
+  opt.server_threads = 1;
+  opt.shards = 4;
+  opt.ops_per_thread = 3000;
+  opt.batch = 8;
+  opt.value_size = 64;
+  opt.get_fraction = 0.5;
+  opt.del_fraction = 0.1;
+  opt.key_space = 100;
+  opt.capacity = 8 * units::MiB;
+  opt.seed = 7;
+  opt.service_time_us = 0;
+  return opt;
+}
+
+TEST(RtLoadgen, GeneratedStreamsAreDeterministic) {
+  const auto opt = small_opts();
+  const auto a = generate_ops(opt, 0);
+  const auto b = generate_ops(opt, 0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type) << i;
+    EXPECT_EQ(a[i].key_index, b[i].key_index) << i;
+  }
+}
+
+TEST(RtLoadgen, StreamsDifferByThreadAndSeed) {
+  auto opt = small_opts();
+  const auto base = generate_ops(opt, 0);
+  const auto other_thread = generate_ops(opt, 1);
+  opt.seed = 8;
+  const auto other_seed = generate_ops(opt, 0);
+  auto differs = [&](const std::vector<GenOp>& v) {
+    for (std::size_t i = 0; i < base.size(); ++i)
+      if (base[i].type != v[i].type || base[i].key_index != v[i].key_index)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(differs(other_thread));
+  EXPECT_TRUE(differs(other_seed));
+}
+
+TEST(RtLoadgen, ZipfThetaSkewsKeyPopularity) {
+  auto opt = small_opts();
+  opt.key_space = 1000;
+  opt.ops_per_thread = 20000;
+  opt.zipf_theta = 0.99;
+  std::map<std::uint32_t, std::size_t> freq;
+  for (const auto& g : generate_ops(opt, 0)) ++freq[g.key_index];
+  const double uniform_share =
+      static_cast<double>(opt.ops_per_thread) / opt.key_space;
+  // Rank-0 key should be far above a uniform draw's 20 hits.
+  EXPECT_GT(freq[0], 5 * uniform_share);
+  opt.zipf_theta = 0.0;
+  std::map<std::uint32_t, std::size_t> uf;
+  for (const auto& g : generate_ops(opt, 0)) ++uf[g.key_index];
+  EXPECT_LT(uf[0], 5 * uniform_share);
+}
+
+// The deterministic-replay smoke test: a fixed seed with one client
+// thread and one worker thread executes the identical op stream, in the
+// identical order, with identical results -- twice.
+TEST(RtLoadgen, SingleThreadedReplayIsIdentical) {
+  const auto opt = small_opts();
+  const auto a = run_loadgen(opt);
+  const auto b = run_loadgen(opt);
+  EXPECT_NE(a.result_digest, 0u);
+  EXPECT_EQ(a.result_digest, b.result_digest);
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.dels, b.dels);
+  EXPECT_EQ(a.not_found, b.not_found);
+  EXPECT_EQ(a.rejected, 0u);
+  EXPECT_EQ(a.errors, 0u);
+  // A different seed must not replay to the same digest.
+  auto opt2 = opt;
+  opt2.seed = 8;
+  EXPECT_NE(run_loadgen(opt2).result_digest, a.result_digest);
+}
+
+TEST(RtLoadgen, MultithreadedRunAccountsEveryOp) {
+  auto opt = small_opts();
+  opt.client_threads = 4;
+  opt.server_threads = 4;
+  opt.ops_per_thread = 2000;
+  const auto r = run_loadgen(opt);
+  EXPECT_EQ(r.puts + r.gets + r.dels + r.not_found + r.rejected + r.errors,
+            opt.client_threads * opt.ops_per_thread);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+  EXPECT_EQ(r.latency.count,
+            opt.client_threads * opt.ops_per_thread - r.rejected);
+}
+
+TEST(RtLoadgen, CsvRowMatchesHeaderSchema) {
+  const auto r = run_loadgen(small_opts());
+  auto fields = [](const std::string& line) {
+    std::size_t n = 1;
+    for (const char c : line) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(fields(loadgen_csv_header()), fields(loadgen_csv_row(r)));
+}
+
+}  // namespace
+}  // namespace memfss::rt

@@ -1,0 +1,178 @@
+#include "rt/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/thread_pool.hpp"
+
+namespace memfss::rt {
+namespace {
+
+kvstore::Blob bytes_blob(std::string_view s) {
+  return kvstore::Blob::materialized(
+      std::vector<std::uint8_t>(s.begin(), s.end()));
+}
+
+// --- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsJobsOnEveryWorker) {
+  ThreadPool pool({4, 64});
+  std::atomic<int> ran{0};
+  for (std::size_t w = 0; w < pool.size(); ++w)
+    for (int i = 0; i < 10; ++i)
+      ASSERT_TRUE(pool.try_post(w, [&] { ran.fetch_add(1); }));
+  pool.stop();  // drains before joining
+  EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(ThreadPool, TryPostFailsWhenQueueFull) {
+  ThreadPool pool({1, 2});
+  std::atomic<bool> release{false};
+  // Block the single worker so posts pile up in the queue.
+  ASSERT_TRUE(pool.try_post(0, [&] {
+    while (!release.load()) std::this_thread::yield();
+  }));
+  // Give the worker a moment to dequeue the blocker; then exactly
+  // `queue_capacity` more jobs fit.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (pool.queue_depth(0) > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  ASSERT_TRUE(pool.try_post(0, [] {}));
+  ASSERT_TRUE(pool.try_post(0, [] {}));
+  EXPECT_FALSE(pool.try_post(0, [] {}));
+  release.store(true);
+  pool.stop();
+}
+
+TEST(ThreadPool, StopDrainsQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool({2, 128});
+    for (int i = 0; i < 100; ++i)
+      ASSERT_TRUE(pool.try_post(i, [&] { ran.fetch_add(1); }));
+  }  // destructor stops and drains
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, RejectsAfterStop) {
+  ThreadPool pool({1, 8});
+  pool.stop();
+  EXPECT_FALSE(pool.try_post(0, [] {}));
+}
+
+// --- RuntimeServer --------------------------------------------------------
+
+TEST(RuntimeServer, PutGetDelEndToEnd) {
+  ShardedStore store({8, 1 << 20, "tok"});
+  RuntimeServer server(store, {2, 64, {}});
+
+  auto put = server.submit("tok", {Op::Type::put, "k", bytes_blob("v")}).get();
+  EXPECT_EQ(put.code, Errc::ok);
+  EXPECT_GT(put.seq, 0u);
+
+  auto got = server.submit("tok", {Op::Type::get, "k", {}}).get();
+  ASSERT_EQ(got.code, Errc::ok);
+  EXPECT_EQ(got.value, bytes_blob("v"));
+  EXPECT_GE(got.latency_s, 0.0);
+
+  auto ex = server.submit("tok", {Op::Type::exists, "k", {}}).get();
+  EXPECT_EQ(ex.code, Errc::ok);
+  EXPECT_TRUE(ex.found);
+
+  auto del = server.submit("tok", {Op::Type::del, "k", {}}).get();
+  EXPECT_EQ(del.code, Errc::ok);
+  EXPECT_EQ(server.submit("tok", {Op::Type::get, "k", {}}).get().code,
+            Errc::not_found);
+}
+
+TEST(RuntimeServer, AuthVerbChecksToken) {
+  ShardedStore store({4, 1 << 20, "tok"});
+  RuntimeServer server(store, {2, 64, {}});
+  EXPECT_EQ(server.submit("tok", {Op::Type::auth, "", {}}).get().code,
+            Errc::ok);
+  EXPECT_EQ(server.submit("oops", {Op::Type::auth, "", {}}).get().code,
+            Errc::permission);
+  EXPECT_EQ(server.submit("oops", {Op::Type::put, "k", bytes_blob("v")})
+                .get().code,
+            Errc::permission);
+}
+
+TEST(RuntimeServer, BatchPreservesInputOrder) {
+  ShardedStore store({8, 1 << 20, ""});
+  RuntimeServer server(store, {4, 256, {}});
+  std::vector<Op> ops;
+  for (int i = 0; i < 32; ++i)
+    ops.push_back({Op::Type::put, "k" + std::to_string(i),
+                   bytes_blob(std::to_string(i))});
+  for (int i = 0; i < 32; ++i)
+    ops.push_back({Op::Type::get, "k" + std::to_string(i), {}});
+  auto results = server.run_batch("", std::move(ops));
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(results[i].code, Errc::ok) << i;
+    ASSERT_EQ(results[32 + i].code, Errc::ok) << i;
+    EXPECT_EQ(results[32 + i].value, bytes_blob(std::to_string(i))) << i;
+  }
+}
+
+TEST(RuntimeServer, BackpressureRejectsWhenQueueFull) {
+  ShardedStore store({1, 1 << 20, ""});  // one shard => one worker queue
+  RuntimeServer server(store, {1, 4, std::chrono::microseconds(2000)});
+  std::vector<std::future<OpResult>> futs;
+  for (int i = 0; i < 64; ++i)
+    futs.push_back(server.submit("", {Op::Type::put, "k" + std::to_string(i),
+                                      bytes_blob("v")}));
+  std::size_t rejected = 0, ok = 0;
+  for (auto& f : futs) {
+    const auto r = f.get();
+    if (r.code == Errc::rejected) {
+      ++rejected;
+      EXPECT_EQ(r.seq, 0u);  // never reached a shard
+    } else if (r.code == Errc::ok) {
+      ++ok;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(server.metrics().counter_value("rt.ops.rejected"), rejected);
+}
+
+TEST(RuntimeServer, MetricsFeedTheSink) {
+  ShardedStore store({4, 1 << 20, ""});
+  RuntimeServer server(store, {2, 64, {}});
+  std::vector<Op> ops;
+  for (int i = 0; i < 16; ++i)
+    ops.push_back({Op::Type::put, "k" + std::to_string(i), bytes_blob("v")});
+  for (int i = 0; i < 16; ++i)
+    ops.push_back({Op::Type::get, "k" + std::to_string(i), {}});
+  (void)server.run_batch("", std::move(ops));
+  EXPECT_EQ(server.metrics().counter_value("rt.ops.put"), 16u);
+  EXPECT_EQ(server.metrics().counter_value("rt.ops.get"), 16u);
+  const auto lat = server.metrics().histogram_summary("rt.op.latency_s");
+  EXPECT_EQ(lat.count, 32u);
+  EXPECT_GT(lat.max, 0.0);
+  // Snapshot carries the queue-depth gauge too.
+  const auto snap = server.metrics().snapshot();
+  EXPECT_NE(snap.find("rt.queue.depth"), nullptr);
+}
+
+TEST(RuntimeServer, ServiceTimeIsApplied) {
+  ShardedStore store({1, 1 << 20, ""});
+  RuntimeServer server(store, {1, 64, std::chrono::microseconds(5000)});
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)server.submit("", {Op::Type::put, "k", bytes_blob("v")}).get();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.004);
+}
+
+}  // namespace
+}  // namespace memfss::rt

@@ -1,0 +1,192 @@
+#include "rt/sharded_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hash/hashes.hpp"
+
+namespace memfss::rt {
+namespace {
+
+kvstore::Blob bytes_blob(std::string_view s) {
+  return kvstore::Blob::materialized(
+      std::vector<std::uint8_t>(s.begin(), s.end()));
+}
+
+constexpr Bytes kOverhead = kvstore::Store::kPerKeyOverhead;
+
+TEST(ShardedStore, ShardOfMatchesFnvDigest) {
+  ShardedStore st({4, 1 << 20, ""});
+  for (const auto* key : {"a", "stripe:0", "k1234", ""}) {
+    EXPECT_EQ(st.shard_of(key), hash::key_digest(key) % 4) << key;
+  }
+}
+
+TEST(ShardedStore, PutGetDelRoundtripAcrossShards) {
+  ShardedStore st({8, 1 << 20, "tok"});
+  std::set<std::size_t> shards_hit;
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    shards_hit.insert(st.shard_of(key));
+    ASSERT_TRUE(st.put("tok", key, bytes_blob("v" + std::to_string(i))).ok());
+  }
+  EXPECT_GT(shards_hit.size(), 1u);  // keys actually spread out
+  EXPECT_EQ(st.key_count(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    auto r = st.get("tok", key);
+    ASSERT_TRUE(r.ok()) << key;
+    EXPECT_EQ(r.value(), bytes_blob("v" + std::to_string(i)));
+    ASSERT_TRUE(st.del("tok", key).ok());
+  }
+  EXPECT_EQ(st.key_count(), 0u);
+  EXPECT_EQ(st.used(), 0u);
+}
+
+TEST(ShardedStore, AuthEnforcedPerOp) {
+  ShardedStore st({2, 1 << 20, "tok"});
+  EXPECT_EQ(st.put("bad", "k", bytes_blob("v")).code(), Errc::permission);
+  EXPECT_TRUE(st.check_token("tok").ok());
+  EXPECT_EQ(st.check_token("bad").code(), Errc::permission);
+  ShardedStore open({2, 1 << 20, ""});
+  EXPECT_TRUE(open.check_token("anything").ok());
+}
+
+TEST(ShardedStore, AggregateCapHeldAcrossShards) {
+  // Cap fits exactly 4 values; per-shard caps never bind (they equal the
+  // aggregate), so only the atomic gate can refuse the 5th.
+  const Bytes val = 1024;
+  ShardedStore st({4, 4 * (val + kOverhead), ""});
+  int stored = 0;
+  int i = 0;
+  for (; stored < 4; ++i) {
+    ASSERT_LT(i, 64) << "could not place 4 values";
+    if (st.put("", "k" + std::to_string(i),
+               kvstore::Blob::ghost(val, i)).ok())
+      ++stored;
+  }
+  EXPECT_EQ(st.used(), st.capacity());
+  EXPECT_EQ(st.put("", "overflow", kvstore::Blob::ghost(val, 99)).code(),
+            Errc::out_of_memory);
+  // Freeing one value on any shard re-admits one value on any other.
+  ASSERT_TRUE(st.del("", "k0").ok());
+  EXPECT_TRUE(st.put("", "overflow", kvstore::Blob::ghost(val, 99)).ok());
+}
+
+TEST(ShardedStore, OverwriteAdjustsAggregateBothWays) {
+  ShardedStore st({2, 1 << 20, ""});
+  ASSERT_TRUE(st.put("", "k", kvstore::Blob::ghost(1000, 1)).ok());
+  EXPECT_EQ(st.used(), 1000 + kOverhead);
+  ASSERT_TRUE(st.put("", "k", kvstore::Blob::ghost(4000, 2)).ok());  // grow
+  EXPECT_EQ(st.used(), 4000 + kOverhead);
+  ASSERT_TRUE(st.put("", "k", kvstore::Blob::ghost(500, 3)).ok());  // shrink
+  EXPECT_EQ(st.used(), 500 + kOverhead);
+}
+
+TEST(ShardedStore, FailedPutReleasesReservation) {
+  ShardedStore st({2, 1 << 20, "tok"});
+  EXPECT_EQ(st.put("bad", "k", kvstore::Blob::ghost(1000, 1)).code(),
+            Errc::permission);
+  EXPECT_EQ(st.used(), 0u);
+}
+
+TEST(ShardedStore, CloseShardFailsOnlyThatShard) {
+  ShardedStore st({4, 1 << 20, ""});
+  // Find keys on two different shards.
+  std::string on0, other;
+  for (int i = 0; i < 64 && (on0.empty() || other.empty()); ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (st.shard_of(key) == 0) on0 = key;
+    else other = key;
+  }
+  ASSERT_FALSE(on0.empty());
+  ASSERT_FALSE(other.empty());
+  st.close_shard(0);
+  EXPECT_TRUE(st.shard_closed(0));
+  EXPECT_EQ(st.put("", on0, bytes_blob("v")).code(), Errc::unavailable);
+  EXPECT_TRUE(st.put("", other, bytes_blob("v")).ok());
+}
+
+TEST(ShardedStore, EvictReleasesAccounting) {
+  ShardedStore st({2, 1 << 20, "tok"});
+  ASSERT_TRUE(st.put("tok", "k", bytes_blob("value")).ok());
+  const Bytes before = st.used();
+  auto b = st.evict("k");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->size(), 5u);
+  EXPECT_EQ(st.used(), before - (5 + kOverhead));
+  EXPECT_FALSE(st.evict("k").has_value());
+}
+
+TEST(ShardedStore, ClearShardReleasesOnlyItsBytes) {
+  ShardedStore st({2, 1 << 20, ""});
+  for (int i = 0; i < 32; ++i)
+    ASSERT_TRUE(st.put("", "k" + std::to_string(i),
+                       kvstore::Blob::ghost(100, i)).ok());
+  const Bytes s0 = st.shard_used(0);
+  const Bytes s1 = st.shard_used(1);
+  EXPECT_EQ(st.used(), s0 + s1);
+  EXPECT_EQ(st.clear_shard(0), s0);
+  EXPECT_EQ(st.used(), s1);
+  EXPECT_EQ(st.shard_used(0), 0u);
+  EXPECT_EQ(st.shard_used(1), s1);
+}
+
+TEST(ShardedStore, UsedEqualsSumOfShardsAndRecomputation) {
+  ShardedStore st({4, 1 << 20, ""});
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(st.put("", "k" + std::to_string(i),
+                       kvstore::Blob::ghost(64 + i, i)).ok());
+  for (int i = 0; i < 100; i += 3)
+    ASSERT_TRUE(st.del("", "k" + std::to_string(i)).ok());
+  Bytes sum = 0, recomputed = 0;
+  for (std::size_t s = 0; s < st.shard_count(); ++s) {
+    sum += st.shard_used(s);
+    recomputed += st.shard_recomputed_used(s);
+  }
+  EXPECT_EQ(st.used(), sum);
+  EXPECT_EQ(sum, recomputed);
+}
+
+TEST(ShardedStore, StatsAggregateOverShards) {
+  ShardedStore st({4, 1 << 20, "tok"});
+  ASSERT_TRUE(st.put("tok", "a", bytes_blob("1")).ok());
+  ASSERT_TRUE(st.put("tok", "b", bytes_blob("2")).ok());
+  (void)st.get("tok", "a");
+  (void)st.get("tok", "missing");
+  (void)st.del("tok", "b");
+  const auto s = st.stats();
+  EXPECT_EQ(s.puts, 2u);
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.dels, 1u);
+}
+
+// Two threads hammering disjoint keys on all shards: the atomic
+// aggregate must equal the per-shard sum once both joined.
+TEST(ShardedStore, ConcurrentPutsKeepAccountingConsistent) {
+  ShardedStore st({4, 8 << 20, ""});
+  auto writer = [&](int base) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::string key = "t" + std::to_string(base) + ":" +
+                              std::to_string(i % 97);
+      (void)st.put("", key, kvstore::Blob::ghost(128, i));
+      if (i % 7 == 0) (void)st.del("", key);
+    }
+  };
+  std::thread a(writer, 0), b(writer, 1);
+  a.join();
+  b.join();
+  Bytes sum = 0;
+  for (std::size_t s = 0; s < st.shard_count(); ++s) sum += st.shard_used(s);
+  EXPECT_EQ(st.used(), sum);
+  EXPECT_LE(st.used(), st.capacity());
+}
+
+}  // namespace
+}  // namespace memfss::rt
