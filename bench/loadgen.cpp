@@ -13,6 +13,16 @@
 //           [--batch N] [--value-size BYTES] [--get-ratio F] [--del-ratio F]
 //           [--skew THETA] [--keys N] [--service-us U] [--seed S]
 //
+// --qos runs the multi-tenant adversarial isolation scenario instead
+// (DESIGN.md §12): N small under-quota tenants plus one abusive tenant,
+// run once without and once with the abuser. Prints one per-tenant CSV
+// row per scenario (rt::qos_csv_header()), a summary on stderr, and
+// exits 1 if isolation breaks: small-tenant p99 degrades past
+// --isolation-factor, the abuser is shed by queue-full rejections
+// instead of Errc::overloaded, or any accounting invariant trips.
+//
+//   loadgen --qos [--tenants N] [--seed S] [--isolation-factor F]
+//
 // CSV schema: see rt::loadgen_csv_header() and EXPERIMENTS.md.
 #include <cstdio>
 #include <cstdlib>
@@ -31,8 +41,46 @@ void usage(const char* argv0) {
                "          [--ops N] [--batch N] [--value-size BYTES]\n"
                "          [--get-ratio F] [--del-ratio F] [--skew THETA]\n"
                "          [--keys N] [--service-us U] [--seed S]\n"
+               "       %s --qos [--tenants N] [--seed S] [--isolation-factor F]\n"
                "With no arguments: thread-scaling sweep (1,2,4,8).\n",
-               argv0);
+               argv0, argv0);
+}
+
+int run_qos(std::size_t tenants, std::uint64_t seed, double factor) {
+  const auto opt = rt::default_qos_options(tenants, seed);
+  const auto sc = rt::run_qos_adversarial(opt);
+
+  std::printf("%s\n", rt::qos_csv_header().c_str());
+  for (const auto& tr : sc.baseline.tenants)
+    std::printf("%s\n", rt::qos_csv_row("baseline", tr).c_str());
+  for (const auto& tr : sc.adversarial.tenants) {
+    double iso = 0.0;
+    for (const auto& base : sc.baseline.tenants)
+      if (base.name == tr.name && base.latency.p99 > 0.0)
+        iso = tr.latency.p99 / base.latency.p99;
+    std::printf("%s\n", rt::qos_csv_row("adversarial", tr, iso).c_str());
+  }
+  std::fflush(stdout);
+
+  bool ok = true;
+  std::fprintf(stderr, "qos: worst small-tenant p99 isolation: %.2fx (limit %.2fx)\n",
+               sc.worst_isolation, factor);
+  if (sc.worst_isolation > factor) {
+    std::fprintf(stderr, "qos: FAIL isolation factor exceeded\n");
+    ok = false;
+  }
+  if (!sc.abuser_shed_via_overload) {
+    std::fprintf(stderr, "qos: FAIL abuser not shed via Errc::overloaded\n");
+    ok = false;
+  }
+  for (const auto* run : {&sc.baseline, &sc.adversarial})
+    if (!run->accounting_ok) {
+      std::fprintf(stderr, "qos: FAIL accounting: %s\n",
+                   run->accounting_msg.c_str());
+      ok = false;
+    }
+  if (ok) std::fprintf(stderr, "qos: OK\n");
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -43,6 +91,9 @@ int main(int argc, char** argv) {
   opt.value_size = 1024;
   opt.get_fraction = 0.5;
   bool single = false;
+  bool qos = false;
+  std::size_t qos_tenants = 8;
+  double isolation_factor = 5.0;
 
   for (int i = 1; i < argc; ++i) {
     auto want = [&](const char* flag) {
@@ -50,7 +101,10 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) { usage(argv[0]); std::exit(2); }
       return true;
     };
-    if (want("--threads")) { opt.client_threads = std::strtoul(argv[++i], nullptr, 10); opt.server_threads = opt.client_threads; single = true; }
+    if (std::strcmp(argv[i], "--qos") == 0) { qos = true; }
+    else if (want("--tenants")) { qos_tenants = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--isolation-factor")) { isolation_factor = std::strtod(argv[++i], nullptr); }
+    else if (want("--threads")) { opt.client_threads = std::strtoul(argv[++i], nullptr, 10); opt.server_threads = opt.client_threads; single = true; }
     else if (want("--server-threads")) { opt.server_threads = std::strtoul(argv[++i], nullptr, 10); }
     else if (want("--shards")) { opt.shards = std::strtoul(argv[++i], nullptr, 10); }
     else if (want("--ops")) { opt.ops_per_thread = std::strtoul(argv[++i], nullptr, 10); }
@@ -64,6 +118,8 @@ int main(int argc, char** argv) {
     else if (want("--seed")) { opt.seed = std::strtoull(argv[++i], nullptr, 10); }
     else { usage(argv[0]); return 2; }
   }
+
+  if (qos) return run_qos(qos_tenants, opt.seed, isolation_factor);
 
   std::printf("%s\n", rt::loadgen_csv_header().c_str());
 

@@ -3,7 +3,7 @@
 # sanitized one (ASan + UBSan via -DMEMFSS_SANITIZE=address,undefined).
 # Run from the repository root.
 #
-#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan]
+#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos]
 #
 # --coverage builds with gcov instrumentation (-DMEMFSS_COVERAGE=ON) in
 # build-cov/, runs the tests, prints per-directory line coverage, and
@@ -22,6 +22,13 @@
 # sanitize pass; only the concurrency targets are built since the
 # single-threaded sim suite has nothing for TSan to find.
 #
+# --qos runs the adversarial multi-tenant isolation scenario
+# (bench/loadgen --qos: 8 small tenants + 1 abusive tenant at >= 10x its
+# rate quota, compared against a no-abuser baseline) at three fixed
+# seeds with a fixed isolation factor. Fails if any small tenant's p99
+# degrades past the factor, the abuser is shed by queue-full rejection
+# instead of Errc::overloaded, or the memory-accounting invariants trip.
+#
 # --chaos runs the full-size chaos soak (bench/chaos_soak: randomized
 # partitions + crashes + revocation + pressure evictions, then heal and
 # check durability / accounting / recovery invariants) at three fixed
@@ -39,6 +46,7 @@ run_cov=0
 run_perf=0
 run_chaos=0
 run_tsan=0
+run_qos=0
 case "${1:-}" in
   --plain-only) run_san=0 ;;
   --sanitize-only) run_plain=0 ;;
@@ -46,8 +54,9 @@ case "${1:-}" in
   --perf) run_plain=0; run_san=0; run_perf=1 ;;
   --chaos) run_plain=0; run_san=0; run_chaos=1 ;;
   --tsan) run_plain=0; run_san=0; run_tsan=1 ;;
+  --qos) run_plain=0; run_san=0; run_qos=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan]" >&2
+  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos]" >&2
      exit 2 ;;
 esac
 
@@ -121,9 +130,20 @@ if [[ $run_tsan -eq 1 ]]; then
   # tree is single-threaded and not what this pass is for.
   cmake --build build-tsan --target \
     test_rt_sharded_store test_rt_server test_rt_linearizability \
-    test_rt_stress test_rt_loadgen
+    test_rt_stress test_rt_loadgen test_rt_qos
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan -L concurrency --output-on-failure
+fi
+
+if [[ $run_qos -eq 1 ]]; then
+  echo "== qos adversarial isolation (seeds 1 2 3) =="
+  cmake -B build -G Ninja -DMEMFSS_WERROR=OFF
+  cmake --build build --target loadgen
+  for seed in 1 2 3; do
+    echo "-- qos seed $seed --"
+    ./build/bench/loadgen --qos --tenants 8 --seed "$seed" \
+      --isolation-factor 5.0
+  done
 fi
 
 if [[ $run_chaos -eq 1 ]]; then

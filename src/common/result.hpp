@@ -28,6 +28,8 @@ enum class Errc {
   timeout,          ///< RPC deadline elapsed (peer may still be working)
   unreachable,      ///< no network route to the peer (link cut / partition)
   rejected,         ///< peer refused admission (breaker open, queue full)
+  overloaded,       ///< peer shed the request under load (QoS policy); honor
+                    ///< the retry-after hint before trying again
   fatal,            ///< unrecoverable internal error; never retry
 };
 
@@ -39,7 +41,7 @@ enum class Errc {
 constexpr bool errc_connectivity(Errc e) {
   return e == Errc::timeout || e == Errc::unreachable ||
          e == Errc::unavailable || e == Errc::io_error ||
-         e == Errc::rejected;
+         e == Errc::rejected || e == Errc::overloaded;
 }
 
 /// Whether a failed operation is worth retrying (possibly elsewhere).
@@ -53,9 +55,12 @@ constexpr bool errc_retryable(Errc e) {
 /// breaker).  A clean application-level answer such as not_found or
 /// permission proves the server is alive and responsive, so only
 /// connectivity faults qualify -- except rejected, which the *client*
-/// synthesizes without talking to the server.
+/// synthesizes without talking to the server, and overloaded, which is
+/// a deliberate QoS shed: the server answered, on purpose, while
+/// healthy.
 constexpr bool errc_health_fault(Errc e) {
-  return errc_connectivity(e) && e != Errc::rejected;
+  return errc_connectivity(e) && e != Errc::rejected &&
+         e != Errc::overloaded;
 }
 
 /// Human-readable name of an error code.
@@ -76,6 +81,7 @@ constexpr std::string_view errc_name(Errc e) {
     case Errc::timeout: return "timeout";
     case Errc::unreachable: return "unreachable";
     case Errc::rejected: return "rejected";
+    case Errc::overloaded: return "overloaded";
     case Errc::fatal: return "fatal";
   }
   return "unknown";

@@ -60,11 +60,16 @@ struct LoadgenResult {
   std::uint64_t gets = 0;      ///< ok gets (hits)
   std::uint64_t dels = 0;      ///< ok dels
   std::uint64_t not_found = 0; ///< clean misses (get/del on absent key)
-  std::uint64_t rejected = 0;  ///< backpressure rejections
+  std::uint64_t rejected = 0;  ///< backpressure rejections (queue full)
+  std::uint64_t overloaded = 0;  ///< QoS sheds (rate limit / pressure)
+  std::uint64_t retry_after_hints = 0;  ///< overloaded results with a hint
   std::uint64_t errors = 0;    ///< anything else (oom, auth, ...)
   double wall_s = 0.0;
-  double ops_per_sec = 0.0;    ///< completed (non-rejected) ops / wall
-  obs::HistogramSummary latency;  ///< per-op submit-to-completion
+  double ops_per_sec = 0.0;    ///< completed (non-shed) ops / wall
+  /// Per-op submit-to-completion latency over *completed* ops only --
+  /// rejected and overloaded ops never reach a worker, so admitting
+  /// them into the histogram would fake sub-microsecond "latencies".
+  obs::HistogramSummary latency;
   /// FNV-1a over every (thread, op type, key index, result code, get
   /// checksum) in submission order, folded per thread then combined in
   /// thread order. Identical streams + identical execution order =>
@@ -76,5 +81,94 @@ LoadgenResult run_loadgen(const LoadgenOptions& opt);
 
 std::string loadgen_csv_header();
 std::string loadgen_csv_row(const LoadgenResult& r);
+
+// --- Multi-tenant QoS scenario (DESIGN.md §12) -----------------------
+//
+// One RuntimeServer shared by N tenants, each with its own priority,
+// weight, rate limits, memory quota, and client threads. Normal
+// tenants replay a fixed seed-deterministic stream (optionally pacing
+// batches to stay under their own quota and honoring retry-after
+// hints); an *abusive* tenant cycles its stream flat-out, ignoring
+// hints, until every normal tenant has finished. A sampler thread
+// checks the cap/accounting invariants (`used() <= capacity()`,
+// sum-of-tenant-bytes >= aggregate) continuously, plus exact equality
+// after quiesce.
+
+struct QosTenantSpec {
+  std::string name = "tenant";
+  std::uint32_t priority = 3;       ///< 0 = shed first .. kTopPriority
+  std::uint32_t weight = 1;         ///< DWRR share
+  double ops_per_s = 0.0;           ///< admission rate (0 = unlimited)
+  double ops_burst = 0.0;
+  double bytes_per_s = 0.0;
+  Bytes memory_quota = 0;           ///< resident bytes (0 = unlimited)
+  std::size_t client_threads = 1;
+  std::size_t ops_per_thread = 1000;  ///< abusive: stream length, cycled
+  std::size_t batch = 2;            ///< ops in flight per client
+  std::uint32_t pace_us = 0;        ///< sleep between batches
+  bool abusive = false;  ///< cycle until others finish; ignore hints
+};
+
+struct QosOptions {
+  std::vector<QosTenantSpec> tenants;
+  std::size_t server_threads = 4;
+  std::size_t shards = 16;
+  Bytes value_size = 1024;
+  double get_fraction = 0.5;
+  double del_fraction = 0.0;
+  std::size_t key_space = 4096;     ///< per-tenant keys ("<name>:k<i>")
+  Bytes capacity = 256 * units::MiB;
+  std::size_t queue_capacity = 256;
+  std::uint64_t seed = 1;
+  std::uint32_t service_time_us = 200;
+  std::string auth_token = "rt";
+};
+
+struct QosTenantResult {
+  std::string name;
+  std::uint32_t priority = 0;
+  std::uint32_t weight = 0;
+  std::uint64_t submitted = 0;  ///< offered ops, shed or not
+  std::uint64_t ok = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t rejected = 0;    ///< queue-full (Errc::rejected)
+  std::uint64_t overloaded = 0;  ///< QoS sheds (Errc::overloaded)
+  std::uint64_t retry_after_hints = 0;  ///< sheds carrying a hint > 0
+  std::uint64_t errors = 0;
+  double ops_per_sec = 0.0;      ///< completed ops / wall
+  obs::HistogramSummary latency; ///< completed ops only
+};
+
+struct QosRunResult {
+  std::vector<QosTenantResult> tenants;  ///< in spec order
+  double wall_s = 0.0;
+  bool accounting_ok = true;  ///< sampled + quiesce invariants held
+  std::string accounting_msg; ///< first violation, when !accounting_ok
+};
+
+QosRunResult run_qos_scenario(const QosOptions& opt);
+
+/// The adversarial isolation experiment: run the scenario twice -- once
+/// without the abusive tenants (baseline) and once with them -- and
+/// compare each normal tenant's p99 against its own baseline.
+struct QosScenarioResult {
+  QosRunResult baseline;     ///< abusive tenants excluded
+  QosRunResult adversarial;  ///< full tenant set
+  /// max over normal tenants of p99(adversarial) / p99(baseline).
+  double worst_isolation = 0.0;
+  /// Abusers were shed by policy (overloaded), not queue-full noise.
+  bool abuser_shed_via_overload = false;
+};
+
+QosScenarioResult run_qos_adversarial(const QosOptions& opt);
+
+/// The stock adversarial configuration for bench/loadgen --qos and
+/// scripts/check.sh --qos: `small` under-quota tenants plus one abusive
+/// tenant offered far past its ops/s bucket.
+QosOptions default_qos_options(std::size_t small_tenants, std::uint64_t seed);
+
+std::string qos_csv_header();
+std::string qos_csv_row(std::string_view scenario, const QosTenantResult& r,
+                        double isolation_p99 = 0.0);
 
 }  // namespace memfss::rt

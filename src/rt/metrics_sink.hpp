@@ -21,6 +21,21 @@ class MetricsSink {
     reg_.counter(name).inc(delta);
   }
 
+  /// Per-tenant counter: "rt.tenant.<tenant>.<metric>". The QoS layer
+  /// routes every tenant-attributed count (admitted ops, sheds,
+  /// rejections, payload bytes) through here so dashboards can slice
+  /// the runtime by tenant with one name prefix.
+  void count_tenant(std::string_view tenant, std::string_view metric,
+                    std::uint64_t delta = 1) {
+    std::string name;
+    name.reserve(10 + tenant.size() + 1 + metric.size());
+    name += "rt.tenant.";
+    name += tenant;
+    name += '.';
+    name += metric;
+    count(name, delta);
+  }
+
   void observe(std::string_view name, double value) {
     std::lock_guard lk(mu_);
     reg_.histogram(name).add(value);

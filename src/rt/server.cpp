@@ -1,5 +1,7 @@
 #include "rt/server.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -19,24 +21,32 @@ double seconds_since(Clock::time_point t0) {
 RuntimeServer::RuntimeServer(ShardedStore& store, Options opt)
     : store_(store),
       opt_(opt),
+      owned_tenants_(opt.tenants ? nullptr : std::make_unique<TenantRegistry>()),
+      tenants_(opt.tenants ? opt.tenants : owned_tenants_.get()),
+      epoch_(Clock::now()),
       pool_(ThreadPool::Options{opt.threads, opt.queue_capacity}) {}
 
 RuntimeServer::~RuntimeServer() { shutdown(); }
 
 OpResult RuntimeServer::execute(const std::string& token, Op& op) {
   OpResult r;
+  std::uint64_t seq = 0;
   switch (op.type) {
     case Op::Type::put:
-      r.code = store_.put(token, op.key, std::move(op.value), &r.seq).code();
+      r.code = store_.put(token, op.key, std::move(op.value), &seq,
+                          op.tenant).code();
+      r.seq = seq;
       break;
     case Op::Type::get: {
-      auto got = store_.get(token, op.key, &r.seq);
+      auto got = store_.get(token, op.key, &seq);
       r.code = got.code();
+      r.seq = seq;
       if (got.ok()) r.value = std::move(got).value();
       break;
     }
     case Op::Type::del:
-      r.code = store_.del(token, op.key, &r.seq).code();
+      r.code = store_.del(token, op.key, &seq).code();
+      r.seq = seq;
       break;
     case Op::Type::exists: {
       auto e = store_.exists(token, op.key);
@@ -57,6 +67,7 @@ std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
     std::string token;
     Op op;
     Clock::time_point start;
+    bool degraded = false;  ///< admitted past degrade_at: cheap path
   };
   auto w = std::make_shared<Work>();
   w->token = token;
@@ -64,28 +75,101 @@ std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
   w->start = Clock::now();
   auto fut = w->done.get_future();
 
+  const std::uint32_t tid = w->op.tenant;
+  auto complete_now = [&](Errc code, double retry_after_s,
+                          std::string_view metric) {
+    OpResult r;
+    r.code = code;
+    r.retry_after_s = retry_after_s;
+    r.latency_s = seconds_since(w->start);
+    metrics_.count(std::string("rt.ops.") + std::string(metric));
+    if (tenants_->valid(tid))
+      metrics_.count_tenant(tenants_->name(tid), metric);
+    w->done.set_value(std::move(r));
+  };
+
+  if (!tenants_->valid(tid)) {
+    complete_now(Errc::invalid_argument, 0.0, "invalid_tenant");
+    return fut;
+  }
+
   // auth carries no key; route it like an empty key so it still flows
   // through a real worker queue (and shows up in queue metrics).
   const std::size_t shard = store_.shard_of(w->op.key);
   const std::size_t worker = shard % pool_.size();
 
-  const bool accepted = pool_.try_post(worker, [this, w] {
-    if (opt_.service_time.count() > 0)
-      std::this_thread::sleep_for(opt_.service_time);
-    OpResult r = execute(w->token, w->op);
-    r.latency_s = seconds_since(w->start);
-    metrics_.count(r.code == Errc::ok
-                       ? std::string("rt.ops.") + std::string(op_type_name(w->op.type))
-                       : std::string("rt.ops.failed"));
-    metrics_.observe("rt.op.latency_s", r.latency_s);
-    w->done.set_value(std::move(r));
-  });
+  // Gate 1: the tenant's own rate limits. Over-rate bursters are shed
+  // here regardless of load, so they can never displace other tenants.
+  const Bytes payload =
+      w->op.type == Op::Type::put ? w->op.value.size() : 0;
+  const auto adm = tenants_->admit(tid, payload, now_s());
+  if (adm.code != Errc::ok) {
+    complete_now(Errc::overloaded, adm.retry_after_s, "overloaded");
+    return fut;
+  }
+
+  // Gate 2: pressure. Occupancy of the owning worker drives a shedding
+  // ladder: past shed_at the minimum admitted priority rises linearly
+  // from 1 (best-effort shed first) to kTopPriority (everyone but the
+  // top class shed as the queue approaches full); writes ride a biased
+  // occupancy so they shed a notch before reads. kTopPriority tenants
+  // are never pressure-shed -- their lane bound (gate 3) is the only
+  // thing that can turn them away.
+  const double occupancy = pool_.occupancy(worker);
+  const std::uint32_t prio = tenants_->priority(tid);
+  if (occupancy >= opt_.shed_at && prio < kTopPriority) {
+    const double biased = std::min(
+        1.0, occupancy + (op_is_write(w->op.type) ? opt_.write_shed_bias
+                                                  : 0.0));
+    const double level = (biased - opt_.shed_at) / (1.0 - opt_.shed_at);
+    const auto required = static_cast<std::uint32_t>(
+        std::ceil(level * kTopPriority));
+    if (prio < required) {
+      // Hint scales with how deep into overload the worker is: a
+      // lightly loaded queue suggests a short backoff, a nearly full
+      // one up to 10x the base.
+      complete_now(Errc::overloaded,
+                   opt_.retry_after_base_s * (1.0 + 9.0 * level),
+                   "overloaded");
+      return fut;
+    }
+  }
+  w->degraded = occupancy >= opt_.degrade_at;
+
+  // Gate 3: the tenant's lane in the owning worker. Each tenant gets a
+  // weight-proportional share of the worker's aggregate capacity, so a
+  // flooding tenant fills only its own lane.
+  const std::uint64_t total_weight = std::max<std::uint64_t>(
+      tenants_->total_weight(), 1);
+  const std::size_t lane_cap = std::max<std::size_t>(
+      1, static_cast<std::size_t>(pool_.capacity() *
+                                  tenants_->weight(tid) / total_weight));
+  const bool accepted = pool_.try_post(
+      worker, tid, tenants_->weight(tid), lane_cap, [this, w] {
+        if (opt_.service_time.count() > 0 && !w->degraded)
+          std::this_thread::sleep_for(opt_.service_time);
+        else if (opt_.service_time.count() > 0)
+          metrics_.count("rt.ops.degraded");
+        // execute() moves the put payload into the store; size it first.
+        const Bytes put_bytes =
+            w->op.type == Op::Type::put ? w->op.value.size() : 0;
+        OpResult r = execute(w->token, w->op);
+        r.latency_s = seconds_since(w->start);
+        const std::string_view verb = op_type_name(w->op.type);
+        metrics_.count(r.code == Errc::ok
+                           ? std::string("rt.ops.") + std::string(verb)
+                           : std::string("rt.ops.failed"));
+        metrics_.observe("rt.op.latency_s", r.latency_s);
+        if (tenants_->valid(w->op.tenant)) {
+          const std::string& tname = tenants_->name(w->op.tenant);
+          metrics_.count_tenant(tname, "ops");
+          if (w->op.type == Op::Type::put)
+            metrics_.count_tenant(tname, "bytes", put_bytes);
+        }
+        w->done.set_value(std::move(r));
+      });
   if (!accepted) {
-    OpResult r;
-    r.code = Errc::rejected;
-    r.latency_s = seconds_since(w->start);
-    metrics_.count("rt.ops.rejected");
-    w->done.set_value(std::move(r));
+    complete_now(Errc::rejected, 0.0, "rejected");
   } else {
     metrics_.gauge_set("rt.queue.depth",
                        static_cast<double>(pool_.queue_depth(worker)));

@@ -2,12 +2,30 @@
 // real-traffic counterpart of the simulator's kvstore::Server.
 //
 // Clients submit put/get/del/exists/auth operations (singly or in
-// batches); each op is routed to the worker that owns the key's shard
-// (shard index mod pool size), executes there, and completes a future.
-// Admission control is the pool's bounded per-worker queue: when the
-// owning worker's queue is full the op completes immediately with
-// Errc::rejected, never blocking the submitter -- the same backpressure
-// taxonomy the sim path uses (common/result.hpp).
+// batches) on behalf of a *tenant* (a slot in rt::TenantRegistry; slot
+// 0 is the default tenant, so single-tenant callers need not care).
+// Each op is routed to the worker that owns the key's shard (shard
+// index mod pool size), executes there, and completes a future.
+//
+// Admission runs three gates, in order (DESIGN.md §12):
+//
+//   1. rate: the tenant's ops/s and bytes/s token buckets. An
+//      over-rate op completes immediately with Errc::overloaded and a
+//      retry-after hint -- the burster is shed no matter how idle the
+//      system is, so it can never displace under-quota tenants.
+//   2. pressure: when the owning worker's occupancy crosses shed_at,
+//      lower-priority tenants are shed (Errc::overloaded + hint) in
+//      priority order -- writes a notch earlier than reads -- while
+//      kTopPriority tenants are never pressure-shed. Between degrade_at
+//      and shed_at the op is still admitted but executes the cheap
+//      path (the simulated remote service_time is dropped).
+//   3. queue: the tenant's own lane in the owning worker. A full lane
+//      completes the op with Errc::rejected (queue-full, distinct from
+//      the policy shed) without blocking the submitter.
+//
+// Admitted ops are drained by deficit-weighted round robin across
+// tenant lanes (rt::ThreadPool), so a deep abusive lane cannot delay
+// other tenants' ops beyond its weight share.
 //
 // An optional per-op service time models the remote-access latency of a
 // disaggregated deployment (NIC + fabric round trip); workers sleep it
@@ -16,12 +34,15 @@
 // core count. The load generator uses this for its scaling sweeps.
 //
 // Metrics (per-op latency histograms, throughput counters, queue-depth
-// gauge) feed an obs::MetricsRegistry behind a mutex-guarded sink.
+// gauge, per-tenant admitted/overloaded/rejected/bytes counters) feed
+// an obs::MetricsRegistry behind a mutex-guarded sink.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +50,7 @@
 #include "kvstore/blob.hpp"
 #include "rt/metrics_sink.hpp"
 #include "rt/sharded_store.hpp"
+#include "rt/tenant_registry.hpp"
 #include "rt/thread_pool.hpp"
 
 namespace memfss::rt {
@@ -36,8 +58,9 @@ namespace memfss::rt {
 struct Op {
   enum class Type { put, get, del, exists, auth };
   Type type = Type::get;
-  std::string key;       ///< ignored by auth
-  kvstore::Blob value;   ///< put only
+  std::string key;             ///< ignored by auth
+  kvstore::Blob value;         ///< put only
+  std::uint32_t tenant = 0;    ///< TenantRegistry slot (0 = default)
 };
 
 constexpr std::string_view op_type_name(Op::Type t) {
@@ -51,22 +74,41 @@ constexpr std::string_view op_type_name(Op::Type t) {
   return "unknown";
 }
 
+constexpr bool op_is_write(Op::Type t) {
+  return t == Op::Type::put || t == Op::Type::del;
+}
+
 struct OpResult {
   Errc code = Errc::ok;
   kvstore::Blob value;     ///< get: the fetched blob
   bool found = false;      ///< exists: presence
-  std::uint64_t seq = 0;   ///< shard serialization index (0 if rejected)
-  double latency_s = 0.0;  ///< submit-to-completion wall time
+  /// Shard serialization index. Engaged iff the op reached its shard
+  /// (put/get/del that were admitted and executed); disengaged for
+  /// rejected/overloaded ops and for exists/auth, so a shed op can
+  /// never be mistaken for one that ran.
+  std::optional<std::uint64_t> seq;
+  double latency_s = 0.0;    ///< submit-to-completion wall time
+  /// overloaded only: seconds the client should wait before retrying.
+  double retry_after_s = 0.0;
 };
 
 class RuntimeServer {
  public:
   struct Options {
     std::size_t threads = 1;            ///< worker threads
-    std::size_t queue_capacity = 1024;  ///< per-worker queue bound
+    std::size_t queue_capacity = 1024;  ///< per-worker aggregate queue bound
     /// Simulated remote-access latency applied per op inside the worker
     /// (0 = pure in-memory execution).
     std::chrono::microseconds service_time{0};
+    /// Tenant table for admission/fairness. nullptr = the server owns a
+    /// private registry holding only the default tenant (pre-QoS
+    /// behavior).
+    TenantRegistry* tenants = nullptr;
+    // Overload ladder, in worker-occupancy fractions [0, 1]:
+    double degrade_at = 0.50;  ///< drop service_time modeling (cheap path)
+    double shed_at = 0.75;     ///< start shedding lowest-priority tenants
+    double write_shed_bias = 0.10;  ///< writes shed this much earlier
+    double retry_after_base_s = 0.005;  ///< pressure-shed hint scale
   };
 
   RuntimeServer(ShardedStore& store, Options opt);
@@ -75,9 +117,12 @@ class RuntimeServer {
   RuntimeServer& operator=(const RuntimeServer&) = delete;
 
   std::size_t threads() const { return pool_.size(); }
+  TenantRegistry& tenants() { return *tenants_; }
+  const TenantRegistry& tenants() const { return *tenants_; }
 
   /// Submit one operation; the future completes when the owning worker
-  /// has executed it (immediately, with Errc::rejected, on backpressure).
+  /// has executed it (or immediately, with Errc::overloaded /
+  /// Errc::rejected, when admission sheds it).
   std::future<OpResult> submit(const std::string& token, Op op);
 
   /// Closed-loop batch: submit every op, then wait for all results
@@ -89,13 +134,22 @@ class RuntimeServer {
   const MetricsSink& metrics() const { return metrics_; }
 
   /// Drain queues and join workers. Idempotent; the destructor calls it.
+  /// Every already-queued op still executes and resolves its future;
+  /// ops submitted after the stop resolve with Errc::rejected.
   void shutdown() { pool_.stop(); }
 
  private:
   OpResult execute(const std::string& token, Op& op);
+  double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_).count();
+  }
 
   ShardedStore& store_;
   Options opt_;
+  std::unique_ptr<TenantRegistry> owned_tenants_;  ///< when opt.tenants null
+  TenantRegistry* tenants_;
+  std::chrono::steady_clock::time_point epoch_;
   MetricsSink metrics_;
   ThreadPool pool_;  // last member: workers die before anything they use
 };

@@ -1,10 +1,14 @@
 #include "rt/sharded_store.hpp"
 
+#include <utility>
+
 #include "hash/hashes.hpp"
+#include "rt/tenant_registry.hpp"
 
 namespace memfss::rt {
 
-ShardedStore::ShardedStore(Options opt) : capacity_(opt.capacity) {
+ShardedStore::ShardedStore(Options opt)
+    : capacity_(opt.capacity), tenants_(opt.tenants) {
   const std::size_t n = opt.shards ? opt.shards : 1;
   shards_.reserve(n);
   // Each shard's own Store is created with the *aggregate* cap so the
@@ -39,24 +43,57 @@ bool ShardedStore::try_reserve(Bytes n) {
 }
 
 Status ShardedStore::put(std::string_view token, std::string_view key,
-                         kvstore::Blob value, std::uint64_t* seq) {
+                         kvstore::Blob value, std::uint64_t* seq,
+                         std::uint32_t tenant) {
   auto& sh = shard(key);
   std::lock_guard lk(sh.mu);
   if (seq) *seq = ++sh.seq;
   const Bytes incoming = value.size() + kvstore::Store::kPerKeyOverhead;
+  const bool existed = sh.store.peek(key) != nullptr;
   Bytes outgoing = 0;
-  if (const auto* prev = sh.store.peek(key))
-    outgoing = prev->size() + kvstore::Store::kPerKeyOverhead;
+  if (existed)
+    outgoing = sh.store.peek(key)->size() + kvstore::Store::kPerKeyOverhead;
   const Bytes grow = incoming > outgoing ? incoming - outgoing : 0;
-  if (grow > 0 && !try_reserve(grow))
+
+  // Per-tenant quota gate first (charge-before-insert, like the
+  // aggregate gate below): a same-owner overwrite charges only the
+  // growth; a fresh key or cross-tenant overwrite charges the full
+  // incoming size (the old owner's bytes are released after success).
+  std::uint32_t old_owner = 0;
+  bool same_owner = false;
+  Bytes charged = 0;
+  if (tenants_) {
+    if (existed) {
+      const auto it = sh.owner.find(std::string(key));
+      old_owner = it == sh.owner.end() ? 0 : it->second;
+    }
+    same_owner = existed && old_owner == tenant;
+    charged = same_owner ? grow : incoming;
+    if (charged > 0 && !tenants_->try_charge_memory(tenant, charged))
+      return {Errc::out_of_memory, "tenant memory quota exceeded"};
+  }
+  if (grow > 0 && !try_reserve(grow)) {
+    if (charged > 0) tenants_->release_memory(tenant, charged);
     return {Errc::out_of_memory, "aggregate capacity exceeded"};
+  }
   auto st = sh.store.put(token, key, std::move(value));
   if (!st.ok()) {
     if (grow > 0) release(grow);
+    if (charged > 0) tenants_->release_memory(tenant, charged);
     return st;
   }
-  // Overwrite by a smaller value: the shard shrank, return the slack.
+  // Overwrite by a smaller value: the shard shrank, return the slack
+  // (aggregate before per-tenant, preserving sum-over-tenants >= used).
   if (incoming < outgoing) release(outgoing - incoming);
+  if (tenants_) {
+    if (same_owner) {
+      if (incoming < outgoing)
+        tenants_->release_memory(tenant, outgoing - incoming);
+    } else if (existed) {
+      tenants_->release_memory(old_owner, outgoing);
+    }
+    sh.owner[std::string(key)] = tenant;
+  }
   return st;
 }
 
@@ -78,7 +115,16 @@ Status ShardedStore::del(std::string_view token, std::string_view key,
   if (const auto* prev = sh.store.peek(key))
     held = prev->size() + kvstore::Store::kPerKeyOverhead;
   auto st = sh.store.del(token, key);
-  if (st.ok()) release(held);
+  if (st.ok()) {
+    release(held);
+    if (tenants_) {
+      const auto it = sh.owner.find(std::string(key));
+      if (it != sh.owner.end()) {
+        tenants_->release_memory(it->second, held);
+        sh.owner.erase(it);
+      }
+    }
+  }
   return st;
 }
 
@@ -94,7 +140,17 @@ std::optional<kvstore::Blob> ShardedStore::evict(std::string_view key) {
   std::lock_guard lk(sh.mu);
   ++sh.seq;
   auto b = sh.store.drain(key);
-  if (b) release(b->size() + kvstore::Store::kPerKeyOverhead);
+  if (b) {
+    const Bytes held = b->size() + kvstore::Store::kPerKeyOverhead;
+    release(held);
+    if (tenants_) {
+      const auto it = sh.owner.find(std::string(key));
+      if (it != sh.owner.end()) {
+        tenants_->release_memory(it->second, held);
+        sh.owner.erase(it);
+      }
+    }
+  }
   return b;
 }
 
@@ -114,8 +170,20 @@ Bytes ShardedStore::clear_shard(std::size_t shard) {
   auto& sh = *shards_.at(shard);
   std::lock_guard lk(sh.mu);
   ++sh.seq;
+  // Capture per-owner tallies before the keys vanish; per-tenant
+  // releases follow the aggregate release (sum >= used is preserved).
+  std::vector<std::pair<std::uint32_t, Bytes>> owed;
+  if (tenants_) {
+    owed.reserve(sh.owner.size());
+    for (const auto& [key, owner] : sh.owner)
+      if (const auto* b = sh.store.peek(key))
+        owed.emplace_back(owner, b->size() + kvstore::Store::kPerKeyOverhead);
+    sh.owner.clear();
+  }
   const Bytes freed = sh.store.clear();
   release(freed);
+  for (const auto& [owner, bytes] : owed)
+    tenants_->release_memory(owner, bytes);
   return freed;
 }
 

@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
@@ -34,12 +35,23 @@
 
 namespace memfss::rt {
 
+class TenantRegistry;
+
 class ShardedStore {
  public:
   struct Options {
     std::size_t shards = 8;          ///< number of Store partitions (>= 1)
     Bytes capacity = 64 * units::MiB;  ///< aggregate memory cap
     std::string auth_token;          ///< required by every op (empty = off)
+    /// When set, every resident byte is also charged to the owning
+    /// tenant (per-key owner tracked under the shard mutex): puts
+    /// charge-before-insert against the tenant's memory quota, removals
+    /// release-after-remove. Tenant charges happen before the aggregate
+    /// reservation and releases after the aggregate release, so
+    /// sum-over-tenants >= used() at every instant and equals it at
+    /// quiescence. nullptr = no per-tenant accounting (tenant args are
+    /// ignored).
+    TenantRegistry* tenants = nullptr;
   };
 
   explicit ShardedStore(Options opt);
@@ -63,9 +75,15 @@ class ShardedStore {
 
   // Key operations mirror kvstore::Store but enforce the aggregate cap.
   // `seq` (optional) receives the per-shard serialization index assigned
-  // to this operation, including failed ones.
+  // to this operation, including failed ones. `tenant` attributes the
+  // key's resident bytes when a TenantRegistry is attached: a put that
+  // would push the tenant past its memory quota fails with
+  // out_of_memory before touching the aggregate gate. Removals (del,
+  // evict, clear_shard) always release to the *recorded owner*, so they
+  // carry no tenant argument.
   Status put(std::string_view token, std::string_view key,
-             kvstore::Blob value, std::uint64_t* seq = nullptr);
+             kvstore::Blob value, std::uint64_t* seq = nullptr,
+             std::uint32_t tenant = 0);
   Result<kvstore::Blob> get(std::string_view token, std::string_view key,
                             std::uint64_t* seq = nullptr);
   Status del(std::string_view token, std::string_view key,
@@ -97,6 +115,9 @@ class ShardedStore {
     mutable std::mutex mu;
     kvstore::Store store;
     std::uint64_t seq = 0;  ///< serialization index, guarded by mu
+    /// key -> owning tenant slot; maintained (and only consulted) when
+    /// a TenantRegistry is attached. Guarded by mu.
+    std::unordered_map<std::string, std::uint32_t> owner;
 
     Shard(Bytes capacity, std::string token)
         : store(capacity, std::move(token)) {}
@@ -111,6 +132,7 @@ class ShardedStore {
   void release(Bytes n) { used_.fetch_sub(n, std::memory_order_relaxed); }
 
   Bytes capacity_;
+  TenantRegistry* tenants_;  ///< optional per-tenant byte accounting
   std::atomic<Bytes> used_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -1,5 +1,7 @@
 #include "rt/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace memfss::rt {
 
 ThreadPool::ThreadPool(Options opt)
@@ -15,13 +17,21 @@ ThreadPool::ThreadPool(Options opt)
 
 ThreadPool::~ThreadPool() { stop(); }
 
-bool ThreadPool::try_post(std::size_t worker, Job job) {
+bool ThreadPool::try_post(std::size_t worker, std::uint32_t lane,
+                          std::uint32_t weight, std::size_t lane_cap,
+                          Job job) {
   auto& w = *workers_[worker % workers_.size()];
   {
     std::lock_guard lk(w.mu);
-    if (stopping_.load(std::memory_order_relaxed) || w.q.size() >= cap_)
+    if (stopping_.load(std::memory_order_relaxed) || w.total >= cap_)
       return false;
-    w.q.push_back(std::move(job));
+    if (lane >= w.lanes.size()) w.lanes.resize(lane + 1);
+    if (!w.lanes[lane]) w.lanes[lane] = std::make_unique<Lane>();
+    Lane& l = *w.lanes[lane];
+    l.weight = std::max<std::uint32_t>(weight, 1);
+    if (l.q.size() >= std::max<std::size_t>(lane_cap, 1)) return false;
+    l.q.push_back(std::move(job));
+    ++w.total;
   }
   w.cv.notify_one();
   return true;
@@ -30,7 +40,46 @@ bool ThreadPool::try_post(std::size_t worker, Job job) {
 std::size_t ThreadPool::queue_depth(std::size_t worker) const {
   auto& w = *workers_[worker % workers_.size()];
   std::lock_guard lk(w.mu);
-  return w.q.size();
+  return w.total;
+}
+
+std::size_t ThreadPool::queue_depth(std::size_t worker,
+                                    std::uint32_t lane) const {
+  auto& w = *workers_[worker % workers_.size()];
+  std::lock_guard lk(w.mu);
+  if (lane >= w.lanes.size() || !w.lanes[lane]) return 0;
+  return w.lanes[lane]->q.size();
+}
+
+double ThreadPool::occupancy(std::size_t worker) const {
+  return static_cast<double>(queue_depth(worker)) /
+         static_cast<double>(cap_);
+}
+
+ThreadPool::Job ThreadPool::take_locked(Worker& w) {
+  // Deficit round robin over lanes: a non-empty lane is granted
+  // `weight` job credits when the cursor arrives and is served until
+  // the credits or the lane run out; an emptied lane forfeits leftover
+  // credit (an idle tenant must not bank shares). total > 0 guarantees
+  // the scan terminates.
+  while (true) {
+    if (w.cursor >= w.lanes.size()) w.cursor = 0;
+    Lane* l = w.lanes[w.cursor].get();
+    if (!l || l->q.empty()) {
+      if (l) l->deficit = 0;
+      ++w.cursor;
+      continue;
+    }
+    if (l->deficit == 0) l->deficit = l->weight;
+    Job job = std::move(l->q.front());
+    l->q.pop_front();
+    --w.total;
+    if (--l->deficit == 0 || l->q.empty()) {
+      l->deficit = 0;
+      ++w.cursor;
+    }
+    return job;
+  }
 }
 
 void ThreadPool::run(Worker& w) {
@@ -39,11 +88,10 @@ void ThreadPool::run(Worker& w) {
     {
       std::unique_lock lk(w.mu);
       w.cv.wait(lk, [&] {
-        return !w.q.empty() || stopping_.load(std::memory_order_relaxed);
+        return w.total > 0 || stopping_.load(std::memory_order_relaxed);
       });
-      if (w.q.empty()) return;  // stopping and drained
-      job = std::move(w.q.front());
-      w.q.pop_front();
+      if (w.total == 0) return;  // stopping and drained
+      job = take_locked(w);
     }
     job();
   }

@@ -60,7 +60,8 @@ TEST(ErrcName, AllNamed) {
                  Errc::invalid_argument, Errc::not_a_directory,
                  Errc::is_a_directory, Errc::not_empty, Errc::unavailable,
                  Errc::io_error, Errc::corruption, Errc::timeout,
-                 Errc::unreachable, Errc::rejected, Errc::fatal}) {
+                 Errc::unreachable, Errc::rejected, Errc::overloaded,
+                 Errc::fatal}) {
     EXPECT_FALSE(errc_name(e).empty());
     EXPECT_NE(errc_name(e), "unknown");
   }
@@ -69,7 +70,7 @@ TEST(ErrcName, AllNamed) {
 TEST(ErrcTaxonomy, ConnectivityVsRetryableVsHealthFault) {
   // Connectivity faults: the peer (or the path to it) is suspect.
   for (auto e : {Errc::timeout, Errc::unreachable, Errc::unavailable,
-                 Errc::io_error, Errc::rejected}) {
+                 Errc::io_error, Errc::rejected, Errc::overloaded}) {
     EXPECT_TRUE(errc_connectivity(e)) << errc_name(e);
     EXPECT_TRUE(errc_retryable(e)) << errc_name(e);
   }
@@ -90,6 +91,10 @@ TEST(ErrcTaxonomy, ConnectivityVsRetryableVsHealthFault) {
     EXPECT_TRUE(errc_health_fault(e)) << errc_name(e);
   }
   EXPECT_FALSE(errc_health_fault(Errc::rejected));
+  // A deliberate QoS shed is the peer *working as designed*, not sick:
+  // retryable (honor the hint), but never breaker food.
+  EXPECT_FALSE(errc_health_fault(Errc::overloaded));
+  EXPECT_TRUE(errc_retryable(Errc::overloaded));
   EXPECT_FALSE(errc_health_fault(Errc::ok));
   EXPECT_FALSE(errc_health_fault(Errc::fatal));
 }
