@@ -23,13 +23,26 @@
 //
 //   loadgen --qos [--tenants N] [--seed S] [--isolation-factor F]
 //
-// CSV schema: see rt::loadgen_csv_header() and EXPERIMENTS.md.
+// --net replays the same seed-deterministic streams over loopback TCP
+// against an rt::TcpServer (DESIGN.md §13) instead of calling into the
+// runtime in-process: N client threads x M pipelined connections each,
+// with request-id accounting. It runs --seeds S seeds (default 3),
+// prints one net CSV row per seed, and exits 1 if any response is lost
+// or duplicated, any transport error occurs, or throughput lands under
+// --min-ops-per-sec.
+//
+//   loadgen --net [--threads N] [--connections M] [--reactors R]
+//           [--ops N] [--seeds S] [--min-ops-per-sec F] [...stream flags]
+//
+// CSV schema: see rt::loadgen_csv_header(), rt::net_loadgen_csv_header()
+// and EXPERIMENTS.md.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "rt/loadgen.hpp"
+#include "rt/net_loadgen.hpp"
 
 using namespace memfss;
 
@@ -42,8 +55,47 @@ void usage(const char* argv0) {
                "          [--get-ratio F] [--del-ratio F] [--skew THETA]\n"
                "          [--keys N] [--service-us U] [--seed S]\n"
                "       %s --qos [--tenants N] [--seed S] [--isolation-factor F]\n"
+               "       %s --net [--connections M] [--reactors R] [--seeds S]\n"
+               "          [--min-ops-per-sec F] [...single-run flags]\n"
                "With no arguments: thread-scaling sweep (1,2,4,8).\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
+}
+
+int run_net(rt::NetLoadgenOptions opt, std::size_t seeds,
+            double min_ops_per_sec) {
+  std::printf("%s\n", rt::net_loadgen_csv_header().c_str());
+  bool ok = true;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    rt::NetLoadgenOptions o = opt;
+    o.base.seed = opt.base.seed + s;
+    const auto r = rt::run_net_loadgen(o);
+    std::printf("%s\n", rt::net_loadgen_csv_row(r).c_str());
+    std::fflush(stdout);
+    const std::uint64_t total = static_cast<std::uint64_t>(
+        o.base.client_threads) * o.base.ops_per_thread;
+    if (r.lost != 0 || r.duplicated != 0 || r.transport_errors != 0 ||
+        r.responses != total) {
+      std::fprintf(stderr,
+                   "net: FAIL seed %llu accounting: %llu/%llu answered, "
+                   "%llu lost, %llu duplicated, %llu transport errors\n",
+                   static_cast<unsigned long long>(o.base.seed),
+                   static_cast<unsigned long long>(r.responses),
+                   static_cast<unsigned long long>(total),
+                   static_cast<unsigned long long>(r.lost),
+                   static_cast<unsigned long long>(r.duplicated),
+                   static_cast<unsigned long long>(r.transport_errors));
+      ok = false;
+    }
+    if (min_ops_per_sec > 0.0 && r.ops_per_sec < min_ops_per_sec) {
+      std::fprintf(stderr, "net: FAIL seed %llu throughput %.0f < floor %.0f\n",
+                   static_cast<unsigned long long>(o.base.seed),
+                   r.ops_per_sec, min_ops_per_sec);
+      ok = false;
+    }
+  }
+  if (ok)
+    std::fprintf(stderr, "net: OK (%zu seeds, zero lost/duplicated)\n", seeds);
+  return ok ? 0 : 1;
 }
 
 int run_qos(std::size_t tenants, std::uint64_t seed, double factor) {
@@ -92,8 +144,13 @@ int main(int argc, char** argv) {
   opt.get_fraction = 0.5;
   bool single = false;
   bool qos = false;
+  bool net = false;
   std::size_t qos_tenants = 8;
   double isolation_factor = 5.0;
+  std::size_t net_connections = 2;
+  std::size_t net_reactors = 2;
+  std::size_t net_seeds = 3;
+  double min_ops_per_sec = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     auto want = [&](const char* flag) {
@@ -102,6 +159,11 @@ int main(int argc, char** argv) {
       return true;
     };
     if (std::strcmp(argv[i], "--qos") == 0) { qos = true; }
+    else if (std::strcmp(argv[i], "--net") == 0) { net = true; }
+    else if (want("--connections")) { net_connections = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--reactors")) { net_reactors = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--seeds")) { net_seeds = std::strtoul(argv[++i], nullptr, 10); }
+    else if (want("--min-ops-per-sec")) { min_ops_per_sec = std::strtod(argv[++i], nullptr); }
     else if (want("--tenants")) { qos_tenants = std::strtoul(argv[++i], nullptr, 10); }
     else if (want("--isolation-factor")) { isolation_factor = std::strtod(argv[++i], nullptr); }
     else if (want("--threads")) { opt.client_threads = std::strtoul(argv[++i], nullptr, 10); opt.server_threads = opt.client_threads; single = true; }
@@ -120,6 +182,13 @@ int main(int argc, char** argv) {
   }
 
   if (qos) return run_qos(qos_tenants, opt.seed, isolation_factor);
+  if (net) {
+    rt::NetLoadgenOptions nopt;
+    nopt.base = opt;
+    nopt.connections_per_thread = net_connections;
+    nopt.reactors = net_reactors;
+    return run_net(nopt, net_seeds, min_ops_per_sec);
+  }
 
   std::printf("%s\n", rt::loadgen_csv_header().c_str());
 

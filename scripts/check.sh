@@ -3,7 +3,7 @@
 # sanitized one (ASan + UBSan via -DMEMFSS_SANITIZE=address,undefined).
 # Run from the repository root.
 #
-#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos]
+#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos|--net]
 #
 # --coverage builds with gcov instrumentation (-DMEMFSS_COVERAGE=ON) in
 # build-cov/, runs the tests, prints per-directory line coverage, and
@@ -29,6 +29,13 @@
 # degrades past the factor, the abuser is shed by queue-full rejection
 # instead of Errc::overloaded, or the memory-accounting invariants trip.
 #
+# --net exercises the TCP serving path (DESIGN.md §13): builds the
+# plain tree, runs the protocol codec + socket test suites, then a
+# 3-seed loopback loadgen smoke (bench/loadgen --net) with request-id
+# accounting and a throughput sanity floor. Fails if any response is
+# lost or duplicated, a transport error occurs, or throughput lands
+# under the floor.
+#
 # --chaos runs the full-size chaos soak (bench/chaos_soak: randomized
 # partitions + crashes + revocation + pressure evictions, then heal and
 # check durability / accounting / recovery invariants) at three fixed
@@ -47,6 +54,7 @@ run_perf=0
 run_chaos=0
 run_tsan=0
 run_qos=0
+run_net=0
 case "${1:-}" in
   --plain-only) run_san=0 ;;
   --sanitize-only) run_plain=0 ;;
@@ -55,8 +63,9 @@ case "${1:-}" in
   --chaos) run_plain=0; run_san=0; run_chaos=1 ;;
   --tsan) run_plain=0; run_san=0; run_tsan=1 ;;
   --qos) run_plain=0; run_san=0; run_qos=1 ;;
+  --net) run_plain=0; run_san=0; run_net=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos]" >&2
+  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos|--net]" >&2
      exit 2 ;;
 esac
 
@@ -130,9 +139,23 @@ if [[ $run_tsan -eq 1 ]]; then
   # tree is single-threaded and not what this pass is for.
   cmake --build build-tsan --target \
     test_rt_sharded_store test_rt_server test_rt_linearizability \
-    test_rt_stress test_rt_loadgen test_rt_qos
+    test_rt_stress test_rt_loadgen test_rt_qos test_rt_tcp
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan -L concurrency --output-on-failure
+fi
+
+if [[ $run_net -eq 1 ]]; then
+  echo "== tcp serving path (codec + socket suites + 3-seed smoke) =="
+  cmake -B build -G Ninja -DMEMFSS_WERROR=OFF
+  cmake --build build --target test_netio_codec test_rt_tcp loadgen
+  ctest --test-dir build --output-on-failure -R 'NetioCodec|RtTcp'
+  # Loopback smoke: 4 client threads x 2 pipelined connections over 2
+  # reactors, 3 seeds; loadgen exits nonzero on any lost/duplicated
+  # response or if throughput lands under the sanity floor (loopback
+  # with zero service time clears 20k ops/s with an order of magnitude
+  # to spare on any host).
+  ./build/bench/loadgen --net --threads 4 --ops 5000 --service-us 0 \
+    --connections 2 --reactors 2 --seeds 3 --min-ops-per-sec 20000
 fi
 
 if [[ $run_qos -eq 1 ]]; then

@@ -1,0 +1,132 @@
+#include "netio/client.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace memfss::netio {
+
+Status NetClient::connect(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return {Errc::io_error, "socket: " + std::string(strerror(errno))};
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = strerror(errno);
+    close();
+    return {Errc::unreachable, "connect: " + why};
+  }
+  decoder_ = FrameDecoder{};
+  return {};
+}
+
+void NetClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status NetClient::set_recv_timeout(double seconds) {
+  if (fd_ < 0) return {Errc::unavailable, "not connected"};
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    return {Errc::io_error, strerror(errno)};
+  return {};
+}
+
+Status NetClient::send(const Frame& f) { return send_raw(encode(f)); }
+
+Status NetClient::send_raw(const std::uint8_t* data, std::size_t n) {
+  if (fd_ < 0) return {Errc::unavailable, "not connected"};
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return {Errc::io_error, "send: " + std::string(strerror(errno))};
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return {};
+}
+
+Result<Frame> NetClient::recv() {
+  if (fd_ < 0) return {Errc::unavailable, "not connected"};
+  Frame f;
+  for (;;) {
+    switch (decoder_.next(f)) {
+      case Decode::frame:
+        return f;
+      case Decode::error:
+        return {Errc::corruption, "malformed stream: " + decoder_.error()};
+      case Decode::need_more:
+        break;
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r == 0) return {Errc::unavailable, "connection closed by server"};
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return {Errc::timeout, "recv timed out"};
+      return {Errc::io_error, "recv: " + std::string(strerror(errno))};
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(r));
+  }
+}
+
+namespace {
+
+Frame make_request(Opcode op, std::uint64_t id, std::uint32_t tenant,
+                   std::string_view key) {
+  Frame f;
+  f.kind = Frame::Kind::request;
+  f.opcode = static_cast<std::uint8_t>(op);
+  f.request_id = id;
+  f.tenant = tenant;
+  f.key.assign(key);
+  return f;
+}
+
+}  // namespace
+
+Frame NetClient::make_put(std::uint64_t id, std::uint32_t tenant,
+                          std::string_view key,
+                          std::vector<std::uint8_t> value) {
+  Frame f = make_request(Opcode::put, id, tenant, key);
+  f.value = std::move(value);
+  return f;
+}
+
+Frame NetClient::make_get(std::uint64_t id, std::uint32_t tenant,
+                          std::string_view key) {
+  return make_request(Opcode::get, id, tenant, key);
+}
+
+Frame NetClient::make_del(std::uint64_t id, std::uint32_t tenant,
+                          std::string_view key) {
+  return make_request(Opcode::del, id, tenant, key);
+}
+
+Frame NetClient::make_exists(std::uint64_t id, std::uint32_t tenant,
+                             std::string_view key) {
+  return make_request(Opcode::exists, id, tenant, key);
+}
+
+Frame NetClient::make_auth(std::uint64_t id, std::string_view token) {
+  return make_request(Opcode::auth, id, 0, token);
+}
+
+}  // namespace memfss::netio

@@ -1,0 +1,68 @@
+// Blocking socket client for the rt TCP serving path: one connection,
+// pipelining done by the caller (write as many requests as you like,
+// then collect responses; the request id is the correlation key).
+// Used by bench/loadgen --net and the socket test suites -- the server
+// side is deliberately the only nonblocking piece of the stack, so the
+// client stays simple enough to reason about in tests.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "netio/frame.hpp"
+
+namespace memfss::netio {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { close(); }
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& o) noexcept : fd_(o.fd_), decoder_(std::move(o.decoder_)) {
+    o.fd_ = -1;
+  }
+
+  /// Connect to 127.0.0.1:port (TCP_NODELAY on).
+  Status connect(std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Bound a recv() in seconds (0 = block forever). SO_RCVTIMEO, so a
+  /// wedged server turns into Errc::timeout instead of a hung test.
+  Status set_recv_timeout(double seconds);
+
+  /// Write one encoded frame, handling partial writes.
+  Status send(const Frame& f);
+  /// Write pre-encoded bytes (several frames at once: pipelining).
+  Status send_raw(const std::uint8_t* data, std::size_t n);
+  Status send_raw(const std::vector<std::uint8_t>& data) {
+    return send_raw(data.data(), data.size());
+  }
+
+  /// Block until one full frame decodes (or EOF / malformed stream /
+  /// timeout). EOF with no buffered frame is Errc::unavailable.
+  Result<Frame> recv();
+
+  // -- request builders -------------------------------------------------
+  static Frame make_put(std::uint64_t id, std::uint32_t tenant,
+                        std::string_view key,
+                        std::vector<std::uint8_t> value);
+  static Frame make_get(std::uint64_t id, std::uint32_t tenant,
+                        std::string_view key);
+  static Frame make_del(std::uint64_t id, std::uint32_t tenant,
+                        std::string_view key);
+  static Frame make_exists(std::uint64_t id, std::uint32_t tenant,
+                           std::string_view key);
+  /// AUTH: the token travels in the key field and becomes the
+  /// connection's token for every subsequent request.
+  static Frame make_auth(std::uint64_t id, std::string_view token);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace memfss::netio

@@ -1,0 +1,146 @@
+#include "netio/frame.hpp"
+
+#include "common/result.hpp"
+
+namespace memfss::netio {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  if (f.kind == Frame::Kind::request) {
+    const std::size_t body =
+        kRequestFixedLen + f.key.size() + f.value.size();
+    out.reserve(out.size() + kHeaderLen + body);
+    put_u32(out, kRequestMagic);
+    put_u32(out, static_cast<std::uint32_t>(body));
+    out.push_back(f.opcode);
+    out.push_back(f.flags);
+    put_u16(out, 0);
+    put_u32(out, f.tenant);
+    put_u64(out, f.request_id);
+    put_u32(out, static_cast<std::uint32_t>(f.key.size()));
+    put_u32(out, static_cast<std::uint32_t>(f.value.size()));
+    out.insert(out.end(), f.key.begin(), f.key.end());
+    out.insert(out.end(), f.value.begin(), f.value.end());
+  } else {
+    const std::size_t body = kResponseFixedLen + f.value.size();
+    out.reserve(out.size() + kHeaderLen + body);
+    put_u32(out, kResponseMagic);
+    put_u32(out, static_cast<std::uint32_t>(body));
+    out.push_back(f.status);
+    out.push_back(f.flags);
+    put_u16(out, 0);
+    put_u32(out, f.retry_after_us);
+    put_u64(out, f.request_id);
+    put_u64(out, f.seq);
+    put_u64(out, f.checksum);
+    put_u32(out, static_cast<std::uint32_t>(f.value.size()));
+    put_u32(out, f.value_size);
+    out.insert(out.end(), f.value.begin(), f.value.end());
+  }
+}
+
+std::vector<std::uint8_t> encode(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  encode_frame(f, out);
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed_) return;  // the stream is already dead; don't hoard bytes
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection's buffer doesn't grow without bound.
+  if (off_ > 0 && (off_ == buf_.size() || off_ >= (1u << 20))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+Decode FrameDecoder::fail(const std::string& why) {
+  failed_ = true;
+  error_ = why;
+  return Decode::error;
+}
+
+Decode FrameDecoder::next(Frame& out) {
+  if (failed_) return Decode::error;
+  if (buffered() < kHeaderLen) return Decode::need_more;
+  const std::uint8_t* h = buf_.data() + off_;
+  const std::uint32_t magic = get_u32(h);
+  if (magic != kRequestMagic && magic != kResponseMagic)
+    return fail("bad magic");
+  const std::size_t body = get_u32(h + 4);
+  if (body > max_body_) return fail("oversized body length");
+  const bool request = magic == kRequestMagic;
+  const std::size_t fixed = request ? kRequestFixedLen : kResponseFixedLen;
+  if (body < fixed) return fail("short body");
+  if (buffered() < kHeaderLen + body) return Decode::need_more;
+
+  const std::uint8_t* b = h + kHeaderLen;
+  out = Frame{};
+  if (request) {
+    out.kind = Frame::Kind::request;
+    out.opcode = b[0];
+    if (out.opcode < static_cast<std::uint8_t>(Opcode::put) ||
+        out.opcode > static_cast<std::uint8_t>(Opcode::auth))
+      return fail("unknown opcode");
+    out.flags = b[1];
+    out.tenant = get_u32(b + 4);
+    out.request_id = get_u64(b + 8);
+    const std::size_t key_len = get_u32(b + 16);
+    const std::size_t value_len = get_u32(b + 20);
+    if (fixed + key_len + value_len != body)
+      return fail("inconsistent request lengths");
+    out.key.assign(reinterpret_cast<const char*>(b + fixed), key_len);
+    out.value.assign(b + fixed + key_len, b + fixed + key_len + value_len);
+  } else {
+    out.kind = Frame::Kind::response;
+    out.status = b[0];
+    if (out.status > static_cast<std::uint8_t>(Errc::fatal))
+      return fail("unknown status");
+    out.flags = b[1];
+    out.retry_after_us = get_u32(b + 4);
+    out.request_id = get_u64(b + 8);
+    out.seq = get_u64(b + 16);
+    out.checksum = get_u64(b + 24);
+    const std::size_t value_len = get_u32(b + 32);
+    out.value_size = get_u32(b + 36);
+    if (fixed + value_len != body)
+      return fail("inconsistent response length");
+    out.value.assign(b + fixed, b + fixed + value_len);
+  }
+  off_ += kHeaderLen + body;
+  return Decode::frame;
+}
+
+}  // namespace memfss::netio

@@ -13,73 +13,20 @@
 
 namespace memfss::rt {
 
-namespace {
-
-/// Cumulative Zipf(theta) distribution over `n` ranks, normalized to 1.
-std::vector<double> zipf_cdf(std::size_t n, double theta) {
-  std::vector<double> cdf(n);
-  double total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
-    cdf[i] = total;
-  }
-  for (auto& c : cdf) c /= total;
-  return cdf;
-}
-
-std::uint32_t sample_key(Rng& rng, const std::vector<double>& cdf,
-                         std::size_t key_space) {
-  if (cdf.empty())
-    return static_cast<std::uint32_t>(rng.uniform_u64(0, key_space - 1));
-  const double u = rng.next_double();
-  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
-  return static_cast<std::uint32_t>(
-      std::min<std::size_t>(static_cast<std::size_t>(it - cdf.begin()),
-                            key_space - 1));
-}
-
-/// Deterministic payload: a cheap byte pattern keyed by (key, op index)
-/// so overwrites change content and a replayed stream reproduces it.
-kvstore::Blob make_value(Bytes size, std::uint32_t key_index,
-                         std::size_t op_index) {
-  std::vector<std::uint8_t> bytes(size);
-  std::uint64_t x = (static_cast<std::uint64_t>(key_index) << 32) ^
-                    static_cast<std::uint64_t>(op_index);
-  for (auto& b : bytes) b = static_cast<std::uint8_t>(x = splitmix64(x));
-  return kvstore::Blob::materialized(std::move(bytes));
-}
-
-}  // namespace
-
-std::string loadgen_key(std::uint32_t key_index) {
-  return "k" + std::to_string(key_index);
+StreamOptions stream_options(const LoadgenOptions& opt) {
+  StreamOptions s;
+  s.seed = opt.seed;
+  s.ops_per_thread = opt.ops_per_thread;
+  s.get_fraction = opt.get_fraction;
+  s.del_fraction = opt.del_fraction;
+  s.zipf_theta = opt.zipf_theta;
+  s.key_space = opt.key_space;
+  return s;
 }
 
 std::vector<GenOp> generate_ops(const LoadgenOptions& opt,
                                 std::size_t thread_index) {
-  // Per-thread stream seeded by mixing the run seed with the thread
-  // index -- independent across threads, reproducible across runs.
-  std::uint64_t s = opt.seed ^ (0x9e3779b97f4a7c15ull *
-                                (static_cast<std::uint64_t>(thread_index) + 1));
-  Rng rng(splitmix64(s));
-  const auto cdf = opt.zipf_theta > 0.0
-                       ? zipf_cdf(opt.key_space, opt.zipf_theta)
-                       : std::vector<double>{};
-  std::vector<GenOp> ops;
-  ops.reserve(opt.ops_per_thread);
-  for (std::size_t i = 0; i < opt.ops_per_thread; ++i) {
-    GenOp op;
-    const double u = rng.next_double();
-    if (u < opt.get_fraction)
-      op.type = Op::Type::get;
-    else if (u < opt.get_fraction + opt.del_fraction)
-      op.type = Op::Type::del;
-    else
-      op.type = Op::Type::put;
-    op.key_index = sample_key(rng, cdf, opt.key_space);
-    ops.push_back(op);
-  }
-  return ops;
+  return generate_stream(stream_options(opt), thread_index);
 }
 
 LoadgenResult run_loadgen(const LoadgenOptions& opt) {
@@ -119,25 +66,20 @@ LoadgenResult run_loadgen(const LoadgenOptions& opt) {
         op.type = g.type;
         op.key = loadgen_key(g.key_index);
         if (g.type == Op::Type::put)
-          op.value = make_value(opt.value_size, g.key_index, i + j);
+          op.value = stream_value(opt.value_size, g.key_index, i + j);
         batch.push_back(std::move(op));
       }
       const auto results = server.run_batch(opt.auth_token, std::move(batch));
       for (std::size_t j = 0; j < n; ++j) {
         const GenOp& g = stream[i + j];
         const OpResult& r = results[j];
-        std::uint64_t& d = tally.digest;
-        d = hash::fnv1a_byte(d, static_cast<unsigned char>(g.type));
-        d = hash::fnv1a_decimal(d, g.key_index);
-        d = hash::fnv1a_byte(d, static_cast<unsigned char>(r.code));
+        tally.digest = fold_result(tally.digest, g, r.code,
+                                   r.value.checksum());
         switch (r.code) {
           case Errc::ok:
             if (g.type == Op::Type::put) ++tally.puts;
             if (g.type == Op::Type::del) ++tally.dels;
-            if (g.type == Op::Type::get) {
-              ++tally.gets;
-              d = hash::fnv1a_decimal(d, r.value.checksum());
-            }
+            if (g.type == Op::Type::get) ++tally.gets;
             break;
           case Errc::not_found: ++tally.not_found; break;
           case Errc::rejected: ++tally.rejected; break;
@@ -337,7 +279,7 @@ QosRunResult run_qos_scenario(const QosOptions& opt) {
         op.key = qos_key(spec.name, g.key_index);
         op.tenant = tid;
         if (g.type == Op::Type::put)
-          op.value = make_value(opt.value_size, g.key_index, i + j);
+          op.value = stream_value(opt.value_size, g.key_index, i + j);
         batch.push_back(std::move(op));
       }
       const auto results = server.run_batch(opt.auth_token, std::move(batch));

@@ -18,6 +18,7 @@
 
 #include "common/types.hpp"
 #include "obs/histogram.hpp"
+#include "rt/opstream.hpp"
 #include "rt/server.hpp"
 
 namespace memfss::rt {
@@ -40,19 +41,15 @@ struct LoadgenOptions {
   std::string auth_token = "rt";
 };
 
-/// One element of a generated op stream.
-struct GenOp {
-  Op::Type type = Op::Type::get;
-  std::uint32_t key_index = 0;
-};
+/// The stream-shaping subset of `opt` (see rt/opstream.hpp -- the
+/// generator itself is shared with the socket replay path).
+StreamOptions stream_options(const LoadgenOptions& opt);
 
 /// The deterministic op stream for one client thread: a pure function
-/// of (opt.seed, opt mix parameters, thread_index).
+/// of (opt.seed, opt mix parameters, thread_index). Thin wrapper over
+/// rt::generate_stream.
 std::vector<GenOp> generate_ops(const LoadgenOptions& opt,
                                 std::size_t thread_index);
-
-/// Key string for a key index ("k<index>").
-std::string loadgen_key(std::uint32_t key_index);
 
 struct LoadgenResult {
   LoadgenOptions opt;

@@ -1,0 +1,257 @@
+#include "rt/net_loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+
+#include "common/table.hpp"
+#include "hash/hashes.hpp"
+#include "netio/client.hpp"
+#include "rt/sharded_store.hpp"
+#include "rt/tcp_server.hpp"
+
+namespace memfss::rt {
+
+namespace {
+
+/// Request ids used for the one-time AUTH on each connection live far
+/// above the per-op id space (op ids are stream offsets < 2^32).
+constexpr std::uint64_t kAuthIdBase = 0xA001000000000000ull;
+
+struct ThreadTally {
+  std::uint64_t puts = 0, gets = 0, dels = 0, not_found = 0, rejected = 0,
+                overloaded = 0, retry_after_hints = 0, errors = 0,
+                responses = 0, lost = 0, duplicated = 0, transport_errors = 0;
+  std::uint64_t digest = hash::fnv1a_seed();
+};
+
+/// One answered op, staged until the whole batch is in so the digest
+/// folds in submission order regardless of response interleaving.
+struct SlotResult {
+  bool answered = false;
+  Errc code = Errc::ok;
+  std::uint64_t checksum = 0;
+  std::uint32_t retry_after_us = 0;
+};
+
+}  // namespace
+
+NetLoadgenResult run_net_loadgen(const NetLoadgenOptions& opt) {
+  NetLoadgenResult res;
+  res.opt = opt;
+  const LoadgenOptions& base = opt.base;
+
+  ShardedStore store({base.shards, base.capacity, base.auth_token});
+  RuntimeServer server(
+      store, {base.server_threads, base.queue_capacity,
+              std::chrono::microseconds(base.service_time_us)});
+  TcpServer::Options topt;
+  topt.reactors = std::max<std::size_t>(1, opt.reactors);
+  TcpServer tcp(server, topt);
+
+  std::vector<std::vector<GenOp>> streams;
+  streams.reserve(base.client_threads);
+  for (std::size_t t = 0; t < base.client_threads; ++t)
+    streams.push_back(generate_ops(base, t));
+
+  std::vector<ThreadTally> tallies(base.client_threads);
+  const std::size_t conns_per = std::max<std::size_t>(1, opt.connections_per_thread);
+
+  auto client = [&](std::size_t t) {
+    auto& tally = tallies[t];
+    const auto& stream = streams[t];
+
+    std::vector<netio::NetClient> conns(conns_per);
+    for (std::size_t c = 0; c < conns_per; ++c) {
+      auto& conn = conns[c];
+      if (!conn.connect(tcp.port()).ok() ||
+          !conn.set_recv_timeout(30.0).ok() ||
+          !conn.send(netio::NetClient::make_auth(kAuthIdBase + c,
+                                                 base.auth_token)).ok()) {
+        ++tally.transport_errors;
+        tally.lost += stream.size();
+        return;
+      }
+      auto auth = conn.recv();
+      if (!auth.ok() || auth.value().status != 0) {
+        ++tally.transport_errors;
+        tally.lost += stream.size();
+        return;
+      }
+    }
+
+    std::size_t i = 0;
+    while (i < stream.size()) {
+      const std::size_t n = std::min(base.batch, stream.size() - i);
+      // Encode the whole batch round-robin across connections, then
+      // write each connection's share in one send (pipelining).
+      std::vector<std::vector<std::uint8_t>> wire(conns_per);
+      // Per connection: request id -> slot index in this batch.
+      std::vector<std::unordered_map<std::uint64_t, std::size_t>> open(conns_per);
+      std::vector<SlotResult> slots(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const GenOp& g = stream[i + j];
+        const std::size_t c = j % conns_per;
+        const std::uint64_t rid = static_cast<std::uint64_t>(i + j);
+        netio::Frame f;
+        switch (g.type) {
+          case Op::Type::put: {
+            auto blob = stream_value(base.value_size, g.key_index, i + j);
+            const auto span = blob.bytes();
+            f = netio::NetClient::make_put(
+                rid, 0, loadgen_key(g.key_index),
+                std::vector<std::uint8_t>(span.begin(), span.end()));
+            break;
+          }
+          case Op::Type::del:
+            f = netio::NetClient::make_del(rid, 0, loadgen_key(g.key_index));
+            break;
+          default:
+            f = netio::NetClient::make_get(rid, 0, loadgen_key(g.key_index));
+            break;
+        }
+        netio::encode_frame(f, wire[c]);
+        open[c].emplace(rid, j);
+      }
+      bool dead = false;
+      for (std::size_t c = 0; c < conns_per && !dead; ++c) {
+        if (wire[c].empty()) continue;
+        if (!conns[c].send_raw(wire[c]).ok()) {
+          ++tally.transport_errors;
+          dead = true;
+        }
+      }
+      // Collect every outstanding response; each id may be answered
+      // exactly once (misses become `lost`, repeats `duplicated`).
+      for (std::size_t c = 0; c < conns_per && !dead; ++c) {
+        while (!open[c].empty()) {
+          auto got = conns[c].recv();
+          if (!got.ok()) {
+            ++tally.transport_errors;
+            dead = true;
+            break;
+          }
+          const netio::Frame& rf = got.value();
+          auto it = open[c].find(rf.request_id);
+          if (it == open[c].end()) {
+            ++tally.duplicated;
+            continue;
+          }
+          SlotResult& s = slots[it->second];
+          s.answered = true;
+          s.code = static_cast<Errc>(rf.status);
+          s.checksum = rf.checksum;
+          s.retry_after_us = rf.retry_after_us;
+          ++tally.responses;
+          open[c].erase(it);
+        }
+      }
+      for (const auto& m : open)
+        tally.lost += m.size();
+      for (std::size_t j = 0; j < n; ++j) {
+        const GenOp& g = stream[i + j];
+        const SlotResult& s = slots[j];
+        if (!s.answered) continue;
+        tally.digest = fold_result(tally.digest, g, s.code, s.checksum);
+        switch (s.code) {
+          case Errc::ok:
+            if (g.type == Op::Type::put) ++tally.puts;
+            if (g.type == Op::Type::del) ++tally.dels;
+            if (g.type == Op::Type::get) ++tally.gets;
+            break;
+          case Errc::not_found: ++tally.not_found; break;
+          case Errc::rejected: ++tally.rejected; break;
+          case Errc::overloaded:
+            ++tally.overloaded;
+            if (s.retry_after_us > 0) ++tally.retry_after_hints;
+            break;
+          default: ++tally.errors; break;
+        }
+      }
+      i += n;
+      if (dead) {
+        tally.lost += stream.size() - i;
+        return;
+      }
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(base.client_threads);
+  for (std::size_t t = 0; t < base.client_threads; ++t)
+    threads.emplace_back(client, t);
+  for (auto& th : threads) th.join();
+  res.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0).count();
+  tcp.shutdown();
+
+  std::vector<std::uint64_t> digests;
+  digests.reserve(tallies.size());
+  for (const auto& tally : tallies) {
+    res.puts += tally.puts;
+    res.gets += tally.gets;
+    res.dels += tally.dels;
+    res.not_found += tally.not_found;
+    res.rejected += tally.rejected;
+    res.overloaded += tally.overloaded;
+    res.retry_after_hints += tally.retry_after_hints;
+    res.errors += tally.errors;
+    res.responses += tally.responses;
+    res.lost += tally.lost;
+    res.duplicated += tally.duplicated;
+    res.transport_errors += tally.transport_errors;
+    digests.push_back(tally.digest);
+  }
+  res.result_digest = combine_digests(digests);
+  res.ops_per_sec = res.wall_s > 0.0
+                        ? static_cast<double>(res.responses) / res.wall_s
+                        : 0.0;
+  res.latency = server.metrics().histogram_summary("rt.op.latency_s");
+  res.bytes_in = server.metrics().counter_value("rt.net.bytes_in");
+  res.bytes_out = server.metrics().counter_value("rt.net.bytes_out");
+  return res;
+}
+
+std::string net_loadgen_csv_header() {
+  return csv_row({"client_threads", "connections_per_thread", "reactors",
+                  "server_threads", "shards", "ops_per_thread", "batch",
+                  "value_size", "get_fraction", "del_fraction", "zipf_theta",
+                  "service_time_us", "seed", "wall_s", "ops_per_sec", "puts",
+                  "gets", "dels", "not_found", "rejected", "overloaded",
+                  "retry_after_hints", "errors", "responses", "lost",
+                  "duplicated", "transport_errors", "bytes_in", "bytes_out",
+                  "lat_p50_s", "lat_p95_s", "lat_p99_s", "result_digest"});
+}
+
+std::string net_loadgen_csv_row(const NetLoadgenResult& r) {
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  const auto& o = r.opt.base;
+  return csv_row({std::to_string(o.client_threads),
+                  std::to_string(r.opt.connections_per_thread),
+                  std::to_string(r.opt.reactors),
+                  std::to_string(o.server_threads), std::to_string(o.shards),
+                  std::to_string(o.ops_per_thread), std::to_string(o.batch),
+                  std::to_string(o.value_size), num(o.get_fraction),
+                  num(o.del_fraction), num(o.zipf_theta),
+                  std::to_string(o.service_time_us), std::to_string(o.seed),
+                  num(r.wall_s), num(r.ops_per_sec), std::to_string(r.puts),
+                  std::to_string(r.gets), std::to_string(r.dels),
+                  std::to_string(r.not_found), std::to_string(r.rejected),
+                  std::to_string(r.overloaded),
+                  std::to_string(r.retry_after_hints),
+                  std::to_string(r.errors), std::to_string(r.responses),
+                  std::to_string(r.lost), std::to_string(r.duplicated),
+                  std::to_string(r.transport_errors),
+                  std::to_string(r.bytes_in), std::to_string(r.bytes_out),
+                  num(r.latency.p50), num(r.latency.p95), num(r.latency.p99),
+                  std::to_string(r.result_digest)});
+}
+
+}  // namespace memfss::rt

@@ -1,0 +1,57 @@
+// Socket-mode load generator: the same seed-deterministic op streams
+// as rt::run_loadgen (rt/opstream.hpp), replayed over loopback TCP
+// against an rt::TcpServer -- N client threads x M pipelined
+// connections each, with per-request-id accounting so a lost or
+// duplicated response is a hard failure, not noise.
+//
+// The digest contract carries over the wire: with one client thread,
+// one server worker, and one connection, `result_digest` equals the
+// in-process run's digest for the same options (the frames decode to
+// the same ops in the same order, and responses carry the stored
+// value's checksum). That equality is pinned by
+// tests/test_rt_tcp.cpp; request-id accounting (lost == duplicated ==
+// 0) is the acceptance gate `bench/loadgen --net` enforces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.hpp"
+#include "rt/loadgen.hpp"
+
+namespace memfss::rt {
+
+struct NetLoadgenOptions {
+  LoadgenOptions base;  ///< stream shape + server sizing (threads, shards...)
+  std::size_t connections_per_thread = 1;  ///< pipelined conns per client
+  std::size_t reactors = 1;                ///< TcpServer epoll threads
+};
+
+struct NetLoadgenResult {
+  NetLoadgenOptions opt;
+  std::uint64_t puts = 0;        ///< ok puts
+  std::uint64_t gets = 0;        ///< ok gets (hits)
+  std::uint64_t dels = 0;        ///< ok dels
+  std::uint64_t not_found = 0;   ///< clean misses
+  std::uint64_t rejected = 0;    ///< queue-full rejections
+  std::uint64_t overloaded = 0;  ///< QoS sheds over the wire
+  std::uint64_t retry_after_hints = 0;  ///< overloaded frames with a hint
+  std::uint64_t errors = 0;      ///< any other status
+  std::uint64_t responses = 0;   ///< response frames matched to a request
+  std::uint64_t lost = 0;        ///< requests never answered
+  std::uint64_t duplicated = 0;  ///< responses with an unknown/reused id
+  std::uint64_t transport_errors = 0;  ///< send/recv failures (client side)
+  std::uint64_t bytes_in = 0;    ///< server-side rt.net.bytes_in
+  std::uint64_t bytes_out = 0;   ///< server-side rt.net.bytes_out
+  double wall_s = 0.0;
+  double ops_per_sec = 0.0;      ///< answered ops / wall
+  obs::HistogramSummary latency;  ///< server-side per-op latency
+  std::uint64_t result_digest = 0;  ///< same folding as run_loadgen
+};
+
+NetLoadgenResult run_net_loadgen(const NetLoadgenOptions& opt);
+
+std::string net_loadgen_csv_header();
+std::string net_loadgen_csv_row(const NetLoadgenResult& r);
+
+}  // namespace memfss::rt

@@ -62,18 +62,27 @@ OpResult RuntimeServer::execute(const std::string& token, Op& op) {
 }
 
 std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
+  auto p = std::make_shared<std::promise<OpResult>>();
+  auto fut = p->get_future();
+  submit_async(token, std::move(op),
+               [p](OpResult r) { p->set_value(std::move(r)); });
+  return fut;
+}
+
+void RuntimeServer::submit_async(const std::string& token, Op op,
+                                 Completion done) {
   struct Work {
-    std::promise<OpResult> done;
+    Completion done;
     std::string token;
     Op op;
     Clock::time_point start;
     bool degraded = false;  ///< admitted past degrade_at: cheap path
   };
   auto w = std::make_shared<Work>();
+  w->done = std::move(done);
   w->token = token;
   w->op = std::move(op);
   w->start = Clock::now();
-  auto fut = w->done.get_future();
 
   const std::uint32_t tid = w->op.tenant;
   auto complete_now = [&](Errc code, double retry_after_s,
@@ -85,12 +94,12 @@ std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
     metrics_.count(std::string("rt.ops.") + std::string(metric));
     if (tenants_->valid(tid))
       metrics_.count_tenant(tenants_->name(tid), metric);
-    w->done.set_value(std::move(r));
+    w->done(std::move(r));
   };
 
   if (!tenants_->valid(tid)) {
     complete_now(Errc::invalid_argument, 0.0, "invalid_tenant");
-    return fut;
+    return;
   }
 
   // auth carries no key; route it like an empty key so it still flows
@@ -105,7 +114,7 @@ std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
   const auto adm = tenants_->admit(tid, payload, now_s());
   if (adm.code != Errc::ok) {
     complete_now(Errc::overloaded, adm.retry_after_s, "overloaded");
-    return fut;
+    return;
   }
 
   // Gate 2: pressure. Occupancy of the owning worker drives a shedding
@@ -131,7 +140,7 @@ std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
       complete_now(Errc::overloaded,
                    opt_.retry_after_base_s * (1.0 + 9.0 * level),
                    "overloaded");
-      return fut;
+      return;
     }
   }
   w->degraded = occupancy >= opt_.degrade_at;
@@ -166,7 +175,7 @@ std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
           if (w->op.type == Op::Type::put)
             metrics_.count_tenant(tname, "bytes", put_bytes);
         }
-        w->done.set_value(std::move(r));
+        w->done(std::move(r));
       });
   if (!accepted) {
     complete_now(Errc::rejected, 0.0, "rejected");
@@ -174,7 +183,6 @@ std::future<OpResult> RuntimeServer::submit(const std::string& token, Op op) {
     metrics_.gauge_set("rt.queue.depth",
                        static_cast<double>(pool_.queue_depth(worker)));
   }
-  return fut;
 }
 
 std::vector<OpResult> RuntimeServer::run_batch(const std::string& token,

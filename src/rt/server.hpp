@@ -40,6 +40,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -120,10 +121,21 @@ class RuntimeServer {
   TenantRegistry& tenants() { return *tenants_; }
   const TenantRegistry& tenants() const { return *tenants_; }
 
+  /// Completion callback for submit_async().
+  using Completion = std::function<void(OpResult)>;
+
   /// Submit one operation; the future completes when the owning worker
   /// has executed it (or immediately, with Errc::overloaded /
   /// Errc::rejected, when admission sheds it).
   std::future<OpResult> submit(const std::string& token, Op op);
+
+  /// Callback-style submit: `done` runs exactly once -- on the owning
+  /// worker thread for executed ops, or inline on the submitter's
+  /// thread when admission sheds the op. This is the path the TCP
+  /// front-end uses: no future/promise allocation per network request,
+  /// and the callback can hand the result straight back to the
+  /// reactor's completion queue.
+  void submit_async(const std::string& token, Op op, Completion done);
 
   /// Closed-loop batch: submit every op, then wait for all results
   /// (returned in input order).

@@ -1,0 +1,499 @@
+#include "rt/tcp_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "netio/frame.hpp"
+
+namespace memfss::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// epoll user-data ids; connections start above the reserved ones.
+constexpr std::uint64_t kListenId = 1;
+constexpr std::uint64_t kWakeId = 2;
+constexpr std::uint64_t kFirstConnId = 8;
+
+int make_listen_socket(std::uint16_t port, std::uint16_t* bound_port,
+                       std::string* err) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *err = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // One listening socket per reactor on the same port: the kernel
+  // shards accepts across them (no shared accept lock).
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 256) != 0) {
+    *err = std::string("bind/listen: ") + strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+std::uint32_t retry_after_us(double retry_after_s) {
+  if (retry_after_s <= 0.0) return 0;
+  // Round up: a positive hint must never truncate to "retry now".
+  const double us = std::ceil(retry_after_s * 1e6);
+  return us >= 4e9 ? 4000000000u : static_cast<std::uint32_t>(us);
+}
+
+/// Worker threads hand encoded responses back to the owning reactor
+/// through this queue. Completion callbacks hold it by shared_ptr, so
+/// a callback firing after the reactor exited posts into a closed
+/// queue (dropped) instead of touching freed memory or a recycled fd.
+struct CompletionQueue {
+  std::mutex mu;
+  bool open = true;
+  int wake_fd;  ///< eventfd, owned; closed by the destructor
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> items;
+
+  CompletionQueue() {
+    wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd < 0) throw std::runtime_error("eventfd failed");
+  }
+  ~CompletionQueue() { ::close(wake_fd); }
+
+  void post(std::uint64_t conn_id, std::vector<std::uint8_t> bytes) {
+    std::lock_guard lk(mu);
+    if (!open) return;
+    const bool was_empty = items.empty();
+    items.emplace_back(conn_id, std::move(bytes));
+    if (was_empty) wake_locked();
+  }
+
+  void wake() {
+    std::lock_guard lk(mu);
+    if (open) wake_locked();
+  }
+
+  void close_posting() {
+    std::lock_guard lk(mu);
+    open = false;
+  }
+
+ private:
+  void wake_locked() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fd, &one, sizeof(one));  // EAGAIN = already signaled
+  }
+};
+
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  netio::FrameDecoder decoder;
+  std::vector<std::uint8_t> wbuf;
+  std::size_t woff = 0;      ///< flushed prefix of wbuf
+  std::size_t pending = 0;   ///< ops submitted, response not yet queued
+  std::string token;         ///< set by AUTH, used by every later op
+  bool want_write = false;   ///< EPOLLOUT currently armed
+  bool read_open = true;     ///< still accepting request frames
+  bool closing = false;      ///< close once pending == 0 and flushed
+
+  std::size_t unsent() const { return wbuf.size() - woff; }
+
+  explicit Conn(std::size_t max_body) : decoder(max_body) {}
+};
+
+}  // namespace
+
+struct TcpServer::Reactor {
+  TcpServer* owner;
+  std::size_t index = 0;
+  int epfd = -1;
+  int listen_fd = -1;
+  std::shared_ptr<CompletionQueue> completions;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = kFirstConnId;
+  std::atomic<bool> stopping{false};
+  bool deadline_armed = false;
+  Clock::time_point drain_deadline;
+  std::thread th;
+
+  ~Reactor() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (epfd >= 0) ::close(epfd);
+  }
+
+  MetricsSink& metrics() { return owner->server_.metrics(); }
+  const Options& opt() const { return owner->opt_; }
+
+  void update_interest(Conn& c) {
+    epoll_event ev{};
+    ev.events = (c.read_open ? EPOLLIN : 0u) | (c.want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = c.id;
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  void close_conn(Conn& c) {
+    ::epoll_ctl(epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    metrics().count("rt.net.closed");
+    metrics().gauge_set(
+        "rt.net.connections",
+        static_cast<double>(
+            owner->conn_count_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    conns.erase(c.id);  // destroys c; caller must not touch it again
+  }
+
+  /// Flush as much of the write buffer as the socket takes. Returns
+  /// false when the connection died (caller must stop touching it).
+  bool try_flush(Conn& c) {
+    while (c.woff < c.wbuf.size()) {
+      const ssize_t w = ::send(c.fd, c.wbuf.data() + c.woff,
+                               c.wbuf.size() - c.woff, MSG_NOSIGNAL);
+      if (w > 0) {
+        c.woff += static_cast<std::size_t>(w);
+        metrics().count("rt.net.bytes_out", static_cast<std::uint64_t>(w));
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!c.want_write) {
+          c.want_write = true;
+          update_interest(c);
+        }
+        return true;
+      }
+      close_conn(c);  // peer reset mid-write
+      return false;
+    }
+    c.wbuf.clear();
+    c.woff = 0;
+    if (c.want_write) {
+      c.want_write = false;
+      update_interest(c);
+    }
+    return true;
+  }
+
+  /// Close if the connection is fully drained and marked for closing.
+  /// Returns false when it closed.
+  bool maybe_close(Conn& c) {
+    if (c.closing && c.pending == 0 && c.unsent() == 0) {
+      close_conn(c);
+      return false;
+    }
+    return true;
+  }
+
+  /// Queue the one-and-only protocol-error frame and start closing.
+  void protocol_error(Conn& c) {
+    metrics().count("rt.net.protocol_errors");
+    netio::Frame err;
+    err.kind = netio::Frame::Kind::response;
+    err.status = static_cast<std::uint8_t>(Errc::invalid_argument);
+    err.flags = netio::kFlagProtocolError;
+    netio::encode_frame(err, c.wbuf);
+    metrics().count("rt.net.frames_out");
+    c.read_open = false;
+    c.closing = true;
+    update_interest(c);
+  }
+
+  void submit_frame(Conn& c, netio::Frame& f) {
+    Op op;
+    switch (static_cast<netio::Opcode>(f.opcode)) {
+      case netio::Opcode::put:
+        op.type = Op::Type::put;
+        op.value = kvstore::Blob::materialized(std::move(f.value));
+        break;
+      case netio::Opcode::get: op.type = Op::Type::get; break;
+      case netio::Opcode::del: op.type = Op::Type::del; break;
+      case netio::Opcode::exists: op.type = Op::Type::exists; break;
+      case netio::Opcode::auth:
+        op.type = Op::Type::auth;
+        // The token travels in the key field and sticks to the
+        // connection -- set it first so the AUTH op itself validates it.
+        c.token.assign(f.key);
+        break;
+    }
+    op.key = std::move(f.key);
+    op.tenant = f.tenant;
+    ++c.pending;
+    const bool is_get = op.type == Op::Type::get;
+    const bool is_exists = op.type == Op::Type::exists;
+    owner->server_.submit_async(
+        c.token, std::move(op),
+        [q = completions, cid = c.id, rid = f.request_id, is_get,
+         is_exists](OpResult r) {
+          netio::Frame resp;
+          resp.kind = netio::Frame::Kind::response;
+          resp.status = static_cast<std::uint8_t>(r.code);
+          resp.request_id = rid;
+          resp.retry_after_us = retry_after_us(r.retry_after_s);
+          if (r.seq.has_value()) {
+            resp.flags |= netio::kFlagHasSeq;
+            resp.seq = *r.seq;
+          }
+          if (is_exists && r.found) resp.flags |= netio::kFlagFound;
+          if (is_get && r.code == Errc::ok) {
+            resp.checksum = r.value.checksum();
+            resp.value_size = static_cast<std::uint32_t>(r.value.size());
+            const auto bytes = r.value.bytes();
+            resp.value.assign(bytes.begin(), bytes.end());
+          }
+          q->post(cid, netio::encode(resp));
+        });
+  }
+
+  /// Decode and dispatch every complete frame buffered on `c`.
+  /// Returns false when the connection died.
+  bool process_frames(Conn& c) {
+    netio::Frame f;
+    while (c.read_open) {
+      const auto t0 = Clock::now();
+      const netio::Decode d = c.decoder.next(f);
+      if (d == netio::Decode::need_more) return true;
+      if (d == netio::Decode::error) {
+        protocol_error(c);
+        if (!try_flush(c)) return false;
+        return maybe_close(c);
+      }
+      metrics().observe(
+          "rt.net.frame_decode_s",
+          std::chrono::duration<double>(Clock::now() - t0).count());
+      metrics().count("rt.net.frames_in");
+      if (f.kind != netio::Frame::Kind::request) {
+        // A client pushing response frames is as malformed as bad magic.
+        protocol_error(c);
+        if (!try_flush(c)) return false;
+        return maybe_close(c);
+      }
+      submit_frame(c, f);
+    }
+    return true;
+  }
+
+  /// Returns false when the connection died.
+  bool handle_read(Conn& c) {
+    while (c.read_open) {
+      std::uint8_t buf[64 * 1024];
+      const ssize_t r = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (r > 0) {
+        metrics().count("rt.net.bytes_in", static_cast<std::uint64_t>(r));
+        c.decoder.feed(buf, static_cast<std::size_t>(r));
+        if (!process_frames(c)) return false;
+        if (static_cast<std::size_t>(r) < sizeof(buf)) break;
+        continue;
+      }
+      if (r == 0) {  // orderly EOF: answer what's in flight, then close
+        c.read_open = false;
+        c.closing = true;
+        update_interest(c);
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(c);
+      return false;
+    }
+    if (!try_flush(c)) return false;
+    return maybe_close(c);
+  }
+
+  void handle_accept() {
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient accept error: try again on epoll
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (opt().so_sndbuf > 0)
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opt().so_sndbuf,
+                     sizeof(opt().so_sndbuf));
+      auto conn = std::make_unique<Conn>(opt().max_frame_body);
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      conns.emplace(conn->id, std::move(conn));
+      metrics().count("rt.net.accepted");
+      metrics().gauge_set(
+          "rt.net.connections",
+          static_cast<double>(
+              owner->conn_count_.fetch_add(1, std::memory_order_relaxed) +
+              1));
+    }
+  }
+
+  void drain_completions() {
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> items;
+    {
+      std::lock_guard lk(completions->mu);
+      items.swap(completions->items);
+      std::uint64_t n = 0;
+      [[maybe_unused]] const ssize_t r =
+          ::read(completions->wake_fd, &n, sizeof(n));
+    }
+    for (auto& [conn_id, bytes] : items) {
+      const auto it = conns.find(conn_id);
+      if (it == conns.end()) continue;  // connection already gone
+      Conn& c = *it->second;
+      if (c.pending > 0) --c.pending;
+      c.wbuf.insert(c.wbuf.end(), bytes.begin(), bytes.end());
+      metrics().count("rt.net.frames_out");
+      if (!try_flush(c)) continue;
+      // A client that pipelines requests but never drains responses
+      // gets cut off -- its buffered responses must not pin memory.
+      if (c.unsent() > opt().max_write_buffer) {
+        metrics().count("rt.net.slow_client_disconnects");
+        close_conn(c);
+        continue;
+      }
+      maybe_close(c);
+    }
+  }
+
+  void run() {
+    for (;;) {
+      epoll_event evs[64];
+      const int n = ::epoll_wait(epfd, evs, 64, 50);
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t id = evs[i].data.u64;
+        if (id == kListenId) {
+          handle_accept();
+          continue;
+        }
+        if (id == kWakeId) continue;  // drained below
+        const auto it = conns.find(id);
+        if (it == conns.end()) continue;  // closed earlier this batch
+        Conn& c = *it->second;
+        if (evs[i].events & (EPOLLERR | EPOLLHUP)) {
+          // Flush what we can (the peer may have only half-closed);
+          // a dead socket errors out of try_flush and closes.
+          if (!try_flush(c)) continue;
+          c.read_open = false;
+          c.closing = true;
+          if (!maybe_close(c)) continue;
+          update_interest(c);
+          continue;
+        }
+        if (evs[i].events & EPOLLIN) {
+          if (!handle_read(c)) continue;
+        }
+        if (evs[i].events & EPOLLOUT) {
+          if (!try_flush(c)) continue;
+          maybe_close(c);
+        }
+      }
+      drain_completions();
+
+      if (stopping.load(std::memory_order_acquire)) {
+        if (listen_fd >= 0) {  // stop accepting; drain what's connected
+          ::epoll_ctl(epfd, EPOLL_CTL_DEL, listen_fd, nullptr);
+          ::close(listen_fd);
+          listen_fd = -1;
+        }
+        if (!deadline_armed) {
+          deadline_armed = true;
+          drain_deadline = Clock::now() + opt().drain_timeout;
+        }
+        // Sweep every readable connection before judging it idle:
+        // frames the client wrote before shutdown may still be sitting
+        // unread in the kernel buffer, and "drain" promises responses
+        // for everything already on the wire.
+        std::vector<std::uint64_t> ids;
+        ids.reserve(conns.size());
+        for (const auto& [id, c] : conns) ids.push_back(id);
+        for (const std::uint64_t id : ids) {
+          const auto it = conns.find(id);
+          if (it != conns.end() && it->second->read_open)
+            handle_read(*it->second);
+        }
+        const bool expired = Clock::now() >= drain_deadline;
+        std::vector<std::uint64_t> closeable;
+        for (auto& [id, c] : conns)
+          if (expired || (c->pending == 0 && c->unsent() == 0))
+            closeable.push_back(id);
+        for (const std::uint64_t id : closeable) {
+          const auto it = conns.find(id);
+          if (it != conns.end()) close_conn(*it->second);
+        }
+        if (conns.empty()) break;
+      }
+    }
+    // No further completions can be delivered; posts after this are
+    // dropped by the queue instead of waking a dead loop.
+    completions->close_posting();
+  }
+};
+
+TcpServer::TcpServer(RuntimeServer& server, Options opt)
+    : server_(server), opt_(opt) {
+  if (opt_.reactors == 0) opt_.reactors = 1;
+  port_ = opt_.port;
+  std::string err;
+  for (std::size_t i = 0; i < opt_.reactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->owner = this;
+    r->index = i;
+    r->listen_fd = make_listen_socket(port_, &port_, &err);
+    if (r->listen_fd < 0) throw std::runtime_error("TcpServer: " + err);
+    r->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (r->epfd < 0) throw std::runtime_error("TcpServer: epoll_create1");
+    r->completions = std::make_shared<CompletionQueue>();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenId;
+    ::epoll_ctl(r->epfd, EPOLL_CTL_ADD, r->listen_fd, &ev);
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeId;
+    ::epoll_ctl(r->epfd, EPOLL_CTL_ADD, r->completions->wake_fd, &ev);
+    reactors_.push_back(std::move(r));
+  }
+  for (auto& r : reactors_) r->th = std::thread([rp = r.get()] { rp->run(); });
+}
+
+TcpServer::~TcpServer() { shutdown(); }
+
+void TcpServer::shutdown() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  for (auto& r : reactors_) {
+    r->stopping.store(true, std::memory_order_release);
+    r->completions->wake();
+  }
+  for (auto& r : reactors_)
+    if (r->th.joinable()) r->th.join();
+}
+
+}  // namespace memfss::rt

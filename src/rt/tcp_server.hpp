@@ -1,0 +1,100 @@
+// TcpServer: the network front-end over rt::RuntimeServer (DESIGN.md
+// §13) -- the step from "concurrent library" to "service a wire can
+// hit".
+//
+// Threading model: N *reactor* threads, each owning one epoll instance
+// and its own SO_REUSEPORT listening socket on the shared port, so the
+// kernel shards incoming connections across reactors with no accept
+// lock. A connection lives its whole life on the reactor that accepted
+// it -- every read, decode, and write for it happens on that one
+// thread, so per-connection state needs no locks. Frames decode into
+// rt::Op and dispatch through RuntimeServer::submit_async, which runs
+// the existing admission ladder (rate -> pressure -> lane, DESIGN.md
+// §12) and executes on the shard-pinned workers; completions are
+// encoded on the worker thread and handed back to the owning reactor
+// through a mutex-guarded completion queue + eventfd wakeup, then
+// written out of the connection's write buffer (EPOLLOUT armed only
+// while a partial write is outstanding).
+//
+// Protocol: netio::Frame (length-prefixed binary, pipelined). AUTH
+// binds the token in the frame's key field to the connection; every
+// subsequent request uses it. OVERLOADED/REJECTED sheds travel back as
+// ordinary response frames carrying the Errc and the retry-after hint
+// in microseconds -- the QoS contract survives the wire intact.
+//
+// Slow clients: a connection whose write buffer exceeds
+// `max_write_buffer` (it is not draining responses as fast as it
+// pipelines requests) is disconnected and counted in
+// rt.net.slow_client_disconnects -- one stalled reader must not pin
+// response memory for everyone else. A malformed stream (bad magic,
+// oversized length prefix, inconsistent lengths) gets one final
+// protocol-error frame (status invalid_argument, kFlagProtocolError)
+// and the connection is closed after it flushes.
+//
+// Shutdown drains: stop accepting, keep serving until every connection
+// has zero in-flight ops and an empty write buffer (responses for
+// frames already on the wire still go out), then close; connections
+// still busy at `drain_timeout` are force-closed. Completion callbacks
+// outlive the reactors safely -- they hold the completion queue by
+// shared_ptr and post into it only while it is open.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.hpp"
+#include "rt/server.hpp"
+
+namespace memfss::rt {
+
+class TcpServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;     ///< 0 = ephemeral (see port())
+    std::size_t reactors = 1;   ///< epoll event-loop threads (>= 1)
+    /// Decoder bound on one frame body; an advertised length past this
+    /// is a protocol error, not an allocation.
+    std::size_t max_frame_body = 16u << 20;
+    /// Per-connection write-buffer bound; exceeding it disconnects the
+    /// slow client.
+    std::size_t max_write_buffer = 4u << 20;
+    /// SO_SNDBUF for accepted sockets (0 = kernel default). Tests use
+    /// a tiny value to trip the slow-client path quickly.
+    int so_sndbuf = 0;
+    /// How long shutdown() waits for busy connections to drain before
+    /// force-closing them.
+    std::chrono::milliseconds drain_timeout{5000};
+  };
+
+  /// Binds, listens, and starts the reactors; throws std::runtime_error
+  /// if the socket setup fails (ports are host resources -- failing to
+  /// bind is a constructor-level error, not a recoverable op).
+  TcpServer(RuntimeServer& server, Options opt);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (the ephemeral one when Options::port was 0).
+  std::uint16_t port() const { return port_; }
+  std::size_t reactors() const { return reactors_.size(); }
+
+  /// Graceful drain (see file comment). Idempotent; the destructor
+  /// calls it.
+  void shutdown();
+
+ private:
+  struct Reactor;
+
+  RuntimeServer& server_;
+  Options opt_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopped_{false};
+  /// Live connection count across reactors (feeds rt.net.connections).
+  std::atomic<long> conn_count_{0};
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+};
+
+}  // namespace memfss::rt

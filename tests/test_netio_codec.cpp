@@ -1,0 +1,218 @@
+// Protocol codec property tests (DESIGN.md §13): the FrameDecoder must
+// be the exact inverse of encode() no matter how the byte stream is
+// sliced, and must *never* crash or over-allocate on adversarial
+// input -- every feed ends in need_more, a decoded frame, or a sticky
+// error, nothing else.
+//
+//   1. Round-trip: random frames (both kinds, all opcodes, empty and
+//      large keys/values) encode -> decode to equal frames.
+//   2. Split-feed: the same byte stream fed 1 byte at a time, and in
+//      random-sized slices, decodes to the identical frame sequence.
+//   3. Mutation fuzz: >= 100k random byte mutations over valid streams;
+//      the decoder must always return need_more/frame/error and never
+//      read out of bounds (ASan is the referee) or allocate from a
+//      length prefix beyond its bound.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netio/frame.hpp"
+
+namespace memfss::netio {
+namespace {
+
+Frame random_request(Rng& rng) {
+  Frame f;
+  f.kind = Frame::Kind::request;
+  f.opcode = static_cast<std::uint8_t>(rng.uniform_u64(1, 5));
+  f.tenant = static_cast<std::uint32_t>(rng.uniform_u64(0, 1u << 20));
+  f.request_id = rng.next_u64();
+  const std::size_t klen = rng.uniform_u64(0, 64);
+  for (std::size_t i = 0; i < klen; ++i)
+    f.key.push_back(static_cast<char>(rng.uniform_u64(0, 255)));
+  if (f.opcode == static_cast<std::uint8_t>(Opcode::put)) {
+    const std::size_t vlen = rng.uniform_u64(0, 4096);
+    f.value.resize(vlen);
+    for (auto& b : f.value)
+      b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+  }
+  return f;
+}
+
+Frame random_response(Rng& rng) {
+  Frame f;
+  f.kind = Frame::Kind::response;
+  f.status = static_cast<std::uint8_t>(rng.uniform_u64(0, 16));
+  f.flags = static_cast<std::uint8_t>(rng.uniform_u64(0, 7));
+  f.retry_after_us = static_cast<std::uint32_t>(rng.uniform_u64(0, 1u << 30));
+  f.request_id = rng.next_u64();
+  f.seq = rng.next_u64();
+  f.checksum = rng.next_u64();
+  if (rng.chance(0.25)) {
+    // Ghost-style response: logical size + checksum, no payload bytes.
+    f.value_size = static_cast<std::uint32_t>(rng.uniform_u64(1, 1u << 24));
+  } else {
+    const std::size_t vlen = rng.uniform_u64(0, 4096);
+    f.value.resize(vlen);
+    for (auto& b : f.value)
+      b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    f.value_size = static_cast<std::uint32_t>(f.value.size());
+  }
+  return f;
+}
+
+Frame random_frame(Rng& rng) {
+  return rng.chance(0.5) ? random_request(rng) : random_response(rng);
+}
+
+TEST(NetioCodec, RoundTripRandomFrames) {
+  Rng rng(1);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Frame in = random_frame(rng);
+    FrameDecoder dec;
+    const auto bytes = encode(in);
+    dec.feed(bytes.data(), bytes.size());
+    Frame out;
+    ASSERT_EQ(dec.next(out), Decode::frame) << "iter " << iter;
+    EXPECT_EQ(out, in) << "iter " << iter;
+    EXPECT_EQ(dec.next(out), Decode::need_more);
+    EXPECT_EQ(dec.buffered(), 0u);
+  }
+}
+
+TEST(NetioCodec, OneByteAtATimeDecoding) {
+  Rng rng(2);
+  std::vector<Frame> frames;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 64; ++i) {
+    frames.push_back(random_frame(rng));
+    encode_frame(frames.back(), stream);
+  }
+  FrameDecoder dec;
+  std::size_t decoded = 0;
+  for (const std::uint8_t b : stream) {
+    dec.feed(&b, 1);
+    Frame out;
+    Decode d;
+    while ((d = dec.next(out)) == Decode::frame) {
+      ASSERT_LT(decoded, frames.size());
+      EXPECT_EQ(out, frames[decoded]);
+      ++decoded;
+    }
+    ASSERT_EQ(d, Decode::need_more);
+  }
+  EXPECT_EQ(decoded, frames.size());
+}
+
+TEST(NetioCodec, RandomSplitDecoding) {
+  Rng rng(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Frame> frames;
+    std::vector<std::uint8_t> stream;
+    const int n = static_cast<int>(rng.uniform_u64(1, 32));
+    for (int i = 0; i < n; ++i) {
+      frames.push_back(random_frame(rng));
+      encode_frame(frames.back(), stream);
+    }
+    FrameDecoder dec;
+    std::size_t decoded = 0, off = 0;
+    while (off < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(rng.uniform_u64(1, 300), stream.size() - off);
+      dec.feed(stream.data() + off, chunk);
+      off += chunk;
+      Frame out;
+      Decode d;
+      while ((d = dec.next(out)) == Decode::frame) {
+        ASSERT_LT(decoded, frames.size());
+        EXPECT_EQ(out, frames[decoded]);
+        ++decoded;
+      }
+      ASSERT_EQ(d, Decode::need_more);
+    }
+    EXPECT_EQ(decoded, frames.size());
+  }
+}
+
+// Decoder bound: a length prefix past max_body must be a protocol
+// error, not a 2 GiB allocation.
+TEST(NetioCodec, OversizedLengthPrefixIsError) {
+  std::vector<std::uint8_t> bytes;
+  const std::uint32_t magic = kRequestMagic;
+  const std::uint32_t body = 1u << 31;
+  bytes.resize(8);
+  std::memcpy(bytes.data(), &magic, 4);
+  std::memcpy(bytes.data() + 4, &body, 4);
+  FrameDecoder dec(1u << 20);
+  dec.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(dec.next(out), Decode::error);
+  EXPECT_TRUE(dec.failed());
+  // Sticky: more bytes never resurrect the stream.
+  dec.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(dec.next(out), Decode::error);
+}
+
+TEST(NetioCodec, BadMagicIsError) {
+  Rng rng(4);
+  auto bytes = encode(random_frame(rng));
+  bytes[0] ^= 0xff;
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(dec.next(out), Decode::error);
+  EXPECT_FALSE(dec.error().empty());
+}
+
+// The acceptance-criteria fuzz loop: >= 100k mutated frames, decoder
+// never crashes, every next() is need_more/frame/error.
+TEST(NetioCodec, MutationFuzzNeverCrashes) {
+  Rng rng(5);
+  std::uint64_t mutations = 0, decoded = 0, errors = 0;
+  while (mutations < 120000) {
+    // A small valid stream, then 1-4 byte mutations anywhere in it.
+    std::vector<std::uint8_t> stream;
+    const int n = static_cast<int>(rng.uniform_u64(1, 4));
+    for (int i = 0; i < n; ++i) encode_frame(random_frame(rng), stream);
+    const int flips = static_cast<int>(rng.uniform_u64(1, 4));
+    for (int i = 0; i < flips; ++i, ++mutations) {
+      const std::size_t pos = rng.uniform_u64(0, stream.size() - 1);
+      switch (rng.uniform_u64(0, 2)) {
+        case 0: stream[pos] ^= 1u << rng.uniform_u64(0, 7); break;
+        case 1: stream[pos] = static_cast<std::uint8_t>(
+                    rng.uniform_u64(0, 255)); break;
+        default: stream[pos] = 0xff; break;
+      }
+    }
+    // Also fuzz truncation: sometimes drop a tail.
+    if (rng.chance(0.3))
+      stream.resize(rng.uniform_u64(0, stream.size()));
+
+    FrameDecoder dec(1u << 20);
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(rng.uniform_u64(1, 4096), stream.size() - off);
+      dec.feed(stream.data() + off, chunk);
+      off += chunk;
+      Frame out;
+      for (;;) {
+        const Decode d = dec.next(out);
+        if (d == Decode::frame) { ++decoded; continue; }
+        ASSERT_TRUE(d == Decode::need_more || d == Decode::error);
+        if (d == Decode::error) ++errors;
+        break;
+      }
+      if (dec.failed()) break;
+    }
+  }
+  ASSERT_GE(mutations, 100000u);
+  // Both outcomes must actually occur or the fuzz has no teeth.
+  EXPECT_GT(decoded, 0u);
+  EXPECT_GT(errors, 0u);
+}
+
+}  // namespace
+}  // namespace memfss::netio

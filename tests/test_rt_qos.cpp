@@ -11,8 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "netio/client.hpp"
 #include "rt/loadgen.hpp"
 #include "rt/server.hpp"
+#include "rt/tcp_server.hpp"
 #include "rt/tenant_registry.hpp"
 #include "rt/thread_pool.hpp"
 #include "rt/token_bucket.hpp"
@@ -267,6 +269,44 @@ TEST(QosServer, RateLimitedTenantIsShedWithHintAndNoSeq) {
   EXPECT_EQ(shed.code, Errc::overloaded);
   EXPECT_GT(shed.retry_after_s, 0.0);
   EXPECT_FALSE(shed.seq.has_value());
+  EXPECT_EQ(server.metrics().counter_value("rt.tenant.limited.overloaded"),
+            1u);
+}
+
+// The same shed observed over the TCP serving path (DESIGN.md §13):
+// the OVERLOADED frame carries the Errc and a nonzero retry-after hint
+// in microseconds -- the QoS contract is not an in-process artifact.
+TEST(QosServer, RateLimitShedSurvivesTheWire) {
+  ShardedStore store({4, 1 << 20, ""});
+  TenantRegistry reg;
+  TenantConfig cfg;
+  cfg.name = "limited";
+  cfg.ops_per_s = 1.0;
+  cfg.ops_burst = 1.0;
+  const auto id = reg.register_tenant(cfg).value();
+  RuntimeServer::Options opt;
+  opt.threads = 1;
+  opt.queue_capacity = 64;
+  opt.tenants = &reg;
+  RuntimeServer server(store, opt);
+  TcpServer tcp(server, {});
+
+  netio::NetClient c;
+  ASSERT_TRUE(c.connect(tcp.port()).ok());
+  ASSERT_TRUE(c.set_recv_timeout(10.0).ok());
+
+  ASSERT_TRUE(c.send(netio::NetClient::make_put(1, id, "k", {1})).ok());
+  auto first = c.recv();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().status, static_cast<std::uint8_t>(Errc::ok));
+
+  ASSERT_TRUE(c.send(netio::NetClient::make_put(2, id, "k2", {1})).ok());
+  auto shed = c.recv();
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed.value().status,
+            static_cast<std::uint8_t>(Errc::overloaded));
+  EXPECT_GT(shed.value().retry_after_us, 0u);
+  EXPECT_FALSE(shed.value().flags & netio::kFlagHasSeq);
   EXPECT_EQ(server.metrics().counter_value("rt.tenant.limited.overloaded"),
             1u);
 }

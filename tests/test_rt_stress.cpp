@@ -14,6 +14,11 @@
 // (exercising the reserve/release path), and a chaos thread clears and
 // closes shards mid-run so the eviction/unavailable paths race the
 // writers too.
+// Op streams come from the shared seed-deterministic generator
+// (rt/opstream.hpp) -- the same one the in-process loadgen and the
+// socket replay client use -- so the put/get/del mix here is the same
+// reproducible stream family every other harness replays; only the
+// evict/clear/close chaos stays locally randomized.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "rt/opstream.hpp"
 #include "rt/sharded_store.hpp"
 
 namespace memfss::rt {
@@ -36,7 +42,17 @@ constexpr Bytes kMaxValue = 512;
 constexpr Bytes kCap =
     kKeySpace * (kMaxValue + kvstore::Store::kPerKeyOverhead) / 3;
 
-std::string key_name(std::uint64_t i) { return "k" + std::to_string(i); }
+/// Stream shape shared with the loadgen/socket harnesses: the put/get/
+/// del mix and key popularity are a pure function of (seed, thread).
+StreamOptions stress_stream(std::size_t ops) {
+  StreamOptions s;
+  s.seed = 0xabcdef;
+  s.ops_per_thread = ops;
+  s.get_fraction = 0.25;
+  s.del_fraction = 0.20;
+  s.key_space = kKeySpace;
+  return s;
+}
 
 TEST(RtStress, AccountingInvariantsUnderRacingMutators) {
   ShardedStore store({kShards, kCap, ""});
@@ -50,23 +66,24 @@ TEST(RtStress, AccountingInvariantsUnderRacingMutators) {
   };
 
   auto mutator = [&](std::size_t t) {
-    Rng rng(0xabcdef + t);
-    for (std::size_t i = 0; i < kOpsPerThread; ++i) {
-      const std::string key =
-          key_name(rng.uniform_u64(0, kKeySpace - 1));
-      const double u = rng.next_double();
-      if (u < 0.55) {
-        const auto st = store.put("", key,
-                                  kvstore::Blob::ghost(
-                                      rng.uniform_u64(0, kMaxValue), i));
-        if (st.code() == Errc::out_of_memory) ooms.fetch_add(1);
-      } else if (u < 0.75) {
-        (void)store.get("", key);
-      } else if (u < 0.90) {
-        (void)store.del("", key);
-      } else {
-        (void)store.evict(key);
+    const auto stream = generate_stream(stress_stream(kOpsPerThread), t);
+    Rng rng(0xabcdef + t);  // sizes + evict interleave only
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const GenOp& g = stream[i];
+      const std::string key = loadgen_key(g.key_index);
+      switch (g.type) {
+        case Op::Type::put: {
+          const auto st = store.put("", key,
+                                    kvstore::Blob::ghost(
+                                        rng.uniform_u64(0, kMaxValue), i));
+          if (st.code() == Errc::out_of_memory) ooms.fetch_add(1);
+          break;
+        }
+        case Op::Type::get: (void)store.get("", key); break;
+        case Op::Type::del: (void)store.del("", key); break;
+        default: break;
       }
+      if (rng.chance(0.10)) (void)store.evict(key);
       sample();
     }
   };
@@ -115,16 +132,23 @@ TEST(RtStress, SingleShardContention) {
   ShardedStore store({1, 32 * (kMaxValue + kvstore::Store::kPerKeyOverhead),
                       ""});
   auto mutator = [&](std::size_t t) {
-    Rng rng(7 + t);
-    for (std::size_t i = 0; i < 10000; ++i) {
-      const std::string key = key_name(rng.uniform_u64(0, 63));
-      if (rng.chance(0.6))
-        (void)store.put("", key,
-                        kvstore::Blob::ghost(rng.uniform_u64(0, kMaxValue), i));
-      else if (rng.chance(0.5))
-        (void)store.del("", key);
-      else
-        (void)store.get("", key);
+    StreamOptions so = stress_stream(10000);
+    so.seed = 7;
+    so.get_fraction = 0.20;
+    so.key_space = 64;
+    const auto stream = generate_stream(so, t);
+    Rng rng(7 + t);  // value sizes only
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const GenOp& g = stream[i];
+      const std::string key = loadgen_key(g.key_index);
+      switch (g.type) {
+        case Op::Type::put:
+          (void)store.put("", key, kvstore::Blob::ghost(
+                                       rng.uniform_u64(0, kMaxValue), i));
+          break;
+        case Op::Type::del: (void)store.del("", key); break;
+        default: (void)store.get("", key); break;
+      }
       ASSERT_LE(store.used(), store.capacity());
     }
   };
