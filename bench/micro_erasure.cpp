@@ -1,12 +1,16 @@
-// Reed-Solomon coding throughput: the CPU cost of the paper's
-// future-work redundancy mode, measured on real hardware. Encode cost is
-// what a client pays per stripe write; decode-with-losses is the repair
-// path after a victim eviction or crash.
+// Reed-Solomon coding throughput: the CPU cost of the rt runtime's
+// erasure-coded redundancy mode (DESIGN.md §14), measured on real
+// hardware. Encode cost is what a client pays per stripe write;
+// decode-with-losses is the repair path after a victim eviction or
+// crash. The <name>/<kernel> variants pin a specific GF(2^8) backend so
+// the SIMD dispatch win is visible as a ratio on one machine.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "erasure/gf256_simd.hpp"
 #include "erasure/reed_solomon.hpp"
 
 using namespace memfss;
@@ -68,6 +72,31 @@ void BM_RsReconstructOneShard(benchmark::State& state) {
                           std::int64_t(original[1].size()));
 }
 BENCHMARK(BM_RsReconstructOneShard);
+
+// Per-kernel encode_into: the zero-allocation stripe pass ec::put uses,
+// pinned to each available backend. Skipped (benchmark error) when the
+// host lacks the instruction set.
+void BM_RsEncodeIntoKernel(benchmark::State& state, const char* kernel) {
+  const erasure::GF256Kernels* kn = erasure::gf256_kernels_by_name(kernel);
+  if (kn == nullptr) {
+    state.SkipWithError((std::string(kernel) + " unsupported here").c_str());
+    return;
+  }
+  const erasure::ReedSolomon rs(8, 3, kn);
+  const auto data = payload(1 << 20);
+  const std::size_t ss = rs.shard_size(data.size());
+  std::vector<std::uint8_t> arena(rs.total_shards() * ss);
+  std::vector<std::uint8_t*> ptrs(rs.total_shards());
+  for (std::size_t i = 0; i < ptrs.size(); ++i)
+    ptrs[i] = arena.data() + i * ss;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode_into(data, ptrs.data(), ss));
+  }
+  state.SetBytesProcessed(state.iterations() * std::int64_t(data.size()));
+}
+BENCHMARK_CAPTURE(BM_RsEncodeIntoKernel, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_RsEncodeIntoKernel, ssse3, "ssse3");
+BENCHMARK_CAPTURE(BM_RsEncodeIntoKernel, avx2, "avx2");
 
 }  // namespace
 

@@ -7,10 +7,13 @@
 // those costs on real hardware.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/str.hpp"
 #include "hash/class_hrw.hpp"
+#include "hash/hashes.hpp"
 #include "hash/consistent.hpp"
 #include "hash/hrw.hpp"
 #include "hash/skeleton.hpp"
@@ -92,6 +95,57 @@ void BM_HrwTop3(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HrwTop3)->Arg(32)->Arg(128);
+
+// Batched digest + placement loops (DESIGN.md §14): fnv1a_many's
+// interleaved lanes vs. one call per key, and the digest-driven
+// hrw_select_many sweep vs. per-key hrw_select.
+void BM_Fnv1aBatch(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < n; ++i)
+    keys.push_back(strformat("i12345:%zu:stripe-payload-key", i));
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::vector<std::uint64_t> out(n);
+  std::int64_t bytes = 0;
+  for (const auto& k : keys) bytes += std::int64_t(k.size());
+  for (auto _ : state) {
+    hash::fnv1a_many(views, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_Fnv1aBatch)->Arg(64)->Arg(4096);
+
+void BM_Fnv1aPerKey(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < n; ++i)
+    keys.push_back(strformat("i12345:%zu:stripe-payload-key", i));
+  std::vector<std::uint64_t> out(n);
+  std::int64_t bytes = 0;
+  for (const auto& k : keys) bytes += std::int64_t(k.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = hash::fnv1a(keys[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_Fnv1aPerKey)->Arg(64)->Arg(4096);
+
+void BM_HrwSelectMany(benchmark::State& state) {
+  const auto servers = nodes(std::size_t(state.range(0)));
+  const std::size_t n = 1024;
+  std::vector<std::uint64_t> digests(n);
+  for (std::size_t i = 0; i < n; ++i)
+    digests[i] = hash::fnv1a(strformat("key-%zu", i));
+  std::vector<NodeId> out(n);
+  for (auto _ : state) {
+    hash::hrw_select_many(digests, servers, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(n));
+}
+BENCHMARK(BM_HrwSelectMany)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_WeightSolver3Class(benchmark::State& state) {
   for (auto _ : state) {

@@ -14,6 +14,16 @@
 //     point: own+victim cluster, alpha=0.25, dd tasks writing striped
 //     files) timed end-to-end in host wall-clock.
 //
+// Byte-pump benches (DESIGN.md §14 -- the SIMD-dispatched hot loops):
+//   - erasure.rs_encode_GBps / rs_decode_loss_GBps: RS(8, 3) over a 1 MiB
+//     payload on the active GF(2^8) kernel, plus *_scalar variants pinned
+//     to the portable backend (the dispatch win is the ratio between the
+//     two); decode runs with data shards {0, 2} and parity {9} lost, so it
+//     pays matrix inversion + reconstruction every stripe.
+//   - hash.fnv_batch_MBps / fnv_scalar_MBps: fnv1a_many's interleaved
+//     4-lane digest loop vs. one fnv1a call per key over the same 4096
+//     placement-shaped keys.
+//
 // Output: BENCH_hotpath.json (or $MEMFSS_BENCH_OUT) with rows of
 //   {"bench", "metric", "value", "unit", "seed"}
 // -- the schema scripts/bench_perf.sh commits at the repo root so future
@@ -29,9 +39,12 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "erasure/gf256_simd.hpp"
+#include "erasure/reed_solomon.hpp"
 #include "exp/experiments.hpp"
 #include "fs/namespace.hpp"
 #include "fs/placement.hpp"
+#include "hash/hashes.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
 
@@ -162,6 +175,103 @@ void bench_simulator() {
        static_cast<double>(sim.executed_events()) / dt, "event/s");
 }
 
+// --- erasure: Reed-Solomon stripe coding GB/s --------------------------------
+
+void bench_erasure_kernel(const char* suffix,
+                          const erasure::GF256Kernels* kernels) {
+  const std::size_t k = 8, m = 3;
+  const erasure::ReedSolomon rs(k, m, kernels);
+  Rng rng(kSeed);
+  std::vector<std::uint8_t> data(1 << 20);
+  for (auto& b : data) b = std::uint8_t(rng.next_u64());
+
+  // Encode into a caller-owned arena: the shape ec::put uses, so the
+  // number is pure coding cost, not allocator traffic.
+  const std::size_t ss = rs.shard_size(data.size());
+  std::vector<std::uint8_t> arena((k + m) * ss);
+  std::vector<std::uint8_t*> ptrs(k + m);
+  for (std::size_t i = 0; i < k + m; ++i) ptrs[i] = arena.data() + i * ss;
+  std::size_t reps = 4;
+  double dt = 0.0;
+  do {  // grow reps until the sample is long enough to trust
+    reps *= 2;
+    const double t0 = now_sec();
+    for (std::size_t r = 0; r < reps; ++r)
+      if (!rs.encode_into(data, ptrs.data(), ss).ok()) std::exit(1);
+    dt = now_sec() - t0;
+  } while (dt < 0.2);
+  emit("erasure", std::string("rs_encode") + suffix + "_GBps",
+       static_cast<double>(reps) * static_cast<double>(data.size()) / dt / 1e9,
+       "GB/s");
+
+  // Decode with losses straddling data and parity: shards 0 and 2 (data)
+  // and 9 (parity) gone, the worst-case repair read.
+  auto lossy = rs.encode(data);
+  lossy[0].clear();
+  lossy[2].clear();
+  lossy[9].clear();
+  reps = 2;
+  do {
+    reps *= 2;
+    const double t0 = now_sec();
+    for (std::size_t r = 0; r < reps; ++r) {
+      auto dec = rs.decode(lossy, data.size());
+      if (!dec.ok()) std::exit(1);
+    }
+    dt = now_sec() - t0;
+  } while (dt < 0.2);
+  emit("erasure", std::string("rs_decode_loss") + suffix + "_GBps",
+       static_cast<double>(reps) * static_cast<double>(data.size()) / dt / 1e9,
+       "GB/s");
+}
+
+void bench_erasure() {
+  bench_erasure_kernel("", nullptr);  // active (dispatched) kernel
+  bench_erasure_kernel("_scalar", erasure::gf256_kernels_by_name("scalar"));
+}
+
+// --- hash: batched FNV-1a digest MB/s ----------------------------------------
+
+void bench_hash_batch() {
+  // Placement-shaped keys: the digest batch HRW scoring consumes.
+  const std::size_t n = 4096;
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("i12345:" + std::to_string(i) + ":stripe-payload-key");
+    bytes += keys.back().size();
+  }
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::vector<std::uint64_t> out(n);
+
+  std::size_t reps = 8;
+  double dt = 0.0;
+  do {
+    reps *= 2;
+    const double t0 = now_sec();
+    for (std::size_t r = 0; r < reps; ++r) hash::fnv1a_many(views, out);
+    dt = now_sec() - t0;
+  } while (dt < 0.2);
+  emit("hash", "fnv_batch_MBps",
+       static_cast<double>(reps) * static_cast<double>(bytes) / dt / 1e6,
+       "MB/s");
+
+  reps = 8;
+  do {
+    reps *= 2;
+    const double t0 = now_sec();
+    for (std::size_t r = 0; r < reps; ++r)
+      for (std::size_t i = 0; i < n; ++i) out[i] = hash::fnv1a(views[i]);
+    dt = now_sec() - t0;
+  } while (dt < 0.2);
+  volatile std::uint64_t sink = out[n - 1];
+  (void)sink;
+  emit("hash", "fnv_scalar_MBps",
+       static_cast<double>(reps) * static_cast<double>(bytes) / dt / 1e6,
+       "MB/s");
+}
+
 // --- macro: fig2-shaped dd bag -----------------------------------------------
 
 void bench_fig2_ddbag() {
@@ -201,12 +311,15 @@ void write_json(const char* path) {
 int main(int argc, char** argv) {
   const char* out = argc > 1 ? argv[1] : std::getenv("MEMFSS_BENCH_OUT");
   if (!out) out = "BENCH_hotpath.json";
-  std::printf("perf_hotpath: seed=%llu\n", (unsigned long long)kSeed);
+  std::printf("perf_hotpath: seed=%llu gf256_kernel=%s\n",
+              (unsigned long long)kSeed, erasure::gf256_kernel_name());
 
   for (std::size_t flows : {100, 1000, 10000, 100000})
     bench_fabric(flows);
   bench_placement();
   bench_simulator();
+  bench_erasure();
+  bench_hash_batch();
   bench_fig2_ddbag();
   write_json(out);
   return 0;

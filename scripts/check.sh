@@ -11,9 +11,12 @@
 # regression oracle for everything else, so it stays fully tested.
 #
 # --perf builds Release in build-perf/, runs bench/perf_hotpath, and
-# fails if sim events/sec regresses more than 20% against the committed
-# BENCH_hotpath.json. Only meaningful on the machine that produced the
-# committed numbers (wall-clock benches don't transfer across hosts).
+# fails if sim events/sec or the SIMD byte-pump rows (erasure GB/s, batch
+# hash MB/s) regress more than 20% against the committed
+# BENCH_hotpath.json, or if RS(8,3) encode falls under 5x the committed
+# pre-SIMD scalar baseline (erasure_prepr) while a SIMD kernel is
+# selected. Only meaningful on the machine that produced the committed
+# numbers (wall-clock benches don't transfer across hosts).
 #
 # --tsan builds with ThreadSanitizer (-DMEMFSS_SANITIZE=thread) in
 # build-tsan/ and runs only the `concurrency`-labeled ctest targets --
@@ -89,6 +92,14 @@ if [[ $run_san -eq 1 ]]; then
   # reports; detect_leaks stays on (the sim owns everything by value).
   ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-san --output-on-failure
+  # Second arm of the GF(2^8) dispatch: rerun the coding/hash/EC suites
+  # with the env override pinning the portable kernel, so both sides of
+  # the runtime dispatch stay sanitized (DESIGN.md §14).
+  echo "== sanitized rerun, MEMFSS_FORCE_SCALAR=1 =="
+  MEMFSS_FORCE_SCALAR=1 \
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-san --output-on-failure \
+      -R 'GF256|ReedSolomon|Fnv|Hrw|RtEc'
 fi
 
 if [[ $run_cov -eq 1 ]]; then
@@ -110,22 +121,48 @@ if [[ $run_perf -eq 1 ]]; then
   cmake --build build-perf --target perf_hotpath
   fresh=$(mktemp); trap 'rm -f "$fresh"' EXIT
   ./build-perf/bench/perf_hotpath "$fresh"
-  # Compare the scalar least prone to run-to-run noise: event-loop
-  # throughput. A >20% drop against the committed number is a regression.
+  # Compare the scalars least prone to run-to-run noise: event-loop
+  # throughput plus the byte-pump rows (coding GB/s, batch-hash MB/s).
+  # A >20% drop against any committed number is a regression, and the
+  # SIMD encode path must hold >= 5x the committed pre-SIMD scalar
+  # baseline whenever a vector kernel is active.
   python3 - "$fresh" BENCH_hotpath.json <<'EOF'
 import json, sys
-def events_per_sec(path, bench):
+def row(path, bench, metric):
     for r in json.load(open(path)):
-        if r["bench"] == bench and r["metric"] == "events_per_sec":
+        if r["bench"] == bench and r["metric"] == metric:
             return r["value"]
-    sys.exit(f"{path}: no {bench} events_per_sec row")
-fresh = events_per_sec(sys.argv[1], "sim")
-committed = events_per_sec(sys.argv[2], "sim")
-ratio = fresh / committed
-print(f"events/sec: fresh {fresh:.3g} vs committed {committed:.3g} "
-      f"(ratio {ratio:.2f})")
-if ratio < 0.8:
-    sys.exit("perf regression: events/sec dropped more than 20%")
+    sys.exit(f"{path}: no {bench} {metric} row")
+fresh_path, committed_path = sys.argv[1], sys.argv[2]
+failures = []
+for bench, metric in [("sim", "events_per_sec"),
+                      ("erasure", "rs_encode_GBps"),
+                      ("erasure", "rs_decode_loss_GBps"),
+                      ("hash", "fnv_batch_MBps")]:
+    fresh = row(fresh_path, bench, metric)
+    committed = row(committed_path, bench, metric)
+    ratio = fresh / committed
+    print(f"{bench}.{metric}: fresh {fresh:.3g} vs committed "
+          f"{committed:.3g} (ratio {ratio:.2f})")
+    if ratio < 0.8:
+        failures.append(f"{bench}.{metric} dropped more than 20%")
+# The dispatch win itself: SIMD encode vs the committed pre-SIMD scalar
+# baseline. Skipped when the host pinned/selected the scalar kernel
+# (fresh active row ~ fresh scalar row), since the 5x claim is about the
+# vector backends.
+enc = row(fresh_path, "erasure", "rs_encode_GBps")
+enc_scalar = row(fresh_path, "erasure", "rs_encode_scalar_GBps")
+prepr = row(committed_path, "erasure_prepr", "rs_encode_GBps")
+if enc > 1.5 * enc_scalar:
+    speedup = enc / prepr
+    print(f"erasure.rs_encode_GBps: {speedup:.1f}x over pre-SIMD baseline "
+          f"{prepr:.3g}")
+    if speedup < 5.0:
+        failures.append("SIMD rs_encode under 5x the pre-SIMD baseline")
+else:
+    print("scalar kernel active; skipping 5x dispatch-win check")
+if failures:
+    sys.exit("perf regression: " + "; ".join(failures))
 EOF
 fi
 
@@ -139,7 +176,7 @@ if [[ $run_tsan -eq 1 ]]; then
   # tree is single-threaded and not what this pass is for.
   cmake --build build-tsan --target \
     test_rt_sharded_store test_rt_server test_rt_linearizability \
-    test_rt_stress test_rt_loadgen test_rt_qos test_rt_tcp
+    test_rt_stress test_rt_loadgen test_rt_qos test_rt_tcp test_rt_ec
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan -L concurrency --output-on-failure
 fi

@@ -1,8 +1,11 @@
 #include "erasure/gf256.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 #include <vector>
+
+#include "erasure/gf256_simd.hpp"
 
 namespace memfss::erasure {
 
@@ -56,19 +59,12 @@ std::uint8_t GF256::pow(std::uint8_t a, unsigned e) {
 void GF256::mul_acc(std::span<std::uint8_t> dst,
                     std::span<const std::uint8_t> src, std::uint8_t c) {
   assert(dst.size() == src.size());
+  // c == 0 (no-op) and the release-mode size clamp are handled here so
+  // every backend sees only real work; c == 1 is special-cased inside
+  // each backend where it turns into a plain vector xor.
   if (c == 0) return;
-  if (c == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
-    return;
-  }
-  // Per-coefficient 256-entry table: one lookup per byte.
-  const auto& t = tables();
-  const unsigned lc = t.log[c];
-  std::uint8_t row[256];
-  row[0] = 0;
-  for (unsigned v = 1; v < 256; ++v)
-    row[v] = t.alog[lc + t.log[v]];
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+  const std::size_t n = std::min(dst.size(), src.size());
+  gf256_active_kernels().mul_acc(dst.data(), src.data(), n, c);
 }
 
 bool gf256_invert_matrix(std::span<std::uint8_t> m, std::size_t k) {

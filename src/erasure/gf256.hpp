@@ -1,7 +1,13 @@
 // GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
 // via log/antilog tables built at static-init time. Foundation for the
-// Reed-Solomon coder (the erasure-coding storage mode MemFSS' paper lists
-// as in-progress future work, implemented here as an extension).
+// Reed-Solomon coder behind the rt runtime's erasure-coded redundancy
+// mode (DESIGN.md §14) -- the storage mode the MemFSS paper motivates in
+// §III-E, now wired into the serving path rather than future work.
+//
+// The bulk kernels (mul_acc and the stripe-pass mul_row_acc) dispatch at
+// runtime to a SIMD backend (AVX2/SSSE3 nibble shuffle, scalar
+// fallback); see gf256_simd.hpp for the dispatch model and the
+// MEMFSS_FORCE_SCALAR override.
 #pragma once
 
 #include <array>
@@ -23,7 +29,12 @@ class GF256 {
   static std::uint8_t exp(unsigned e);                      ///< generator^e
   static std::uint8_t pow(std::uint8_t a, unsigned e);
 
-  /// dst[i] ^= c * src[i] -- the inner loop of encode/decode.
+  /// dst[i] ^= c * src[i] -- the inner loop of encode/decode, routed
+  /// through the runtime-dispatched kernel backend (gf256_simd.hpp).
+  /// Precondition: dst.size() == src.size() (asserted in debug builds);
+  /// in release builds the overlap of the two spans -- min(dst.size(),
+  /// src.size()) bytes -- is processed so a mismatch cannot read or
+  /// write out of bounds.
   static void mul_acc(std::span<std::uint8_t> dst,
                       std::span<const std::uint8_t> src, std::uint8_t c);
 

@@ -1,0 +1,333 @@
+#include "erasure/gf256_simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "erasure/gf256.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define MEMFSS_GF256_X86 1
+#endif
+
+namespace memfss::erasure {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Nibble product tables: for every coefficient c, 16 products with the
+// low nibble and 16 with the high nibble, so mul(c, b) ==
+// lo[c][b & 15] ^ hi[c][b >> 4]. 32 bytes per coefficient (one cache
+// line pair), 8 KiB total, built once from the log/alog tables. Both
+// SIMD backends shuffle straight out of this layout; the scalar row
+// kernel uses it too so every backend multiplies through the identical
+// tables.
+// ---------------------------------------------------------------------------
+
+struct NibbleTables {
+  alignas(32) std::uint8_t t[256][32];
+  NibbleTables() {
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned v = 0; v < 16; ++v) {
+        t[c][v] = GF256::mul(static_cast<std::uint8_t>(c),
+                             static_cast<std::uint8_t>(v));
+        t[c][16 + v] = GF256::mul(static_cast<std::uint8_t>(c),
+                                  static_cast<std::uint8_t>(v << 4));
+      }
+    }
+  }
+};
+
+const std::uint8_t* nibble_tables(std::uint8_t c) {
+  static const NibbleTables tables;
+  return tables.t[c];
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend: the oracle. Byte-at-a-time through the nibble tables.
+// ---------------------------------------------------------------------------
+
+void scalar_mul_acc_range(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t from, std::size_t to, std::uint8_t c) {
+  if (c == 0 || from >= to) return;  // c == 0 hoisted out of the table path
+  if (c == 1) {                      // c == 1 is a plain xor, no lookups
+    for (std::size_t i = from; i < to; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* tbl = nibble_tables(c);
+  for (std::size_t i = from; i < to; ++i)
+    dst[i] ^= tbl[src[i] & 0x0f] ^ tbl[16 + (src[i] >> 4)];
+}
+
+void scalar_mul_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                    std::uint8_t c) {
+  scalar_mul_acc_range(dst, src, 0, n, c);
+}
+
+/// Shared scalar row pass over [from, to) -- also the tail handler for
+/// both SIMD backends, so remainders go through the exact same tables.
+void scalar_row_range(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                      const std::uint8_t* coeffs, std::size_t k,
+                      std::size_t from, std::size_t to, bool accumulate) {
+  if (from >= to) return;
+  if (!accumulate) std::memset(dst + from, 0, to - from);
+  for (std::size_t j = 0; j < k; ++j)
+    scalar_mul_acc_range(dst, srcs[j], from, to, coeffs[j]);
+}
+
+void scalar_mul_row_acc(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                        const std::uint8_t* coeffs, std::size_t k,
+                        std::size_t n, bool accumulate) {
+  scalar_row_range(dst, srcs, coeffs, k, 0, n, accumulate);
+}
+
+constexpr GF256Kernels kScalar{"scalar", scalar_mul_acc, scalar_mul_row_acc};
+
+#ifdef MEMFSS_GF256_X86
+
+// ---------------------------------------------------------------------------
+// SSSE3 backend: PSHUFB over 16-byte lanes.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("ssse3"))) inline __m128i gf_mul16(
+    __m128i s, __m128i lo, __m128i hi, __m128i mask) {
+  const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+  const __m128i h = _mm_shuffle_epi8(
+      hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+  return _mm_xor_si128(l, h);
+}
+
+__attribute__((target("ssse3"))) void ssse3_mul_acc(std::uint8_t* dst,
+                                                    const std::uint8_t* src,
+                                                    std::size_t n,
+                                                    std::uint8_t c) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 16 <= n; i += 16) {
+      const __m128i s =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_xor_si128(d, s));
+    }
+  } else {
+    const std::uint8_t* tbl = nibble_tables(c);
+    const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(tbl));
+    const __m128i hi =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tbl + 16));
+    const __m128i mask = _mm_set1_epi8(0x0f);
+    for (; i + 16 <= n; i += 16) {
+      const __m128i s =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_xor_si128(d, gf_mul16(s, lo, hi, mask)));
+    }
+  }
+  scalar_mul_acc_range(dst, src, i, n, c);  // unaligned remainder
+}
+
+__attribute__((target("ssse3"))) void ssse3_mul_row_acc(
+    std::uint8_t* dst, const std::uint8_t* const* srcs,
+    const std::uint8_t* coeffs, std::size_t k, std::size_t n,
+    bool accumulate) {
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    // Two 16-byte accumulators per block: dst touched once per block
+    // no matter how many source rows fuse into it.
+    __m128i a0 = _mm_setzero_si128(), a1 = _mm_setzero_si128();
+    if (accumulate) {
+      a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+      a1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint8_t c = coeffs[j];
+      if (c == 0) continue;
+      const __m128i s0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[j] + i));
+      const __m128i s1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[j] + i + 16));
+      if (c == 1) {
+        a0 = _mm_xor_si128(a0, s0);
+        a1 = _mm_xor_si128(a1, s1);
+        continue;
+      }
+      const std::uint8_t* tbl = nibble_tables(c);
+      const __m128i lo =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tbl));
+      const __m128i hi =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tbl + 16));
+      a0 = _mm_xor_si128(a0, gf_mul16(s0, lo, hi, mask));
+      a1 = _mm_xor_si128(a1, gf_mul16(s1, lo, hi, mask));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), a0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), a1);
+  }
+  scalar_row_range(dst, srcs, coeffs, k, i, n, accumulate);
+}
+
+constexpr GF256Kernels kSsse3{"ssse3", ssse3_mul_acc, ssse3_mul_row_acc};
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: the same nibble shuffle over 32-byte lanes
+// (vpshufb shuffles within each 16-byte half, which is exactly what a
+// broadcast 16-entry table wants).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i gf_mul32(__m256i s, __m256i lo,
+                                                        __m256i hi,
+                                                        __m256i mask) {
+  const __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+  const __m256i h = _mm256_shuffle_epi8(
+      hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+  return _mm256_xor_si256(l, h);
+}
+
+__attribute__((target("avx2"))) void avx2_mul_acc(std::uint8_t* dst,
+                                                  const std::uint8_t* src,
+                                                  std::size_t n,
+                                                  std::uint8_t c) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 32 <= n; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, s));
+    }
+  } else {
+    const std::uint8_t* tbl = nibble_tables(c);
+    const __m256i lo = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tbl)));
+    const __m256i hi = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tbl + 16)));
+    const __m256i mask = _mm256_set1_epi8(0x0f);
+    for (; i + 32 <= n; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, gf_mul32(s, lo, hi, mask)));
+    }
+  }
+  scalar_mul_acc_range(dst, src, i, n, c);
+}
+
+__attribute__((target("avx2"))) void avx2_mul_row_acc(
+    std::uint8_t* dst, const std::uint8_t* const* srcs,
+    const std::uint8_t* coeffs, std::size_t k, std::size_t n,
+    bool accumulate) {
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+    if (accumulate) {
+      a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint8_t c = coeffs[j];
+      if (c == 0) continue;
+      const __m256i s0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[j] + i));
+      const __m256i s1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(srcs[j] + i + 32));
+      if (c == 1) {
+        a0 = _mm256_xor_si256(a0, s0);
+        a1 = _mm256_xor_si256(a1, s1);
+        continue;
+      }
+      const std::uint8_t* tbl = nibble_tables(c);
+      const __m256i lo = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tbl)));
+      const __m256i hi = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tbl + 16)));
+      a0 = _mm256_xor_si256(a0, gf_mul32(s0, lo, hi, mask));
+      a1 = _mm256_xor_si256(a1, gf_mul32(s1, lo, hi, mask));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), a1);
+  }
+  // 32-byte half-block before falling back to scalar.
+  if (i + 32 <= n) {
+    __m256i a0 = _mm256_setzero_si256();
+    if (accumulate)
+      a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint8_t c = coeffs[j];
+      if (c == 0) continue;
+      const __m256i s0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[j] + i));
+      if (c == 1) {
+        a0 = _mm256_xor_si256(a0, s0);
+        continue;
+      }
+      const std::uint8_t* tbl = nibble_tables(c);
+      const __m256i lo = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tbl)));
+      const __m256i hi = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tbl + 16)));
+      a0 = _mm256_xor_si256(a0, gf_mul32(s0, lo, hi, mask));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a0);
+    i += 32;
+  }
+  scalar_row_range(dst, srcs, coeffs, k, i, n, accumulate);
+}
+
+constexpr GF256Kernels kAvx2{"avx2", avx2_mul_acc, avx2_mul_row_acc};
+
+bool cpu_has(const char* feature) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  if (std::string_view(feature) == "avx2") return __builtin_cpu_supports("avx2");
+  if (std::string_view(feature) == "ssse3")
+    return __builtin_cpu_supports("ssse3");
+#endif
+  (void)feature;
+  return false;
+}
+
+#endif  // MEMFSS_GF256_X86
+
+bool force_scalar_env() {
+  const char* v = std::getenv("MEMFSS_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+const GF256Kernels& select_kernels() {
+  if (force_scalar_env()) return kScalar;
+#ifdef MEMFSS_GF256_X86
+  if (cpu_has("avx2")) return kAvx2;
+  if (cpu_has("ssse3")) return kSsse3;
+#endif
+  return kScalar;
+}
+
+}  // namespace
+
+const GF256Kernels& gf256_active_kernels() {
+  static const GF256Kernels& k = select_kernels();
+  return k;
+}
+
+const char* gf256_kernel_name() { return gf256_active_kernels().name; }
+
+const GF256Kernels* gf256_kernels_by_name(std::string_view name) {
+  if (name == "scalar") return &kScalar;
+#ifdef MEMFSS_GF256_X86
+  if (name == "ssse3" && cpu_has("ssse3")) return &kSsse3;
+  if (name == "avx2" && cpu_has("avx2")) return &kAvx2;
+#endif
+  return nullptr;
+}
+
+}  // namespace memfss::erasure

@@ -1,8 +1,11 @@
 #include "erasure/reed_solomon.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "erasure/gf256.hpp"
+#include "erasure/gf256_simd.hpp"
 
 namespace memfss::erasure {
 
@@ -38,38 +41,52 @@ std::vector<std::uint8_t> systematic_matrix(std::size_t k, std::size_t m) {
 
 }  // namespace
 
-ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t m,
+                         const GF256Kernels* kernels)
+    : k_(k), m_(m), kernels_(kernels ? kernels : &gf256_active_kernels()) {
   assert(k_ >= 1 && k_ + m_ <= 255);
   matrix_ = systematic_matrix(k_, m_);
 }
 
+const char* ReedSolomon::kernel_name() const { return kernels_->name; }
+
 std::size_t ReedSolomon::shard_size(std::size_t len) const {
   return (len + k_ - 1) / k_;
+}
+
+Status ReedSolomon::encode_into(std::span<const std::uint8_t> data,
+                                std::uint8_t* const* shards,
+                                std::size_t ss) const {
+  if (ss != shard_size(data.size()))
+    return {Errc::invalid_argument, "shard buffer size mismatch"};
+  // Data shards: verbatim slices, zero-padded.
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::size_t off = i * ss;
+    const std::size_t n =
+        off < data.size() ? std::min(ss, data.size() - off) : 0;
+    if (n > 0) std::memcpy(shards[i], data.data() + off, n);
+    if (n < ss) std::memset(shards[i] + n, 0, ss - n);
+  }
+  // Parity shards: one fused row pass each over the k data shards
+  // (row-major matrix walk; dst loaded/stored once regardless of k).
+  for (std::size_t p = 0; p < m_; ++p)
+    kernels_->mul_row_acc(shards[k_ + p], shards, row(k_ + p), k_, ss,
+                          /*accumulate=*/false);
+  return {};
 }
 
 std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
     std::span<const std::uint8_t> data) const {
   const std::size_t ss = shard_size(data.size());
   std::vector<std::vector<std::uint8_t>> shards(total_shards());
-  // Data shards: verbatim slices, zero-padded.
-  for (std::size_t i = 0; i < k_; ++i) {
-    shards[i].assign(ss, 0);
-    const std::size_t off = i * ss;
-    if (off < data.size()) {
-      const std::size_t n = std::min(ss, data.size() - off);
-      std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
-                data.begin() + static_cast<std::ptrdiff_t>(off + n),
-                shards[i].begin());
-    }
+  std::vector<std::uint8_t*> ptrs(total_shards());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shards[i].resize(ss);
+    ptrs[i] = shards[i].data();
   }
-  // Parity shards: matrix rows k..k+m-1 times the data shards.
-  for (std::size_t p = 0; p < m_; ++p) {
-    auto& out = shards[k_ + p];
-    out.assign(ss, 0);
-    const std::uint8_t* r = row(k_ + p);
-    for (std::size_t c = 0; c < k_; ++c)
-      GF256::mul_acc(out, shards[c], r[c]);
-  }
+  const auto st = encode_into(data, ptrs.data(), ss);
+  assert(st.ok());
+  (void)st;
   return shards;
 }
 
@@ -97,34 +114,34 @@ Status ReedSolomon::reconstruct(
   // Decode matrix: k of the surviving rows; invert; recovered data shard d
   // = sum_j inv[d][j] * surviving_shard_j.
   std::vector<std::uint8_t> sub(k_ * k_);
+  std::vector<const std::uint8_t*> srcs(k_);
   for (std::size_t j = 0; j < k_; ++j) {
     const std::uint8_t* r = row(present[j]);
     for (std::size_t c = 0; c < k_; ++c) sub[j * k_ + c] = r[c];
+    srcs[j] = shards[present[j]].data();
   }
   if (!gf256_invert_matrix(sub, k_))
     return {Errc::corruption, "decode matrix singular"};
 
-  // Recover missing *data* shards first.
-  std::vector<std::vector<std::uint8_t>> data(k_);
+  // Recover missing *data* shards first: one fused row pass per missing
+  // shard over the k surviving sources. Recovered shards are written
+  // into place; `srcs` keeps pointing at the original survivors, which
+  // is all the inverse matrix refers to.
   for (std::size_t d = 0; d < k_; ++d) {
-    if (!shards[d].empty()) {
-      data[d] = shards[d];
-      continue;
-    }
-    data[d].assign(ss, 0);
-    for (std::size_t j = 0; j < k_; ++j)
-      GF256::mul_acc(data[d], shards[present[j]], sub[d * k_ + j]);
+    if (!shards[d].empty()) continue;
+    shards[d].resize(ss);
+    kernels_->mul_row_acc(shards[d].data(), srcs.data(), &sub[d * k_], k_, ss,
+                          /*accumulate=*/false);
   }
-  for (std::size_t d = 0; d < k_; ++d)
-    if (shards[d].empty()) shards[d] = data[d];
 
   // Re-encode any missing parity shards from the (now complete) data.
+  std::vector<const std::uint8_t*> data_ptrs(k_);
+  for (std::size_t d = 0; d < k_; ++d) data_ptrs[d] = shards[d].data();
   for (std::size_t i : missing) {
     if (i < k_) continue;
-    shards[i].assign(ss, 0);
-    const std::uint8_t* r = row(i);
-    for (std::size_t c = 0; c < k_; ++c)
-      GF256::mul_acc(shards[i], data[c], r[c]);
+    shards[i].resize(ss);
+    kernels_->mul_row_acc(shards[i].data(), data_ptrs.data(), row(i), k_, ss,
+                          /*accumulate=*/false);
   }
   return {};
 }

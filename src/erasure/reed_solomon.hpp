@@ -7,7 +7,15 @@
 //
 // This is the storage-redundancy mode the MemFSS paper motivates in
 // §III-E: full replication doubles/triples memory footprint, which an
-// in-memory FS cannot afford; RS(k, m) costs only m/k extra.
+// in-memory FS cannot afford; RS(k, m) costs only m/k extra. Since the
+// SIMD kernel work (DESIGN.md §14) it is cheap enough to serve as the
+// rt runtime's per-tenant redundancy mode (rt/ec.hpp), not just a sim
+// extension.
+//
+// Coding is structured as one pass per *output* row: a row-major walk of
+// the matrix feeds all k source shards through GF256Kernels::mul_row_acc
+// into each destination, so destination bytes are loaded/stored once per
+// row instead of once per (row, source) pair.
 #pragma once
 
 #include <cstdint>
@@ -18,14 +26,20 @@
 
 namespace memfss::erasure {
 
+struct GF256Kernels;
+
 class ReedSolomon {
  public:
   /// k data shards, m parity shards; k >= 1, m >= 0, k + m <= 255.
-  ReedSolomon(std::size_t k, std::size_t m);
+  /// `kernels` pins a specific GF(2^8) backend (tests/benches comparing
+  /// backends); nullptr uses the process-wide runtime selection.
+  explicit ReedSolomon(std::size_t k, std::size_t m,
+                       const GF256Kernels* kernels = nullptr);
 
   std::size_t data_shards() const { return k_; }
   std::size_t parity_shards() const { return m_; }
   std::size_t total_shards() const { return k_ + m_; }
+  const char* kernel_name() const;
 
   /// Shard size for a payload of `len` bytes (payload zero-padded to a
   /// multiple of k).
@@ -34,6 +48,15 @@ class ReedSolomon {
   /// Split + encode: returns k+m shards, each shard_size(data.size()) long.
   std::vector<std::vector<std::uint8_t>> encode(
       std::span<const std::uint8_t> data) const;
+
+  /// Allocation-free encode into caller-owned buffers: `shards` holds
+  /// k+m pointers, each to `ss` == shard_size(data.size()) writable
+  /// bytes (disjoint from `data` and from each other). Data shards get
+  /// the payload slices (zero-padded); parity shards are coded in one
+  /// row pass each. This is the path the rt write path uses so a put
+  /// can code straight into its shard arena.
+  Status encode_into(std::span<const std::uint8_t> data,
+                     std::uint8_t* const* shards, std::size_t ss) const;
 
   /// Reconstruct the original payload from any >= k shards.
   /// `shards[i]` empty => shard i missing. `original_len` trims padding.
@@ -47,6 +70,7 @@ class ReedSolomon {
 
  private:
   std::size_t k_, m_;
+  const GF256Kernels* kernels_;  ///< never null after construction
   // Row-major (k+m) x k systematic encoding matrix.
   std::vector<std::uint8_t> matrix_;
 

@@ -1,0 +1,239 @@
+#include "rt/ec.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hash/hashes.hpp"
+
+namespace memfss::rt::ec {
+
+namespace {
+
+constexpr char kSep = '\x01';
+constexpr std::size_t kManifestBytes = 24;
+constexpr std::uint8_t kVersion = 1;
+
+std::uint64_t payload_fnv(std::span<const std::uint8_t> bytes) {
+  return hash::fnv1a(std::string_view(
+      reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+}
+
+void put_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Best-effort sweep of shard siblings [from, to) -- rollback and
+/// stale-stripe cleanup. Errors ignored: the keys may never have been
+/// written.
+void sweep_shards(ShardedStore& store, std::string_view token,
+                  std::string_view key, std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to; ++i)
+    (void)store.del(token, shard_key(key, i));
+}
+
+}  // namespace
+
+std::string shard_key(std::string_view key, std::size_t idx) {
+  std::string k(key);
+  k += kSep;
+  k += "rs";
+  k += std::to_string(idx);
+  return k;
+}
+
+std::string manifest_key(std::string_view key) {
+  std::string k(key);
+  k += kSep;
+  k += "rs*";
+  return k;
+}
+
+kvstore::Blob encode_manifest(const Manifest& mf) {
+  std::vector<std::uint8_t> b(kManifestBytes, 0);
+  b[0] = 'M';
+  b[1] = 'F';
+  b[2] = 'R';
+  b[3] = 'S';
+  b[4] = kVersion;
+  b[5] = static_cast<std::uint8_t>(mf.k);
+  b[6] = static_cast<std::uint8_t>(mf.m);
+  put_le64(&b[8], mf.len);
+  put_le64(&b[16], mf.checksum);
+  return kvstore::Blob::materialized(std::move(b));
+}
+
+std::optional<Manifest> parse_manifest(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kManifestBytes) return std::nullopt;
+  if (bytes[0] != 'M' || bytes[1] != 'F' || bytes[2] != 'R' ||
+      bytes[3] != 'S' || bytes[4] != kVersion)
+    return std::nullopt;
+  Manifest mf;
+  mf.k = bytes[5];
+  mf.m = bytes[6];
+  if (mf.k < 1 || mf.k + mf.m > 255) return std::nullopt;
+  mf.len = get_le64(&bytes[8]);
+  mf.checksum = get_le64(&bytes[16]);
+  return mf;
+}
+
+Status put(ShardedStore& store, std::string_view token, std::string_view key,
+           const kvstore::Blob& value, const erasure::ReedSolomon& rs,
+           std::uint64_t* seq, std::uint32_t tenant) {
+  const auto bytes = value.bytes();
+  const std::size_t total = rs.total_shards();
+  const std::size_t ss = rs.shard_size(bytes.size());
+
+  // Remember how wide any stripe already under this key is, so stale
+  // siblings beyond the new width get swept after commit.
+  std::size_t old_total = 0;
+  if (auto old = store.get(token, manifest_key(key)); old.ok()) {
+    if (auto mf = parse_manifest(old.value().bytes())) old_total = mf->k + mf->m;
+  }
+
+  if (!bytes.empty()) {
+    // Code the whole stripe in one pass into a contiguous arena, then
+    // hand each shard slice to its own sibling key.
+    std::vector<std::uint8_t> arena(total * ss);
+    std::vector<std::uint8_t*> ptrs(total);
+    for (std::size_t i = 0; i < total; ++i) ptrs[i] = arena.data() + i * ss;
+    if (auto st = rs.encode_into(bytes, ptrs.data(), ss); !st.ok()) return st;
+    for (std::size_t i = 0; i < total; ++i) {
+      std::vector<std::uint8_t> shard(ptrs[i], ptrs[i] + ss);
+      auto st = store.put(token, shard_key(key, i),
+                          kvstore::Blob::materialized(std::move(shard)),
+                          nullptr, tenant);
+      if (!st.ok()) {
+        // Never leave a half-written stripe readable: roll this
+        // attempt's siblings back before reporting the failure.
+        sweep_shards(store, token, key, 0, i + 1);
+        return st;
+      }
+    }
+  }
+
+  const Manifest mf{rs.data_shards(), rs.parity_shards(), bytes.size(),
+                    payload_fnv(bytes)};
+  if (auto st = store.put(token, manifest_key(key), encode_manifest(mf), seq,
+                          tenant);
+      !st.ok()) {
+    sweep_shards(store, token, key, 0, bytes.empty() ? 0 : total);
+    return st;
+  }
+
+  // Committed: drop any plain value this stripe replaces, and any
+  // siblings of a previous, wider stripe.
+  (void)store.del(token, key);
+  const std::size_t written = bytes.empty() ? 0 : total;
+  if (old_total > written) sweep_shards(store, token, key, written, old_total);
+  return {};
+}
+
+Result<kvstore::Blob> get(ShardedStore& store, std::string_view token,
+                          std::string_view key, std::uint64_t* seq,
+                          bool* reconstructed) {
+  if (reconstructed) *reconstructed = false;
+  // A get racing a put can observe a torn stripe (manifest of one
+  // generation, shards of another); the manifest checksum catches that
+  // and a bounded retry re-reads the settled state.
+  Status last{Errc::corruption, "erasure stripe unreadable"};
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto mres = store.get(token, manifest_key(key), seq);
+    if (mres.code() == Errc::not_found)
+      return store.get(token, key, seq);  // pre-policy plain value
+    if (!mres.ok()) return mres.error();
+    const auto mf = parse_manifest(mres.value().bytes());
+    if (!mf) {
+      last = {Errc::corruption, "bad erasure manifest"};
+      continue;
+    }
+    if (mf->len == 0) return kvstore::Blob::materialized({});
+
+    const std::size_t total = mf->k + mf->m;
+    const std::size_t ss = (mf->len + mf->k - 1) / mf->k;
+    std::vector<std::vector<std::uint8_t>> shards(total);
+    std::size_t data_present = 0;
+    auto fetch = [&](std::size_t i) -> Errc {
+      auto r = store.get(token, shard_key(key, i));
+      if (r.code() == Errc::permission) return Errc::permission;
+      if (r.ok()) {
+        const auto b = r.value().bytes();
+        // A wrong-size sibling is a torn write: treat it as missing so
+        // it cannot poison the decode.
+        if (b.size() == ss) shards[i].assign(b.begin(), b.end());
+      }
+      return Errc::ok;
+    };
+    for (std::size_t i = 0; i < mf->k; ++i) {
+      if (fetch(i) == Errc::permission)
+        return Error{Errc::permission, "bad token"};
+      if (!shards[i].empty()) ++data_present;
+    }
+
+    std::vector<std::uint8_t> payload;
+    if (data_present == mf->k) {
+      // Fast path: every data sibling survived; concatenate and trim.
+      payload.reserve(mf->len);
+      for (std::size_t i = 0; i < mf->k && payload.size() < mf->len; ++i) {
+        const std::size_t n =
+            std::min(ss, static_cast<std::size_t>(mf->len) - payload.size());
+        payload.insert(payload.end(), shards[i].begin(),
+                       shards[i].begin() + static_cast<std::ptrdiff_t>(n));
+      }
+    } else {
+      // Slow path: pull in parity and reconstruct from any k survivors.
+      for (std::size_t i = mf->k; i < total; ++i)
+        if (fetch(i) == Errc::permission)
+          return Error{Errc::permission, "bad token"};
+      const erasure::ReedSolomon coder(mf->k, mf->m);
+      auto dec = coder.decode(shards, mf->len);
+      if (!dec.ok()) {
+        last = dec.error();
+        continue;
+      }
+      payload = std::move(dec).value();
+      if (reconstructed) *reconstructed = true;
+    }
+
+    if (payload_fnv(payload) == mf->checksum)
+      return kvstore::Blob::materialized(std::move(payload));
+    last = {Errc::corruption, "stripe checksum mismatch"};
+  }
+  return last.error();
+}
+
+Status del(ShardedStore& store, std::string_view token, std::string_view key,
+           std::uint64_t* seq) {
+  std::size_t total = 0;
+  auto mres = store.get(token, manifest_key(key));
+  if (mres.code() == Errc::permission) return {Errc::permission, "bad token"};
+  if (mres.ok()) {
+    if (auto mf = parse_manifest(mres.value().bytes())) total = mf->k + mf->m;
+  }
+  bool found = false;
+  if (mres.ok()) {
+    // Manifest goes first so concurrent readers fall back cleanly
+    // instead of observing a shrinking stripe.
+    found = store.del(token, manifest_key(key), seq).ok();
+    sweep_shards(store, token, key, 0, total);
+  }
+  const auto plain = store.del(token, key, found ? nullptr : seq);
+  if (plain.code() == Errc::permission) return plain;
+  found = found || plain.ok();
+  return found ? Status{} : Status{Errc::not_found, "no such key"};
+}
+
+Result<bool> exists(const ShardedStore& store, std::string_view token,
+                    std::string_view key) {
+  auto mex = store.exists(token, manifest_key(key));
+  if (!mex.ok()) return mex;
+  if (mex.value()) return true;
+  return store.exists(token, key);
+}
+
+}  // namespace memfss::rt::ec

@@ -1,0 +1,87 @@
+// Erasure-coded storage over ShardedStore (DESIGN.md §14): the rt
+// runtime's per-tenant Reed-Solomon redundancy mode.
+//
+// A logical key K with policy RS(k, m) is stored as k+m+1 *sibling*
+// keys in the sharded store:
+//
+//   K '\x01' "rs*"          manifest: {k, m, original_len, payload fnv}
+//   K '\x01' "rs" <i>       shard i, i in [0, k+m) -- k data, m parity
+//
+// '\x01' cannot appear in client keys arriving over the wire protocol's
+// printable key paths, and even if it does the sibling namespace only
+// shadows keys that themselves end in the rs suffix. Each sibling is an
+// ordinary store key, so it lands on its own store shard (FNV digest),
+// is charged to the owning tenant's memory quota like any other key,
+// and is individually evictable -- which is exactly what makes the
+// decode path interesting: a get reassembles the payload from the k
+// data siblings and, when some were evicted or their shard closed,
+// reconstructs them from any k surviving siblings.
+//
+// Concurrency: one EC op issues several store ops, so composite ops are
+// not atomic. The manifest carries the payload's FNV-1a checksum and
+// get() verifies it after reassembly (retrying a torn read a couple of
+// times before reporting corruption); last-writer-wins applies at the
+// manifest. Concurrent writers to the *same* logical key can strand
+// stale siblings -- same-key write races are the caller's problem, as
+// they already are for plain puts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "kvstore/blob.hpp"
+#include "rt/sharded_store.hpp"
+
+namespace memfss::rt::ec {
+
+/// Sibling-key names for shard `idx` / the manifest of logical `key`.
+std::string shard_key(std::string_view key, std::size_t idx);
+std::string manifest_key(std::string_view key);
+
+/// Manifest payload (24 bytes on the wire: magic "MFRS", version, k, m,
+/// original length, payload FNV-1a).
+struct Manifest {
+  std::size_t k = 0;
+  std::size_t m = 0;
+  std::uint64_t len = 0;       ///< original payload length
+  std::uint64_t checksum = 0;  ///< fnv1a over the payload bytes
+};
+
+kvstore::Blob encode_manifest(const Manifest& mf);
+std::optional<Manifest> parse_manifest(std::span<const std::uint8_t> bytes);
+
+/// Encode `value` (materialized) into k+m shard siblings + manifest.
+/// On any sibling-put failure (tenant quota, aggregate cap, closed
+/// shard) the already-written siblings of this attempt are deleted and
+/// the error returned, so a failed put never leaves a readable
+/// half-stripe behind. A previously plain-stored value under `key` is
+/// deleted once the stripe commits. `seq` receives the manifest put's
+/// serialization index.
+Status put(ShardedStore& store, std::string_view token, std::string_view key,
+           const kvstore::Blob& value, const erasure::ReedSolomon& rs,
+           std::uint64_t* seq = nullptr, std::uint32_t tenant = 0);
+
+/// Read back the logical value: fast path concatenates the k data
+/// siblings; missing data siblings trigger reconstruction from any k
+/// survivors. Falls back to a plain get when no manifest exists (keys
+/// written before the tenant's policy was enabled). `reconstructed`
+/// (optional) reports whether the slow path ran.
+Result<kvstore::Blob> get(ShardedStore& store, std::string_view token,
+                          std::string_view key, std::uint64_t* seq = nullptr,
+                          bool* reconstructed = nullptr);
+
+/// Delete the manifest, every shard sibling, and any plain-stored value
+/// under `key`. not_found only if none of them existed.
+Status del(ShardedStore& store, std::string_view token, std::string_view key,
+           std::uint64_t* seq = nullptr);
+
+/// Whether `key` exists either as a stripe (manifest present) or plain.
+Result<bool> exists(const ShardedStore& store, std::string_view token,
+                    std::string_view key);
+
+}  // namespace memfss::rt::ec

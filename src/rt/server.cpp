@@ -1,6 +1,8 @@
 #include "rt/server.hpp"
 
 #include <algorithm>
+
+#include "rt/ec.hpp"
 #include <cmath>
 #include <memory>
 #include <thread>
@@ -31,25 +33,49 @@ RuntimeServer::~RuntimeServer() { shutdown(); }
 OpResult RuntimeServer::execute(const std::string& token, Op& op) {
   OpResult r;
   std::uint64_t seq = 0;
+  // Tenants with an RS(k, m) policy store through the erasure-coded
+  // path (DESIGN.md §14): puts split into k+m sibling shards, gets
+  // reassemble (reconstructing evicted/lost shards), del/exists cover
+  // the whole stripe. Ghost blobs carry no bytes to code, so they pass
+  // through plainly even for EC tenants.
+  const erasure::ReedSolomon* rs = tenants_->rs_coder(op.tenant);
   switch (op.type) {
     case Op::Type::put:
-      r.code = store_.put(token, op.key, std::move(op.value), &seq,
-                          op.tenant).code();
+      if (rs != nullptr && !op.value.is_ghost()) {
+        r.code =
+            ec::put(store_, token, op.key, op.value, *rs, &seq, op.tenant)
+                .code();
+        if (r.code == Errc::ok) metrics_.count("rt.ec.puts");
+      } else {
+        r.code = store_.put(token, op.key, std::move(op.value), &seq,
+                            op.tenant).code();
+      }
       r.seq = seq;
       break;
     case Op::Type::get: {
-      auto got = store_.get(token, op.key, &seq);
-      r.code = got.code();
+      if (rs != nullptr) {
+        bool reconstructed = false;
+        auto got = ec::get(store_, token, op.key, &seq, &reconstructed);
+        r.code = got.code();
+        if (got.ok()) r.value = std::move(got).value();
+        if (reconstructed) metrics_.count("rt.ec.reconstructed_gets");
+      } else {
+        auto got = store_.get(token, op.key, &seq);
+        r.code = got.code();
+        if (got.ok()) r.value = std::move(got).value();
+      }
       r.seq = seq;
-      if (got.ok()) r.value = std::move(got).value();
       break;
     }
     case Op::Type::del:
-      r.code = store_.del(token, op.key, &seq).code();
+      r.code = rs != nullptr
+                   ? ec::del(store_, token, op.key, &seq).code()
+                   : store_.del(token, op.key, &seq).code();
       r.seq = seq;
       break;
     case Op::Type::exists: {
-      auto e = store_.exists(token, op.key);
+      auto e = rs != nullptr ? ec::exists(store_, token, op.key)
+                             : store_.exists(token, op.key);
       r.code = e.code();
       if (e.ok()) r.found = e.value();
       break;

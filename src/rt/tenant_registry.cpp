@@ -15,6 +15,13 @@ Result<std::uint32_t> TenantRegistry::register_tenant(TenantConfig cfg) {
   if (cfg.priority > kTopPriority)
     return {Errc::invalid_argument, "priority out of range"};
   if (cfg.weight == 0) cfg.weight = 1;
+  // A half-specified RS policy (k without m, or vice versa) is a config
+  // mistake, not a storable mode; k + m must also fit GF(2^8)'s point
+  // count.
+  if ((cfg.rs.k > 0) != (cfg.rs.m > 0))
+    return {Errc::invalid_argument, "rs policy needs both k and m"};
+  if (cfg.rs.enabled() && cfg.rs.k + cfg.rs.m > 255)
+    return {Errc::invalid_argument, "rs policy k+m exceeds 255"};
   std::lock_guard lk(register_mu_);
   const std::uint32_t id = count_.load(std::memory_order_relaxed);
   if (id >= slots_.size())
@@ -22,6 +29,8 @@ Result<std::uint32_t> TenantRegistry::register_tenant(TenantConfig cfg) {
   auto st = std::make_unique<State>();
   st->ops = TokenBucket(cfg.ops_per_s, cfg.ops_burst);
   st->bytes = TokenBucket(cfg.bytes_per_s, cfg.bytes_burst);
+  if (cfg.rs.enabled())
+    st->rs = std::make_unique<const erasure::ReedSolomon>(cfg.rs.k, cfg.rs.m);
   st->cfg = std::move(cfg);
   slots_[id] = std::move(st);
   total_weight_.fetch_add(slots_[id]->cfg.weight, std::memory_order_release);

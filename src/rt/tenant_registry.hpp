@@ -31,6 +31,7 @@
 
 #include "common/result.hpp"
 #include "common/types.hpp"
+#include "erasure/reed_solomon.hpp"
 #include "rt/token_bucket.hpp"
 
 namespace memfss::rt {
@@ -38,6 +39,16 @@ namespace memfss::rt {
 /// Priorities run 0 (best-effort, first to shed) through kTopPriority
 /// (never shed by pressure -- only by its own rate limits).
 inline constexpr std::uint32_t kTopPriority = 7;
+
+/// Per-tenant Reed-Solomon redundancy policy (DESIGN.md §14): puts by a
+/// tenant with an enabled policy are split into k data + m parity
+/// sibling keys in the sharded store and decoded (reconstructing
+/// missing shards) on get. Disabled (the default) = plain storage.
+struct RsPolicy {
+  std::size_t k = 0;  ///< data shards (>= 1 to enable)
+  std::size_t m = 0;  ///< parity shards (>= 1 to enable; k + m <= 255)
+  bool enabled() const { return k >= 1 && m >= 1; }
+};
 
 struct TenantConfig {
   std::string name = "default";
@@ -48,6 +59,7 @@ struct TenantConfig {
   double bytes_per_s = 0.0;    ///< payload-byte rate; <= 0 = unlimited
   double bytes_burst = 0.0;
   Bytes memory_quota = 0;      ///< resident-byte cap; 0 = unlimited
+  RsPolicy rs;                 ///< erasure-coded puts; default = off
 };
 
 class TenantRegistry {
@@ -77,6 +89,13 @@ class TenantRegistry {
   std::uint32_t weight(std::uint32_t id) const { return state(id).cfg.weight; }
   Bytes memory_quota(std::uint32_t id) const {
     return state(id).cfg.memory_quota;
+  }
+  /// The tenant's Reed-Solomon coder, built once at registration from
+  /// cfg.rs; nullptr when the tenant stores plainly. The coder is
+  /// immutable and the slot never reallocates, so workers read it
+  /// lock-free.
+  const erasure::ReedSolomon* rs_coder(std::uint32_t id) const {
+    return state(id).rs.get();
   }
   /// Sum of registered weights (for sizing per-tenant queue shares).
   std::uint64_t total_weight() const {
@@ -110,6 +129,7 @@ class TenantRegistry {
     TokenBucket ops;
     TokenBucket bytes;
     std::atomic<Bytes> resident{0};
+    std::unique_ptr<const erasure::ReedSolomon> rs;  ///< set iff cfg.rs on
   };
 
   const State& state(std::uint32_t id) const { return *slots_[id]; }

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
+#include <string>
 #include <vector>
+
+#include "common/rng.hpp"
+#include "erasure/gf256_simd.hpp"
 
 namespace memfss::erasure {
 namespace {
@@ -106,6 +112,160 @@ TEST(GF256, MulAccSpecialCoefficients) {
   GF256::mul_acc(dst, src, 1);  // xor
   for (std::size_t i = 0; i < dst.size(); ++i)
     EXPECT_EQ(dst[i], 0xAA ^ 0x0F);
+}
+
+// --- SIMD backend equivalence (DESIGN.md §14) -------------------------------
+//
+// The scalar backend is the oracle; every backend the host can run must
+// produce byte-for-byte identical output for every length (SIMD blocks,
+// half-blocks, scalar tails) and every pointer misalignment.
+
+std::vector<const GF256Kernels*> simd_backends() {
+  std::vector<const GF256Kernels*> v;
+  for (const char* name : {"ssse3", "avx2"}) {
+    if (const GF256Kernels* k = gf256_kernels_by_name(name)) v.push_back(k);
+  }
+  return v;
+}
+
+TEST(GF256Simd, ScalarBackendAlwaysAvailable) {
+  const GF256Kernels* sc = gf256_kernels_by_name("scalar");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_STREQ(sc->name, "scalar");
+}
+
+TEST(GF256Simd, UnknownBackendIsNull) {
+  EXPECT_EQ(gf256_kernels_by_name("avx512vbmi"), nullptr);
+  EXPECT_EQ(gf256_kernels_by_name(""), nullptr);
+}
+
+TEST(GF256Simd, ActiveKernelIsFetchableByName) {
+  const GF256Kernels& active = gf256_active_kernels();
+  EXPECT_STREQ(active.name, gf256_kernel_name());
+  const GF256Kernels* by_name = gf256_kernels_by_name(active.name);
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_EQ(by_name, &active);
+}
+
+TEST(GF256Simd, MulAccMatchesScalarAllLengthsAndOffsets) {
+  const GF256Kernels* sc = gf256_kernels_by_name("scalar");
+  ASSERT_NE(sc, nullptr);
+  Rng rng(101);
+  for (const GF256Kernels* kn : simd_backends()) {
+    for (std::size_t len = 0; len <= 257; ++len) {
+      // Offset sweep at small lengths covers every (alignment, tail)
+      // pair; beyond that a rotating offset keeps the test fast.
+      const std::size_t off = len % 32;
+      std::vector<std::uint8_t> src(len + 64), a(len + 64), b(len + 64);
+      for (auto& x : src) x = std::uint8_t(rng.next_u64());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = b[i] = std::uint8_t(rng.next_u64());
+      const std::uint8_t c = std::uint8_t(rng.next_u64());
+      kn->mul_acc(a.data() + off, src.data() + off, len, c);
+      sc->mul_acc(b.data() + off, src.data() + off, len, c);
+      ASSERT_EQ(a, b) << kn->name << " len=" << len << " off=" << off
+                      << " c=" << unsigned(c);
+    }
+    // Full offset sweep at one SIMD-block-straddling length.
+    for (std::size_t off = 0; off <= 31; ++off) {
+      const std::size_t len = 97;
+      std::vector<std::uint8_t> src(len + 64), a(len + 64), b(len + 64);
+      for (auto& x : src) x = std::uint8_t(rng.next_u64());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = b[i] = std::uint8_t(rng.next_u64());
+      const std::uint8_t c = std::uint8_t(rng.next_u64());
+      kn->mul_acc(a.data() + off, src.data() + off, len, c);
+      sc->mul_acc(b.data() + off, src.data() + off, len, c);
+      ASSERT_EQ(a, b) << kn->name << " off=" << off;
+    }
+  }
+}
+
+TEST(GF256Simd, MulAccSpecialCoefficientsEveryBackend) {
+  const GF256Kernels* sc = gf256_kernels_by_name("scalar");
+  ASSERT_NE(sc, nullptr);
+  Rng rng(103);
+  std::vector<const GF256Kernels*> all = simd_backends();
+  all.push_back(sc);
+  for (const GF256Kernels* kn : all) {
+    std::vector<std::uint8_t> src(100), dst(100), before(100);
+    for (auto& x : src) x = std::uint8_t(rng.next_u64());
+    for (std::size_t i = 0; i < dst.size(); ++i)
+      before[i] = dst[i] = std::uint8_t(rng.next_u64());
+    kn->mul_acc(dst.data(), src.data(), dst.size(), 0);  // c==0: no-op
+    EXPECT_EQ(dst, before) << kn->name;
+    kn->mul_acc(dst.data(), src.data(), dst.size(), 1);  // c==1: plain xor
+    for (std::size_t i = 0; i < dst.size(); ++i)
+      ASSERT_EQ(dst[i], before[i] ^ src[i]) << kn->name << " i=" << i;
+  }
+}
+
+TEST(GF256Simd, MulRowAccMatchesScalarRandomized) {
+  const GF256Kernels* sc = gf256_kernels_by_name("scalar");
+  ASSERT_NE(sc, nullptr);
+  Rng rng(107);
+  for (const GF256Kernels* kn : simd_backends()) {
+    for (int iter = 0; iter < 400; ++iter) {
+      const std::size_t k = 1 + rng.next_u64() % 17;
+      const std::size_t len = rng.next_u64() % 300;
+      const bool accumulate = rng.next_u64() % 2 != 0;
+      std::vector<std::vector<std::uint8_t>> srcs(
+          k, std::vector<std::uint8_t>(len));
+      std::vector<const std::uint8_t*> ptrs(k);
+      std::vector<std::uint8_t> coeffs(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        for (auto& x : srcs[j]) x = std::uint8_t(rng.next_u64());
+        ptrs[j] = srcs[j].data();
+        // Bias toward the special-cased coefficients 0 and 1.
+        const std::uint64_t roll = rng.next_u64();
+        coeffs[j] = roll % 4 == 0 ? std::uint8_t(roll % 2)
+                                  : std::uint8_t(roll >> 32);
+      }
+      std::vector<std::uint8_t> a(len), b(len);
+      for (std::size_t i = 0; i < len; ++i)
+        a[i] = b[i] = std::uint8_t(rng.next_u64());
+      kn->mul_row_acc(a.data(), ptrs.data(), coeffs.data(), k, len,
+                      accumulate);
+      sc->mul_row_acc(b.data(), ptrs.data(), coeffs.data(), k, len,
+                      accumulate);
+      ASSERT_EQ(a, b) << kn->name << " iter=" << iter << " k=" << k
+                      << " len=" << len << " acc=" << accumulate;
+    }
+  }
+}
+
+TEST(GF256Simd, MulRowAccZeroSourcesZeroFillsOrKeeps) {
+  std::vector<const GF256Kernels*> all = simd_backends();
+  all.push_back(gf256_kernels_by_name("scalar"));
+  for (const GF256Kernels* kn : all) {
+    std::vector<std::uint8_t> dst(80, 0x5A);
+    kn->mul_row_acc(dst.data(), nullptr, nullptr, 0, dst.size(), true);
+    EXPECT_EQ(dst, std::vector<std::uint8_t>(80, 0x5A)) << kn->name;
+    kn->mul_row_acc(dst.data(), nullptr, nullptr, 0, dst.size(), false);
+    EXPECT_EQ(dst, std::vector<std::uint8_t>(80, 0x00)) << kn->name;
+  }
+}
+
+TEST(GF256Simd, MulRowAccMatchesManualMulAccChain) {
+  // Cross-check the fused row pass against the composition it replaces:
+  // mul_row_acc(dst, srcs, coeffs) == k mul_acc calls into dst.
+  Rng rng(109);
+  const GF256Kernels& kn = gf256_active_kernels();
+  const std::size_t k = 6, len = 211;
+  std::vector<std::vector<std::uint8_t>> srcs(k,
+                                              std::vector<std::uint8_t>(len));
+  std::vector<const std::uint8_t*> ptrs(k);
+  std::vector<std::uint8_t> coeffs(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (auto& x : srcs[j]) x = std::uint8_t(rng.next_u64());
+    ptrs[j] = srcs[j].data();
+    coeffs[j] = std::uint8_t(rng.next_u64());
+  }
+  std::vector<std::uint8_t> fused(len, 0), chained(len, 0);
+  kn.mul_row_acc(fused.data(), ptrs.data(), coeffs.data(), k, len, false);
+  for (std::size_t j = 0; j < k; ++j)
+    kn.mul_acc(chained.data(), ptrs[j], len, coeffs[j]);
+  EXPECT_EQ(fused, chained);
 }
 
 TEST(MatrixInvert, IdentityStaysIdentity) {

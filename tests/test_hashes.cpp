@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace memfss::hash {
 namespace {
@@ -58,6 +61,52 @@ TEST(Fold31, InRange) {
 
 TEST(KeyDigest, MatchesFnv) {
   EXPECT_EQ(key_digest("stripe-17"), fnv1a("stripe-17"));
+}
+
+// The batched digest loop must be bit-identical to fnv1a per key: its
+// output feeds placement, where a single differing digest silently
+// moves data.
+TEST(Fnv1aMany, MatchesSingleShotEveryBatchShape) {
+  // Every batch size around the 4-lane grouping (0..9 covers full
+  // groups, partial tails, and the empty batch) with mixed-length keys,
+  // including empty ones.
+  std::vector<std::string> pool;
+  for (int i = 0; i < 16; ++i)
+    pool.push_back(std::string(std::size_t(i) * 3, char('a' + i)) +
+                   std::to_string(i * 131071));
+  pool[3].clear();
+  pool[11].clear();
+  for (std::size_t n = 0; n <= pool.size(); ++n) {
+    std::vector<std::string_view> keys(pool.begin(),
+                                       pool.begin() + std::ptrdiff_t(n));
+    std::vector<std::uint64_t> out(n, 0xDEAD);
+    fnv1a_many(keys, out);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(out[i], fnv1a(keys[i])) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Fnv1aMany, MatchesSingleShotLargeUniformBatch) {
+  // The bench shape: many keys of identical length, so the interleaved
+  // lanes run the full lockstep loop with no serial tail.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i)
+    keys.push_back("i12345:" + std::to_string(1000000 + i) +
+                   ":stripe-payload-key");
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::vector<std::uint64_t> out(views.size());
+  fnv1a_many(views, out);
+  for (std::size_t i = 0; i < views.size(); ++i)
+    ASSERT_EQ(out[i], fnv1a(views[i])) << i;
+}
+
+TEST(Fnv1aMany, KnownVectors) {
+  const std::vector<std::string_view> keys{"", "a", "foobar"};
+  std::vector<std::uint64_t> out(3);
+  fnv1a_many(keys, out);
+  EXPECT_EQ(out[0], 0xcbf29ce484222325ull);
+  EXPECT_EQ(out[1], 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(out[2], 0x85944171f73967e8ull);
 }
 
 }  // namespace

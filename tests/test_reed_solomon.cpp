@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/rng.hpp"
+#include "erasure/gf256_simd.hpp"
 
 namespace memfss::erasure {
 namespace {
@@ -129,6 +133,132 @@ TEST(ReedSolomon, EmptyPayload) {
   auto decoded = rs.decode(shards, 0);
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(ReedSolomon, EncodeIntoMatchesEncode) {
+  ReedSolomon rs(8, 3);
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{97},
+                          std::size_t{4096}, std::size_t{100001}}) {
+    const auto data = random_payload(len, 21 + len);
+    const auto expect = rs.encode(data);
+    const std::size_t ss = rs.shard_size(len);
+    std::vector<std::uint8_t> arena(rs.total_shards() * ss, 0xEE);
+    std::vector<std::uint8_t*> ptrs(rs.total_shards());
+    for (std::size_t i = 0; i < ptrs.size(); ++i)
+      ptrs[i] = arena.data() + i * ss;
+    ASSERT_TRUE(rs.encode_into(data, ptrs.data(), ss).ok()) << len;
+    for (std::size_t i = 0; i < rs.total_shards(); ++i)
+      ASSERT_TRUE(std::equal(expect[i].begin(), expect[i].end(), ptrs[i]))
+          << "len=" << len << " shard=" << i;
+  }
+}
+
+TEST(ReedSolomon, EncodeIntoRejectsWrongShardSize) {
+  ReedSolomon rs(4, 2);
+  const auto data = random_payload(100, 23);
+  std::vector<std::uint8_t> arena(6 * 26);
+  std::vector<std::uint8_t*> ptrs(6);
+  for (std::size_t i = 0; i < 6; ++i) ptrs[i] = arena.data() + i * 26;
+  EXPECT_EQ(rs.encode_into(data, ptrs.data(), 26).code(),
+            Errc::invalid_argument);  // shard_size(100) == 25
+}
+
+// --- SIMD-vs-scalar coding equivalence (DESIGN.md §14) ----------------------
+
+TEST(ReedSolomon, KernelPinningIsVisible) {
+  const erasure::GF256Kernels* sc = gf256_kernels_by_name("scalar");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_STREQ(ReedSolomon(4, 2, sc).kernel_name(), "scalar");
+  EXPECT_STREQ(ReedSolomon(4, 2).kernel_name(), gf256_kernel_name());
+}
+
+TEST(ReedSolomon, EveryBackendEncodesIdentically) {
+  const GF256Kernels* sc = gf256_kernels_by_name("scalar");
+  ASSERT_NE(sc, nullptr);
+  Rng rng(29);
+  for (const char* name : {"ssse3", "avx2"}) {
+    const GF256Kernels* kn = gf256_kernels_by_name(name);
+    if (kn == nullptr) continue;  // host cannot run this backend
+    for (int iter = 0; iter < 40; ++iter) {
+      const std::size_t k = 1 + rng.next_u64() % 17;
+      const std::size_t m = rng.next_u64() % 7;
+      const std::size_t len = rng.next_u64() % 3000;
+      ReedSolomon simd(k, m, kn), scalar(k, m, sc);
+      const auto data = random_payload(len, 31 + std::uint64_t(iter));
+      ASSERT_EQ(simd.encode(data), scalar.encode(data))
+          << name << " k=" << k << " m=" << m << " len=" << len;
+    }
+  }
+}
+
+TEST(ReedSolomon, EveryBackendDecodesIdentically) {
+  const GF256Kernels* sc = gf256_kernels_by_name("scalar");
+  ASSERT_NE(sc, nullptr);
+  Rng rng(37);
+  for (const char* name : {"ssse3", "avx2"}) {
+    const GF256Kernels* kn = gf256_kernels_by_name(name);
+    if (kn == nullptr) continue;
+    for (int iter = 0; iter < 40; ++iter) {
+      const std::size_t k = 1 + rng.next_u64() % 17;
+      const std::size_t m = 1 + rng.next_u64() % 6;
+      const std::size_t len = 1 + rng.next_u64() % 3000;
+      ReedSolomon simd(k, m, kn), scalar(k, m, sc);
+      const auto data = random_payload(len, 41 + std::uint64_t(iter));
+      auto shards = simd.encode(data);
+      // Knock out a random subset within the parity budget.
+      std::vector<std::size_t> idx(k + m);
+      std::iota(idx.begin(), idx.end(), 0);
+      for (std::size_t i = idx.size() - 1; i > 0; --i)
+        std::swap(idx[i], idx[rng.next_u64() % (i + 1)]);
+      const std::size_t losses = rng.next_u64() % (m + 1);
+      for (std::size_t l = 0; l < losses; ++l) shards[idx[l]].clear();
+      auto a = simd.decode(shards, len);
+      auto b = scalar.decode(shards, len);
+      ASSERT_TRUE(a.ok() && b.ok()) << name << " iter=" << iter;
+      ASSERT_EQ(a.value(), b.value()) << name << " iter=" << iter;
+      ASSERT_EQ(a.value(), data) << name << " iter=" << iter;
+    }
+  }
+}
+
+// Randomized reconstruct fuzz: random (k, m) up to (17, 6), random loss
+// patterns up to m (must rebuild byte-for-byte) and beyond m (must fail
+// with corruption, never crash).
+TEST(ReedSolomon, ReconstructFuzzRandomLossPatterns) {
+  Rng rng(43);
+  for (int iter = 0; iter < 150; ++iter) {
+    const std::size_t k = 1 + rng.next_u64() % 17;
+    const std::size_t m = rng.next_u64() % 7;
+    ReedSolomon rs(k, m);
+    const auto data = random_payload(1 + rng.next_u64() % 2048,
+                                     53 + std::uint64_t(iter));
+    const auto original = rs.encode(data);
+    std::vector<std::size_t> idx(k + m);
+    std::iota(idx.begin(), idx.end(), 0);
+    for (std::size_t i = idx.size() - 1; i > 0; --i)
+      std::swap(idx[i], idx[rng.next_u64() % (i + 1)]);
+
+    // Recoverable pattern: <= m losses.
+    auto shards = original;
+    const std::size_t losses = rng.next_u64() % (m + 1);
+    for (std::size_t l = 0; l < losses; ++l) shards[idx[l]].clear();
+    ASSERT_TRUE(rs.reconstruct(shards).ok())
+        << "k=" << k << " m=" << m << " losses=" << losses;
+    for (std::size_t i = 0; i < shards.size(); ++i)
+      ASSERT_EQ(shards[i], original[i])
+          << "iter=" << iter << " shard=" << i;
+
+    // Unrecoverable pattern: m+1 losses (when that leaves < k shards'
+    // worth of information, i.e. always) must fail cleanly.
+    auto torn = original;
+    for (std::size_t l = 0; l < m + 1 && l < idx.size(); ++l)
+      torn[idx[l]].clear();
+    if (m + 1 <= k + m) {
+      auto st = rs.reconstruct(torn);
+      ASSERT_FALSE(st.ok()) << "k=" << k << " m=" << m;
+      EXPECT_EQ(st.code(), Errc::corruption);
+    }
+  }
 }
 
 TEST(ReedSolomon, MemoryOverheadIsMOverK) {
