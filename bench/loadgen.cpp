@@ -34,14 +34,26 @@
 //   loadgen --net [--threads N] [--connections M] [--reactors R]
 //           [--ops N] [--seeds S] [--min-ops-per-sec F] [...stream flags]
 //
-// CSV schema: see rt::loadgen_csv_header(), rt::net_loadgen_csv_header()
-// and EXPERIMENTS.md.
+// --netchaos runs the network chaos soak (DESIGN.md §15): the same
+// streams through a netio::ChaosProxy injecting resets, blackholes,
+// torn frames, corruption and delays, replayed by resilient clients.
+// Per seed it runs a faulted arm and a clean arm (proxy in the path,
+// faults off) and exits 1 if any acked op is lost or duplicated, any
+// read escapes the possibility model, accounting breaks, the clean
+// arm's digest differs from the in-process replay, or the faulted arm
+// injected no faults at all (a vacuous pass).
+//
+//   loadgen --netchaos [--threads N] [--ops N] [--seeds S] [--seed S]
+//
+// CSV schema: see rt::loadgen_csv_header(), rt::net_loadgen_csv_header(),
+// rt::net_chaos_csv_header() and EXPERIMENTS.md.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "rt/loadgen.hpp"
+#include "rt/net_chaos.hpp"
 #include "rt/net_loadgen.hpp"
 
 using namespace memfss;
@@ -57,8 +69,9 @@ void usage(const char* argv0) {
                "       %s --qos [--tenants N] [--seed S] [--isolation-factor F]\n"
                "       %s --net [--connections M] [--reactors R] [--seeds S]\n"
                "          [--min-ops-per-sec F] [...single-run flags]\n"
+               "       %s --netchaos [--threads N] [--ops N] [--seeds S] [--seed S]\n"
                "With no arguments: thread-scaling sweep (1,2,4,8).\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
 }
 
 int run_net(rt::NetLoadgenOptions opt, std::size_t seeds,
@@ -95,6 +108,57 @@ int run_net(rt::NetLoadgenOptions opt, std::size_t seeds,
   }
   if (ok)
     std::fprintf(stderr, "net: OK (%zu seeds, zero lost/duplicated)\n", seeds);
+  return ok ? 0 : 1;
+}
+
+int run_netchaos(rt::NetChaosOptions base, std::size_t seeds) {
+  std::printf("%s\n", rt::net_chaos_csv_header().c_str());
+  bool ok = true;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    for (const bool faults : {true, false}) {
+      rt::NetChaosOptions o = base;
+      o.seed = base.seed + s;
+      o.faults = faults;
+      o.plan = netio::ChaosPlan::faulty(o.seed);
+      const auto r = rt::run_net_chaos(o);
+      std::printf("%s\n", rt::net_chaos_csv_row(r).c_str());
+      std::fflush(stdout);
+      const char* arm = faults ? "faulted" : "clean";
+      if (!r.passed) {
+        std::fprintf(stderr, "netchaos: FAIL seed %llu (%s arm): %s\n",
+                     static_cast<unsigned long long>(o.seed), arm,
+                     r.fail_reason.c_str());
+        ok = false;
+      }
+      // A faulted arm that injected nothing proves nothing.
+      const std::uint64_t injected = r.chaos.resets_injected +
+                                     r.chaos.blackholed +
+                                     r.chaos.chunks_corrupted +
+                                     r.chaos.chunks_torn;
+      if (faults && injected == 0) {
+        std::fprintf(stderr,
+                     "netchaos: FAIL seed %llu: no faults fired (vacuous)\n",
+                     static_cast<unsigned long long>(o.seed));
+        ok = false;
+      }
+      std::fprintf(stderr,
+                   "netchaos: seed %llu %s: %llu/%llu acked, %llu retries, "
+                   "%llu reconnects, %llu resets, %llu corrupt, p99 %.2fms\n",
+                   static_cast<unsigned long long>(o.seed), arm,
+                   static_cast<unsigned long long>(r.acked),
+                   static_cast<unsigned long long>(r.calls),
+                   static_cast<unsigned long long>(r.retries),
+                   static_cast<unsigned long long>(r.reconnects),
+                   static_cast<unsigned long long>(r.chaos.resets_injected),
+                   static_cast<unsigned long long>(r.chaos.chunks_corrupted),
+                   r.call_latency.p99 * 1e3);
+    }
+  }
+  if (ok)
+    std::fprintf(stderr,
+                 "netchaos: OK (%zu seeds x 2 arms, zero lost/duplicated "
+                 "acked ops)\n",
+                 seeds);
   return ok ? 0 : 1;
 }
 
@@ -145,6 +209,7 @@ int main(int argc, char** argv) {
   bool single = false;
   bool qos = false;
   bool net = false;
+  bool netchaos = false;
   std::size_t qos_tenants = 8;
   double isolation_factor = 5.0;
   std::size_t net_connections = 2;
@@ -160,6 +225,7 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--qos") == 0) { qos = true; }
     else if (std::strcmp(argv[i], "--net") == 0) { net = true; }
+    else if (std::strcmp(argv[i], "--netchaos") == 0) { netchaos = true; }
     else if (want("--connections")) { net_connections = std::strtoul(argv[++i], nullptr, 10); }
     else if (want("--reactors")) { net_reactors = std::strtoul(argv[++i], nullptr, 10); }
     else if (want("--seeds")) { net_seeds = std::strtoul(argv[++i], nullptr, 10); }
@@ -182,6 +248,18 @@ int main(int argc, char** argv) {
   }
 
   if (qos) return run_qos(qos_tenants, opt.seed, isolation_factor);
+  if (netchaos) {
+    rt::NetChaosOptions copt;
+    copt.seed = opt.seed;
+    if (single) {
+      copt.client_threads = opt.client_threads;
+      copt.server_threads = opt.server_threads;
+    }
+    if (opt.ops_per_thread != rt::LoadgenOptions{}.ops_per_thread)
+      copt.ops_per_thread = opt.ops_per_thread;
+    copt.reactors = net_reactors;
+    return run_netchaos(copt, net_seeds);
+  }
   if (net) {
     rt::NetLoadgenOptions nopt;
     nopt.base = opt;

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI-style check: build and test the plain configuration, then the
 # sanitized one (ASan + UBSan via -DMEMFSS_SANITIZE=address,undefined).
-# Run from the repository root.
+# Run from the repository root. Every mode runs as a named phase and a
+# one-line PASS/FAIL per phase prints on exit, so a long multi-phase
+# run ends with an at-a-glance verdict.
 #
-#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos|--net]
+#   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|
+#                     --chaos|--tsan|--qos|--net|--netchaos]
 #
 # --coverage builds with gcov instrumentation (-DMEMFSS_COVERAGE=ON) in
 # build-cov/, runs the tests, prints per-directory line coverage, and
@@ -20,10 +23,11 @@
 #
 # --tsan builds with ThreadSanitizer (-DMEMFSS_SANITIZE=thread) in
 # build-tsan/ and runs only the `concurrency`-labeled ctest targets --
-# the multithreaded runtime suite (src/rt). TSan is mutually exclusive
-# with ASan, so this is a separate mode rather than part of the default
-# sanitize pass; only the concurrency targets are built since the
-# single-threaded sim suite has nothing for TSan to find.
+# the multithreaded runtime suite (src/rt) plus the network chaos
+# suites. TSan is mutually exclusive with ASan, so this is a separate
+# mode rather than part of the default sanitize pass; only the
+# concurrency targets are built since the single-threaded sim suite has
+# nothing for TSan to find.
 #
 # --qos runs the adversarial multi-tenant isolation scenario
 # (bench/loadgen --qos: 8 small tenants + 1 abusive tenant at >= 10x its
@@ -38,6 +42,15 @@
 # accounting and a throughput sanity floor. Fails if any response is
 # lost or duplicated, a transport error occurs, or throughput lands
 # under the floor.
+#
+# --netchaos runs the network chaos soak (DESIGN.md §15) under the
+# sanitizer build: resilient clients drive seeded op streams through
+# the in-process chaos proxy (resets, blackholes, torn frames,
+# corruption, delays) at three fixed seeds, each with a faulted and a
+# clean arm. Fails if any acknowledged op is lost or duplicated, a read
+# escapes the per-key possibility model, accounting breaks after
+# quiesce, the clean arm's digest differs from the in-process replay,
+# the faulted arm injected no faults, or ASan/UBSan reports anything.
 #
 # --chaos runs the full-size chaos soak (bench/chaos_soak: randomized
 # partitions + crashes + revocation + pressure evictions, then heal and
@@ -58,6 +71,7 @@ run_chaos=0
 run_tsan=0
 run_qos=0
 run_net=0
+run_netchaos=0
 case "${1:-}" in
   --plain-only) run_san=0 ;;
   --sanitize-only) run_plain=0 ;;
@@ -67,23 +81,54 @@ case "${1:-}" in
   --tsan) run_plain=0; run_san=0; run_tsan=1 ;;
   --qos) run_plain=0; run_san=0; run_qos=1 ;;
   --net) run_plain=0; run_san=0; run_net=1 ;;
+  --netchaos) run_plain=0; run_san=0; run_netchaos=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos|--net]" >&2
+  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos|--net|--netchaos]" >&2
      exit 2 ;;
 esac
+
+# Phase bookkeeping: every mode runs through phase(), and the EXIT trap
+# prints one PASS/FAIL line per attempted phase whatever happens (a
+# failing phase aborts the script via set -e with its row marked FAIL).
+phase_names=()
+phase_results=()
+summary() {
+  local status=$?
+  if [[ ${#phase_names[@]} -gt 0 ]]; then
+    echo "== phase summary =="
+    local i
+    for i in "${!phase_names[@]}"; do
+      printf '  %-34s %s\n' "${phase_names[$i]}" "${phase_results[$i]}"
+    done
+  fi
+  if [[ $status -eq 0 ]]; then
+    echo "== all checks passed =="
+  else
+    echo "== FAILED (exit $status) ==" >&2
+  fi
+  exit "$status"
+}
+trap summary EXIT
+
+phase() {
+  local name=$1; shift
+  phase_names+=("$name")
+  phase_results+=("FAIL")
+  echo "== $name =="
+  "$@"
+  phase_results[$((${#phase_results[@]} - 1))]="PASS"
+}
 
 # MEMFSS_WERROR stays off: GCC 12's libstdc++ emits -Wrestrict false
 # positives from std::string concatenation at -O2, which -Werror turns
 # into hard errors unrelated to this codebase.
-if [[ $run_plain -eq 1 ]]; then
-  echo "== plain build =="
+do_plain() {
   cmake -B build -G Ninja -DMEMFSS_WERROR=OFF
   cmake --build build
   ctest --test-dir build --output-on-failure
-fi
+}
 
-if [[ $run_san -eq 1 ]]; then
-  echo "== sanitized build (address,undefined) =="
+do_san() {
   cmake -B build-san -G Ninja \
     -DCMAKE_BUILD_TYPE=Debug \
     -DMEMFSS_SANITIZE=address,undefined
@@ -100,10 +145,9 @@ if [[ $run_san -eq 1 ]]; then
   ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-san --output-on-failure \
       -R 'GF256|ReedSolomon|Fnv|Hrw|RtEc'
-fi
+}
 
-if [[ $run_cov -eq 1 ]]; then
-  echo "== coverage build (gcov) =="
+do_cov() {
   cmake -B build-cov -G Ninja \
     -DCMAKE_BUILD_TYPE=Debug \
     -DMEMFSS_WERROR=OFF \
@@ -113,13 +157,13 @@ if [[ $run_cov -eq 1 ]]; then
   find build-cov -name '*.gcda' -delete
   ctest --test-dir build-cov --output-on-failure
   python3 scripts/coverage_report.py build-cov --require src/obs=90
-fi
+}
 
-if [[ $run_perf -eq 1 ]]; then
-  echo "== perf check (Release) =="
+do_perf() {
   cmake -B build-perf -G Ninja -DCMAKE_BUILD_TYPE=Release -DMEMFSS_WERROR=OFF
   cmake --build build-perf --target perf_hotpath
-  fresh=$(mktemp); trap 'rm -f "$fresh"' EXIT
+  local fresh
+  fresh=$(mktemp)
   ./build-perf/bench/perf_hotpath "$fresh"
   # Compare the scalars least prone to run-to-run noise: event-loop
   # throughput plus the byte-pump rows (coding GB/s, batch-hash MB/s).
@@ -164,10 +208,10 @@ else:
 if failures:
     sys.exit("perf regression: " + "; ".join(failures))
 EOF
-fi
+  rm -f "$fresh"
+}
 
-if [[ $run_tsan -eq 1 ]]; then
-  echo "== thread-sanitized build (concurrency suite) =="
+do_tsan() {
   cmake -B build-tsan -G Ninja \
     -DCMAKE_BUILD_TYPE=Debug \
     -DMEMFSS_WERROR=OFF \
@@ -176,13 +220,13 @@ if [[ $run_tsan -eq 1 ]]; then
   # tree is single-threaded and not what this pass is for.
   cmake --build build-tsan --target \
     test_rt_sharded_store test_rt_server test_rt_linearizability \
-    test_rt_stress test_rt_loadgen test_rt_qos test_rt_tcp test_rt_ec
+    test_rt_stress test_rt_loadgen test_rt_qos test_rt_tcp test_rt_ec \
+    test_netio_chaos test_rt_net_chaos
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan -L concurrency --output-on-failure
-fi
+}
 
-if [[ $run_net -eq 1 ]]; then
-  echo "== tcp serving path (codec + socket suites + 3-seed smoke) =="
+do_net() {
   cmake -B build -G Ninja -DMEMFSS_WERROR=OFF
   cmake --build build --target test_netio_codec test_rt_tcp loadgen
   ctest --test-dir build --output-on-failure -R 'NetioCodec|RtTcp'
@@ -193,27 +237,49 @@ if [[ $run_net -eq 1 ]]; then
   # to spare on any host).
   ./build/bench/loadgen --net --threads 4 --ops 5000 --service-us 0 \
     --connections 2 --reactors 2 --seeds 3 --min-ops-per-sec 20000
-fi
+}
 
-if [[ $run_qos -eq 1 ]]; then
-  echo "== qos adversarial isolation (seeds 1 2 3) =="
+do_netchaos() {
+  cmake -B build-san -G Ninja \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DMEMFSS_SANITIZE=address,undefined
+  cmake --build build-san --target loadgen test_netio_chaos test_rt_net_chaos
+  # The focused suites first (proxy transparency, torn frames, breaker,
+  # corruption-never-surfaces), then the 3-seed soak: faulted + clean
+  # arm per seed, acked-op invariants and digest checks inside.
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-san --output-on-failure -R 'NetioChaos|RtNetChaos'
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./build-san/bench/loadgen --netchaos --seeds 3 --ops 600
+}
+
+do_qos() {
   cmake -B build -G Ninja -DMEMFSS_WERROR=OFF
   cmake --build build --target loadgen
+  local seed
   for seed in 1 2 3; do
     echo "-- qos seed $seed --"
     ./build/bench/loadgen --qos --tenants 8 --seed "$seed" \
       --isolation-factor 5.0
   done
-fi
+}
 
-if [[ $run_chaos -eq 1 ]]; then
-  echo "== chaos soak (sanitized, seeds 1 2 3) =="
+do_chaos() {
   cmake -B build-san -G Ninja \
     -DCMAKE_BUILD_TYPE=Debug \
     -DMEMFSS_SANITIZE=address,undefined
   cmake --build build-san --target chaos_soak
   ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./build-san/bench/chaos_soak 1 2 3
-fi
+}
 
-echo "== all checks passed =="
+[[ $run_plain -eq 1 ]] && phase "plain build + tests" do_plain
+[[ $run_san -eq 1 ]] && phase "sanitized (address,undefined)" do_san
+[[ $run_cov -eq 1 ]] && phase "coverage (gcov)" do_cov
+[[ $run_perf -eq 1 ]] && phase "perf check (Release)" do_perf
+[[ $run_tsan -eq 1 ]] && phase "thread-sanitized concurrency suite" do_tsan
+[[ $run_net -eq 1 ]] && phase "tcp serving path (--net)" do_net
+[[ $run_netchaos -eq 1 ]] && phase "network chaos soak (--netchaos)" do_netchaos
+[[ $run_qos -eq 1 ]] && phase "qos adversarial isolation" do_qos
+[[ $run_chaos -eq 1 ]] && phase "chaos soak (sanitized)" do_chaos
+true

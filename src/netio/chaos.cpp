@@ -1,0 +1,500 @@
+#include "netio/chaos.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace memfss::netio {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// epoll user-data values. Relay fds encode (relay_id << 1) | side with
+// relay ids starting at kFirstRelayId, so they never collide.
+constexpr std::uint64_t kListenTag = 1;
+constexpr std::uint64_t kWakeTag = 2;
+constexpr std::uint64_t kFirstRelayId = 8;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+// Backpressure: past this many queued-but-unsent bytes per direction,
+// stop reading the source socket until the destination drains.
+constexpr std::size_t kPauseBytes = 1u << 20;
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void rst_close(int fd) {
+  const linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+}
+
+/// One queued stretch of bytes awaiting its due time.
+struct Piece {
+  Clock::time_point due;
+  std::vector<std::uint8_t> bytes;
+  std::size_t off = 0;
+};
+
+/// One relay direction (client->upstream or upstream->client).
+struct Flow {
+  std::deque<Piece> q;
+  std::size_t queued = 0;        ///< unsent bytes across q
+  bool eof = false;              ///< source half-closed
+  bool eof_sent = false;         ///< SHUT_WR delivered to destination
+  bool want_out = false;         ///< destination write blocked (EAGAIN)
+  Clock::time_point avail_at{};  ///< throttle release pointer
+};
+
+struct Relay {
+  std::uint64_t id = 0;
+  int cfd = -1;  ///< client side
+  int ufd = -1;  ///< upstream side (-1 for blackholes)
+  bool blackhole = false;
+  bool connecting = false;  ///< nonblocking upstream connect in flight
+  bool c_read_open = true, u_read_open = true;
+  Flow c2u, u2c;
+};
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(std::uint16_t upstream_port, ChaosPlan plan)
+    : plan_(plan) {
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  const auto fail = [&] {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  };
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0)
+    { fail(); return; }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    { fail(); return; }
+  port_ = ntohs(addr.sin_port);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (wake_fd_ < 0 || epoll_fd_ < 0) { fail(); return; }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0)
+    { fail(); return; }
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) { fail(); return; }
+  upstream_port_ = upstream_port;
+  thread_ = std::thread([this] { run(); });
+}
+
+ChaosProxy::~ChaosProxy() { shutdown(); }
+
+void ChaosProxy::wake() {
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void ChaosProxy::kill_connections() {
+  kill_all_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+ChaosStats ChaosProxy::stats() const {
+  ChaosStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.blackholed = blackholed_.load(std::memory_order_relaxed);
+  s.resets_injected = resets_injected_.load(std::memory_order_relaxed);
+  s.chunks_corrupted = chunks_corrupted_.load(std::memory_order_relaxed);
+  s.chunks_torn = chunks_torn_.load(std::memory_order_relaxed);
+  s.chunks_delayed = chunks_delayed_.load(std::memory_order_relaxed);
+  s.bytes_forwarded = bytes_forwarded_.load(std::memory_order_relaxed);
+  s.upstream_connect_failures =
+      upstream_connect_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ChaosProxy::shutdown() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+}
+
+void ChaosProxy::run() {
+  Rng rng(plan_.seed);
+  std::unordered_map<std::uint64_t, Relay> relays;
+  std::uint64_t next_id = kFirstRelayId;
+
+  const auto flow_into = [](Relay& r, int side) -> Flow& {
+    // The flow whose destination is this side's fd.
+    return side == 0 ? r.u2c : r.c2u;
+  };
+  const auto flow_from = [](Relay& r, int side) -> Flow& {
+    return side == 0 ? r.c2u : r.u2c;
+  };
+  const auto fd_of = [](Relay& r, int side) {
+    return side == 0 ? r.cfd : r.ufd;
+  };
+
+  // Recompute epoll interest for one side of a relay.
+  const auto update_interest = [&](Relay& r, int side) {
+    const int fd = fd_of(r, side);
+    if (fd < 0) return;
+    const bool read_open = side == 0 ? r.c_read_open : r.u_read_open;
+    const bool paused = !r.blackhole && flow_from(r, side).queued >= kPauseBytes;
+    std::uint32_t events = 0;
+    if (read_open && !paused) events |= EPOLLIN;
+    if (side == 1 && r.connecting) events |= EPOLLOUT;
+    if (flow_into(r, side).want_out) events |= EPOLLOUT;
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = (r.id << 1) | static_cast<std::uint64_t>(side);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  };
+
+  const auto close_relay = [&](Relay& r, bool rst) {
+    for (const int fd : {r.cfd, r.ufd}) {
+      if (fd < 0) continue;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      if (rst)
+        rst_close(fd);
+      else
+        ::close(fd);
+    }
+    relays.erase(r.id);  // r is dangling after this
+  };
+
+  // Flush due pieces of the flow headed *into* `side`. Returns false if
+  // the relay died (and was erased).
+  const auto flush_into = [&](Relay& r, int side) -> bool {
+    Flow& fl = flow_into(r, side);
+    const int fd = fd_of(r, side);
+    if (fd < 0) {
+      // Blackhole: pretend the bytes went somewhere.
+      fl.q.clear();
+      fl.queued = 0;
+      return true;
+    }
+    if (side == 1 && r.connecting) return true;  // wait for connect
+    const auto now = Clock::now();
+    fl.want_out = false;
+    while (!fl.q.empty()) {
+      Piece& p = fl.q.front();
+      if (p.due > now) break;  // timer will bring us back
+      const ssize_t w = ::send(fd, p.bytes.data() + p.off,
+                               p.bytes.size() - p.off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          fl.want_out = true;
+          break;
+        }
+        close_relay(r, true);  // EPIPE/ECONNRESET: mirror to the other side
+        return false;
+      }
+      fl.queued -= static_cast<std::size_t>(w);
+      bytes_forwarded_.fetch_add(static_cast<std::uint64_t>(w),
+                                 std::memory_order_relaxed);
+      p.off += static_cast<std::size_t>(w);
+      if (p.off < p.bytes.size()) {
+        fl.want_out = true;  // partial write: wait for EPOLLOUT
+        break;
+      }
+      fl.q.pop_front();
+    }
+    if (fl.q.empty() && fl.eof && !fl.eof_sent) {
+      fl.eof_sent = true;
+      ::shutdown(fd, SHUT_WR);
+    }
+    if (r.c2u.eof_sent && r.u2c.eof_sent) {
+      close_relay(r, false);
+      return false;
+    }
+    update_interest(r, side);
+    update_interest(r, 1 - side);  // maybe unpause the source
+    return true;
+  };
+
+  // Apply the chaos plan to one freshly read chunk and enqueue it.
+  // Returns false if the relay died (reset fault).
+  const auto ingest_chunk = [&](Relay& r, int src_side,
+                                std::uint8_t* data, std::size_t n) -> bool {
+    Flow& fl = flow_from(r, src_side);
+    const bool faults = faults_enabled_.load(std::memory_order_relaxed);
+    if (faults && plan_.reset_p > 0 && rng.chance(plan_.reset_p)) {
+      resets_injected_.fetch_add(1, std::memory_order_relaxed);
+      close_relay(r, true);
+      return false;
+    }
+    bool corrupt = faults && plan_.corrupt_p > 0 && rng.chance(plan_.corrupt_p);
+    if (src_side == 1) {
+      // Deterministic test hook: forced corruption of server->client.
+      std::uint32_t want = corrupt_next_u2c_.load(std::memory_order_relaxed);
+      while (want > 0 && !corrupt) {
+        if (corrupt_next_u2c_.compare_exchange_weak(
+                want, want - 1, std::memory_order_relaxed))
+          corrupt = true;
+      }
+    }
+    if (corrupt) {
+      // Exactly one byte, flipped by a nonzero mask: the minimal
+      // corruption the frame checksum must still catch.
+      data[rng.uniform_u64(0, n - 1)] ^=
+          static_cast<std::uint8_t>(rng.uniform_u64(1, 255));
+      chunks_corrupted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto due = Clock::now();
+    if (faults && plan_.delay_max_us > 0) {
+      const std::uint64_t d =
+          rng.uniform_u64(plan_.delay_min_us, plan_.delay_max_us);
+      if (d > 0) {
+        chunks_delayed_.fetch_add(1, std::memory_order_relaxed);
+        due += std::chrono::microseconds(d);
+      }
+    }
+    if (plan_.throttle_bytes_per_s > 0) {
+      if (fl.avail_at < due) fl.avail_at = due;
+      due = fl.avail_at;
+      fl.avail_at += std::chrono::microseconds(
+          n * 1000000 / plan_.throttle_bytes_per_s + 1);
+    }
+    std::size_t cuts = 0;
+    if (faults && plan_.tear_p > 0 && n >= 2 && rng.chance(plan_.tear_p)) {
+      cuts = rng.uniform_u64(1, std::min<std::size_t>(3, n - 1));
+      chunks_torn_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Split at `cuts` random interior points; stagger each later piece
+    // so the kernel flushes them as separate segments (TCP_NODELAY).
+    std::vector<std::size_t> bounds{0, n};
+    for (std::size_t i = 0; i < cuts; ++i)
+      bounds.push_back(rng.uniform_u64(1, n - 1));
+    std::sort(bounds.begin(), bounds.end());
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+      const std::size_t lo = bounds[i], hi = bounds[i + 1];
+      if (lo == hi) continue;
+      Piece p;
+      p.due = due + std::chrono::microseconds(i * rng.uniform_u64(100, 400));
+      p.bytes.assign(data + lo, data + hi);
+      fl.queued += p.bytes.size();
+      fl.q.push_back(std::move(p));
+    }
+    return true;
+  };
+
+  // Drain readable bytes from one side. Returns false if the relay died.
+  const auto on_readable = [&](Relay& r, int side) -> bool {
+    const int fd = fd_of(r, side);
+    std::uint8_t buf[kReadChunk];
+    for (int round = 0; round < 8; ++round) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) {
+        if (side == 0)
+          r.c_read_open = false;
+        else
+          r.u_read_open = false;
+        if (r.blackhole) {
+          close_relay(r, false);
+          return false;
+        }
+        Flow& fl = flow_from(r, side);
+        fl.eof = true;
+        return flush_into(r, 1 - side);  // propagate after drain
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        // Hard read error (ECONNRESET and friends): mirror it.
+        close_relay(r, true);
+        return false;
+      }
+      if (r.blackhole) continue;  // read and forget
+      if (!ingest_chunk(r, side, buf, static_cast<std::size_t>(n)))
+        return false;
+      if (flow_from(r, side).queued >= kPauseBytes) break;  // backpressure
+    }
+    if (r.blackhole) return true;
+    return flush_into(r, 1 - side);
+  };
+
+  const auto finish_connect = [&](Relay& r) -> bool {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(r.ufd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      upstream_connect_failures_.fetch_add(1, std::memory_order_relaxed);
+      close_relay(r, true);
+      return false;
+    }
+    r.connecting = false;
+    update_interest(r, 1);
+    return flush_into(r, 1);
+  };
+
+  const auto accept_all = [&] {
+    for (;;) {
+      const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (cfd < 0) return;  // EAGAIN or transient accept failure
+      set_nodelay(cfd);
+      connections_.fetch_add(1, std::memory_order_relaxed);
+      const bool faults = faults_enabled_.load(std::memory_order_relaxed);
+      Relay r;
+      r.id = next_id++;
+      r.cfd = cfd;
+      if (faults && plan_.accept_blackhole_p > 0 &&
+          rng.chance(plan_.accept_blackhole_p)) {
+        r.blackhole = true;
+        blackholed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        r.ufd =
+            ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+        if (r.ufd < 0) {
+          upstream_connect_failures_.fetch_add(1, std::memory_order_relaxed);
+          rst_close(cfd);
+          continue;
+        }
+        set_nodelay(r.ufd);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(upstream_port_);
+        const int rc =
+            ::connect(r.ufd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+        if (rc != 0 && errno != EINPROGRESS) {
+          upstream_connect_failures_.fetch_add(1, std::memory_order_relaxed);
+          ::close(r.ufd);
+          rst_close(cfd);
+          continue;
+        }
+        r.connecting = rc != 0;
+      }
+      const std::uint64_t id = r.id;
+      auto [it, inserted] = relays.emplace(id, std::move(r));
+      Relay& rr = it->second;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = (id << 1) | 0u;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, rr.cfd, &ev);
+      if (rr.ufd >= 0) {
+        ev.events = EPOLLIN | (rr.connecting ? EPOLLOUT : 0u);
+        ev.data.u64 = (id << 1) | 1u;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, rr.ufd, &ev);
+      }
+    }
+  };
+
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Sleep until the next queued piece comes due (or an event).
+    int timeout_ms = 50;
+    const auto now = Clock::now();
+    for (auto& [id, r] : relays) {
+      for (Flow* fl : {&r.c2u, &r.u2c}) {
+        if (fl->q.empty() || fl->want_out) continue;
+        const auto dt = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            fl->q.front().due - now)
+                            .count();
+        timeout_ms = std::clamp<int>(static_cast<int>(dt) + 1, 1, timeout_ms);
+      }
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+
+    if (kill_all_.exchange(false, std::memory_order_relaxed)) {
+      std::vector<std::uint64_t> ids;
+      ids.reserve(relays.size());
+      for (auto& [id, r] : relays) ids.push_back(id);
+      for (const std::uint64_t id : ids) {
+        auto it = relays.find(id);
+        if (it != relays.end()) close_relay(it->second, true);
+      }
+    }
+
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        accept_all();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        std::uint64_t junk;
+        while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      const std::uint64_t id = tag >> 1;
+      const int side = static_cast<int>(tag & 1);
+      auto it = relays.find(id);
+      if (it == relays.end()) continue;  // closed earlier this batch
+      Relay& r = it->second;
+      const std::uint32_t ev = events[i].events;
+      if (side == 1 && r.connecting && (ev & (EPOLLOUT | EPOLLERR))) {
+        if (!finish_connect(r)) continue;
+      }
+      if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        if (!on_readable(r, side)) continue;
+      }
+      if (ev & EPOLLOUT) {
+        auto it2 = relays.find(id);
+        if (it2 == relays.end()) continue;
+        if (!flush_into(it2->second, side)) continue;
+      }
+    }
+
+    // Timer pass: release pieces that came due while we slept.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(relays.size());
+    for (auto& [id, r] : relays) ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+      auto it = relays.find(id);
+      if (it == relays.end()) continue;
+      if (!flush_into(it->second, 0)) continue;
+      auto it2 = relays.find(id);
+      if (it2 == relays.end()) continue;
+      flush_into(it2->second, 1);
+    }
+  }
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(relays.size());
+  for (auto& [id, r] : relays) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    auto it = relays.find(id);
+    if (it != relays.end()) close_relay(it->second, true);
+  }
+}
+
+}  // namespace memfss::netio

@@ -1,0 +1,138 @@
+// Socket-level fault injection for the rt TCP serving path (DESIGN.md
+// §15): an in-process TCP proxy with its own epoll loop that sits
+// between a client and `rt::TcpServer` and misbehaves on purpose,
+// driven by a seeded `ChaosPlan`:
+//
+//   - accept blackholes: the connection is accepted and then ignored --
+//     bytes are read and discarded, nothing is ever forwarded or
+//     answered (a donor node that vanished mid-handshake);
+//   - connection resets: a relayed chunk instead aborts both sides
+//     with an RST (SO_LINGER 0);
+//   - byte corruption: exactly one byte of a relayed chunk is flipped
+//     (the frame checksum must catch every such flip);
+//   - torn frames: a chunk is split into several pieces flushed at
+//     staggered times, so frames arrive split at arbitrary byte
+//     boundaries -- including inside the length prefix;
+//   - per-direction delay and throttle: pieces are held until a due
+//     time sampled from [delay_min_us, delay_max_us] and released no
+//     faster than throttle_bytes_per_s.
+//
+// Faults are decided per relayed chunk from a deterministic Rng seeded
+// by the plan, so a given (seed, byte stream) misbehaves reproducibly
+// modulo kernel scheduling. `set_faults_enabled(false)` turns the proxy
+// into a transparent relay (used by the chaos bench to quiesce before
+// verification). The proxy is test infrastructure: one background
+// thread, loopback only, bounded queues (a backlogged direction pauses
+// reading its source socket).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace memfss::netio {
+
+/// Seeded fault mix for a ChaosProxy. Probabilities are per accepted
+/// connection (blackhole) or per relayed chunk (the rest); a chunk is
+/// one successful recv() on either side, at most 64 KiB.
+struct ChaosPlan {
+  std::uint64_t seed = 1;
+  double accept_blackhole_p = 0;  ///< accept, then ignore forever
+  double reset_p = 0;             ///< RST both sides mid-stream
+  double corrupt_p = 0;           ///< flip one byte of the chunk
+  double tear_p = 0;              ///< split the chunk into staggered pieces
+  std::uint32_t delay_min_us = 0;  ///< per-chunk delay lower bound
+  std::uint32_t delay_max_us = 0;  ///< upper bound; 0 = no delay
+  std::uint64_t throttle_bytes_per_s = 0;  ///< per-direction; 0 = off
+
+  /// The stock chaos mix used by the --netchaos bench: every fault kind
+  /// enabled at rates a resilient client should ride out.
+  static ChaosPlan faulty(std::uint64_t seed) {
+    ChaosPlan p;
+    p.seed = seed;
+    p.accept_blackhole_p = 0.04;
+    p.reset_p = 0.01;
+    p.corrupt_p = 0.02;
+    p.tear_p = 0.3;
+    p.delay_min_us = 0;
+    p.delay_max_us = 2000;
+    return p;
+  }
+};
+
+/// Monotonic fault/traffic counters, readable from any thread.
+struct ChaosStats {
+  std::uint64_t connections = 0;       ///< accepted client connections
+  std::uint64_t blackholed = 0;        ///< of those, accept-blackholed
+  std::uint64_t resets_injected = 0;
+  std::uint64_t chunks_corrupted = 0;
+  std::uint64_t chunks_torn = 0;
+  std::uint64_t chunks_delayed = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t upstream_connect_failures = 0;
+};
+
+class ChaosProxy {
+ public:
+  /// Start listening on an ephemeral loopback port and relaying to
+  /// 127.0.0.1:upstream_port. Check ok() before use.
+  ChaosProxy(std::uint16_t upstream_port, ChaosPlan plan);
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Toggle fault injection. Off = transparent relay (existing delayed
+  /// pieces still drain; new chunks pass through untouched).
+  void set_faults_enabled(bool on) {
+    faults_enabled_.store(on, std::memory_order_relaxed);
+    wake();
+  }
+
+  /// Test hook: RST every active relay right now (donor reclaim).
+  void kill_connections();
+
+  /// Test hook: corrupt one byte of each of the next `n` chunks relayed
+  /// from the upstream (server) to any client, even with faults
+  /// disabled. Deterministic trigger for the corruption path.
+  void corrupt_next_from_upstream(std::uint32_t n) {
+    corrupt_next_u2c_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  ChaosStats stats() const;
+
+  /// Stop the loop, close every socket, join the thread. Idempotent.
+  void shutdown();
+
+ private:
+  void run();
+  void wake();
+
+  ChaosPlan plan_;
+  std::uint16_t upstream_port_ = 0;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::atomic<bool> faults_enabled_{true};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> kill_all_{false};
+  std::atomic<std::uint32_t> corrupt_next_u2c_{0};
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> blackholed_{0};
+  std::atomic<std::uint64_t> resets_injected_{0};
+  std::atomic<std::uint64_t> chunks_corrupted_{0};
+  std::atomic<std::uint64_t> chunks_torn_{0};
+  std::atomic<std::uint64_t> chunks_delayed_{0};
+  std::atomic<std::uint64_t> bytes_forwarded_{0};
+  std::atomic<std::uint64_t> upstream_connect_failures_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace memfss::netio

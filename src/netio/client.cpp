@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <netinet/in.h>
@@ -27,6 +28,13 @@ Status NetClient::connect(std::uint16_t port) {
     return {Errc::unreachable, "connect: " + why};
   }
   decoder_ = FrameDecoder{};
+  timeout_dirty_ = false;
+  if (recv_timeout_s_ > 0) {
+    if (Status st = apply_recv_timeout(recv_timeout_s_); !st.ok()) {
+      close();
+      return st;
+    }
+  }
   return {};
 }
 
@@ -35,12 +43,30 @@ void NetClient::close() {
   fd_ = -1;
 }
 
+void NetClient::abort() {
+  if (fd_ < 0) return;
+  const linger lg{1, 0};  // close() now sends RST, discarding unsent data
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  close();
+}
+
 Status NetClient::set_recv_timeout(double seconds) {
   if (fd_ < 0) return {Errc::unavailable, "not connected"};
+  recv_timeout_s_ = seconds > 0 ? seconds : 0;
+  timeout_dirty_ = false;
+  return apply_recv_timeout(recv_timeout_s_);
+}
+
+Status NetClient::apply_recv_timeout(double seconds) {
   timeval tv{};
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec = static_cast<suseconds_t>(
-      (seconds - std::floor(seconds)) * 1e6);
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - std::floor(seconds)) * 1e6);
+    // A zero timeval means "block forever"; round a sub-microsecond
+    // remainder up so a nearly expired deadline still ticks.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
   if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
     return {Errc::io_error, strerror(errno)};
   return {};
@@ -64,6 +90,18 @@ Status NetClient::send_raw(const std::uint8_t* data, std::size_t n) {
 
 Result<Frame> NetClient::recv() {
   if (fd_ < 0) return {Errc::unavailable, "not connected"};
+  // A prior recv() may have left a shortened SO_RCVTIMEO behind while
+  // chasing its deadline; restore the configured bound first.
+  if (timeout_dirty_) {
+    timeout_dirty_ = false;
+    if (Status st = apply_recv_timeout(recv_timeout_s_); !st.ok())
+      return st.error();
+  }
+  const bool bounded = recv_timeout_s_ > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(bounded ? recv_timeout_s_ : 0));
   Frame f;
   for (;;) {
     switch (decoder_.next(f)) {
@@ -78,9 +116,27 @@ Result<Frame> NetClient::recv() {
     const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
     if (r == 0) return {Errc::unavailable, "connection closed by server"};
     if (r < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK)
-        return {Errc::timeout, "recv timed out"};
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!bounded) {
+          if (errno == EINTR) continue;  // signal: just restart the wait
+          return {Errc::timeout, "recv timed out"};
+        }
+        // A signal or an early SO_RCVTIMEO wakeup is only a timeout if
+        // the *whole-call* budget is spent; otherwise re-arm the socket
+        // timer with the remainder and keep waiting. The per-call timer
+        // restarts from the interruption, so without this a signal storm
+        // would both fire premature timeouts (EAGAIN after a shortened
+        // sleep) and extend the bound indefinitely (EINTR restarts).
+        const double remaining =
+            std::chrono::duration<double>(deadline -
+                                          std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0) return {Errc::timeout, "recv timed out"};
+        timeout_dirty_ = true;
+        if (Status st = apply_recv_timeout(remaining); !st.ok())
+          return st.error();
+        continue;
+      }
       return {Errc::io_error, "recv: " + std::string(strerror(errno))};
     }
     decoder_.feed(buf, static_cast<std::size_t>(r));

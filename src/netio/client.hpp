@@ -21,17 +21,40 @@ class NetClient {
   ~NetClient() { close(); }
   NetClient(const NetClient&) = delete;
   NetClient& operator=(const NetClient&) = delete;
-  NetClient(NetClient&& o) noexcept : fd_(o.fd_), decoder_(std::move(o.decoder_)) {
+  NetClient(NetClient&& o) noexcept
+      : fd_(o.fd_),
+        decoder_(std::move(o.decoder_)),
+        recv_timeout_s_(o.recv_timeout_s_),
+        timeout_dirty_(o.timeout_dirty_) {
     o.fd_ = -1;
   }
+  NetClient& operator=(NetClient&& o) noexcept {
+    if (this != &o) {
+      close();  // drop the held fd before adopting the other's
+      fd_ = o.fd_;
+      decoder_ = std::move(o.decoder_);
+      recv_timeout_s_ = o.recv_timeout_s_;
+      timeout_dirty_ = o.timeout_dirty_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
 
-  /// Connect to 127.0.0.1:port (TCP_NODELAY on).
+  /// Connect to 127.0.0.1:port (TCP_NODELAY on). A previously
+  /// configured recv timeout carries over to the new connection.
   Status connect(std::uint16_t port);
   bool connected() const { return fd_ >= 0; }
   void close();
+  /// Close with an RST instead of an orderly FIN (SO_LINGER 0): the
+  /// peer sees ECONNRESET. Lets tests and the resilient client abandon
+  /// a connection with an in-flight request without leaving the server
+  /// a half-open stream to drain.
+  void abort();
 
-  /// Bound a recv() in seconds (0 = block forever). SO_RCVTIMEO, so a
-  /// wedged server turns into Errc::timeout instead of a hung test.
+  /// Bound a recv() in seconds (0 = block forever). The bound covers
+  /// the whole recv() call: signals (EINTR) and spurious SO_RCVTIMEO
+  /// wakeups re-arm the remaining budget instead of either returning a
+  /// premature Errc::timeout or resetting the clock.
   Status set_recv_timeout(double seconds);
 
   /// Write one encoded frame, handling partial writes.
@@ -61,8 +84,13 @@ class NetClient {
   static Frame make_auth(std::uint64_t id, std::string_view token);
 
  private:
+  /// Set SO_RCVTIMEO to `seconds` (<= 0 clears the bound).
+  Status apply_recv_timeout(double seconds);
+
   int fd_ = -1;
   FrameDecoder decoder_;
+  double recv_timeout_s_ = 0;   ///< configured bound; 0 = unbounded
+  bool timeout_dirty_ = false;  ///< socket timer holds a shortened remainder
 };
 
 }  // namespace memfss::netio

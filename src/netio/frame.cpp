@@ -35,16 +35,32 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 }  // namespace
 
+std::uint16_t body_checksum(const std::uint8_t* body, std::size_t n) {
+  // Plain byte sum mod 65521 (the largest prime under 2^16): a single
+  // corrupted byte shifts the sum by a nonzero delta in [-255, 255],
+  // which is never 0 mod 65521, so every one-byte flip is detected.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == kChecksumOffset || i == kChecksumOffset + 1) continue;
+    sum += body[i];
+    if (sum >= 0xfff00000u) sum %= 65521u;
+  }
+  sum %= 65521u;
+  return sum == 0 ? 0xffffu : static_cast<std::uint16_t>(sum);
+}
+
 void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  std::size_t body_start = 0;
   if (f.kind == Frame::Kind::request) {
     const std::size_t body =
         kRequestFixedLen + f.key.size() + f.value.size();
     out.reserve(out.size() + kHeaderLen + body);
     put_u32(out, kRequestMagic);
     put_u32(out, static_cast<std::uint32_t>(body));
+    body_start = out.size();
     out.push_back(f.opcode);
     out.push_back(f.flags);
-    put_u16(out, 0);
+    put_u16(out, 0);  // checksum placeholder, patched below
     put_u32(out, f.tenant);
     put_u64(out, f.request_id);
     put_u32(out, static_cast<std::uint32_t>(f.key.size()));
@@ -56,9 +72,10 @@ void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
     out.reserve(out.size() + kHeaderLen + body);
     put_u32(out, kResponseMagic);
     put_u32(out, static_cast<std::uint32_t>(body));
+    body_start = out.size();
     out.push_back(f.status);
     out.push_back(f.flags);
-    put_u16(out, 0);
+    put_u16(out, 0);  // checksum placeholder, patched below
     put_u32(out, f.retry_after_us);
     put_u64(out, f.request_id);
     put_u64(out, f.seq);
@@ -67,6 +84,10 @@ void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
     put_u32(out, f.value_size);
     out.insert(out.end(), f.value.begin(), f.value.end());
   }
+  const std::uint16_t sum =
+      body_checksum(out.data() + body_start, out.size() - body_start);
+  out[body_start + kChecksumOffset] = static_cast<std::uint8_t>(sum);
+  out[body_start + kChecksumOffset + 1] = static_cast<std::uint8_t>(sum >> 8);
 }
 
 std::vector<std::uint8_t> encode(const Frame& f) {
@@ -107,6 +128,10 @@ Decode FrameDecoder::next(Frame& out) {
   if (buffered() < kHeaderLen + body) return Decode::need_more;
 
   const std::uint8_t* b = h + kHeaderLen;
+  const std::uint16_t stored =
+      static_cast<std::uint16_t>(b[kChecksumOffset]) |
+      (static_cast<std::uint16_t>(b[kChecksumOffset + 1]) << 8);
+  if (stored != body_checksum(b, body)) return fail("body checksum mismatch");
   out = Frame{};
   if (request) {
     out.kind = Frame::Kind::request;

@@ -19,9 +19,20 @@
 // The decoder is incremental and byte-exact: feed() any split of the
 // stream, next() yields need_more, one decoded frame, or a sticky
 // error (bad magic, oversized body, short body, unknown opcode/status,
-// inconsistent lengths). It never throws and never reads past its
-// buffer -- the fuzz suite (tests/test_netio_codec.cpp) holds it to
-// that under random mutation.
+// inconsistent lengths, body checksum mismatch). It never throws and
+// never reads past its buffer -- the fuzz suite
+// (tests/test_netio_codec.cpp) holds it to that under random mutation.
+//
+// Integrity: the u16 at body offset 2 (formerly reserved, always
+// written as zero) now carries a checksum of the body -- the sum of
+// every body byte (with the checksum field itself read as zero) mod
+// 65521, with a result of 0 stored as 0xFFFF. A sum detects *every*
+// single-byte corruption (a byte delta is in [-255, 255] and never 0
+// mod 65521), so a bit-flipped status, request id, or payload byte
+// surfaces as a decoder error instead of silently wrong data -- the
+// property the chaos layer (netio::ChaosProxy + ResilientClient)
+// leans on. Header corruption is caught by the magic and the
+// length-consistency checks.
 #pragma once
 
 #include <cstddef>
@@ -96,6 +107,14 @@ struct Frame {
 inline constexpr std::size_t kHeaderLen = 8;        ///< magic + body_len
 inline constexpr std::size_t kRequestFixedLen = 24;  ///< body before key
 inline constexpr std::size_t kResponseFixedLen = 40;  ///< body before value
+/// Body offset of the u16 integrity checksum (both frame kinds).
+inline constexpr std::size_t kChecksumOffset = 2;
+
+/// The body integrity checksum: sum of `body[0..n)` with the two
+/// checksum bytes read as zero, mod 65521, 0 mapped to 0xFFFF (so a
+/// valid encoder never emits 0). Exposed for tests and for tools that
+/// patch frames in place.
+std::uint16_t body_checksum(const std::uint8_t* body, std::size_t n);
 
 /// Serialize `f` (using the fields of its kind) and append to `out`.
 void encode_frame(const Frame& f, std::vector<std::uint8_t>& out);

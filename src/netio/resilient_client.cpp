@@ -1,0 +1,276 @@
+#include "netio/resilient_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string_view>
+#include <thread>
+
+#include "hash/hashes.hpp"
+
+namespace memfss::netio {
+
+namespace {
+
+double mono_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_s(double s) {
+  if (s > 0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+/// Failures a fresh attempt cannot fix: retrying the identical request
+/// is pointless, surface them immediately.
+bool permanent_errc(Errc e) {
+  return e == Errc::permission || e == Errc::invalid_argument ||
+         e == Errc::fatal;
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(ResilientOptions opts)
+    : opts_(std::move(opts)), rng_(opts_.seed) {}
+
+void ResilientClient::disconnect() { net_.close(); }
+
+double ResilientClient::backoff_delay(std::uint32_t fault_streak) {
+  double d = opts_.backoff_base_s;
+  for (std::uint32_t i = 1; i < fault_streak && d < opts_.backoff_max_s; ++i)
+    d *= 2;
+  d = std::min(d, opts_.backoff_max_s);
+  // Full +/- jitter so a fleet of clients doesn't reconnect in lockstep.
+  d *= 1.0 + opts_.backoff_jitter * (2 * rng_.next_double() - 1);
+  return std::max(d, 0.0);
+}
+
+void ResilientClient::record_fault(Errc e) {
+  if (!errc_health_fault(e)) return;
+  ++consecutive_faults_;
+  if (opts_.breaker_threshold == 0) return;
+  // A half-open trial failing re-opens immediately; a closed breaker
+  // opens after the configured streak (HealthRegistry semantics).
+  if (breaker_ == Breaker::half_open ||
+      consecutive_faults_ >= opts_.breaker_threshold) {
+    breaker_ = Breaker::open;
+    breaker_open_until_s_ = mono_s() + opts_.breaker_cooldown_s;
+    ++stats_.breaker_opens;
+  }
+}
+
+void ResilientClient::record_ok() {
+  consecutive_faults_ = 0;
+  breaker_ = Breaker::closed;
+}
+
+Status ResilientClient::ensure_connected(double remaining_s) {
+  if (Status st = net_.connect(opts_.port); !st.ok()) return st;
+  net_.set_recv_timeout(
+      std::clamp(remaining_s, 1e-3, opts_.attempt_recv_timeout_s));
+  if (!opts_.auth_token.empty()) {
+    // AUTH ids live in a private high range so they can never collide
+    // with caller-chosen request ids.
+    const Frame auth = NetClient::make_auth((1ull << 63) | ++auth_id_,
+                                            opts_.auth_token);
+    if (Status st = net_.send(auth); !st.ok()) {
+      net_.abort();
+      return st;
+    }
+    Result<Frame> r = net_.recv();
+    if (!r.ok()) {
+      net_.abort();
+      return r.error();
+    }
+    const Frame& f = r.value();
+    if ((f.flags & kFlagProtocolError) != 0 ||
+        f.request_id != auth.request_id) {
+      net_.abort();
+      return {Errc::io_error, "bad auth response"};
+    }
+    if (static_cast<Errc>(f.status) != Errc::ok) {
+      net_.close();
+      return {static_cast<Errc>(f.status), "auth rejected"};
+    }
+  }
+  ++stats_.reconnects;
+  return {};
+}
+
+CallOutcome ResilientClient::call(const Frame& request, bool idempotent,
+                                  double deadline_s) {
+  if (deadline_s <= 0) deadline_s = opts_.default_deadline_s;
+  const double start = mono_s();
+  const auto remaining = [&] { return deadline_s - (mono_s() - start); };
+
+  CallOutcome out;
+  Errc last_fail = Errc::timeout;
+  std::uint32_t fault_streak = 0;
+
+  // Back off (bounded by the deadline) after a failed attempt; returns
+  // false once the budget is spent.
+  const auto backoff = [&]() -> bool {
+    const double rem = remaining();
+    if (rem <= 0) return false;
+    sleep_s(std::min(backoff_delay(++fault_streak), rem));
+    return remaining() > 0;
+  };
+
+  for (;;) {
+    // Circuit breaker gate: while open, reject locally (no socket
+    // traffic) until the cooldown elapses, then admit one trial.
+    if (breaker_ == Breaker::open) {
+      const double now = mono_s();
+      if (now < breaker_open_until_s_) {
+        ++stats_.breaker_rejections;
+        const double wait =
+            std::min(breaker_open_until_s_ - now, remaining());
+        if (wait <= 0 || remaining() - wait <= 0) {
+          out.code = Errc::rejected;
+          return out;
+        }
+        sleep_s(wait);
+      }
+      breaker_ = Breaker::half_open;
+    }
+    if (remaining() <= 0) {
+      out.code = last_fail;
+      return out;
+    }
+
+    if (!net_.connected()) {
+      if (Status st = ensure_connected(remaining()); !st.ok()) {
+        ++stats_.connect_failures;
+        record_fault(st.code());
+        if (permanent_errc(st.code())) {
+          out.code = st.code();
+          return out;
+        }
+        last_fail = st.code();
+        if (!backoff()) {
+          out.code = last_fail;
+          return out;
+        }
+        continue;
+      }
+    }
+
+    ++out.attempts;
+    ++stats_.attempts;
+    if (out.attempts > 1) ++stats_.retries;
+
+    // Past this point bytes may reach the server even on failure, so a
+    // non-idempotent op can no longer be blindly retried.
+    ++out.sends;
+    if (Status st = net_.send(request); !st.ok()) {
+      net_.abort();
+      record_fault(st.code());
+      last_fail = st.code();
+      if (!idempotent || !backoff()) {
+        out.code = last_fail;
+        return out;
+      }
+      continue;
+    }
+
+    net_.set_recv_timeout(
+        std::clamp(remaining(), 1e-3, opts_.attempt_recv_timeout_s));
+    Result<Frame> r = net_.recv();
+    if (!r.ok()) {
+      const Errc e = r.code();
+      // The request may still be in flight server-side: abort with an
+      // RST so a late response can't leak into the next call.
+      net_.abort();
+      if (e == Errc::corruption) {
+        ++stats_.corrupt_frames;
+        last_fail = Errc::fatal;  // never surface corrupted data softly
+      } else {
+        if (e == Errc::timeout) ++stats_.timeouts;
+        last_fail = e;
+      }
+      record_fault(e == Errc::corruption ? Errc::io_error : e);
+      if (!idempotent || !backoff()) {
+        out.code = last_fail;
+        return out;
+      }
+      continue;
+    }
+
+    Frame resp = std::move(r).value();
+    if ((resp.flags & kFlagProtocolError) != 0) {
+      // The server's decoder rejected the stream. With one request in
+      // flight ours was never executed, but the channel is gone.
+      ++stats_.protocol_errors;
+      net_.abort();
+      last_fail = Errc::fatal;
+      record_fault(Errc::io_error);
+      if (!idempotent || !backoff()) {
+        out.code = last_fail;
+        return out;
+      }
+      continue;
+    }
+    if (resp.request_id != request.request_id) {
+      ++stats_.mismatched_ids;
+      net_.abort();
+      last_fail = Errc::fatal;
+      record_fault(Errc::io_error);
+      if (!idempotent || !backoff()) {
+        out.code = last_fail;
+        return out;
+      }
+      continue;
+    }
+
+    const Errc code = static_cast<Errc>(resp.status);
+    if (code == Errc::overloaded) {
+      // A deliberate QoS shed: the server is healthy and nothing was
+      // applied, so honoring the hint and retrying is safe for any op.
+      ++stats_.overloaded_waits;
+      record_ok();
+      fault_streak = 0;
+      const double hint = resp.retry_after_us > 0
+                              ? resp.retry_after_us / 1e6
+                              : opts_.backoff_base_s;
+      if (remaining() - hint <= 0) {
+        out.code = code;
+        out.response = std::move(resp);
+        out.answered = true;
+        return out;
+      }
+      sleep_s(hint);
+      continue;
+    }
+
+    if (code == Errc::ok &&
+        request.opcode == static_cast<std::uint8_t>(Opcode::get) &&
+        !resp.value.empty()) {
+      // End-to-end integrity: the payload must hash to the checksum the
+      // store computed at PUT time. A mismatch that slipped past the
+      // frame checksum is still never surfaced as data.
+      const std::uint64_t c = hash::fnv1a(std::string_view(
+          reinterpret_cast<const char*>(resp.value.data()),
+          resp.value.size()));
+      if (c != resp.checksum) {
+        ++stats_.value_checksum_failures;
+        net_.abort();
+        last_fail = Errc::fatal;
+        record_fault(Errc::io_error);
+        if (!idempotent || !backoff()) {
+          out.code = last_fail;
+          return out;
+        }
+        continue;
+      }
+    }
+
+    record_ok();
+    out.code = code;
+    out.response = std::move(resp);
+    out.answered = true;
+    return out;
+  }
+}
+
+}  // namespace memfss::netio

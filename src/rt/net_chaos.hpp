@@ -1,0 +1,114 @@
+// Network chaos soak for the real serving path (DESIGN.md §15): the
+// rt-runtime analogue of the sim-side `--chaos` harness. Seed-
+// deterministic op streams are driven through a netio::ChaosProxy in
+// front of a live rt::TcpServer by netio::ResilientClient workers, with
+// resets, blackholes, torn frames, corruption, and delays firing mid-
+// stream; afterwards the harness turns the faults off, quiesces, and
+// checks what must have survived:
+//
+//   - zero lost acknowledged ops: every op the client saw acked has its
+//     effect in the store (per-key exact-state check over a clean
+//     connection);
+//   - zero duplicated acknowledged ops: no key holds a value the model
+//     says was superseded (a stale retry that re-landed late);
+//   - digest-consistent reads: every acked GET returned a value
+//     checksum the per-key possibility model allows -- corrupted bytes
+//     must die as Errc::fatal, never read as data;
+//   - accounting invariants after quiesce: used() == sum of shard
+//     accounting == sum of recomputed shard usage, and used() <=
+//     capacity();
+//   - the no-fault arm (faults=false, still through the proxy) must
+//     reproduce the in-process replay digest bit-for-bit -- the proxy
+//     and resilient client are *transparent* when nothing misbehaves.
+//
+// Soundness of the model: each client thread owns a disjoint key space
+// ("c<t>:k<i>"), so its view of a key is sequential; same-key ops
+// serialize through the shard-pinned worker FIFO, so an abandoned
+// attempt can never re-apply after a later acked op on the same key.
+// An op that failed after its bytes (possibly partially) hit the wire
+// adds an *unresolved possibility* (value present / key absent) that
+// stays until the next acked op on that key collapses the state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "netio/chaos.hpp"
+#include "obs/histogram.hpp"
+#include "rt/opstream.hpp"
+
+namespace memfss::rt {
+
+struct NetChaosOptions {
+  std::uint64_t seed = 1;
+  bool faults = true;  ///< false = clean arm (proxy still in the path)
+  netio::ChaosPlan plan = netio::ChaosPlan::faulty(1);
+
+  std::size_t client_threads = 3;
+  std::size_t ops_per_thread = 900;
+  std::size_t key_space = 96;  ///< per thread; key spaces are disjoint
+  Bytes value_size = 256;
+  double get_fraction = 0.5;
+  double del_fraction = 0.1;
+
+  std::size_t server_threads = 2;
+  std::size_t shards = 8;
+  std::size_t reactors = 2;
+  Bytes capacity = 64 * units::MiB;
+  std::size_t queue_capacity = 1024;
+  std::uint32_t service_time_us = 0;
+  std::string auth_token = "rt";
+  std::chrono::milliseconds idle_timeout{1000};
+
+  double call_deadline_s = 8.0;
+  double attempt_recv_timeout_s = 0.15;
+};
+
+struct NetChaosResult {
+  NetChaosOptions opt;
+
+  // Call outcomes (client side).
+  std::uint64_t calls = 0;
+  std::uint64_t acked = 0;         ///< server answered (any status)
+  std::uint64_t acked_ok = 0;
+  std::uint64_t acked_not_found = 0;
+  std::uint64_t acked_other = 0;   ///< oom and friends -- no state change
+  std::uint64_t failed_calls = 0;  ///< deadline spent without an answer
+  std::uint64_t fatal_calls = 0;   ///< of those, integrity (Errc::fatal)
+
+  // Summed ResilientClient stats.
+  std::uint64_t attempts = 0, retries = 0, reconnects = 0,
+                connect_failures = 0, timeouts = 0, corrupt_frames = 0,
+                protocol_errors = 0, mismatched_ids = 0,
+                value_checksum_failures = 0, overloaded_waits = 0,
+                breaker_opens = 0, breaker_rejections = 0;
+
+  netio::ChaosStats chaos;  ///< proxy-side fault counters
+
+  // Server-side rt.net.* counters.
+  std::uint64_t srv_resets = 0, srv_idle_reaps = 0, srv_protocol_errors = 0;
+
+  // Verification.
+  std::uint64_t lost_acks = 0;        ///< exact acked state not found
+  std::uint64_t duplicated_acks = 0;  ///< superseded value re-landed
+  std::uint64_t consistency_violations = 0;  ///< read outside the model
+  bool accounting_ok = false;
+  std::string accounting_msg;
+  std::uint64_t read_digest = 0;    ///< fold over acked calls
+  std::uint64_t oracle_digest = 0;  ///< in-process replay (clean arm)
+  bool digest_ok = false;           ///< clean arm: read == oracle
+
+  double wall_s = 0.0;
+  obs::HistogramSummary call_latency;  ///< per resilient call, seconds
+
+  bool passed = false;
+  std::string fail_reason;
+};
+
+NetChaosResult run_net_chaos(const NetChaosOptions& opt);
+
+std::string net_chaos_csv_header();
+std::string net_chaos_csv_row(const NetChaosResult& r);
+
+}  // namespace memfss::rt

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cmath>
@@ -119,6 +120,7 @@ struct Conn {
   bool want_write = false;   ///< EPOLLOUT currently armed
   bool read_open = true;     ///< still accepting request frames
   bool closing = false;      ///< close once pending == 0 and flushed
+  Clock::time_point last_activity{};  ///< drives idle reaping
 
   std::size_t unsent() const { return wbuf.size() - woff; }
 
@@ -138,6 +140,7 @@ struct TcpServer::Reactor {
   std::atomic<bool> stopping{false};
   bool deadline_armed = false;
   Clock::time_point drain_deadline;
+  Clock::time_point next_reap_scan{};  ///< idle-reap scan throttle
   std::thread th;
 
   ~Reactor() {
@@ -174,6 +177,7 @@ struct TcpServer::Reactor {
                                c.wbuf.size() - c.woff, MSG_NOSIGNAL);
       if (w > 0) {
         c.woff += static_cast<std::size_t>(w);
+        c.last_activity = Clock::now();
         metrics().count("rt.net.bytes_out", static_cast<std::uint64_t>(w));
         continue;
       }
@@ -185,7 +189,8 @@ struct TcpServer::Reactor {
         }
         return true;
       }
-      close_conn(c);  // peer reset mid-write
+      metrics().count("rt.net.resets");  // peer reset mid-write
+      close_conn(c);
       return false;
     }
     c.wbuf.clear();
@@ -301,6 +306,7 @@ struct TcpServer::Reactor {
       std::uint8_t buf[64 * 1024];
       const ssize_t r = ::recv(c.fd, buf, sizeof(buf), 0);
       if (r > 0) {
+        c.last_activity = Clock::now();
         metrics().count("rt.net.bytes_in", static_cast<std::uint64_t>(r));
         c.decoder.feed(buf, static_cast<std::size_t>(r));
         if (!process_frames(c)) return false;
@@ -315,6 +321,7 @@ struct TcpServer::Reactor {
       }
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      metrics().count("rt.net.resets");  // hard read error (ECONNRESET)
       close_conn(c);
       return false;
     }
@@ -338,6 +345,7 @@ struct TcpServer::Reactor {
       auto conn = std::make_unique<Conn>(opt().max_frame_body);
       conn->fd = fd;
       conn->id = next_conn_id++;
+      conn->last_activity = Clock::now();
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.u64 = conn->id;
@@ -369,6 +377,7 @@ struct TcpServer::Reactor {
       if (it == conns.end()) continue;  // connection already gone
       Conn& c = *it->second;
       if (c.pending > 0) --c.pending;
+      c.last_activity = Clock::now();
       c.wbuf.insert(c.wbuf.end(), bytes.begin(), bytes.end());
       metrics().count("rt.net.frames_out");
       if (!try_flush(c)) continue;
@@ -380,6 +389,30 @@ struct TcpServer::Reactor {
         continue;
       }
       maybe_close(c);
+    }
+  }
+
+  /// Close connections that have been silent past the idle timeout. A
+  /// connection with in-flight ops or unflushed responses is busy, not
+  /// idle, no matter how long ago the client last wrote -- reaping it
+  /// would drop acknowledged work.
+  void reap_idle() {
+    const auto timeout = opt().idle_timeout;
+    if (timeout.count() <= 0) return;
+    const auto now = Clock::now();
+    if (now < next_reap_scan) return;
+    next_reap_scan =
+        now + std::max(timeout / 4, std::chrono::milliseconds(10));
+    std::vector<std::uint64_t> idle;
+    for (const auto& [id, c] : conns)
+      if (c->pending == 0 && c->unsent() == 0 &&
+          now - c->last_activity >= timeout)
+        idle.push_back(id);
+    for (const std::uint64_t id : idle) {
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      metrics().count("rt.net.idle_reaps");
+      close_conn(*it->second);
     }
   }
 
@@ -397,6 +430,12 @@ struct TcpServer::Reactor {
         const auto it = conns.find(id);
         if (it == conns.end()) continue;  // closed earlier this batch
         Conn& c = *it->second;
+        if (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+          // Read first even on ERR/HUP: an RST surfaces as a recv()
+          // error (counted in rt.net.resets) and buffered frames that
+          // raced the close still deserve answers.
+          if (!handle_read(c)) continue;
+        }
         if (evs[i].events & (EPOLLERR | EPOLLHUP)) {
           // Flush what we can (the peer may have only half-closed);
           // a dead socket errors out of try_flush and closes.
@@ -407,15 +446,13 @@ struct TcpServer::Reactor {
           update_interest(c);
           continue;
         }
-        if (evs[i].events & EPOLLIN) {
-          if (!handle_read(c)) continue;
-        }
         if (evs[i].events & EPOLLOUT) {
           if (!try_flush(c)) continue;
           maybe_close(c);
         }
       }
       drain_completions();
+      reap_idle();
 
       if (stopping.load(std::memory_order_acquire)) {
         if (listen_fd >= 0) {  // stop accepting; drain what's connected

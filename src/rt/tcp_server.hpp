@@ -67,6 +67,11 @@ class TcpServer {
     /// How long shutdown() waits for busy connections to drain before
     /// force-closing them.
     std::chrono::milliseconds drain_timeout{5000};
+    /// Reap a connection with no in-flight ops, no unsent responses,
+    /// and no traffic for this long (0 = never). Chaos blackholes and
+    /// vanished clients must not pin fds forever; counted in
+    /// rt.net.idle_reaps.
+    std::chrono::milliseconds idle_timeout{0};
   };
 
   /// Binds, listens, and starts the reactors; throws std::runtime_error

@@ -380,5 +380,67 @@ TEST(RtTcp, ConnectionMetricsAreTracked) {
             fx.server.metrics().counter_value("rt.net.closed"));
 }
 
+// Idle reaping (ISSUE 9): a connection with no in-flight ops and no
+// traffic past idle_timeout is closed and counted; an active one on the
+// same server is left alone.
+TEST(RtTcp, IdleConnectionIsReaped) {
+  TcpServer::Options topt;
+  topt.idle_timeout = std::chrono::milliseconds(100);
+  Fixture fx({}, topt);
+
+  NetClient idle, busy;
+  ASSERT_TRUE(idle.connect(fx.tcp.port()).ok());
+  ASSERT_TRUE(busy.connect(fx.tcp.port()).ok());
+  ASSERT_TRUE(idle.set_recv_timeout(5.0).ok());
+  ASSERT_TRUE(busy.set_recv_timeout(5.0).ok());
+  auth_ok(idle, 1);
+  auth_ok(busy, 1);
+
+  // Keep `busy` chatty while `idle` goes silent past the timeout.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::uint64_t id = 100;
+  while (fx.server.metrics().counter_value("rt.net.idle_reaps") == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(busy.send(NetClient::make_exists(++id, 0, "k")).ok());
+    EXPECT_EQ(expect_recv(busy).request_id, id);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(fx.server.metrics().counter_value("rt.net.idle_reaps"), 1u);
+
+  // The reaped connection is really gone: the next recv sees EOF.
+  auto r = idle.recv();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::unavailable);
+  // The busy connection survived the whole time.
+  ASSERT_TRUE(busy.send(NetClient::make_exists(++id, 0, "k")).ok());
+  EXPECT_EQ(expect_recv(busy).request_id, id);
+}
+
+// A client that aborts (RST) instead of closing cleanly shows up in
+// rt.net.resets; the server stays healthy for everyone else.
+TEST(RtTcp, AbortedClientCountsAsReset) {
+  Fixture fx;
+  {
+    NetClient c;
+    ASSERT_TRUE(c.connect(fx.tcp.port()).ok());
+    ASSERT_TRUE(c.set_recv_timeout(5.0).ok());
+    auth_ok(c);
+    ASSERT_TRUE(c.send(NetClient::make_put(2, 0, "k", {1, 2, 3})).ok());
+    c.abort();  // RST with a request possibly still in flight
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fx.server.metrics().counter_value("rt.net.resets") == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(fx.server.metrics().counter_value("rt.net.resets"), 1u);
+
+  NetClient c2;
+  ASSERT_TRUE(c2.connect(fx.tcp.port()).ok());
+  ASSERT_TRUE(c2.set_recv_timeout(5.0).ok());
+  auth_ok(c2);
+}
+
 }  // namespace
 }  // namespace memfss::rt
