@@ -5,9 +5,14 @@
 //
 // Usage: chaos_soak [seed...]       (default seeds: 1 2 3)
 //
-// Prints one CSV row per seed plus a human-readable verdict, and exits
-// nonzero if any seed violates an invariant -- scripts/check.sh --chaos
-// runs this under the sanitizer build.
+// Every seed runs two arms: untiered (pressure => evacuation) and
+// tiered (cold tiers on the victims, pressure => coldest-first
+// demotion, crashes landing mid-demotion/mid-promotion); the tiered
+// arm additionally checks the tier accounting / dual-residency /
+// capacity invariants. Prints one CSV row per arm plus a
+// human-readable verdict, and exits nonzero if any arm violates an
+// invariant -- scripts/check.sh --chaos runs this under the sanitizer
+// build.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,20 +31,30 @@ int main(int argc, char** argv) {
   std::printf("%s\n", exp::chaos_csv_header().c_str());
   bool all_ok = true;
   for (const auto seed : seeds) {
-    exp::ChaosSoakOptions opt;
-    opt.seed = seed;
-    opt.scenario.total_nodes = 12;
-    opt.scenario.own_nodes = 4;
-    opt.scenario.victim_memory_cap = 2 * units::GiB;
-    opt.scenario.own_store_capacity = 4 * units::GiB;
-    opt.scenario.stripe_size = 1 * units::MiB;
-    const auto row = exp::run_chaos_soak(opt);
-    std::printf("%s\n", exp::chaos_csv_row(row).c_str());
-    if (!row.ok) {
-      all_ok = false;
-      for (const auto& v : row.invariants.violations)
-        std::fprintf(stderr, "seed %llu: VIOLATION: %s\n",
-                     (unsigned long long)seed, v.c_str());
+    for (const bool tiered : {false, true}) {
+      exp::ChaosSoakOptions opt;
+      opt.seed = seed;
+      opt.scenario.total_nodes = 12;
+      opt.scenario.own_nodes = 4;
+      opt.scenario.victim_memory_cap = 2 * units::GiB;
+      opt.scenario.own_store_capacity = 4 * units::GiB;
+      opt.scenario.stripe_size = 1 * units::MiB;
+      if (tiered) opt.scenario.victim_tier_capacity = 3 * units::GiB;
+      const auto row = exp::run_chaos_soak(opt);
+      std::printf("%s\n", exp::chaos_csv_row(row).c_str());
+      if (!row.ok) {
+        all_ok = false;
+        for (const auto& v : row.invariants.violations)
+          std::fprintf(stderr, "seed %llu (%s): VIOLATION: %s\n",
+                       (unsigned long long)seed,
+                       tiered ? "tiered" : "untiered", v.c_str());
+      }
+      if (tiered && row.tier_demotions == 0) {
+        all_ok = false;
+        std::fprintf(stderr,
+                     "seed %llu (tiered): zero demotions -- vacuous arm\n",
+                     (unsigned long long)seed);
+      }
     }
   }
   std::fprintf(stderr, all_ok ? "chaos soak: all invariants held\n"

@@ -58,6 +58,12 @@ void add_row(Table& t, exp::FaultRecoveryOptions opt,
              rl.count ? strformat("%.0f/%.0f/%.0f", rl.p50 * 1e3,
                                   rl.p95 * 1e3, rl.p99 * 1e3)
                       : std::string("-"),
+             opt.scenario.victim_tier_capacity > 0
+                 ? strformat("%llu/%llu/%llu",
+                             (unsigned long long)row.tier_demotions,
+                             (unsigned long long)row.tier_promotions,
+                             (unsigned long long)row.tier_cold_hits)
+                 : std::string("-"),
              row.ok ? "yes" : "NO"});
   if (trace_dir) {
     const std::string base =
@@ -88,7 +94,7 @@ int main() {
   const std::vector<std::string> headers = {
       "crash rate", "crash/rev/stall", "runtime (s)", "slowdown",
       "degraded rd", "retries",        "repaired",    "re-replicated",
-      "MTTR (s)",   "repair p50/95/99 (ms)", "ok"};
+      "MTTR (s)",   "repair p50/95/99 (ms)", "tier dem/pro/cold", "ok"};
 
   {
     Table t(headers);
@@ -118,6 +124,26 @@ int main() {
     opt.crash_rate = 0.1;
     opt.revoke_mid_run = true;
     add_row(t, opt, "rs42");
+    t.print();
+  }
+
+  {
+    // Tiered arm (DESIGN.md §16): cold tiers on the victims, so
+    // pressure during the faulted run demotes coldest-first instead of
+    // evacuating, and repair sources cold-resident shards.
+    Table t(headers);
+    t.set_title("replicated x2 + cold tiers: crashes and revocation");
+    opt.scenario.redundancy = fs::RedundancyMode::replicated;
+    opt.scenario.victim_tier_capacity = 4 * units::GiB;
+    opt.evict_rate = 2.0;  // tenant pressure drives the demote passes
+    for (double rate : {0.0, 0.2}) {
+      opt.crash_rate = rate;
+      opt.revoke_mid_run = false;
+      add_row(t, opt, "rep2_tier");
+    }
+    opt.crash_rate = 0.1;
+    opt.revoke_mid_run = true;
+    add_row(t, opt, "rep2_tier");
     t.print();
   }
   return 0;

@@ -1,0 +1,95 @@
+// Tier-pressure bench: victim-reclaim stall with and without the cold
+// tier (see exp/tier.hpp). For every seed it runs the untiered baseline
+// (pressure => full fabric evacuation) and the tiered arm (pressure =>
+// coldest-first demotion to the node-local tier) over the same workload,
+// prints one CSV row per arm, then a summary with the p99 stall ratio.
+//
+// Usage: tier_pressure [seed...]       (default seeds: 1 2 3)
+//
+// Exits nonzero if any run failed, if a tiered arm recorded zero
+// demotions, or if the aggregate p99 reduction is below 2x --
+// scripts/check.sh --tier runs this under the sanitizer build.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "exp/tier.hpp"
+
+using namespace memfss;
+
+namespace {
+
+exp::TierPressureOptions base_options(std::uint64_t seed) {
+  exp::TierPressureOptions opt;
+  opt.seed = seed;
+  opt.scenario.total_nodes = 8;
+  opt.scenario.own_nodes = 2;
+  opt.scenario.own_fraction = 0.1;  // most stripes land on victims
+  opt.scenario.victim_memory_cap = 512 * units::MiB;
+  opt.scenario.victim_net_cap = 400e6;  // container bandwidth cap (B/s)
+  opt.scenario.own_store_capacity = 8 * units::GiB;
+  opt.scenario.stripe_size = 4 * units::MiB;
+  opt.files = 24 + static_cast<std::size_t>(seed % 5);  // vary per seed
+  opt.file_bytes = 16 * units::MiB;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint64_t> seeds;
+  for (int i = 1; i < argc; ++i)
+    seeds.push_back(std::strtoull(argv[i], nullptr, 10));
+  if (seeds.empty()) seeds = {1, 2, 3};
+
+  std::printf("%s\n", exp::tier_pressure_csv_header().c_str());
+  bool all_ok = true;
+  double worst_ratio = -1.0;
+  for (const auto seed : seeds) {
+    auto baseline_opt = base_options(seed);
+    const auto baseline = exp::run_tier_pressure(baseline_opt);
+    std::printf("%s\n", exp::tier_pressure_csv_row(baseline).c_str());
+
+    auto tiered_opt = base_options(seed);
+    // Tier sized to hold everything hot: demotion never escalates here
+    // (escalation behavior is the chaos soak's business).
+    tiered_opt.scenario.victim_tier_capacity = 2 * units::GiB;
+    const auto tiered = exp::run_tier_pressure(tiered_opt);
+    std::printf("%s\n", exp::tier_pressure_csv_row(tiered).c_str());
+
+    if (!baseline.ok || !tiered.ok) {
+      all_ok = false;
+      std::fprintf(stderr, "seed %llu: run failed (baseline ok=%d tiered ok=%d)\n",
+                   (unsigned long long)seed, int(baseline.ok),
+                   int(tiered.ok));
+      continue;
+    }
+    if (tiered.demotions == 0) {
+      all_ok = false;
+      std::fprintf(stderr, "seed %llu: tiered arm recorded zero demotions\n",
+                   (unsigned long long)seed);
+      continue;
+    }
+    const double ratio =
+        tiered.reclaim.p99 > 0 ? baseline.reclaim.p99 / tiered.reclaim.p99
+                               : 0.0;
+    worst_ratio = worst_ratio < 0 ? ratio : std::min(worst_ratio, ratio);
+    std::fprintf(stderr,
+                 "seed %llu: reclaim p99 %.3fs -> %.3fs (%.2fx), "
+                 "%llu demotions\n",
+                 (unsigned long long)seed, baseline.reclaim.p99,
+                 tiered.reclaim.p99, ratio,
+                 (unsigned long long)tiered.demotions);
+  }
+  if (all_ok && worst_ratio < 2.0) {
+    all_ok = false;
+    std::fprintf(stderr,
+                 "tier pressure: p99 reduction %.2fx below the 2x target\n",
+                 worst_ratio);
+  }
+  std::fprintf(stderr, all_ok ? "tier pressure: ok (worst ratio %.2fx)\n"
+                              : "tier pressure: FAILED\n",
+               worst_ratio);
+  return all_ok ? 0 : 1;
+}

@@ -6,12 +6,14 @@
 # run ends with an at-a-glance verdict.
 #
 #   scripts/check.sh [--plain-only|--sanitize-only|--coverage|--perf|
-#                     --chaos|--tsan|--qos|--net|--netchaos]
+#                     --chaos|--tsan|--qos|--net|--netchaos|--tier]
 #
 # --coverage builds with gcov instrumentation (-DMEMFSS_COVERAGE=ON) in
 # build-cov/, runs the tests, prints per-directory line coverage, and
-# fails if src/obs/ is below 90% -- the observability layer is the
-# regression oracle for everything else, so it stays fully tested.
+# fails if src/obs/ or the tiered-memory sources (src/kvstore/tier,
+# src/exp/tier) fall below 90% -- the observability layer is the
+# regression oracle for everything else and the tiering policy guards
+# data placement, so both stay fully tested.
 #
 # --perf builds Release in build-perf/, runs bench/perf_hotpath, and
 # fails if sim events/sec or the SIMD byte-pump rows (erasure GB/s, batch
@@ -52,6 +54,15 @@
 # quiesce, the clean arm's digest differs from the in-process replay,
 # the faulted arm injected no faults, or ASan/UBSan reports anything.
 #
+# --tier runs the tiered hot/cold memory suite (DESIGN.md §16) under
+# the sanitizer build: the tiering invariant/property tests plus
+# bench/tier_pressure at three fixed seeds. The bench exits nonzero if
+# any arm fails, a tiered arm records zero demotions, or the p99
+# victim-reclaim-stall reduction lands under 2x, so regressions in the
+# demote-coldest-first path fail the phase. (The tiering suites are
+# single-threaded sim code, so they are deliberately absent from the
+# --tsan concurrency label list.)
+#
 # --chaos runs the full-size chaos soak (bench/chaos_soak: randomized
 # partitions + crashes + revocation + pressure evictions, then heal and
 # check durability / accounting / recovery invariants) at three fixed
@@ -72,6 +83,7 @@ run_tsan=0
 run_qos=0
 run_net=0
 run_netchaos=0
+run_tier=0
 case "${1:-}" in
   --plain-only) run_san=0 ;;
   --sanitize-only) run_plain=0 ;;
@@ -82,8 +94,9 @@ case "${1:-}" in
   --qos) run_plain=0; run_san=0; run_qos=1 ;;
   --net) run_plain=0; run_san=0; run_net=1 ;;
   --netchaos) run_plain=0; run_san=0; run_netchaos=1 ;;
+  --tier) run_plain=0; run_san=0; run_tier=1 ;;
   "") ;;
-  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos|--net|--netchaos]" >&2
+  *) echo "usage: $0 [--plain-only|--sanitize-only|--coverage|--perf|--chaos|--tsan|--qos|--net|--netchaos|--tier]" >&2
      exit 2 ;;
 esac
 
@@ -156,7 +169,8 @@ do_cov() {
   # Stale .gcda from a previous run would inflate the numbers.
   find build-cov -name '*.gcda' -delete
   ctest --test-dir build-cov --output-on-failure
-  python3 scripts/coverage_report.py build-cov --require src/obs=90
+  python3 scripts/coverage_report.py build-cov --require src/obs=90 \
+    --require src/kvstore/tier=90 --require src/exp/tier=90
 }
 
 do_perf() {
@@ -264,6 +278,19 @@ do_qos() {
   done
 }
 
+do_tier() {
+  cmake -B build-san -G Ninja \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DMEMFSS_SANITIZE=address,undefined
+  cmake --build build-san --target test_tiering test_tiering_props \
+    tier_pressure
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-san --output-on-failure \
+      -R 'Tiering|TieringFs|TierPressure|HeatDecay|HeatOrder'
+  ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./build-san/bench/tier_pressure 1 2 3
+}
+
 do_chaos() {
   cmake -B build-san -G Ninja \
     -DCMAKE_BUILD_TYPE=Debug \
@@ -281,5 +308,6 @@ do_chaos() {
 [[ $run_net -eq 1 ]] && phase "tcp serving path (--net)" do_net
 [[ $run_netchaos -eq 1 ]] && phase "network chaos soak (--netchaos)" do_netchaos
 [[ $run_qos -eq 1 ]] && phase "qos adversarial isolation" do_qos
+[[ $run_tier -eq 1 ]] && phase "tiered memory suite (--tier)" do_tier
 [[ $run_chaos -eq 1 ]] && phase "chaos soak (sanitized)" do_chaos
 true

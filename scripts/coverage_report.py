@@ -100,17 +100,32 @@ def main() -> int:
             total[1] += stats[1]
     print(f"{'TOTAL (src/)':32} {total[1]:8} {total[0]:8} {pct(total):6.1f}%")
 
+    # Per-file aggregation so --require can also name a source stem
+    # (e.g. src/kvstore/tier covers tier.cpp + tier.hpp).
+    per_file: dict[str, list] = {}
+    for (rel, _line), hit in lines.items():
+        stats = per_file.setdefault(rel, [0, 0])
+        stats[1] += 1
+        if hit:
+            stats[0] += 1
+
     failed = False
     for req in args.require:
         want_dir, _, want_pct = req.partition("=")
         want_dir = want_dir.rstrip("/")
         threshold = float(want_pct)
-        # Sum the directory and everything nested under it.
+        # Sum the directory and everything nested under it; if the name
+        # is not a directory, fall back to files sharing the stem.
         agg = [0, 0]
         for d, stats in per_dir.items():
             if d == want_dir or d.startswith(want_dir + os.sep):
                 agg[0] += stats[0]
                 agg[1] += stats[1]
+        if agg[1] == 0:
+            for rel, stats in per_file.items():
+                if os.path.splitext(rel)[0] == want_dir:
+                    agg[0] += stats[0]
+                    agg[1] += stats[1]
         if agg[1] == 0:
             print(f"FAIL {want_dir}: no coverage data", file=sys.stderr)
             failed = True

@@ -164,6 +164,36 @@ void check_accounting(SoakCtx& ctx, ChaosInvariants& inv) {
           unsigned(n), (unsigned long long)pool_used,
           (unsigned long long)store.used()));
     }
+    // Tiering invariants (DESIGN.md §16): the cold tier's accounting must
+    // equal the sum of its entries, stay under its capacity, and never
+    // share a key with the hot store (no dual residency) -- even after
+    // crashes landed mid-demotion or mid-promotion.
+    if (srv.tiered()) {
+      const auto* tier = srv.tier();
+      Bytes cold_by_keys = 0;
+      for (const auto& k : tier->keys()) {
+        if (auto sz = tier->value_size(k); sz.ok())
+          cold_by_keys += sz.value() + kvstore::Store::kPerKeyOverhead;
+        if (store.peek(k) != nullptr) {
+          inv.violations.push_back(strformat(
+              "node %u key %s resident in both tiers", unsigned(n),
+              k.c_str()));
+        }
+      }
+      if (cold_by_keys != tier->used()) {
+        inv.violations.push_back(strformat(
+            "node %u cold-tier accounting drifted: keys sum to %llu, "
+            "used() says %llu",
+            unsigned(n), (unsigned long long)cold_by_keys,
+            (unsigned long long)tier->used()));
+      }
+      if (tier->used() > tier->capacity()) {
+        inv.violations.push_back(strformat(
+            "node %u cold tier over capacity: %llu > %llu", unsigned(n),
+            (unsigned long long)tier->used(),
+            (unsigned long long)tier->capacity()));
+      }
+    }
   }
 }
 
@@ -267,6 +297,17 @@ ChaosSoakRow run_chaos_soak(const ChaosSoakOptions& opt) {
   row.counters = sc.fs().counters();
   row.recovery = sc.fs().recovery();
   row.breaker_opens = sc.fs().health().opens();
+  if (p.victim_tier_capacity > 0) {
+    // Only tiered runs read the tier.* instruments: create-or-get would
+    // add them to an untiered registry and perturb its metrics dump.
+    auto& m = sc.cluster().obs().metrics;
+    row.tier_demotions = m.counter("tier.demotions").value();
+    row.tier_promotions = m.counter("tier.promotions").value();
+    row.tier_cold_hits = m.counter("tier.cold_hits").value();
+    for (NodeId v : sc.victim_nodes())
+      if (sc.fs().has_server(v))
+        row.tier_cold_bytes += sc.fs().server(v).tier_bytes();
+  }
   row.ok = row.invariants.ok();
   for (const auto& v : row.invariants.violations)
     LOG_WARN("chaos") << "invariant violation: " << v;
@@ -278,13 +319,14 @@ std::string chaos_csv_header() {
          "evictions,pressure_events,files_acked,files_verified,"
          "write_failures,degraded_reads,hedged_reads,hedge_wins,"
          "breaker_opens,breaker_rejections,breaker_reroutes,"
-         "failures_handled,repairs,stripes_repaired,violations,ok";
+         "failures_handled,repairs,stripes_repaired,"
+         "demotions,promotions,cold_hits,cold_bytes,violations,ok";
 }
 
 std::string chaos_csv_row(const ChaosSoakRow& r) {
   return strformat(
       "%llu,%.3f,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%llu,%llu,%llu,"
-      "%zu,%llu,%llu,%zu,%zu,%zu,%zu,%d",
+      "%zu,%llu,%llu,%zu,%zu,%zu,%llu,%llu,%llu,%llu,%zu,%d",
       (unsigned long long)r.seed, r.runtime, r.injected.crashes,
       r.injected.stalls, r.injected.partitions, r.injected.heals,
       r.injected.revocations, r.injected.evictions,
@@ -296,8 +338,12 @@ std::string chaos_csv_row(const ChaosSoakRow& r) {
       (unsigned long long)r.counters.breaker_rejections,
       (unsigned long long)r.counters.breaker_reroutes,
       r.recovery.failures_handled, r.recovery.repairs,
-      r.recovery.stripes_repaired, r.invariants.violations.size(),
-      int(r.ok));
+      r.recovery.stripes_repaired,
+      (unsigned long long)r.tier_demotions,
+      (unsigned long long)r.tier_promotions,
+      (unsigned long long)r.tier_cold_hits,
+      (unsigned long long)r.tier_cold_bytes,
+      r.invariants.violations.size(), int(r.ok));
 }
 
 }  // namespace memfss::exp

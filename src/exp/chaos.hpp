@@ -89,6 +89,11 @@ struct ChaosSoakRow {
   fs::FsCounters counters;
   fs::RecoveryStats recovery;
   std::size_t breaker_opens = 0;
+  // Tiered arm (scenario.victim_tier_capacity > 0); all zero untiered.
+  std::uint64_t tier_demotions = 0;
+  std::uint64_t tier_promotions = 0;
+  std::uint64_t tier_cold_hits = 0;
+  Bytes tier_cold_bytes = 0;  ///< cold-resident at the end of the soak
   ChaosInvariants invariants;
   bool ok = false;  ///< workload finished and invariants all hold
 };

@@ -370,6 +370,7 @@ struct FaultRunOut {
   fs::RecoveryStats recovery;
   cluster::FaultInjectorStats injected;
   obs::HistogramSummary repair_latency;
+  std::uint64_t tier_demotions = 0, tier_promotions = 0, tier_cold_hits = 0;
   std::string metrics_csv;
   std::string trace_json;
   std::string trace_text;
@@ -401,6 +402,35 @@ FaultRunOut fault_run_once(const FaultRecoveryOptions& opt, bool with_faults) {
     inj.arm(plan);
   }
 
+  if (with_faults && opt.evict_rate > 0 && !sc.victim_nodes().empty()) {
+    // Synthetic tenant pressure (the chaos soak's mechanism, scaled to
+    // the fault window): allocate a victim's pool past the monitor
+    // threshold at Poisson arrivals so the reclaim pipeline -- demotion
+    // on tiered victims, evacuation otherwise -- runs under the
+    // workflow. Allocations are plain pool accounting; they are not
+    // released (the bench measures the faulty run only).
+    sc.fs().arm_victim_monitors(opt.monitor_threshold);
+    for (std::size_t i = 0; i < sc.victim_nodes().size(); ++i) {
+      sc.sim().spawn([](Scenario& s, NodeId victim, double horizon,
+                        double rate, std::uint64_t seed,
+                        std::size_t idx) -> sim::Task<> {
+        auto& sim = s.sim();
+        auto& pool = s.cluster().node(victim).memory();
+        Rng rng(hash::mix64(seed, 0x9e550000u + idx));
+        const double mean_gap = horizon / rate;
+        double t = rng.exponential(mean_gap);
+        while (t < horizon) {
+          if (t > sim.now()) co_await sim.delay(t - sim.now());
+          const auto over =
+              static_cast<Bytes>(0.95 * static_cast<double>(pool.capacity()));
+          if (pool.used() < over) (void)pool.try_alloc(over - pool.used());
+          t += rng.exponential(mean_gap);
+        }
+      }(sc, sc.victim_nodes()[i], opt.fault_horizon, opt.evict_rate,
+        opt.seed, i));
+    }
+  }
+
   Rng rng(opt.seed);
   auto wf = make_fault_workload(opt, rng);
   workflow::Engine engine(sc.cluster(), sc.fs(), sc.own_nodes());
@@ -420,6 +450,13 @@ FaultRunOut fault_run_once(const FaultRecoveryOptions& opt, bool with_faults) {
   r.injected = inj.stats();
   auto& obs = sc.cluster().obs();
   r.repair_latency = obs.metrics.histogram_summary("fs.repair.latency");
+  if (p.victim_tier_capacity > 0) {
+    // Guarded: create-or-get on an untiered registry would perturb its
+    // metrics dump.
+    r.tier_demotions = obs.metrics.counter("tier.demotions").value();
+    r.tier_promotions = obs.metrics.counter("tier.promotions").value();
+    r.tier_cold_hits = obs.metrics.counter("tier.cold_hits").value();
+  }
   r.metrics_csv = obs.metrics.snapshot(sc.sim().now()).to_csv();
   if (opt.capture_trace) {
     r.trace_json = obs.tracer.chrome_json();
@@ -455,6 +492,9 @@ FaultRecoveryRow run_fault_recovery(const FaultRecoveryOptions& opt) {
   row.stripes_repaired = faulty.recovery.stripes_repaired;
   row.bytes_re_replicated = faulty.recovery.bytes_re_replicated;
   row.mean_time_to_repair = faulty.recovery.mean_time_to_repair();
+  row.tier_demotions = faulty.tier_demotions;
+  row.tier_promotions = faulty.tier_promotions;
+  row.tier_cold_hits = faulty.tier_cold_hits;
   row.repair_latency = faulty.repair_latency;
   row.metrics_csv = faulty.metrics_csv;
   row.trace_json = faulty.trace_json;

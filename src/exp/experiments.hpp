@@ -121,6 +121,12 @@ struct FaultRecoveryOptions {
   SimTime stall_duration = 1.0;
   bool revoke_mid_run = false;  ///< tenant takes victim class 1 back
   SimTime revoke_at = 0.0;
+  /// Tenant memory-pressure events per victim node over the fault
+  /// horizon (0 = none, the default). Each event allocates the victim's
+  /// pool past the monitor threshold: untiered victims evacuate, tiered
+  /// victims (scenario.victim_tier_capacity > 0) demote coldest-first.
+  double evict_rate = 0.0;
+  double monitor_threshold = 0.85;
 
   // Client fault tuning (see FileSystemConfig). rpc_timeout is ON here,
   // unlike the global default: fault rigs accept the deadline because the
@@ -147,6 +153,8 @@ struct FaultRecoveryRow {
   std::size_t failures_handled = 0, stripes_repaired = 0;
   Bytes bytes_re_replicated = 0;
   double mean_time_to_repair = 0.0;
+  // Tiered arm (scenario.victim_tier_capacity > 0); all zero untiered.
+  std::uint64_t tier_demotions = 0, tier_promotions = 0, tier_cold_hits = 0;
   /// Per-stripe repair latency quantiles (faulty run, from the registry's
   /// "fs.repair.latency" histogram).
   obs::HistogramSummary repair_latency;

@@ -29,6 +29,11 @@ struct ScenarioParams {
   fs::RedundancyMode redundancy = fs::RedundancyMode::none;
   std::uint8_t copies = 2;
   cluster::NodeSpec node_spec{};
+  /// Cold-tier capacity per victim node; 0 keeps tiering off (untiered
+  /// runs stay bit-identical -- see FileSystemConfig::victim_tier_capacity).
+  Bytes victim_tier_capacity = 0;
+  kvstore::TierCosts tier_costs{};
+  SimTime heat_epoch = 1.0;
 };
 
 class Scenario {

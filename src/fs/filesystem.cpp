@@ -56,6 +56,12 @@ void FileSystem::make_server(NodeId node, Bytes capacity, Rate net_cap,
   servers_[node] = std::make_unique<kvstore::Server>(
       cluster_.sim(), cluster_.fabric(), node, capacity, config_.auth_token,
       hooks, config_.server_costs);
+  if (victim && config_.victim_tier_capacity > 0) {
+    servers_[node]->attach_tier(
+        std::make_unique<kvstore::ColdTier>(config_.victim_tier_capacity,
+                                            config_.tier_costs),
+        config_.heat_epoch);
+  }
 }
 
 Status FileSystem::add_victim_class(
@@ -239,27 +245,44 @@ sim::Task<Status> FileSystem::evacuate_victim(NodeId node) {
   membership_.remove_member(cls, node);
   const auto& remaining = membership_.members(cls);
   auto& src = server(node);
-  const auto keys = src.store().keys();
-  LOG_INFO("fs") << "evacuating node " << node << ": " << keys.size()
-                 << " keys, " << format_bytes(src.store().used());
+  LOG_INFO("fs") << "evacuating node " << node << ": "
+                 << src.all_keys().size() << " keys, "
+                 << format_bytes(src.store().used() + src.tier_bytes());
+  // Pick each key's target from the *current* membership: `remaining` is
+  // a live view, and a concurrent evacuation can drain the rest of the
+  // class while a migrate_key is awaited. Once the class is empty, keys
+  // fall back to the own class (which always has members) instead of
+  // selecting from an empty candidate set.
+  const auto pick = [&](const std::string& k) {
+    const auto& targets =
+        remaining.empty() ? membership_.members(kOwnClass) : remaining;
+    return hash::hrw_select(k, targets, config_.score_fn);
+  };
   Status result{};
-  if (remaining.empty() && !keys.empty()) {
-    // Last node of its class: push everything back to the own class.
-    for (const auto& k : keys) {
-      const NodeId dst =
-          hash::hrw_select(k, membership_.members(kOwnClass), config_.score_fn);
-      if (auto st = co_await src.migrate_key(config_.auth_token, k,
-                                             server(dst));
-          !st.ok())
-        result = st;
-    }
-  } else {
-    for (const auto& k : keys) {
-      const NodeId dst = hash::hrw_select(k, remaining, config_.score_fn);
-      if (auto st = co_await src.migrate_key(config_.auth_token, k,
-                                             server(dst));
-          !st.ok())
-        result = st;
+  std::set<std::string> attempted;
+  for (;;) {
+    // Re-snapshot until the store is dry: a concurrent evacuation can
+    // have selected this node as a migration target just before it left
+    // the membership, and that put lands *after* our snapshot -- closing
+    // on the first snapshot would strand the key on a dead server. Keys
+    // whose migration failed stay behind for targeted repair (attempted
+    // once, same as before), so the loop terminates.
+    std::vector<std::string> todo;
+    for (auto& k : src.all_keys())
+      if (attempted.insert(k).second) todo.push_back(std::move(k));
+    if (todo.empty()) break;
+    for (const auto& k : todo) {
+      const NodeId dst = pick(k);
+      Status st =
+          co_await src.migrate_key(config_.auth_token, k, server(dst));
+      if (!st.ok() && pick(k) != dst) {
+        // The target itself evacuated or died between selection and
+        // arrival (the failed migration restored the key locally); one
+        // retry against the membership as it stands now.
+        st = co_await src.migrate_key(config_.auth_token, k,
+                                      server(pick(k)));
+      }
+      if (!st.ok()) result = st;
     }
   }
   src.close();
@@ -268,12 +291,23 @@ sim::Task<Status> FileSystem::evacuate_victim(NodeId node) {
 }
 
 void FileSystem::arm_victim_monitors(double threshold_fraction) {
+  monitor_threshold_ = threshold_fraction;
   for (const auto& [node, cls] : node_class_) {
     if (cls == kOwnClass) continue;
     const NodeId n = node;
     monitors_.push_back(std::make_unique<cluster::VictimMonitor>(
         cluster_.sim(), cluster_.node(n).memory(), n, threshold_fraction,
         [this](NodeId victim) {
+          auto it = servers_.find(victim);
+          if (it != servers_.end() && it->second->tiered() &&
+              it->second->is_up() && draining_.count(victim) == 0) {
+            // Tiered victim: give the tenant its RAM back by demoting
+            // the coldest keys to the node-local tier instead of pushing
+            // the whole store over the fabric. Escalation to a full
+            // eviction happens inside the pass if the tier cannot help.
+            cluster_.sim().spawn(demote_coldest(victim));
+            return;
+          }
           if (injector_ != nullptr) {
             // Route through the fault bus: shared accounting, and the
             // eviction gets graceful-drain-or-kill handling plus targeted
@@ -281,14 +315,74 @@ void FileSystem::arm_victim_monitors(double threshold_fraction) {
             injector_->evict_now(victim);
             return;
           }
-          cluster_.sim().spawn([](FileSystem& fs, NodeId v) -> sim::Task<> {
-            const Status st = co_await fs.evacuate_victim(v);
-            if (!st.ok()) {
-              LOG_WARN("fs") << "evacuation of node " << v
-                             << " failed: " << st.error().to_string();
-            }
-          }(*this, victim));
+          start_evacuation(victim);
         }));
+  }
+}
+
+void FileSystem::start_evacuation(NodeId node) {
+  cluster_.sim().spawn([](FileSystem& fs, NodeId v) -> sim::Task<> {
+    const SimTime t0 = fs.cluster_.sim().now();
+    const Status st = co_await fs.evacuate_victim(v);
+    fs.cluster_.obs()
+        .metrics.histogram("fs.victim_reclaim.latency")
+        .add(fs.cluster_.sim().now() - t0);
+    if (!st.ok()) {
+      LOG_WARN("fs") << "evacuation of node " << v
+                     << " failed: " << st.error().to_string();
+    }
+  }(*this, node));
+}
+
+sim::Task<> FileSystem::demote_coldest(NodeId node) {
+  auto it = servers_.find(node);
+  if (it == servers_.end()) co_return;
+  auto& srv = *it->second;
+  if (!srv.tiered() || !srv.is_up() || draining_.count(node)) co_return;
+  auto& pool = cluster_.node(node).memory();
+  const auto mark = [&](double f) {
+    return static_cast<Bytes>(
+        std::llround(f * static_cast<double>(pool.capacity())));
+  };
+  const Bytes threshold = mark(monitor_threshold_);
+  const Bytes floor =
+      mark(std::max(0.0, monitor_threshold_ - config_.demote_headroom));
+  const SimTime t0 = cluster_.sim().now();
+  std::size_t demoted = 0;
+  bool tier_full = false;
+  // Snapshot the coldest-first order once: victims are a prefix of it.
+  for (const auto& key : srv.demotion_order()) {
+    if (pool.used() <= floor) break;
+    const Status st = co_await srv.demote_key(key);
+    if (st.ok()) {
+      ++demoted;
+      continue;
+    }
+    if (st.code() == Errc::out_of_memory) {
+      tier_full = true;
+      break;
+    }
+    if (st.code() == Errc::unavailable || st.code() == Errc::io_error)
+      co_return;  // node died mid-pass; crash handling owns it now
+    // not_found: the key raced a delete/migration -- try the next one.
+  }
+  cluster_.obs()
+      .metrics.histogram("fs.victim_reclaim.latency")
+      .add(cluster_.sim().now() - t0);
+  LOG_INFO("fs") << "node " << node << " pressure: demoted " << demoted
+                 << " keys (" << format_bytes(srv.tier_bytes())
+                 << " cold)" << (tier_full ? ", tier full" : "");
+  if (tier_full && pool.used() >= threshold && srv.is_up() &&
+      draining_.count(node) == 0) {
+    // The tier refused with hot bytes still resident: demotion cannot
+    // relieve the pressure, so fall back to the full reclaim protocol.
+    // (A node whose hot store simply ran dry is NOT escalated -- its pool
+    // contribution is already zero, and evicting cold-resident data frees
+    // no tenant memory.)
+    if (injector_ != nullptr)
+      injector_->evict_now(node);
+    else
+      start_evacuation(node);
   }
 }
 
@@ -324,7 +418,7 @@ void FileSystem::handle_crash(NodeId node) {
   // neither the data nor the HRW answer "what was here" exists.
   PendingFailure pf;
   pf.at = cluster_.sim().now();
-  pf.affected = collect_affected(it->second->store().keys());
+  pf.affected = collect_affected(it->second->all_keys());
   it->second->crash();
   ++recovery_.failures_handled;
   pending_failures_[node] = std::move(pf);
@@ -446,7 +540,7 @@ sim::Task<Status> FileSystem::revoke_victim_class(std::uint32_t class_id,
   // are killed mid-drain.
   std::vector<std::string> keys;
   for (NodeId n : members) {
-    auto ks = server(n).store().keys();
+    auto ks = server(n).all_keys();
     keys.insert(keys.end(), std::make_move_iterator(ks.begin()),
                 std::make_move_iterator(ks.end()));
   }
@@ -502,7 +596,7 @@ sim::Task<> FileSystem::drain_or_kill(NodeId node, SimTime grace) {
 sim::Task<Status> FileSystem::drain_node(NodeId node) {
   auto& src = server(node);
   Status result{};
-  for (const auto& k : src.store().keys()) {
+  for (const auto& k : src.all_keys()) {
     const NodeId dst = drain_target(k, node);
     if (dst == kInvalidNode) continue;  // redundant copy: drop it
     if (auto st = co_await src.migrate_key(config_.auth_token, k,
@@ -537,9 +631,7 @@ NodeId FileSystem::drain_target(const std::string& key, NodeId src) {
       for (NodeId n : order) cand.push_back(n);
       for (NodeId n : cand) {
         if (!live(n)) continue;
-        if (!servers_.at(n)->store()
-                 .value_size(config_.auth_token, key)
-                 .ok())
+        if (!servers_.at(n)->resident_size(config_.auth_token, key).ok())
           return n;
       }
       return kInvalidNode;  // every expected holder already has it
@@ -559,7 +651,7 @@ void FileSystem::handle_evict(NodeId node) {
     return;
   ++recovery_.failures_handled;
   const SimTime started = cluster_.sim().now();
-  auto affected = collect_affected(it->second->store().keys());
+  auto affected = collect_affected(it->second->all_keys());
   cluster_.sim().spawn(
       [](FileSystem& fs, NodeId n, SimTime t0,
          std::vector<std::pair<InodeId, std::size_t>> aff) -> sim::Task<> {
@@ -568,6 +660,11 @@ void FileSystem::handle_evict(NodeId node) {
         auto done = co_await sim::with_timeout(
             fs.cluster_.sim(), fs.evacuate_victim(n),
             fs.config_.revocation_grace);
+        // Reclaim stall as the tenant experiences it: from the pressure
+        // event to the point its memory is free again (drained or killed).
+        fs.cluster_.obs()
+            .metrics.histogram("fs.victim_reclaim.latency")
+            .add(fs.cluster_.sim().now() - t0);
         if (!done) {
           LOG_WARN("fs") << "eviction of node " << n
                          << " exceeded grace; killing it";

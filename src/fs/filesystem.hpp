@@ -100,6 +100,22 @@ struct FileSystemConfig {
   /// Observed stripe reads required before the quantile is trusted;
   /// until then reads stay un-hedged.
   std::uint64_t hedge_min_samples = 64;
+
+  // --- tiered hot/cold memory (DESIGN.md §16) -------------------------------
+  /// Cold-tier capacity attached to every victim server; 0 disables
+  /// tiering entirely (the default -- untiered runs behave bit-identically
+  /// to builds without it, like breaker_failure_threshold = 0). With a
+  /// tier attached, victim pressure demotes coldest keys to the tier
+  /// instead of evacuating the whole node, and escalates to eviction only
+  /// when the tier cannot absorb the overage.
+  Bytes victim_tier_capacity = 0;
+  kvstore::TierCosts tier_costs{};
+  /// Heat decay epoch length (s): access counters halve per epoch.
+  SimTime heat_epoch = 1.0;
+  /// A demote pass stops once pool usage drops below
+  /// (monitor threshold - demote_headroom) * capacity -- the slack keeps
+  /// back-to-back tenant allocations from re-firing instantly.
+  double demote_headroom = 0.05;
 };
 
 struct FsCounters {
@@ -174,7 +190,16 @@ class FileSystem {
   /// memory passes `threshold_fraction`, evacuation starts automatically.
   /// With a fault injector attached, evictions are routed through its
   /// event bus (shared accounting + graceful-drain-or-kill handling).
+  /// Tiered victims (victim_tier_capacity > 0) demote coldest-first
+  /// instead and only escalate to eviction when the tier is full.
   void arm_victim_monitors(double threshold_fraction);
+
+  /// One demote-coldest-first pass on a tiered victim: walk the node's
+  /// keys coldest-first, demoting until pool usage drops below the
+  /// monitor threshold minus demote_headroom. Escalates to the normal
+  /// eviction path when demotion cannot relieve the pressure (cold tier
+  /// full, or nothing left to demote).
+  sim::Task<> demote_coldest(NodeId node);
 
   // --- fault handling ------------------------------------------------------
 
@@ -310,6 +335,11 @@ class FileSystem {
 
   void make_server(NodeId node, Bytes capacity, Rate net_cap, bool victim);
 
+  /// Begin a full victim evacuation (monitor path without an injector, or
+  /// tiered-pressure escalation): spawns evacuate_victim and records the
+  /// reclaim stall in fs.victim_reclaim.latency.
+  void start_evacuation(NodeId node);
+
   // --- fault handling internals (filesystem.cpp / maintenance.cpp) --------
   void handle_crash(NodeId node);
   void handle_revoke(std::uint32_t class_id);
@@ -346,6 +376,9 @@ class FileSystem {
   std::map<NodeId, std::uint32_t> node_class_;  ///< node -> class id
   std::set<NodeId> draining_;
   std::vector<std::unique_ptr<cluster::VictimMonitor>> monitors_;
+  /// Threshold fraction the monitors were armed with (demote passes stop
+  /// at threshold - demote_headroom).
+  double monitor_threshold_ = 1.0;
   FsCounters counters_;
   HealthRegistry health_;
   cluster::FaultInjector* injector_ = nullptr;

@@ -61,7 +61,7 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::rebalance_all() {
           const NodeId dst = new_order[j % new_order.size()];
           if (src == dst || !has_server(src) || !has_server(dst)) continue;
           const std::string sk = shard_key(key, j);
-          auto sz = server(src).store().value_size(config_.auth_token, sk);
+          auto sz = server(src).resident_size(config_.auth_token, sk);
           if (!sz.ok()) continue;  // not there (already moved / lost)
           auto stt = co_await server(src).migrate_key(config_.auth_token,
                                                       sk, server(dst));
@@ -83,7 +83,7 @@ sim::Task<FileSystem::MaintenanceReport> FileSystem::rebalance_all() {
         Bytes size = 0;
         for (NodeId n : old_nodes) {
           if (!has_server(n)) continue;
-          auto sz = server(n).store().value_size(config_.auth_token, key);
+          auto sz = server(n).resident_size(config_.auth_token, key);
           if (sz.ok()) {
             holder = n;
             size = sz.value();
@@ -134,7 +134,7 @@ sim::Task<> FileSystem::repair_stripe(const ClassHrwPolicy& policy,
     std::vector<NodeId> missing;
     for (NodeId n : targets) {
       if (!has_server(n)) continue;
-      if (auto sz = server(n).store().value_size(config_.auth_token, key);
+      if (auto sz = server(n).resident_size(config_.auth_token, key);
           sz.ok()) {
         if (holder == kInvalidNode) {
           holder = n;
@@ -151,7 +151,7 @@ sim::Task<> FileSystem::repair_stripe(const ClassHrwPolicy& policy,
       // keys with no rank at all.
       for (NodeId n : policy.probe_order(digest)) {
         if (!has_server(n)) continue;
-        if (auto sz = server(n).store().value_size(config_.auth_token, key);
+        if (auto sz = server(n).resident_size(config_.auth_token, key);
             sz.ok()) {
           holder = n;
           size = sz.value();
@@ -162,7 +162,7 @@ sim::Task<> FileSystem::repair_stripe(const ClassHrwPolicy& policy,
     if (holder == kInvalidNode) {
       for (NodeId n : draining_) {
         if (!has_server(n)) continue;
-        if (auto sz = server(n).store().value_size(config_.auth_token, key);
+        if (auto sz = server(n).resident_size(config_.auth_token, key);
             sz.ok()) {
           holder = n;
           size = sz.value();
@@ -198,7 +198,7 @@ sim::Task<> FileSystem::repair_stripe(const ClassHrwPolicy& policy,
       NodeId shard_holder = kInvalidNode;
       auto present = [&](NodeId n) {
         return has_server(n) &&
-               server(n).store().value_size(config_.auth_token, sk).ok();
+               server(n).resident_size(config_.auth_token, sk).ok();
       };
       if (present(expected)) {
         shard_holder = expected;

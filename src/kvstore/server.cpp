@@ -46,6 +46,156 @@ void Server::close() { store_.close(); }
 void Server::wipe() {
   const Bytes freed = store_.clear();
   if (hooks_.mem && freed > 0) hooks_.mem->free(freed);
+  if (tier_) {
+    const Bytes cold = tier_->clear();
+    if (g_tier_bytes_ && cold > 0)
+      g_tier_bytes_->add(-static_cast<double>(cold));
+  }
+}
+
+// --- tiered hot/cold memory (DESIGN.md §16) ---------------------------------
+
+void Server::attach_tier(std::unique_ptr<StorageTier> tier,
+                         SimTime heat_epoch) {
+  tier_ = std::move(tier);
+  heat_epoch_len_ = heat_epoch > 0 ? heat_epoch : 1.0;
+  if (hooks_.obs && tier_) {
+    auto& m = hooks_.obs->metrics;
+    c_demotions_ = &m.counter("tier.demotions");
+    c_promotions_ = &m.counter("tier.promotions");
+    c_cold_hits_ = &m.counter("tier.cold_hits");
+    g_tier_bytes_ = &m.gauge("tier.resident_bytes");
+    h_cold_ = &m.histogram("tier.cold_hit_latency");
+  }
+}
+
+std::uint64_t Server::heat_epoch_now() const {
+  return static_cast<std::uint64_t>(sim_.now() / heat_epoch_len_);
+}
+
+void Server::touch_heat(const std::string& key) {
+  if (tier_) store_.touch_heat(key, heat_epoch_now());
+}
+
+bool Server::holds(std::string_view key) const {
+  return store_.peek(key) != nullptr || (tier_ && tier_->contains(key));
+}
+
+Result<Bytes> Server::resident_size(std::string_view token,
+                                    std::string_view key) const {
+  auto hot = store_.value_size(token, key);
+  if (hot.ok() || hot.code() != Errc::not_found) return hot;
+  if (tier_) {
+    if (auto cold = tier_->value_size(key); cold.ok()) return cold;
+  }
+  return hot;
+}
+
+std::vector<std::string> Server::all_keys() const {
+  auto out = store_.keys();
+  if (tier_) {
+    auto cold = tier_->keys();
+    out.insert(out.end(), std::make_move_iterator(cold.begin()),
+               std::make_move_iterator(cold.end()));
+  }
+  return out;
+}
+
+std::vector<std::string> Server::demotion_order() const {
+  return store_.keys_by_heat(heat_epoch_now());
+}
+
+sim::Task<> Server::charge_tier(Bytes payload, bool write) {
+  if (!tier_) co_return;
+  std::vector<sim::Task<>> work;
+  const SimTime device =
+      write ? tier_->write_cost(payload) : tier_->read_cost(payload);
+  work.push_back([](sim::Simulator& s, SimTime d) -> sim::Task<> {
+    co_await s.delay(d);
+  }(sim_, device));
+  // The demote/promote copy is server work like any request: it funnels
+  // through the single-threaded engine and moves the payload over the
+  // memory bus once.
+  const double cycles = costs_.cpu_per_request +
+                        costs_.cpu_per_byte * static_cast<double>(payload);
+  work.push_back(engine_.consume(cycles, 1.0));
+  if (hooks_.cpu) work.push_back(hooks_.cpu->consume(cycles, 1.0));
+  if (hooks_.membw && payload > 0) {
+    work.push_back(hooks_.membw->consume(
+        costs_.membw_per_byte * static_cast<double>(payload)));
+  }
+  co_await sim::when_all(sim_, std::move(work));
+}
+
+bool Server::reinstall_hot(const std::string& key) {
+  if (!tier_ || !tier_->contains(key)) return false;
+  const auto size = tier_->value_size(key);
+  if (!size.ok()) return false;
+  const Bytes accounted = size.value() + Store::kPerKeyOverhead;
+  if (store_.available() < accounted) return false;
+  if (hooks_.mem && !hooks_.mem->try_alloc(accounted)) return false;
+  auto blob = tier_->take(key);
+  if (!blob) {  // unreachable single-threaded, but keep accounting exact
+    if (hooks_.mem) hooks_.mem->free(accounted);
+    return false;
+  }
+  if (!store_.restore(key, std::move(*blob)).ok()) {
+    if (hooks_.mem) hooks_.mem->free(accounted);
+    return false;
+  }
+  if (g_tier_bytes_) g_tier_bytes_->add(-static_cast<double>(accounted));
+  if (c_promotions_) c_promotions_->inc();
+  return true;
+}
+
+sim::Task<Status> Server::demote_key(std::string key) {
+  if (!tier_) co_return Status{Errc::invalid_argument, "no cold tier"};
+  if (live_ == Liveness::down)
+    co_return Status{Errc::unavailable, "node down"};
+  const Blob* b = store_.peek(key);
+  if (b == nullptr) co_return Status{Errc::not_found, key};
+  if (tier_->available() < b->size() + Store::kPerKeyOverhead)
+    co_return Status{Errc::out_of_memory, "cold tier full"};
+  const std::uint64_t inc = incarnation_;
+  // Device write is charged *before* the move: a crash landing inside it
+  // aborts with the entry still hot -- never resident in both tiers,
+  // never half-moved.
+  co_await charge_tier(b->size(), /*write=*/true);
+  if (live_ == Liveness::down || incarnation_ != inc)
+    co_return Status{Errc::io_error, "server died mid-demotion"};
+  // Re-validate after the await: a concurrent writer may have replaced or
+  // deleted the entry, and a concurrent demotion may have won the space.
+  const Blob* hot = store_.peek(key);
+  if (hot == nullptr) co_return Status{Errc::not_found, key};
+  const Bytes accounted = hot->size() + Store::kPerKeyOverhead;
+  // Copy into the tier before dropping the hot entry: a tier refusal then
+  // leaves the entry exactly where it was. The moves below are synchronous
+  // (no awaits), so no request ever observes the key in both tiers.
+  if (auto st = tier_->put(key, *hot); !st.ok()) co_return st;
+  (void)store_.drain(key);
+  if (hooks_.mem) hooks_.mem->free(accounted);
+  if (g_tier_bytes_) g_tier_bytes_->add(static_cast<double>(accounted));
+  if (c_demotions_) c_demotions_->inc();
+  co_return Status{};
+}
+
+sim::Task<Status> Server::promote_key(std::string key) {
+  if (!tier_) co_return Status{Errc::invalid_argument, "no cold tier"};
+  if (live_ == Liveness::down)
+    co_return Status{Errc::unavailable, "node down"};
+  const auto size = tier_->value_size(key);
+  if (!size.ok()) co_return Status{Errc::not_found, key};
+  const std::uint64_t inc = incarnation_;
+  co_await charge_tier(size.value(), /*write=*/false);
+  if (live_ == Liveness::down || incarnation_ != inc)
+    co_return Status{Errc::io_error, "server died mid-promotion"};
+  if (!reinstall_hot(key)) {
+    if (!tier_->contains(key))
+      co_return Status{Errc::not_found, key};  // raced a migration
+    co_return Status{Errc::out_of_memory, "hot tier full"};
+  }
+  touch_heat(key);
+  co_return Status{};
 }
 
 void Server::crash() {
@@ -157,6 +307,16 @@ sim::Task<Status> Server::put_impl(NodeId client, std::string_view token,
       st = Status{Errc::out_of_memory, "node memory exhausted"};
     }
   }
+  if (st.ok() && tier_ && tier_->contains(key)) {
+    // Overwrite of a cold-resident key: the fresh hot value is
+    // authoritative -- drop the stale cold copy so the key is never
+    // resident in both tiers.
+    const auto stale = tier_->value_size(key);
+    if (tier_->del(key).ok() && g_tier_bytes_ && stale.ok())
+      g_tier_bytes_->add(
+          -static_cast<double>(stale.value() + Store::kPerKeyOverhead));
+  }
+  if (st.ok()) touch_heat(key);
   co_await fabric_.message(node_, client);
   co_return st;
 }
@@ -172,11 +332,32 @@ sim::Task<Result<Blob>> Server::get_impl(NodeId client,
   co_await stall_gate();
   const std::uint64_t inc = incarnation_;
   Result<Blob> r = store_.get(token, key);
+  if (r.ok()) touch_heat(key);
+  bool cold_hit = false;
+  const SimTime cold_t0 = sim_.now();
+  if (!r.ok() && r.code() == Errc::not_found && tier_ &&
+      tier_->contains(key)) {
+    // Transparent cold hit: fetch from the tier (charging the device
+    // read), serve the bytes, and promote-on-access so the next read is
+    // hot. The hit is served even if promotion fails for space -- the
+    // entry just stays cold.
+    auto cold = tier_->get(key);
+    if (cold.ok()) {
+      cold_hit = true;
+      co_await charge_tier(cold.value().size(), /*write=*/false);
+      if (live_ == Liveness::down || incarnation_ != inc)
+        co_return Error{Errc::io_error, "server died mid-transfer"};
+      if (c_cold_hits_) c_cold_hits_->inc();
+      if (reinstall_hot(key)) touch_heat(key);
+      r = std::move(cold).value();
+    }
+  }
   const Bytes payload = r.ok() ? r.value().size() : 0;
   co_await charge(client, payload, /*to_client=*/true);
   if (live_ == Liveness::down || incarnation_ != inc)
     co_return Error{Errc::io_error, "server died mid-transfer"};
   co_await fabric_.message(node_, client);
+  if (cold_hit && h_cold_) h_cold_->add(sim_.now() - cold_t0);
   co_return r;
 }
 
@@ -190,6 +371,7 @@ sim::Task<Result<bool>> Server::exists(NodeId client, std::string_view token,
   co_await stall_gate();
   meter_.record(sim_.now());
   Result<bool> r = store_.exists(token, key);
+  if (r.ok() && !r.value() && tier_ && tier_->contains(key)) r = true;
   co_await fabric_.message(node_, client);
   co_return r;
 }
@@ -208,6 +390,17 @@ sim::Task<Status> Server::del(NodeId client, std::string_view token,
     freed = sz.value() + Store::kPerKeyOverhead;
   Status st = store_.del(token, key);
   if (st.ok() && hooks_.mem && freed > 0) hooks_.mem->free(freed);
+  if (st.code() == Errc::not_found && tier_ && tier_->contains(key)) {
+    // Cold-resident delete: no node memory to release (the bytes live in
+    // the tier, outside the pool).
+    const auto cold = tier_->value_size(key);
+    if (tier_->del(key).ok()) {
+      st = Status{};
+      if (g_tier_bytes_ && cold.ok())
+        g_tier_bytes_->add(
+            -static_cast<double>(cold.value() + Store::kPerKeyOverhead));
+    }
+  }
   co_await fabric_.message(node_, client);
   co_return st;
 }
@@ -230,6 +423,20 @@ sim::Task<> Server::request_burst(NodeId client, double count) {
 sim::Task<Status> Server::replicate_key(std::string_view token,
                                         std::string key, Server& dst) {
   auto blob = store_.get(token, key);
+  if (!blob.ok() && blob.code() == Errc::not_found && tier_) {
+    // Repair may source from a cold-resident copy: read it in place
+    // (charging the device) without promoting -- repair traffic should
+    // not displace hot tenant bytes.
+    auto cold = tier_->get(key);
+    if (cold.ok()) {
+      const std::uint64_t inc = incarnation_;
+      co_await charge_tier(cold.value().size(), /*write=*/false);
+      if (live_ == Liveness::down || incarnation_ != inc)
+        co_return Status{Errc::unavailable, "node down"};
+      co_return co_await dst.put(node_, token, std::move(key),
+                                 std::move(cold).value());
+    }
+  }
   if (!blob.ok()) co_return Status{blob.error()};
   co_return co_await dst.put(node_, token, std::move(key),
                              std::move(blob).value());
@@ -239,10 +446,25 @@ sim::Task<Status> Server::migrate_key(std::string_view token, std::string key,
                                       Server& dst) {
   // Local read (no wire cost), bulk ship, remote write. Used by lazy
   // rebalance and by victim evacuation.
+  bool was_cold = false;
   auto blob = store_.drain(key);
+  if (!blob && tier_) {
+    blob = tier_->take(key);
+    was_cold = blob.has_value();
+  }
   if (!blob) co_return Status{Errc::not_found, key};
   const Bytes payload = blob->size();
-  if (hooks_.mem) hooks_.mem->free(payload + Store::kPerKeyOverhead);
+  if (was_cold) {
+    if (g_tier_bytes_)
+      g_tier_bytes_->add(
+          -static_cast<double>(payload + Store::kPerKeyOverhead));
+    const std::uint64_t inc = incarnation_;
+    co_await charge_tier(payload, /*write=*/false);  // device read-out
+    if (live_ == Liveness::down || incarnation_ != inc)
+      co_return Status{Errc::unavailable, "node down"};
+  } else if (hooks_.mem) {
+    hooks_.mem->free(payload + Store::kPerKeyOverhead);
+  }
   Status st = co_await dst.put(node_, token, key, *blob);
   if (!st.ok()) {
     // The destination refused or was unreachable/partitioned. Draining
@@ -250,7 +472,15 @@ sim::Task<Status> Server::migrate_key(std::string_view token, std::string key,
     // migration degrades to "not moved yet" instead of silent data loss.
     // (If this node died mid-flight, the crash wiped the store and
     // repair owns the data now; don't resurrect bytes into a wiped pool.)
-    if (live_ != Liveness::down) {
+    if (live_ != Liveness::down && was_cold) {
+      // Cold copies go back where they came from -- unless a concurrent
+      // writer re-created the key hot, in which case that value wins.
+      if (store_.peek(key) == nullptr &&
+          tier_->put(key, std::move(*blob)).ok() && g_tier_bytes_) {
+        g_tier_bytes_->add(
+            static_cast<double>(payload + Store::kPerKeyOverhead));
+      }
+    } else if (live_ != Liveness::down) {
       // A concurrent writer may have re-created the key while the failed
       // migration was in flight; restore overwrites it, so the pool
       // mirror must release the replaced bytes like put does.

@@ -22,6 +22,7 @@
 #include "common/types.hpp"
 #include "kvstore/rate_meter.hpp"
 #include "kvstore/store.hpp"
+#include "kvstore/tier.hpp"
 #include "net/fabric.hpp"
 #include "obs/obs.hpp"
 #include "sim/fluid.hpp"
@@ -115,6 +116,46 @@ class Server {
   sim::Task<Status> replicate_key(std::string_view token, std::string key,
                                   Server& dst);
 
+  // --- tiered hot/cold memory (DESIGN.md §16) -----------------------------
+
+  /// Attach a cold tier; `heat_epoch` is the decay epoch length in sim
+  /// seconds (heat counters halve per epoch). Only tiered servers track
+  /// heat, serve cold hits, or accept demote/promote -- an untiered
+  /// server behaves bit-identically to builds without tiering.
+  void attach_tier(std::unique_ptr<StorageTier> tier, SimTime heat_epoch);
+  bool tiered() const { return tier_ != nullptr; }
+  StorageTier* tier() { return tier_.get(); }
+  const StorageTier* tier() const { return tier_.get(); }
+
+  /// Current heat-decay epoch (floor of sim time / epoch length).
+  std::uint64_t heat_epoch_now() const;
+
+  /// Key resident on this node, hot or cold (repair / drain scans).
+  bool holds(std::string_view key) const;
+
+  /// Size of a resident value, hot or cold, with the store's auth check.
+  Result<Bytes> resident_size(std::string_view token,
+                              std::string_view key) const;
+
+  /// Hot + cold keys (evacuation and crash-snapshot scans).
+  std::vector<std::string> all_keys() const;
+
+  /// Hot keys coldest-first at the current epoch (demotion scan order).
+  std::vector<std::string> demotion_order() const;
+
+  /// Bytes accounted in the cold tier (0 when untiered).
+  Bytes tier_bytes() const { return tier_ ? tier_->used() : 0; }
+
+  /// Move one hot key to the cold tier, charging the tier write cost and
+  /// releasing its node memory. The move itself is atomic: a crash during
+  /// the device write leaves the entry hot, never in both tiers.
+  sim::Task<Status> demote_key(std::string key);
+
+  /// Move one cold key back to the hot store, charging the tier read
+  /// cost and re-charging node memory. out_of_memory if the pool or the
+  /// store cannot take the bytes back (the entry stays cold).
+  sim::Task<Status> promote_key(std::string key);
+
   /// Stop serving (store turns unavailable); in-flight ops complete.
   void close();
 
@@ -144,6 +185,14 @@ class Server {
   sim::Task<> stall_gate();
   /// Charge request bookkeeping + overlapped CPU/membw/wire costs.
   sim::Task<> charge(NodeId client, Bytes payload, bool to_client);
+  /// Charge a cold-tier device pass (device time + engine + CPU + membw).
+  sim::Task<> charge_tier(Bytes payload, bool write);
+  /// Synchronous cold->hot move (costs already charged by the caller):
+  /// take from the tier, re-charge node memory, restore into the store.
+  /// False (entry stays cold) if pool or store cannot take the bytes.
+  bool reinstall_hot(const std::string& key);
+  /// Record one access for heat tracking (no-op when untiered).
+  void touch_heat(const std::string& key);
 
   // put/get split into timing shells + _impl bodies: the impls have
   // several early co_return paths (down, died mid-transfer) and the
@@ -179,6 +228,17 @@ class Server {
   obs::Gauge* g_queue_ = nullptr;      ///< kv.n<id>.queue_depth
   obs::Gauge* g_mem_ = nullptr;        ///< kv.n<id>.mem_bytes (watermark)
   std::size_t inflight_ = 0;
+
+  // Tiered memory (all null/empty until attach_tier; the instruments are
+  // only created on tiered servers so untiered metric registries stay
+  // byte-identical to builds without tiering).
+  std::unique_ptr<StorageTier> tier_;
+  SimTime heat_epoch_len_ = 1.0;
+  obs::Counter* c_demotions_ = nullptr;   ///< tier.demotions (shared)
+  obs::Counter* c_promotions_ = nullptr;  ///< tier.promotions (shared)
+  obs::Counter* c_cold_hits_ = nullptr;   ///< tier.cold_hits (shared)
+  obs::Gauge* g_tier_bytes_ = nullptr;    ///< tier.resident_bytes (shared)
+  obs::Histogram* h_cold_ = nullptr;      ///< tier.cold_hit_latency (s)
 };
 
 }  // namespace memfss::kvstore

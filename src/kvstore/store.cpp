@@ -1,5 +1,7 @@
 #include "kvstore/store.hpp"
 
+#include <algorithm>
+
 #include "hash/hashes.hpp"
 
 namespace memfss::kvstore {
@@ -89,6 +91,7 @@ Status Store::del(std::string_view token, std::string_view key) {
   if (it == map_.end()) return {Errc::not_found, std::string(key)};
   used_ -= it->second.size() + kPerKeyOverhead;
   map_.erase(it);
+  heat_.erase(std::string(key));
   return {};
 }
 
@@ -110,6 +113,7 @@ std::vector<std::string> Store::keys() const {
 Bytes Store::clear() {
   const Bytes freed = used_;
   map_.clear();
+  heat_.clear();
   used_ = 0;
   return freed;
 }
@@ -132,7 +136,61 @@ std::optional<Blob> Store::drain(std::string_view key) {
   Blob b = std::move(it->second);
   used_ -= b.size() + kPerKeyOverhead;
   map_.erase(it);
+  heat_.erase(std::string(key));
   return b;
+}
+
+// --- access heat (tiered memory, DESIGN.md §16) -----------------------------
+
+std::uint64_t Store::decay_heat(std::uint64_t counter, std::uint64_t from,
+                                std::uint64_t to) {
+  if (to <= from) return counter;  // clock never runs heat backwards
+  const std::uint64_t delta = to - from;
+  return delta >= 64 ? 0 : counter >> delta;
+}
+
+void Store::touch_heat(std::string_view key, std::uint64_t epoch) {
+  auto& h = heat_[std::string(key)];
+  h.counter =
+      std::min(kHeatCap, decay_heat(h.counter, h.epoch, epoch) + kHeatQuantum);
+  if (epoch > h.epoch) h.epoch = epoch;
+  h.seq = ++heat_seq_;
+}
+
+std::uint64_t Store::heat_of(std::string_view key, std::uint64_t epoch) const {
+  auto it = heat_.find(std::string(key));
+  if (it == heat_.end()) return 0;
+  return decay_heat(it->second.counter, it->second.epoch, epoch);
+}
+
+std::vector<std::string> Store::keys_by_heat(std::uint64_t epoch) const {
+  struct Rank {
+    std::uint64_t heat;
+    std::uint64_t seq;
+    const std::string* key;
+  };
+  std::vector<Rank> ranks;
+  ranks.reserve(map_.size());
+  for (const auto& [k, v] : map_) {
+    std::uint64_t heat = 0, seq = 0;
+    if (auto it = heat_.find(k); it != heat_.end()) {
+      heat = decay_heat(it->second.counter, it->second.epoch, epoch);
+      seq = it->second.seq;
+    }
+    ranks.push_back({heat, seq, &k});
+  }
+  // (heat, seq, key) is a total order over distinct keys, so the result
+  // is independent of unordered_map iteration order -- demotion picks
+  // replay bit-identically across runs and platforms.
+  std::sort(ranks.begin(), ranks.end(), [](const Rank& a, const Rank& b) {
+    if (a.heat != b.heat) return a.heat < b.heat;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return *a.key < *b.key;
+  });
+  std::vector<std::string> out;
+  out.reserve(ranks.size());
+  for (const auto& r : ranks) out.push_back(*r.key);
+  return out;
 }
 
 Status Store::restore(std::string_view key, Blob value) {

@@ -97,17 +97,58 @@ class Store {
   /// something to detect.
   Status corrupt_for_test(std::string_view key);
 
+  // --- access heat (tiered memory, DESIGN.md §16) ---------------------------
+  //
+  // Sampled recency+frequency counters: each access adds kHeatQuantum and
+  // the counter halves per elapsed decay epoch (a right shift -- exact
+  // integer math, so replays are bit-identical). Epochs are supplied by
+  // the caller (the Server derives them from sim time), keeping the store
+  // free of simulation dependencies. O(1) per access.
+
+  /// Record one access to `key` at decay epoch `epoch`. Epochs that run
+  /// backwards are clamped (no underflow); the counter saturates at
+  /// kHeatCap (no overflow).
+  void touch_heat(std::string_view key, std::uint64_t epoch);
+
+  /// Decayed heat of `key` as observed at `epoch`; 0 if never touched.
+  std::uint64_t heat_of(std::string_view key, std::uint64_t epoch) const;
+
+  /// Every resident key ordered coldest-first at `epoch`: ascending
+  /// (decayed heat, last-touch sequence, key) -- a deterministic total
+  /// order. Demotion victims are always a prefix of this list.
+  std::vector<std::string> keys_by_heat(std::uint64_t epoch) const;
+
+  /// Heat added per access; the halving decay needs headroom below the
+  /// quantum to distinguish "accessed long ago" from "never accessed".
+  static constexpr std::uint64_t kHeatQuantum = 256;
+  /// Saturation ceiling (~2^40): far above any achievable access rate,
+  /// low enough that counter + quantum can never wrap.
+  static constexpr std::uint64_t kHeatCap = std::uint64_t{1} << 40;
+
   /// Bytes of bookkeeping charged per key in addition to the payload.
   static constexpr Bytes kPerKeyOverhead = 64;
 
  private:
   Status check(std::string_view token) const;
 
+  struct HeatEntry {
+    std::uint64_t counter = 0;  ///< decayed-to-`epoch` heat value
+    std::uint64_t epoch = 0;    ///< epoch the counter was last folded at
+    std::uint64_t seq = 0;      ///< global access sequence (recency tiebreak)
+  };
+  /// `counter` halved once per epoch between `from` and `to` (shifts of
+  /// 64+ flush to zero -- extreme sim-time deltas cannot overflow the
+  /// shift count into UB).
+  static std::uint64_t decay_heat(std::uint64_t counter, std::uint64_t from,
+                                  std::uint64_t to);
+
   Bytes capacity_;
   std::string token_;
   bool closed_ = false;
   Bytes used_ = 0;
   std::unordered_map<std::string, Blob> map_;
+  std::unordered_map<std::string, HeatEntry> heat_;
+  std::uint64_t heat_seq_ = 0;
   mutable StoreStats stats_;
 };
 

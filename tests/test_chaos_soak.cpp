@@ -70,5 +70,54 @@ TEST(ChaosSoak, CleanSoakHasNoFaultsAndNoViolations) {
   EXPECT_EQ(row.invariants.files_verified, row.invariants.files_acked);
 }
 
+// --- tiered arm (DESIGN.md §16) --------------------------------------------
+//
+// Same composed-fault soak with cold tiers on the victims: pressure
+// events demote coldest-first instead of evacuating, and crashes land
+// mid-demotion / mid-promotion. The invariant checker gains the tiering
+// clauses (tier accounting matches the cold key set, no key resident in
+// both tiers, tier capacity respected) on top of durability/accounting/
+// recovery-balance.
+
+ChaosSoakOptions tiered_opts(std::uint64_t seed) {
+  auto opt = small_opts(seed);
+  opt.scenario.victim_tier_capacity = 768 * units::MiB;
+  return opt;
+}
+
+TEST(ChaosSoakTiered, InvariantsHoldWithCrashesMidDemotion) {
+  const auto row = run_chaos_soak(tiered_opts(1));
+  for (const auto& v : row.invariants.violations) {
+    ADD_FAILURE() << "invariant violation: " << v;
+  }
+  EXPECT_TRUE(row.ok);
+  EXPECT_GT(row.invariants.files_acked, 0u);
+  EXPECT_EQ(row.invariants.files_verified, row.invariants.files_acked);
+  // The soak actually exercised the tier against the fault mix: pressure
+  // events demoted, and crashes overlapped the run (seed 1 is pinned).
+  EXPECT_GT(row.tier_demotions, 0u);
+  EXPECT_GT(row.injected.crashes + row.injected.evictions, 0u);
+  EXPECT_EQ(row.recovery.repairs, row.recovery.failures_handled);
+}
+
+TEST(ChaosSoakTiered, ReplaysByteIdentically) {
+  const auto a = run_chaos_soak(tiered_opts(2));
+  const auto b = run_chaos_soak(tiered_opts(2));
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(chaos_csv_row(a), chaos_csv_row(b));
+}
+
+TEST(ChaosSoakTiered, DisabledTierLeavesCleanArmUntouched) {
+  // Tiering off is the default: the untiered soak must not record any
+  // tier activity, so its replay digest is what it was before tiering
+  // existed (the golden-trace suite pins the full metrics dump).
+  const auto row = run_chaos_soak(small_opts(1));
+  EXPECT_EQ(row.tier_demotions, 0u);
+  EXPECT_EQ(row.tier_promotions, 0u);
+  EXPECT_EQ(row.tier_cold_hits, 0u);
+  EXPECT_EQ(row.tier_cold_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace memfss::exp

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "cluster/monitor.hpp"
+#include "sim/simulator.hpp"
+
 namespace memfss::sim {
 namespace {
 
@@ -63,6 +68,53 @@ TEST(MemoryPool, PressureArmedStateRespectsCurrentUsage) {
   pool.free(30);
   (void)pool.try_alloc(25);  // crosses 80 from below
   EXPECT_EQ(fired, 1);
+}
+
+TEST(VictimMonitor, ReArmsAcrossPressureCyclesWithPartialRelief) {
+  // The monitor is not one-shot: fire_count() must grow once per upward
+  // crossing, and *partial* relief (usage recedes but stays at or above
+  // the threshold) must NOT re-arm it -- only dropping below does.
+  Simulator simu;
+  MemoryPool pool(1000);
+  std::vector<SimTime> handler_at;
+  cluster::VictimMonitor mon(simu, pool, 7, 0.8, [&](NodeId n) {
+    EXPECT_EQ(n, 7u);
+    handler_at.push_back(simu.now());
+  });
+  EXPECT_FALSE(mon.fired());
+
+  ASSERT_TRUE(pool.try_alloc(850));  // first crossing
+  EXPECT_EQ(mon.fire_count(), 1u);
+  EXPECT_TRUE(handler_at.empty());   // handler is deferred off the alloc path
+  simu.run();
+  ASSERT_EQ(handler_at.size(), 1u);
+
+  pool.free(30);                     // 820: partial relief, still >= 800
+  ASSERT_TRUE(pool.try_alloc(100));  // 920: no new crossing
+  EXPECT_EQ(mon.fire_count(), 1u);
+
+  pool.free(200);                    // 720 < 800: re-arms
+  ASSERT_TRUE(pool.try_alloc(150));  // 870: second crossing
+  EXPECT_EQ(mon.fire_count(), 2u);
+
+  pool.free(71);                     // 799: barely below -- re-arms again
+  ASSERT_TRUE(pool.try_alloc(1));    // 800: crossing at the exact threshold
+  EXPECT_EQ(mon.fire_count(), 3u);
+
+  simu.run();
+  EXPECT_EQ(handler_at.size(), 3u);
+  EXPECT_EQ(mon.fire_count(), 3u);
+}
+
+TEST(VictimMonitor, ManualDemandFiresRegardlessOfPressureState) {
+  Simulator simu;
+  MemoryPool pool(100);
+  std::size_t handled = 0;
+  cluster::VictimMonitor mon(simu, pool, 3, 0.9, [&](NodeId) { ++handled; });
+  mon.demand_memory();  // operator-initiated reclaim, pool untouched
+  EXPECT_EQ(mon.fire_count(), 1u);
+  simu.run();
+  EXPECT_EQ(handled, 1u);
 }
 
 }  // namespace

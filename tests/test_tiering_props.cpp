@@ -1,0 +1,198 @@
+// Property/fuzz coverage for the access-heat model (DESIGN.md §16).
+//
+// The heat counter is pure integer math inside kvstore::Store -- no
+// simulator needed -- so these tests hammer it with random access traces
+// and check the ordering laws the demotion policy depends on:
+//   - halving decay: one access is worth kHeatQuantum >> elapsed epochs;
+//   - add-access monotonicity: a trace with extra accesses is never
+//     colder than the original;
+//   - shift-later monotonicity: the same accesses closer to the query
+//     epoch are never colder;
+//   - extreme sim-time deltas (epoch 0 vs UINT64_MAX, epochs running
+//     backwards) neither underflow, overflow, nor shift out of range --
+//     the UBSan build of this suite is the proof.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kvstore/store.hpp"
+
+namespace memfss::kvstore {
+namespace {
+
+constexpr std::uint64_t kMaxEpoch = std::numeric_limits<std::uint64_t>::max();
+
+/// Fresh store with one resident key per name in `keys` (heat tracking
+/// only covers resident keys).
+Store store_with(const std::vector<std::string>& keys) {
+  Store s(1 << 20, "t");
+  for (const auto& k : keys) {
+    const auto st = s.put("t", k, Blob::ghost(16));
+    EXPECT_TRUE(st.ok());
+  }
+  return s;
+}
+
+/// Apply an epoch-sorted access trace to one key.
+void apply(Store& s, const std::string& key,
+           const std::vector<std::uint64_t>& trace) {
+  for (const auto e : trace) s.touch_heat(key, e);
+}
+
+std::vector<std::uint64_t> random_trace(Rng& rng, std::size_t len,
+                                        std::uint64_t max_epoch) {
+  std::vector<std::uint64_t> t(len);
+  for (auto& e : t) e = rng.uniform_u64(0, max_epoch);
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+TEST(HeatDecay, HalvesPerEpochExactly) {
+  Store s = store_with({"k"});
+  s.touch_heat("k", 0);
+  for (std::uint64_t e = 0; e < 64; ++e)
+    EXPECT_EQ(s.heat_of("k", e), Store::kHeatQuantum >> e) << "epoch " << e;
+  EXPECT_EQ(s.heat_of("k", 64), 0u);
+  EXPECT_EQ(s.heat_of("k", kMaxEpoch), 0u);
+}
+
+TEST(HeatDecay, NeverTouchedIsColdZero) {
+  Store s = store_with({"k"});
+  EXPECT_EQ(s.heat_of("k", 0), 0u);
+  EXPECT_EQ(s.heat_of("absent", 123), 0u);
+}
+
+TEST(HeatDecay, BackwardsEpochsClampWithoutUnderflow) {
+  Store s = store_with({"k"});
+  s.touch_heat("k", 1000);
+  // Querying or touching at an earlier epoch must not decay (or wrap).
+  EXPECT_EQ(s.heat_of("k", 500), Store::kHeatQuantum);
+  EXPECT_EQ(s.heat_of("k", 0), Store::kHeatQuantum);
+  s.touch_heat("k", 0);  // out-of-order access accumulates, never wraps
+  EXPECT_EQ(s.heat_of("k", 1000), 2 * Store::kHeatQuantum);
+}
+
+TEST(HeatDecay, ExtremeDeltasAreSafe) {
+  Store s = store_with({"a", "b", "c"});
+  s.touch_heat("a", 0);
+  EXPECT_EQ(s.heat_of("a", kMaxEpoch), 0u);  // 2^64-epoch decay flushes
+  s.touch_heat("b", kMaxEpoch);
+  EXPECT_EQ(s.heat_of("b", kMaxEpoch), Store::kHeatQuantum);
+  EXPECT_EQ(s.heat_of("b", 0), Store::kHeatQuantum);  // clamped, no wrap
+  s.touch_heat("c", 0);
+  s.touch_heat("c", kMaxEpoch);  // fold across the full epoch range
+  EXPECT_EQ(s.heat_of("c", kMaxEpoch), Store::kHeatQuantum);
+}
+
+TEST(HeatDecay, CounterStaysBelowCapUnderHammering) {
+  Store s = store_with({"k"});
+  for (int i = 0; i < 100000; ++i) s.touch_heat("k", 5);
+  const auto h = s.heat_of("k", 5);
+  EXPECT_EQ(h, 100000u * Store::kHeatQuantum);
+  EXPECT_LE(h, Store::kHeatCap);
+}
+
+TEST(HeatDecayFuzz, AddingAccessesNeverColder) {
+  Rng rng(0x48454154ull);
+  for (int round = 0; round < 200; ++round) {
+    const auto base = random_trace(rng, rng.uniform_u64(1, 24), 1 << 20);
+    auto extended = base;
+    const auto extras = random_trace(rng, rng.uniform_u64(1, 8), 1 << 20);
+    extended.insert(extended.end(), extras.begin(), extras.end());
+    std::sort(extended.begin(), extended.end());
+
+    Store s = store_with({"base", "ext"});
+    apply(s, "base", base);
+    apply(s, "ext", extended);
+    const std::uint64_t q = std::max(base.back(), extended.back()) +
+                            rng.uniform_u64(0, 8);
+    EXPECT_GE(s.heat_of("ext", q), s.heat_of("base", q))
+        << "round " << round << " query " << q;
+  }
+}
+
+TEST(HeatDecayFuzz, ShiftingAccessesLaterNeverColder) {
+  Rng rng(0x48454155ull);
+  for (int round = 0; round < 200; ++round) {
+    const auto base = random_trace(rng, rng.uniform_u64(1, 24), 1 << 20);
+    const std::uint64_t shift = rng.uniform_u64(0, 64);
+    std::vector<std::uint64_t> later;
+    for (const auto e : base) later.push_back(e + shift);
+
+    Store s = store_with({"base", "late"});
+    apply(s, "base", base);
+    apply(s, "late", later);
+    const std::uint64_t q = later.back() + rng.uniform_u64(0, 8);
+    EXPECT_GE(s.heat_of("late", q), s.heat_of("base", q))
+        << "round " << round << " shift " << shift;
+  }
+}
+
+TEST(HeatDecayFuzz, DecayIsMonotoneInQueryEpoch) {
+  Rng rng(0x48454156ull);
+  for (int round = 0; round < 100; ++round) {
+    const auto trace = random_trace(rng, rng.uniform_u64(1, 24), 1 << 16);
+    Store s = store_with({"k"});
+    apply(s, "k", trace);
+    std::uint64_t prev = s.heat_of("k", trace.back());
+    EXPECT_LE(prev, Store::kHeatCap);
+    std::uint64_t q = trace.back();
+    for (int step = 0; step < 80; ++step) {
+      q += rng.uniform_u64(1, 4);
+      const auto h = s.heat_of("k", q);
+      EXPECT_LE(h, prev) << "round " << round << " query " << q;
+      prev = h;
+    }
+    EXPECT_EQ(s.heat_of("k", trace.back() + (std::uint64_t{1} << 40)), 0u);
+  }
+}
+
+TEST(HeatOrder, ColdestFirstIsDeterministicAcrossInsertionOrders) {
+  // Same keys, same touches, different map insertion orders: the
+  // coldest-first scan must not depend on unordered_map iteration.
+  std::vector<std::string> names;
+  for (int i = 0; i < 32; ++i) names.push_back("key" + std::to_string(i));
+  auto build = [&](Rng order_rng) {
+    auto shuffled = names;
+    order_rng.shuffle(shuffled);
+    Store s = store_with(shuffled);
+    for (std::size_t i = 0; i < names.size(); ++i)
+      for (std::size_t t = 0; t < i % 7; ++t)
+        s.touch_heat(names[i], 10 + (i % 3));
+    return s.keys_by_heat(20);
+  };
+  const auto a = build(Rng(7));
+  const auto b = build(Rng(99));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), names.size());
+}
+
+TEST(HeatOrder, RecencyBreaksFrequencyTies) {
+  Store s = store_with({"old", "new"});
+  s.touch_heat("old", 10);
+  s.touch_heat("new", 10);  // same heat, later access sequence
+  const auto order = s.keys_by_heat(10);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "old");  // colder: same counter, earlier touch
+  EXPECT_EQ(order[1], "new");
+}
+
+TEST(HeatOrder, DeletedKeysLeaveTheOrder) {
+  Store s = store_with({"a", "b"});
+  s.touch_heat("a", 0);
+  s.touch_heat("b", 0);
+  EXPECT_TRUE(s.del("t", "a").ok());
+  const auto order = s.keys_by_heat(0);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], "b");
+  // Reinserting starts cold again (no stale heat).
+  EXPECT_TRUE(s.put("t", "a", Blob::ghost(16)).ok());
+  EXPECT_EQ(s.heat_of("a", 0), 0u);
+}
+
+}  // namespace
+}  // namespace memfss::kvstore
